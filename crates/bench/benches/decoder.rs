@@ -1,0 +1,66 @@
+//! Per-subcarrier decoder cost: the fixed-sphere ML decoder versus the naive
+//! average-distance decoder, as a function of the number of FFT segments `P` and the
+//! constellation order — the scaling the paper's §6 discusses and the justification for
+//! the fixed sphere.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cprecycle::interference_model::InterferenceModel;
+use cprecycle::segments::SymbolSegments;
+use cprecycle::{naive, CpRecycleConfig, FixedSphereMlDecoder};
+use ofdmphy::modulation::Modulation;
+use ofdmphy::ofdm::OfdmEngine;
+use ofdmphy::params::OfdmParams;
+use rfdsp::Complex;
+
+/// Builds a trained interference model for one bin from synthetic preamble segments.
+fn trained_model(engine: &OfdmEngine, bin: usize, num_segments: usize) -> InterferenceModel {
+    let reference_value = Complex::new(1.0, 0.0);
+    let mut reference = vec![Complex::zero(); 64];
+    reference[bin] = reference_value;
+    let values: Vec<Vec<Complex>> = (0..num_segments)
+        .map(|j| {
+            let mut seg = vec![Complex::zero(); 64];
+            let interference = Complex::from_polar(0.1 + 0.2 * (j % 4) as f64, j as f64);
+            seg[bin] = reference_value + interference;
+            seg
+        })
+        .collect();
+    let segments = SymbolSegments { values };
+    InterferenceModel::train(engine, &[segments], &[reference], CpRecycleConfig::default())
+        .expect("training on synthetic preamble succeeds")
+}
+
+fn bench_decoder(c: &mut Criterion) {
+    let engine = OfdmEngine::new(OfdmParams::ieee80211ag());
+    let bin = engine.params().data_bins()[10];
+    let mut group = c.benchmark_group("subcarrier_decoder");
+    group.sample_size(30);
+    for modulation in [Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+        for p in [4usize, 16] {
+            let model = trained_model(&engine, bin, p);
+            let truth = modulation.points()[1];
+            let observations: Vec<Complex> = (0..p)
+                .map(|j| truth + Complex::from_polar(0.1, j as f64 * 0.7))
+                .collect();
+            let ml = FixedSphereMlDecoder::new(modulation, 2.0);
+            group.bench_with_input(
+                BenchmarkId::new(format!("sphere_ml_{}", modulation.name()), p),
+                &observations,
+                |b, obs| {
+                    b.iter(|| ml.decode_subcarrier(&model, bin, obs));
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("naive_{}", modulation.name()), p),
+                &observations,
+                |b, obs| {
+                    b.iter(|| naive::decode_subcarrier(obs, modulation));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decoder);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! FFT throughput across the transform sizes used by the 802.11 / LTE numerologies
+//! (Table 1): the per-symbol cost that CPRecycle multiplies by `P`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rfdsp::fft::FftPlan;
+use rfdsp::Complex;
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    group.sample_size(20);
+    for size in [64usize, 128, 256, 512, 2048] {
+        let plan = FftPlan::new(size);
+        let input: Vec<Complex> = (0..size)
+            .map(|t| Complex::cis(0.37 * t as f64).scale(1.0 + (t % 7) as f64 * 0.1))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            let mut buf = input.clone();
+            b.iter(|| {
+                plan.fft_in_place(&mut buf).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Kernel-density-estimation cost: training (bandwidth selection) and evaluation of the
+//! bivariate product kernel, as a function of the number of preamble samples
+//! (`P × N_p`) — the `O(P · N_p · f)` term in the paper's complexity discussion (§6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rfdsp::kde::{BandwidthSelector, ProductKde2d};
+
+fn samples(n: usize) -> Vec<(f64, f64)> {
+    (0..n)
+        .map(|i| {
+            let x = i as f64 / n as f64;
+            (0.3 * (x * 12.7).sin().abs(), 3.0 * (x * 5.1).cos())
+        })
+        .collect()
+}
+
+fn bench_kde(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kde");
+    group.sample_size(30);
+    for n in [16usize, 32, 80] {
+        let s = samples(n);
+        group.bench_with_input(BenchmarkId::new("train_loo", n), &s, |b, s| {
+            b.iter(|| ProductKde2d::new(s, BandwidthSelector::LeaveOneOut).unwrap());
+        });
+        let kde = ProductKde2d::new(&s, BandwidthSelector::Silverman).unwrap();
+        group.bench_with_input(BenchmarkId::new("eval", n), &kde, |b, kde| {
+            b.iter(|| kde.log_eval(0.21, -0.4));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kde);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Viterbi decoding throughput per code rate — the bit-pipeline cost shared by every
+//! receiver in the comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ofdmphy::convcode::{encode, CodeRate};
+use ofdmphy::viterbi::ViterbiDecoder;
+use rand::{Rng, SeedableRng};
+
+fn bench_viterbi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("viterbi");
+    group.sample_size(20);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut data: Vec<u8> = (0..1200).map(|_| rng.gen_range(0..2)).collect();
+    data.extend_from_slice(&[0; 6]);
+    let decoder = ViterbiDecoder::new();
+    for rate in [CodeRate::Half, CodeRate::TwoThirds, CodeRate::ThreeQuarters] {
+        let coded = encode(&data, rate).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(rate.name()), &coded, |b, coded| {
+            b.iter(|| decoder.decode(coded, rate).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_viterbi);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Regenerates Figure 12 of the paper. Pass `--smoke` for a fast coarse run, `--json` for JSON output.
+
+fn main() {
+    cprecycle_bench::run_figure(cprecycle_scenarios::figures::fig12);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 13 of the paper. Pass `--smoke` for a fast coarse run, `--json` for JSON output.
+
+fn main() {
+    let cli = cprecycle_bench::FigureCli::from_args();
+    let result = cprecycle_scenarios::figures::fig13(&cli.scale());
+    cli.emit(&result);
+}

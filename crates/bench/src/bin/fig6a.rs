@@ -1,0 +1,7 @@
+//! Regenerates Figure 6a of the paper. Pass `--smoke` for a fast coarse run, `--json` for JSON output.
+
+fn main() {
+    let cli = cprecycle_bench::FigureCli::from_args();
+    let result = cprecycle_scenarios::figures::fig6a();
+    cli.emit(&result);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table 1 of the paper. Pass `--smoke` for a fast coarse run, `--json` for JSON output.
+
+fn main() {
+    let cli = cprecycle_bench::FigureCli::from_args();
+    let result = cprecycle_scenarios::figures::table1();
+    cli.emit(&result);
+}

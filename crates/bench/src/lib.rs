@@ -1,0 +1,99 @@
+//! Shared plumbing for the figure-regeneration binaries and Criterion benches.
+//!
+//! Every binary in this crate regenerates one table or figure of the paper by calling
+//! the corresponding driver in `cprecycle-scenarios` and printing the result as an
+//! aligned text table (pass `--json` for machine-readable output). Pass `--smoke` to
+//! run a fast, coarse version of the experiment; the default is the full scale used to
+//! fill in EXPERIMENTS.md.
+
+use cprecycle_scenarios::figures::FigureScale;
+use cprecycle_scenarios::report::ExperimentResult;
+
+/// Command-line options shared by all figure binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FigureCli {
+    /// Run the coarse/fast version of the experiment.
+    pub smoke: bool,
+    /// Emit JSON instead of a text table.
+    pub json: bool,
+}
+
+impl FigureCli {
+    /// Parses the options from `std::env::args` (unknown arguments are ignored so the
+    /// binaries stay forgiving when driven from scripts).
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        FigureCli {
+            smoke: args.iter().any(|a| a == "--smoke"),
+            json: args.iter().any(|a| a == "--json"),
+        }
+    }
+
+    /// The figure scale implied by the options.
+    pub fn scale(&self) -> FigureScale {
+        if self.smoke {
+            FigureScale::smoke()
+        } else {
+            FigureScale::full()
+        }
+    }
+
+    /// Prints an experiment result in the selected format.
+    pub fn emit(&self, result: &ExperimentResult) {
+        if self.json {
+            println!("{}", result.to_json());
+        } else {
+            print!("{}", result.to_table());
+        }
+    }
+}
+
+/// Runs one figure driver and prints it, converting errors into a readable message and
+/// a non-zero exit code.
+pub fn run_figure<F>(f: F)
+where
+    F: FnOnce(&FigureScale) -> cprecycle_scenarios::Result<ExperimentResult>,
+{
+    let cli = FigureCli::from_args();
+    match f(&cli.scale()) {
+        Ok(result) => cli.emit(&result),
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_cli_is_full_scale_table_output() {
+        let cli = FigureCli {
+            smoke: false,
+            json: false,
+        };
+        assert_eq!(cli.scale().packets, FigureScale::full().packets);
+        let cli = FigureCli {
+            smoke: true,
+            json: true,
+        };
+        assert_eq!(cli.scale().packets, FigureScale::smoke().packets);
+    }
+
+    #[test]
+    fn emit_table_and_json_do_not_panic() {
+        let result = cprecycle_scenarios::figures::table1();
+        FigureCli {
+            smoke: true,
+            json: false,
+        }
+        .emit(&result);
+        FigureCli {
+            smoke: true,
+            json: true,
+        }
+        .emit(&result);
+    }
+}

@@ -1,0 +1,115 @@
+//! Configuration of the CPRecycle receiver.
+
+use rfdsp::kde::BandwidthSelector;
+
+/// Tuning knobs of the CPRecycle receiver (the paper's `B_a`, `B_φ`, `R` and `P`
+/// parameters from Algorithm 1, plus the bandwidth-selection strategy of §4.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpRecycleConfig {
+    /// Maximum number of FFT segments `P` to use per symbol. The effective number is
+    /// `min(num_segments, ISI-free samples + 1)`; tuning this down trades interference
+    /// mitigation for computation (paper Fig. 14) and `1` degrades gracefully to the
+    /// standard receiver.
+    pub num_segments: usize,
+    /// Amplitude-axis kernel bandwidth `B_a`. `None` selects it from the preamble data
+    /// (Silverman / leave-one-out, depending on `data_driven_bandwidth`).
+    pub bandwidth_amplitude: Option<f64>,
+    /// Phase-axis kernel bandwidth `B_φ`. `None` selects it from the preamble data.
+    pub bandwidth_phase: Option<f64>,
+    /// Use the data-driven (leave-one-out) bandwidth selection the paper recommends when
+    /// at least two preambles are available; otherwise Silverman's rule is used.
+    pub data_driven_bandwidth: bool,
+    /// Fixed-sphere radius `R` for the ML decoder, in units of the minimum distance of
+    /// the constellation in use (a radius of 2.0 means "lattice points within twice the
+    /// nearest-neighbour spacing of the centroid").
+    pub sphere_radius_min_distances: f64,
+    /// Assumed ISI-free samples in the CP when the receiver is told rather than
+    /// detecting it (e.g. from a long-term delay-spread estimate). `None` means "use the
+    /// whole CP", the correct choice for the indoor delay spreads the paper targets.
+    pub isi_free_samples: Option<usize>,
+    /// Lower bound on the amplitude-axis kernel bandwidth. Protects the model against
+    /// degenerate densities when the preamble happens to be almost interference-free
+    /// (all deviations ≈ 0): without a floor the KDE collapses to a spike and every
+    /// data-symbol likelihood underflows. Expressed in units of the unit-power
+    /// constellation scale.
+    pub min_bandwidth_amplitude: f64,
+    /// Lower bound on the phase-axis kernel bandwidth, in radians (see
+    /// `min_bandwidth_amplitude` for the rationale; the phase of a near-zero error
+    /// vector is numerically meaningless, so an un-floored phase bandwidth is even more
+    /// fragile).
+    pub min_bandwidth_phase: f64,
+}
+
+impl Default for CpRecycleConfig {
+    fn default() -> Self {
+        CpRecycleConfig {
+            num_segments: 16,
+            bandwidth_amplitude: None,
+            bandwidth_phase: None,
+            data_driven_bandwidth: true,
+            sphere_radius_min_distances: 2.0,
+            isi_free_samples: None,
+            min_bandwidth_amplitude: 0.05,
+            min_bandwidth_phase: 0.2,
+        }
+    }
+}
+
+impl CpRecycleConfig {
+    /// A configuration with a fixed number of segments (used by the Fig. 14 sweep).
+    pub fn with_segments(num_segments: usize) -> Self {
+        CpRecycleConfig {
+            num_segments,
+            ..Default::default()
+        }
+    }
+
+    /// The bandwidth-selection strategy implied by this configuration for one axis.
+    pub fn bandwidth_selector(&self, fixed: Option<f64>) -> BandwidthSelector {
+        match fixed {
+            Some(b) => BandwidthSelector::Fixed(b),
+            None if self.data_driven_bandwidth => BandwidthSelector::LeaveOneOut,
+            None => BandwidthSelector::Silverman,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_uses_whole_cp_and_data_driven_bandwidths() {
+        let c = CpRecycleConfig::default();
+        assert_eq!(c.num_segments, 16);
+        assert!(c.data_driven_bandwidth);
+        assert!(c.isi_free_samples.is_none());
+        assert_eq!(
+            c.bandwidth_selector(None),
+            BandwidthSelector::LeaveOneOut
+        );
+        assert_eq!(
+            c.bandwidth_selector(Some(0.3)),
+            BandwidthSelector::Fixed(0.3)
+        );
+    }
+
+    #[test]
+    fn with_segments_overrides_only_p() {
+        let c = CpRecycleConfig::with_segments(4);
+        assert_eq!(c.num_segments, 4);
+        assert_eq!(
+            c.sphere_radius_min_distances,
+            CpRecycleConfig::default().sphere_radius_min_distances
+        );
+    }
+
+    #[test]
+    fn silverman_when_data_driven_disabled() {
+        let c = CpRecycleConfig {
+            data_driven_bandwidth: false,
+            ..Default::default()
+        };
+        assert_eq!(c.bandwidth_selector(None), BandwidthSelector::Silverman);
+    }
+}

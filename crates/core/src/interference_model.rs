@@ -1,0 +1,384 @@
+//! The per-subcarrier interference model (paper §4.1, Eq. 4).
+//!
+//! During the known preamble symbols the receiver observes, for every subcarrier `f`
+//! and every ISI-free FFT segment `j`, the deviation of the equalised observation from
+//! the known transmitted value:
+//!
+//! ```text
+//! R_A^j[f] = A(X̂_s^j[f] − X_s[f])      (amplitude of the error vector)
+//! R_φ^j[f] = Φ(X̂_s^j[f] − X_s[f])      (phase of the error vector)
+//! ```
+//!
+//! Pooling those samples over segments and preamble symbols, a bivariate Gaussian
+//! *product* kernel density estimate models the joint (amplitude, phase) deviation per
+//! subcarrier. Because the deviations are expressed *relative to* the transmitted
+//! lattice point, the model learnt on BPSK preamble symbols transfers to any data
+//! modulation (the paper's "facilitate this" paragraph), and because the model is
+//! per-subcarrier it adapts to the frequency-selective structure of adjacent-channel
+//! interference.
+
+use crate::config::CpRecycleConfig;
+use crate::segments::SymbolSegments;
+use crate::Result;
+use ofdmphy::ofdm::OfdmEngine;
+use ofdmphy::PhyError;
+use rfdsp::kde::ProductKde2d;
+use rfdsp::Complex;
+
+/// Amplitude/phase deviation of an observation from a reference lattice point
+/// (the paper's `A(·)` and `Φ(·)` of the error vector).
+#[inline]
+pub fn deviation(observed: Complex, reference: Complex) -> (f64, f64) {
+    let err = observed - reference;
+    (err.norm(), err.arg())
+}
+
+/// A trained per-subcarrier interference model.
+#[derive(Debug, Clone)]
+pub struct InterferenceModel {
+    /// One KDE per FFT bin (only occupied bins are populated).
+    kdes: Vec<Option<ProductKde2d>>,
+    /// Raw deviation samples per bin, kept so the model can be updated when further
+    /// preambles arrive and so diagnostics (paper Fig. 6b) can compare samples against
+    /// the fitted density.
+    samples: Vec<Vec<(f64, f64)>>,
+    config: CpRecycleConfig,
+    /// Number of preamble symbols absorbed so far (`N_p`).
+    num_preambles: usize,
+}
+
+impl InterferenceModel {
+    /// Creates an empty (untrained) model for an FFT of `fft_size` bins.
+    pub fn new(fft_size: usize, config: CpRecycleConfig) -> Self {
+        InterferenceModel {
+            kdes: vec![None; fft_size],
+            samples: vec![Vec::new(); fft_size],
+            config,
+            num_preambles: 0,
+        }
+    }
+
+    /// Trains a model from the segments of one or more known preamble symbols.
+    ///
+    /// * `preamble_segments` — the extracted segments of each preamble symbol.
+    /// * `references` — the known transmitted frequency-domain values of each preamble
+    ///   symbol (same FFT-bin indexing as the segments).
+    pub fn train(
+        engine: &OfdmEngine,
+        preamble_segments: &[SymbolSegments],
+        references: &[Vec<Complex>],
+        config: CpRecycleConfig,
+    ) -> Result<Self> {
+        if preamble_segments.len() != references.len() {
+            return Err(PhyError::LengthMismatch {
+                expected: preamble_segments.len(),
+                actual: references.len(),
+            });
+        }
+        if preamble_segments.is_empty() {
+            return Err(PhyError::invalid(
+                "preamble_segments",
+                "at least one preamble symbol is required",
+            ));
+        }
+        let mut model = InterferenceModel::new(engine.params().fft_size, config);
+        for (segments, reference) in preamble_segments.iter().zip(references) {
+            model.absorb_preamble(engine, segments, reference)?;
+        }
+        model.refit()?;
+        Ok(model)
+    }
+
+    /// Adds the deviation samples of one more known preamble (or pilot-bearing) symbol
+    /// and refits the per-subcarrier densities — the "constantly updated when subsequent
+    /// preambles are received" behaviour of §4.3.
+    pub fn update(
+        &mut self,
+        engine: &OfdmEngine,
+        segments: &SymbolSegments,
+        reference: &[Complex],
+    ) -> Result<()> {
+        self.absorb_preamble(engine, segments, reference)?;
+        self.refit()
+    }
+
+    fn absorb_preamble(
+        &mut self,
+        engine: &OfdmEngine,
+        segments: &SymbolSegments,
+        reference: &[Complex],
+    ) -> Result<()> {
+        let fft_size = engine.params().fft_size;
+        if reference.len() != fft_size {
+            return Err(PhyError::LengthMismatch {
+                expected: fft_size,
+                actual: reference.len(),
+            });
+        }
+        for bin in engine.params().occupied_bins() {
+            if reference[bin].norm_sqr() == 0.0 {
+                continue;
+            }
+            for seg in &segments.values {
+                let (a, p) = deviation(seg[bin], reference[bin]);
+                self.samples[bin].push((a, p));
+            }
+        }
+        self.num_preambles += 1;
+        Ok(())
+    }
+
+    fn refit(&mut self) -> Result<()> {
+        for bin in 0..self.kdes.len() {
+            if self.samples[bin].is_empty() {
+                continue;
+            }
+            let kde = {
+                // Per-axis selection honours whichever axis has a fixed bandwidth, then
+                // both axes are floored so a (nearly) interference-free preamble cannot
+                // collapse the density into an unusable spike.
+                let selector_a = self.config.bandwidth_selector(self.config.bandwidth_amplitude);
+                let selector_p = self.config.bandwidth_selector(self.config.bandwidth_phase);
+                let a_samples: Vec<f64> = self.samples[bin].iter().map(|s| s.0).collect();
+                let p_samples: Vec<f64> = self.samples[bin].iter().map(|s| s.1).collect();
+                let ba = rfdsp::kde::select_bandwidth(&a_samples, selector_a)?
+                    .max(self.config.min_bandwidth_amplitude);
+                let bp = rfdsp::kde::select_bandwidth(&p_samples, selector_p)?
+                    .max(self.config.min_bandwidth_phase);
+                ProductKde2d::with_bandwidths(&self.samples[bin], ba, bp)?
+            };
+            self.kdes[bin] = Some(kde);
+        }
+        Ok(())
+    }
+
+    /// Number of preamble symbols absorbed (`N_p`).
+    pub fn num_preambles(&self) -> usize {
+        self.num_preambles
+    }
+
+    /// Whether a model exists for the given bin.
+    pub fn has_model(&self, bin: usize) -> bool {
+        self.kdes.get(bin).map(|k| k.is_some()).unwrap_or(false)
+    }
+
+    /// The raw deviation samples collected for a bin (used by the Fig. 6b diagnostic).
+    pub fn samples(&self, bin: usize) -> &[(f64, f64)] {
+        &self.samples[bin]
+    }
+
+    /// The fitted KDE for a bin, if any.
+    pub fn kde(&self, bin: usize) -> Option<&ProductKde2d> {
+        self.kdes.get(bin).and_then(|k| k.as_ref())
+    }
+
+    /// Log-likelihood of observing `observed` on `bin` given that lattice point
+    /// `candidate` was transmitted — `ln P(X̂^j | X)` of Eq. 5 for one segment.
+    ///
+    /// Falls back to a Gaussian-like distance penalty when no model exists for the bin
+    /// (e.g. a bin that carried nothing during the preamble), so the ML decoder always
+    /// has a usable metric.
+    pub fn log_likelihood(&self, bin: usize, observed: Complex, candidate: Complex) -> f64 {
+        let (a, p) = deviation(observed, candidate);
+        match self.kde(bin) {
+            Some(kde) => kde.log_eval(a, p),
+            None => -0.5 * a * a,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segments::extract_segments;
+    use ofdmphy::chanest::ChannelEstimate;
+    use ofdmphy::params::OfdmParams;
+    use ofdmphy::preamble;
+    use rand::SeedableRng;
+    use wirelesschan::mixer::{combine, InterfererSpec};
+
+    fn engine() -> OfdmEngine {
+        OfdmEngine::new(OfdmParams::ieee80211ag())
+    }
+
+    /// Builds the two LTF symbols (with their long guard) as "preamble symbols" in the
+    /// per-symbol framing the segment extractor expects: we treat the second half of the
+    /// LTF as two consecutive 80-sample symbols whose CP is genuinely cyclic.
+    fn ltf_preamble_symbols(_e: &OfdmEngine, samples: &[Complex]) -> Vec<Vec<Complex>> {
+        // LTF layout: 32-sample GI2 + 64 (sym1) + 64 (sym2). Treat sym1 with the last 16
+        // samples of GI2 as its CP, and sym2 with the last 16 samples of sym1 as its CP.
+        let sym1 = samples[16..96].to_vec();
+        let sym2 = samples[80..160].to_vec();
+        vec![sym1, sym2]
+    }
+
+    #[test]
+    fn deviation_of_exact_observation_is_zero_amplitude() {
+        let x = Complex::new(0.7, -0.7);
+        let (a, _) = deviation(x, x);
+        assert!(a < 1e-15);
+        let (a2, p2) = deviation(x + Complex::new(0.1, 0.0), x);
+        assert!((a2 - 0.1).abs() < 1e-12);
+        assert!(p2.abs() < 1e-12);
+    }
+
+    #[test]
+    fn clean_preamble_trains_tight_model() {
+        let e = engine();
+        let ltf = preamble::generate_ltf(e.params());
+        let est = ChannelEstimate::from_ltf(&e, &ltf).unwrap();
+        let reference = preamble::ltf_bins(e.params());
+        let symbols = ltf_preamble_symbols(&e, &ltf);
+        let segs: Vec<_> = symbols
+            .iter()
+            .map(|s| extract_segments(&e, s, &est, 17).unwrap())
+            .collect();
+        let model = InterferenceModel::train(
+            &e,
+            &segs,
+            &vec![reference.clone(); 2],
+            CpRecycleConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(model.num_preambles(), 2);
+        // Every occupied non-DC bin has a model with 2 × 17 samples.
+        for bin in e.params().occupied_bins() {
+            assert!(model.has_model(bin), "bin {bin}");
+            assert_eq!(model.samples(bin).len(), 34);
+        }
+        // With no interference the deviations are ~0, so an observation right on the
+        // lattice point is far more likely than one a full symbol away.
+        let bin = e.params().data_bins()[10];
+        let candidate = Complex::new(1.0, 0.0);
+        let near = model.log_likelihood(bin, candidate, candidate);
+        let far = model.log_likelihood(bin, candidate + Complex::new(1.0, 1.0), candidate);
+        assert!(near > far + 1.0, "near {near} far {far}");
+    }
+
+    #[test]
+    fn interference_widens_the_learned_density() {
+        let e = engine();
+        let ltf = preamble::generate_ltf(e.params());
+        let reference = preamble::ltf_bins(e.params());
+
+        // Clean model.
+        let est_clean = ChannelEstimate::from_ltf(&e, &ltf).unwrap();
+        let clean_syms = ltf_preamble_symbols(&e, &ltf);
+        let clean_segs: Vec<_> = clean_syms
+            .iter()
+            .map(|s| extract_segments(&e, s, &est_clean, 17).unwrap())
+            .collect();
+        let clean = InterferenceModel::train(
+            &e,
+            &clean_segs,
+            &vec![reference.clone(); 2],
+            CpRecycleConfig::default(),
+        )
+        .unwrap();
+
+        // Interfered model: add a strong asynchronous interferer over the LTF.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut g = rfdsp::noise::GaussianSource::new();
+        let intf_wave = g.complex_vector(&mut rng, 640, 1.0);
+        let spec = InterfererSpec::new(intf_wave, 0.15, 21.7, -10.0);
+        let combined = combine(&ltf, &[spec]).unwrap();
+        let est_intf = ChannelEstimate::from_ltf(&e, &combined.composite).unwrap();
+        let intf_syms = ltf_preamble_symbols(&e, &combined.composite);
+        let intf_segs: Vec<_> = intf_syms
+            .iter()
+            .map(|s| extract_segments(&e, s, &est_intf, 17).unwrap())
+            .collect();
+        let interfered = InterferenceModel::train(
+            &e,
+            &intf_segs,
+            &vec![reference.clone(); 2],
+            CpRecycleConfig::default(),
+        )
+        .unwrap();
+
+        // The interfered model must have learned larger amplitude deviations.
+        let bin = e.params().data_bins()[5];
+        let clean_mean: f64 = clean.samples(bin).iter().map(|s| s.0).sum::<f64>()
+            / clean.samples(bin).len() as f64;
+        let intf_mean: f64 = interfered.samples(bin).iter().map(|s| s.0).sum::<f64>()
+            / interfered.samples(bin).len() as f64;
+        assert!(
+            intf_mean > 3.0 * clean_mean,
+            "clean {clean_mean}, interfered {intf_mean}"
+        );
+    }
+
+    #[test]
+    fn update_adds_preambles() {
+        let e = engine();
+        let ltf = preamble::generate_ltf(e.params());
+        let est = ChannelEstimate::from_ltf(&e, &ltf).unwrap();
+        let reference = preamble::ltf_bins(e.params());
+        let symbols = ltf_preamble_symbols(&e, &ltf);
+        let segs: Vec<_> = symbols
+            .iter()
+            .map(|s| extract_segments(&e, s, &est, 9).unwrap())
+            .collect();
+        let mut model = InterferenceModel::train(
+            &e,
+            &segs[..1],
+            &[reference.clone()],
+            CpRecycleConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(model.num_preambles(), 1);
+        model.update(&e, &segs[1], &reference).unwrap();
+        assert_eq!(model.num_preambles(), 2);
+        let bin = e.params().data_bins()[0];
+        assert_eq!(model.samples(bin).len(), 18);
+    }
+
+    #[test]
+    fn train_validation() {
+        let e = engine();
+        assert!(InterferenceModel::train(&e, &[], &[], CpRecycleConfig::default()).is_err());
+        let ltf = preamble::generate_ltf(e.params());
+        let est = ChannelEstimate::identity(64);
+        let segs = extract_segments(&e, &ltf[16..96], &est, 5).unwrap();
+        // Mismatched reference count.
+        assert!(InterferenceModel::train(&e, &[segs.clone()], &[], CpRecycleConfig::default())
+            .is_err());
+        // Wrong reference length.
+        assert!(InterferenceModel::train(
+            &e,
+            &[segs],
+            &[vec![Complex::one(); 10]],
+            CpRecycleConfig::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn fallback_metric_for_unmodelled_bins() {
+        let model = InterferenceModel::new(64, CpRecycleConfig::default());
+        assert!(!model.has_model(5));
+        let near = model.log_likelihood(5, Complex::one(), Complex::one());
+        let far = model.log_likelihood(5, Complex::new(3.0, 0.0), Complex::one());
+        assert!(near > far);
+    }
+
+    #[test]
+    fn fixed_bandwidths_are_respected() {
+        let e = engine();
+        let ltf = preamble::generate_ltf(e.params());
+        let est = ChannelEstimate::from_ltf(&e, &ltf).unwrap();
+        let reference = preamble::ltf_bins(e.params());
+        let segs = extract_segments(&e, &ltf[16..96], &est, 9).unwrap();
+        let config = CpRecycleConfig {
+            bandwidth_amplitude: Some(0.25),
+            bandwidth_phase: Some(0.5),
+            ..Default::default()
+        };
+        let model =
+            InterferenceModel::train(&e, &[segs], &[reference], config).unwrap();
+        let bin = e.params().data_bins()[3];
+        let kde = model.kde(bin).unwrap();
+        assert!((kde.bandwidth_amplitude() - 0.25).abs() < 1e-12);
+        assert!((kde.bandwidth_phase() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,118 @@
+//! The naive multi-segment decoder (paper §3.3, Eq. 3) — the authors' earlier ShiftFFT
+//! approach and the strawman CPRecycle improves upon.
+//!
+//! For each subcarrier it picks the lattice point with the minimum *average Euclidean
+//! distance* to the `P` segment observations:
+//!
+//! ```text
+//! l* = argmin_{l ∈ L} Σ_j |X̂_j − l|
+//! ```
+//!
+//! The paper identifies three weaknesses (sensitivity of the arithmetic mean to
+//! outliers, the assumption that clean observations sit exactly on the lattice point,
+//! and ignoring phase structure); the tests below reproduce the outlier failure mode
+//! that motivates the KDE + ML design.
+
+use ofdmphy::modulation::Modulation;
+use rfdsp::Complex;
+
+/// Decodes one subcarrier from its `P` segment observations by minimum average
+/// Euclidean distance over the full constellation. Returns the chosen lattice point and
+/// its bits.
+pub fn decode_subcarrier(observations: &[Complex], modulation: Modulation) -> (Complex, Vec<u8>) {
+    let mut best_point = Complex::zero();
+    let mut best_bits = Vec::new();
+    let mut best_metric = f64::INFINITY;
+    for (point, bits) in modulation.constellation() {
+        let metric: f64 = observations.iter().map(|o| (*o - point).norm()).sum();
+        if metric < best_metric {
+            best_metric = metric;
+            best_point = point;
+            best_bits = bits;
+        }
+    }
+    (best_point, best_bits)
+}
+
+/// Decodes a whole symbol's worth of subcarriers: `observations[bin_index]` holds the
+/// `P` segment values of one data subcarrier (in increasing bin order). Returns the
+/// decided lattice points, ready for the shared bit pipeline.
+pub fn decode_symbol(observations: &[Vec<Complex>], modulation: Modulation) -> Vec<Complex> {
+    observations
+        .iter()
+        .map(|obs| decode_subcarrier(obs, modulation).0)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_clean_observations() {
+        for m in [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16] {
+            for (point, bits) in m.constellation() {
+                let obs = vec![point; 5];
+                let (decided, decided_bits) = decode_subcarrier(&obs, m);
+                assert!((decided - point).norm() < 1e-12);
+                assert_eq!(decided_bits, bits);
+            }
+        }
+    }
+
+    #[test]
+    fn averages_out_moderate_noise() {
+        let m = Modulation::Qpsk;
+        let target = m.points()[2];
+        // Small, zero-mean perturbations around the target.
+        let obs: Vec<Complex> = [
+            Complex::new(0.1, 0.05),
+            Complex::new(-0.1, -0.05),
+            Complex::new(0.05, -0.1),
+            Complex::new(-0.05, 0.1),
+            Complex::new(0.0, 0.0),
+        ]
+        .iter()
+        .map(|d| target + *d)
+        .collect();
+        let (decided, _) = decode_subcarrier(&obs, m);
+        assert!((decided - target).norm() < 1e-12);
+    }
+
+    #[test]
+    fn strong_interference_on_most_segments_breaks_the_naive_decoder() {
+        // Reproduces the failure mode of paper §3.3 / Fig. 4c: the transmitted BPSK
+        // point is +1, two segments observe it cleanly, but three segments are hit by a
+        // strong interference vector that drags the observation past the decision
+        // boundary. The average-distance metric is dominated by the corrupted majority
+        // and flips the decision — even though the clean segments (plus knowledge of the
+        // interference statistics) would identify +1, which is what the CPRecycle ML
+        // decoder does in `sphere_ml::tests`.
+        let m = Modulation::Bpsk;
+        let true_point = Complex::new(1.0, 0.0);
+        let obs = vec![
+            Complex::new(1.02, 0.01),
+            Complex::new(0.99, -0.02),
+            Complex::new(-2.1, 0.15),  // +1 plus an interference vector of amplitude ≈ 3.1
+            Complex::new(-2.05, -0.1),
+            Complex::new(-2.12, 0.05),
+        ];
+        let (decided, _) = decode_subcarrier(&obs, m);
+        assert!(
+            (decided - true_point).norm() > 1.0,
+            "expected the naive decoder to be fooled, got {decided}"
+        );
+    }
+
+    #[test]
+    fn decode_symbol_maps_each_subcarrier() {
+        let m = Modulation::Qam16;
+        let points = m.points();
+        let per_bin: Vec<Vec<Complex>> = points.iter().take(8).map(|p| vec![*p; 3]).collect();
+        let decided = decode_symbol(&per_bin, m);
+        assert_eq!(decided.len(), 8);
+        for (d, p) in decided.iter().zip(points.iter().take(8)) {
+            assert!((*d - *p).norm() < 1e-12);
+        }
+    }
+}

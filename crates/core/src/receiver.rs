@@ -1,0 +1,425 @@
+//! The frame-level CPRecycle receiver (paper §4.3, Algorithm 1, Fig. 7).
+//!
+//! The receiver mirrors the standard 802.11a/g receive chain but replaces the
+//! subcarrier-decision stage:
+//!
+//! 1. estimate the channel from the long training field (shared with the standard
+//!    receiver — Eq. 1 divides every segment by the same `Ĥ`);
+//! 2. extract the ISI-free FFT segments of the two LTF symbols and train the
+//!    per-subcarrier interference model from their deviations (the `N_p = 2` preambles
+//!    of an 802.11 frame);
+//! 3. for every subsequent OFDM symbol, extract the same segments and decide each data
+//!    subcarrier with the fixed-sphere ML decoder;
+//! 4. feed the decided lattice points into the unchanged `ofdmphy` bit pipeline
+//!    (deinterleave → Viterbi → descramble → FCS).
+//!
+//! With `num_segments = 1` the receiver degrades gracefully to the standard receiver
+//! (one window, centroid = the observation, sphere around it), matching the paper's
+//! computational-scalability claim.
+
+use crate::config::CpRecycleConfig;
+use crate::interference_model::InterferenceModel;
+use crate::segments::{extract_segments, SymbolSegments};
+use crate::sphere_ml::FixedSphereMlDecoder;
+use crate::Result;
+use ofdmphy::chanest::ChannelEstimate;
+use ofdmphy::convcode::CodeRate;
+use ofdmphy::frame::parse_signal_bits;
+use ofdmphy::interleaver::Interleaver;
+use ofdmphy::modulation::Modulation;
+use ofdmphy::ofdm::OfdmEngine;
+use ofdmphy::params::OfdmParams;
+use ofdmphy::preamble;
+use ofdmphy::rx::{decode_psdu_from_symbols, FrameInfo, RxFrame};
+use ofdmphy::viterbi::ViterbiDecoder;
+use ofdmphy::PhyError;
+use rfdsp::Complex;
+
+/// The CPRecycle receiver.
+#[derive(Debug, Clone)]
+pub struct CpRecycleReceiver {
+    engine: OfdmEngine,
+    viterbi: ViterbiDecoder,
+    config: CpRecycleConfig,
+}
+
+impl CpRecycleReceiver {
+    /// Creates a receiver for the given numerology and configuration.
+    pub fn new(params: OfdmParams, config: CpRecycleConfig) -> Self {
+        CpRecycleReceiver {
+            engine: OfdmEngine::new(params),
+            viterbi: ViterbiDecoder::new(),
+            config,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CpRecycleConfig {
+        &self.config
+    }
+
+    /// Access to the OFDM engine (shared by diagnostics and the experiment harness).
+    pub fn engine(&self) -> &OfdmEngine {
+        &self.engine
+    }
+
+    /// The number of FFT segments the receiver will use given its configuration and the
+    /// (known or assumed) number of ISI-free CP samples.
+    pub fn effective_segments(&self) -> usize {
+        let params = self.engine.params();
+        let isi_free = self.config.isi_free_samples.unwrap_or(params.cp_len);
+        let available = isi_free.min(params.cp_len) + 1;
+        self.config.num_segments.clamp(1, available)
+    }
+
+    /// Decodes a frame that starts at sample `frame_start` of `samples`.
+    ///
+    /// If `info` is `None` the SIGNAL field is decoded (with the CPRecycle decision
+    /// stage, so the SIGNAL symbol also benefits from interference mitigation);
+    /// otherwise the supplied metadata is used directly — the genie-aided mode the
+    /// controlled experiments use to isolate DATA-symbol errors.
+    pub fn decode_frame(
+        &self,
+        samples: &[Complex],
+        frame_start: usize,
+        info: Option<FrameInfo>,
+    ) -> Result<RxFrame> {
+        let params = self.engine.params().clone();
+        let sym_len = params.symbol_len();
+        let preamble_len = preamble::preamble_len(&params);
+        let ltf_start = frame_start + 160;
+        let signal_start = frame_start + preamble_len;
+        let data_start = signal_start + sym_len;
+        if samples.len() < data_start + sym_len {
+            return Err(PhyError::InsufficientSamples {
+                needed: data_start + sym_len,
+                available: samples.len(),
+            });
+        }
+
+        // --- Channel estimate and interference model from the LTF -------------------
+        let estimate =
+            ChannelEstimate::from_ltf(&self.engine, &samples[ltf_start..signal_start])?;
+        let num_segments = self.effective_segments();
+        let model = self.train_model(samples, ltf_start, &estimate, num_segments)?;
+
+        // --- Frame metadata -----------------------------------------------------------
+        let info = match info {
+            Some(i) => i,
+            None => self.decode_signal(
+                &samples[signal_start..signal_start + sym_len],
+                &estimate,
+                &model,
+                num_segments,
+            )?,
+        };
+
+        // --- DATA symbols ---------------------------------------------------------------
+        let n_dbps = info.mcs.n_dbps(&params);
+        let payload_bits =
+            ofdmphy::frame::SERVICE_BITS + 8 * info.psdu_len + ofdmphy::frame::TAIL_BITS;
+        let num_symbols = payload_bits.div_ceil(n_dbps);
+        let needed = data_start + num_symbols * sym_len;
+        if samples.len() < needed {
+            return Err(PhyError::InsufficientSamples {
+                needed,
+                available: samples.len(),
+            });
+        }
+
+        let decoder = FixedSphereMlDecoder::new(
+            info.mcs.modulation,
+            self.config.sphere_radius_min_distances,
+        );
+        let data_bins = params.data_bins();
+        let mut decided_symbols = Vec::with_capacity(num_symbols);
+        for s in 0..num_symbols {
+            let start = data_start + s * sym_len;
+            let segments =
+                extract_segments(&self.engine, &samples[start..start + sym_len], &estimate, num_segments)?;
+            let per_bin: Vec<(usize, Vec<Complex>)> = data_bins
+                .iter()
+                .map(|&bin| (bin, segments.bin_observations(bin)))
+                .collect();
+            decided_symbols.push(decoder.decode_symbol(&model, &per_bin));
+        }
+
+        let (psdu, crc_ok) =
+            decode_psdu_from_symbols(&self.viterbi, &params, &decided_symbols, info)?;
+        let payload = if crc_ok {
+            Some(psdu[..psdu.len() - 4].to_vec())
+        } else {
+            None
+        };
+        Ok(RxFrame {
+            info,
+            psdu,
+            crc_ok,
+            payload,
+            equalized_symbols: decided_symbols,
+        })
+    }
+
+    /// Trains the interference model from the two long training symbols.
+    ///
+    /// The LTF is re-framed as two 80-sample "symbols" whose cyclic prefixes are
+    /// genuinely cyclic: the first uses the tail of the double guard interval, the
+    /// second uses the tail of the first long symbol (the two long symbols are
+    /// identical, so the prefix property holds exactly).
+    fn train_model(
+        &self,
+        samples: &[Complex],
+        ltf_start: usize,
+        estimate: &ChannelEstimate,
+        num_segments: usize,
+    ) -> Result<InterferenceModel> {
+        let params = self.engine.params();
+        let f = params.fft_size;
+        let c = params.cp_len;
+        let reference = preamble::ltf_bins(params);
+        // Symbol 1: CP = last `c` samples of the GI2, data = first long symbol.
+        let sym1_start = ltf_start + 2 * c - c;
+        // Symbol 2: CP = tail of long symbol 1, data = long symbol 2.
+        let sym2_start = ltf_start + 2 * c + f - c;
+        let sym_len = params.symbol_len();
+        let seg1 = extract_segments(
+            &self.engine,
+            &samples[sym1_start..sym1_start + sym_len],
+            estimate,
+            num_segments,
+        )?;
+        let seg2 = extract_segments(
+            &self.engine,
+            &samples[sym2_start..sym2_start + sym_len],
+            estimate,
+            num_segments,
+        )?;
+        InterferenceModel::train(
+            &self.engine,
+            &[seg1, seg2],
+            &[reference.clone(), reference],
+            self.config,
+        )
+    }
+
+    /// Decodes the SIGNAL symbol with the CPRecycle decision stage.
+    fn decode_signal(
+        &self,
+        symbol_samples: &[Complex],
+        estimate: &ChannelEstimate,
+        model: &InterferenceModel,
+        num_segments: usize,
+    ) -> Result<FrameInfo> {
+        let params = self.engine.params();
+        let segments: SymbolSegments =
+            extract_segments(&self.engine, symbol_samples, estimate, num_segments)?;
+        let decoder =
+            FixedSphereMlDecoder::new(Modulation::Bpsk, self.config.sphere_radius_min_distances);
+        let data_bins = params.data_bins();
+        let per_bin: Vec<(usize, Vec<Complex>)> = data_bins
+            .iter()
+            .map(|&bin| (bin, segments.bin_observations(bin)))
+            .collect();
+        let decided = decoder.decode_symbol(model, &per_bin);
+        let bits = Modulation::Bpsk.demap_hard_all(&decided);
+        let interleaver = Interleaver::new(params.num_data_subcarriers(), 1)?;
+        let deinterleaved = interleaver.deinterleave(&bits)?;
+        let decoded = self.viterbi.decode(&deinterleaved, CodeRate::Half)?;
+        let (mcs, psdu_len) = parse_signal_bits(&decoded)?;
+        if psdu_len == 0 {
+            return Err(PhyError::DecodeFailure("SIGNAL length of zero".into()));
+        }
+        Ok(FrameInfo { mcs, psdu_len })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofdmphy::frame::{Mcs, Transmitter};
+    use ofdmphy::rx::StandardReceiver;
+    use rand::{Rng, SeedableRng};
+    use wirelesschan::awgn::AwgnChannel;
+    use wirelesschan::mixer::{combine, InterfererSpec};
+
+    fn setup() -> (Transmitter, CpRecycleReceiver, StandardReceiver) {
+        let params = OfdmParams::ieee80211ag();
+        (
+            Transmitter::new(params.clone()),
+            CpRecycleReceiver::new(params.clone(), CpRecycleConfig::default()),
+            StandardReceiver::new(params),
+        )
+    }
+
+    fn random_payload(n: usize, seed: u64) -> Vec<u8> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen()).collect()
+    }
+
+    #[test]
+    fn effective_segments_respects_config_and_cp() {
+        let params = OfdmParams::ieee80211ag();
+        let rx = CpRecycleReceiver::new(params.clone(), CpRecycleConfig::default());
+        assert_eq!(rx.effective_segments(), 16);
+        let rx1 = CpRecycleReceiver::new(params.clone(), CpRecycleConfig::with_segments(1));
+        assert_eq!(rx1.effective_segments(), 1);
+        let rx_many = CpRecycleReceiver::new(params.clone(), CpRecycleConfig::with_segments(100));
+        assert_eq!(rx_many.effective_segments(), 17);
+        let rx_limited = CpRecycleReceiver::new(
+            params,
+            CpRecycleConfig {
+                isi_free_samples: Some(6),
+                num_segments: 16,
+                ..Default::default()
+            },
+        );
+        assert_eq!(rx_limited.effective_segments(), 7);
+    }
+
+    #[test]
+    fn clean_channel_roundtrip() {
+        let (tx, rx, _) = setup();
+        let payload = random_payload(120, 1);
+        for mcs in Mcs::paper_set() {
+            let frame = tx.build_frame(&payload, mcs, 0x5D).unwrap();
+            let decoded = rx.decode_frame(&frame.samples, 0, None).unwrap();
+            assert!(decoded.crc_ok, "{}", mcs.label());
+            assert_eq!(decoded.payload.as_deref(), Some(&payload[..]));
+            assert_eq!(decoded.info.mcs, mcs);
+        }
+    }
+
+    #[test]
+    fn decodes_with_awgn() {
+        let (tx, rx, _) = setup();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut chan = AwgnChannel::new();
+        let payload = random_payload(100, 3);
+        let mcs = Mcs::paper_set()[1];
+        let frame = tx.build_frame(&payload, mcs, 0x45).unwrap();
+        let mut noisy = frame.samples.clone();
+        chan.add_noise_snr(&mut rng, &mut noisy, 28.0).unwrap();
+        let decoded = rx.decode_frame(&noisy, 0, None).unwrap();
+        assert!(decoded.crc_ok);
+        assert_eq!(decoded.payload.as_deref(), Some(&payload[..]));
+    }
+
+    /// Uncoded subcarrier-decision error rate against the transmitted ground truth.
+    fn symbol_error_rate(
+        decided_or_equalized: &[Vec<Complex>],
+        truth: &[Vec<Complex>],
+        modulation: ofdmphy::modulation::Modulation,
+    ) -> f64 {
+        let mut errors = 0usize;
+        let mut total = 0usize;
+        for (rx_sym, tx_sym) in decided_or_equalized.iter().zip(truth) {
+            for (rx_val, tx_val) in rx_sym.iter().zip(tx_sym) {
+                let decided = modulation.nearest_point(*rx_val).0;
+                if (decided - *tx_val).norm() > 1e-9 {
+                    errors += 1;
+                }
+                total += 1;
+            }
+        }
+        errors as f64 / total.max(1) as f64
+    }
+
+    #[test]
+    fn lower_symbol_error_rate_than_standard_under_async_interference() {
+        // The headline mechanism at subcarrier granularity: an interferer that is not
+        // symbol-aligned (delay > CP, fractional-sample offset, slight frequency offset
+        // as between real oscillators) corrupts the standard receiver's single FFT
+        // window far more than CPRecycle's ML decision over all segments.
+        let (tx, rx_cp, rx_std) = setup();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut awgn = AwgnChannel::new();
+        let payload = random_payload(60, 5);
+        let mcs = Mcs::paper_set()[0]; // QPSK 1/2
+        let info = FrameInfo {
+            mcs,
+            psdu_len: payload.len() + 4,
+        };
+
+        let mut cp_errors = 0.0;
+        let mut std_errors = 0.0;
+        let trials = 6;
+        const SIR_DB: f64 = 5.0;
+        for t in 0..trials {
+            let frame = tx.build_frame(&payload, mcs, 0x5D).unwrap();
+            let intf_payload = random_payload(400, 100 + t);
+            let intf_frame = tx
+                .build_frame(&intf_payload, Mcs::paper_set()[2], 0x2F)
+                .unwrap();
+            let intf_chan = wirelesschan::multipath::MultipathChannel::realize(
+                &wirelesschan::multipath::PowerDelayProfile::exponential(6, 2.0).unwrap(),
+                wirelesschan::multipath::FadingKind::Rayleigh,
+                &mut rng,
+            );
+            let intf_wave = intf_chan.apply(&intf_frame.samples);
+            // Timing offsets spread over the interferer symbol period so both favourable
+            // and unfavourable alignments are covered; small frequency offset models the
+            // oscillator difference between distinct transmitters.
+            let spec = InterfererSpec::new(
+                intf_wave,
+                0.0017,
+                17.0 + (t as f64) * 13.0 + 0.37,
+                SIR_DB,
+            );
+            let combined = combine(&frame.samples, &[spec]).unwrap();
+            let mut received = combined.composite;
+            awgn.add_noise_snr(&mut rng, &mut received, 30.0).unwrap();
+
+            let cp_out = rx_cp.decode_frame(&received, 0, Some(info)).unwrap();
+            let std_out = rx_std.decode_frame(&received, 0, Some(info)).unwrap();
+            cp_errors += symbol_error_rate(
+                &cp_out.equalized_symbols,
+                &frame.data_subcarrier_values,
+                mcs.modulation,
+            );
+            std_errors += symbol_error_rate(
+                &std_out.equalized_symbols,
+                &frame.data_subcarrier_values,
+                mcs.modulation,
+            );
+        }
+        let cp_ser = cp_errors / trials as f64;
+        let std_ser = std_errors / trials as f64;
+        assert!(
+            std_ser > 0.05,
+            "scenario too easy: standard receiver SER {std_ser}"
+        );
+        // Co-channel interference is the paper's harder case (Fig. 11 shows smaller
+        // gains than the adjacent-channel experiments); at subcarrier granularity we
+        // require a clear, deterministic improvement. The large (tens of dB) gains show
+        // up in the adjacent-channel scenarios exercised by the integration tests and
+        // the figure benches.
+        assert!(
+            cp_ser < 0.9 * std_ser,
+            "CPRecycle SER {cp_ser} should be below standard SER {std_ser}"
+        );
+    }
+
+    #[test]
+    fn single_segment_degrades_to_standard_behaviour() {
+        let params = OfdmParams::ieee80211ag();
+        let tx = Transmitter::new(params.clone());
+        let rx1 = CpRecycleReceiver::new(params, CpRecycleConfig::with_segments(1));
+        let payload = random_payload(80, 6);
+        let mcs = Mcs::paper_set()[1];
+        let frame = tx.build_frame(&payload, mcs, 0x5D).unwrap();
+        let decoded = rx1.decode_frame(&frame.samples, 0, None).unwrap();
+        assert!(decoded.crc_ok);
+        assert_eq!(decoded.payload.as_deref(), Some(&payload[..]));
+    }
+
+    #[test]
+    fn truncated_capture_is_an_error() {
+        let (tx, rx, _) = setup();
+        let payload = random_payload(60, 7);
+        let frame = tx
+            .build_frame(&payload, Mcs::paper_set()[0], 0x5D)
+            .unwrap();
+        assert!(rx.decode_frame(&frame.samples[..300], 0, None).is_err());
+        assert!(rx.decode_frame(&frame.samples[..500], 0, None).is_err());
+    }
+}

@@ -1,0 +1,236 @@
+//! FFT-segment extraction (paper §3.1).
+//!
+//! For one received OFDM symbol of `C + F` samples there are `P` ISI-free FFT windows
+//! ("segments"): the window that starts right after the CP (the standard receiver's
+//! choice) and the `P − 1` windows that start progressively earlier inside the CP.
+//! After the deterministic phase-ramp correction of Eq. 2 every segment carries the same
+//! desired-signal component (Proposition 3.1), but a different interference component —
+//! the redundancy CPRecycle exploits.
+
+use crate::Result;
+use ofdmphy::chanest::ChannelEstimate;
+use ofdmphy::ofdm::OfdmEngine;
+use ofdmphy::PhyError;
+use rfdsp::Complex;
+
+/// The per-segment, per-bin observations extracted from one OFDM symbol.
+#[derive(Debug, Clone)]
+pub struct SymbolSegments {
+    /// `values[segment][bin]`: equalised frequency-domain value of every FFT bin for
+    /// each of the `P` segments. Segment `P − 1` is the standard receiver's window;
+    /// segment `0` starts the earliest inside the cyclic prefix.
+    pub values: Vec<Vec<Complex>>,
+}
+
+impl SymbolSegments {
+    /// Number of segments `P`.
+    pub fn num_segments(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The observations of one FFT bin across all segments — the `P` redundant copies
+    /// the decoders work with.
+    pub fn bin_observations(&self, bin: usize) -> Vec<Complex> {
+        self.values.iter().map(|seg| seg[bin]).collect()
+    }
+
+    /// The standard receiver's view (the last segment).
+    pub fn standard(&self) -> &[Complex] {
+        self.values
+            .last()
+            .expect("SymbolSegments always holds at least one segment")
+    }
+}
+
+/// Extracts `num_segments` equalised FFT segments from one received OFDM symbol.
+///
+/// * `symbol_samples` — the `C + F` samples of the symbol (CP included).
+/// * `estimate` — the per-packet channel estimate (shared across segments: all ISI-free
+///   windows see the same channel, paper Eq. 1).
+/// * `num_segments` — `P`; must be between 1 and `C + 1`.
+///
+/// Segment `j` (0-based) uses the FFT window starting at sample `C − (P − 1) + j`, so
+/// the last segment is the standard window starting at `C`.
+pub fn extract_segments(
+    engine: &OfdmEngine,
+    symbol_samples: &[Complex],
+    estimate: &ChannelEstimate,
+    num_segments: usize,
+) -> Result<SymbolSegments> {
+    let params = engine.params();
+    let c = params.cp_len;
+    if num_segments == 0 || num_segments > c + 1 {
+        return Err(PhyError::invalid(
+            "num_segments",
+            format!("must be between 1 and CP length + 1 ({})", c + 1),
+        ));
+    }
+    let mut values = Vec::with_capacity(num_segments);
+    for j in 0..num_segments {
+        let window_start = c - (num_segments - 1) + j;
+        let bins = engine.demodulate_window(symbol_samples, window_start)?;
+        values.push(estimate.equalize(&bins)?);
+    }
+    Ok(SymbolSegments { values })
+}
+
+/// Measures the interference power per segment and per bin by demodulating an
+/// *interference-only* waveform with the same segment windows (no equalisation — raw
+/// received interference power). Used by the Oracle receiver and by the Fig. 4a/4b
+/// diagnostics, where the paper obtains the same quantity "by muting the sender".
+pub fn interference_power_per_segment(
+    engine: &OfdmEngine,
+    interference_symbol: &[Complex],
+    num_segments: usize,
+) -> Result<Vec<Vec<f64>>> {
+    let params = engine.params();
+    let c = params.cp_len;
+    if num_segments == 0 || num_segments > c + 1 {
+        return Err(PhyError::invalid(
+            "num_segments",
+            format!("must be between 1 and CP length + 1 ({})", c + 1),
+        ));
+    }
+    let mut out = Vec::with_capacity(num_segments);
+    for j in 0..num_segments {
+        let window_start = c - (num_segments - 1) + j;
+        let bins = engine.demodulate_window(interference_symbol, window_start)?;
+        out.push(bins.iter().map(|b| b.norm_sqr()).collect());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofdmphy::frame::pilot_values;
+    use ofdmphy::modulation::Modulation;
+    use ofdmphy::params::OfdmParams;
+    use rand::{Rng, SeedableRng};
+    use wirelesschan::mixer::{combine, InterfererSpec};
+    use wirelesschan::multipath::{FadingKind, MultipathChannel, PowerDelayProfile};
+
+    fn engine() -> OfdmEngine {
+        OfdmEngine::new(OfdmParams::ieee80211ag())
+    }
+
+    fn random_symbol(engine: &OfdmEngine, seed: u64) -> (Vec<Complex>, Vec<Complex>) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let m = Modulation::Qam16;
+        let data: Vec<Complex> = (0..48)
+            .map(|_| {
+                let bits: Vec<u8> = (0..4).map(|_| rng.gen_range(0..2)).collect();
+                m.map(&bits).unwrap()
+            })
+            .collect();
+        let time = engine.modulate(&data, &pilot_values(1.0)).unwrap();
+        (time, data)
+    }
+
+    #[test]
+    fn clean_channel_all_segments_identical() {
+        let e = engine();
+        let (time, data) = random_symbol(&e, 1);
+        let est = ChannelEstimate::identity(64);
+        let segs = extract_segments(&e, &time, &est, 17).unwrap();
+        assert_eq!(segs.num_segments(), 17);
+        let reference = segs.standard().to_vec();
+        for seg in &segs.values {
+            for k in 0..64 {
+                assert!((seg[k] - reference[k]).norm() < 1e-9, "bin {k}");
+            }
+        }
+        // And they match the transmitted data on the data bins.
+        let data_bins = e.params().data_bins();
+        for (i, bin) in data_bins.iter().enumerate() {
+            assert!((reference[*bin] - data[i]).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bin_observations_collects_across_segments() {
+        let e = engine();
+        let (time, _) = random_symbol(&e, 2);
+        let est = ChannelEstimate::identity(64);
+        let segs = extract_segments(&e, &time, &est, 5).unwrap();
+        let obs = segs.bin_observations(7);
+        assert_eq!(obs.len(), 5);
+        for o in &obs {
+            assert!((*o - segs.values[0][7]).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn multipath_within_isi_free_region_keeps_segments_equal() {
+        // With a short multipath channel, only the first few CP samples are corrupted by
+        // ISI; segments restricted to the ISI-free region must still agree after
+        // equalisation.
+        let e = engine();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let pdp = PowerDelayProfile::exponential(4, 1.0).unwrap();
+        let chan = MultipathChannel::realize(&pdp, FadingKind::Rayleigh, &mut rng);
+        let (time, _) = random_symbol(&e, 4);
+        // Prepend the previous symbol so ISI comes from real data, not silence.
+        let (prev, _) = random_symbol(&e, 5);
+        let mut stream = prev.clone();
+        stream.extend_from_slice(&time);
+        let faded = chan.apply(&stream);
+        let this_symbol = &faded[80..160];
+        let est = ChannelEstimate {
+            h: chan.frequency_response(64),
+        };
+        // Max excess delay is 3 samples → segments using window starts ≥ 3 are ISI-free:
+        // that is P = 16 + 1 − 3 = 14 segments.
+        let segs = extract_segments(&e, this_symbol, &est, 14).unwrap();
+        let reference = segs.standard().to_vec();
+        for (j, seg) in segs.values.iter().enumerate() {
+            for &bin in &e.params().data_bins() {
+                assert!(
+                    (seg[bin] - reference[bin]).norm() < 1e-6,
+                    "segment {j}, bin {bin}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn asynchronous_interference_varies_across_segments() {
+        // The central empirical observation of the paper (Fig. 4b): a non-symbol-aligned
+        // interferer contributes very different power to different segments.
+        let e = engine();
+        let (time, _) = random_symbol(&e, 6);
+        // Interferer: another OFDM waveform, delayed by more than the CP and frequency
+        // shifted (adjacent channel).
+        let (intf_a, _) = random_symbol(&e, 7);
+        let (intf_b, _) = random_symbol(&e, 8);
+        let mut intf = intf_a;
+        intf.extend(intf_b);
+        let spec = InterfererSpec::new(intf, 0.3, 23.4, -10.0);
+        let combined = combine(&time, &[spec]).unwrap();
+        let powers =
+            interference_power_per_segment(&e, &combined.interference[0], 17).unwrap();
+        assert_eq!(powers.len(), 17);
+        // Look at one occupied bin near the band edge and check the spread across
+        // segments is non-trivial.
+        let bin = 20usize;
+        let series: Vec<f64> = powers.iter().map(|seg| seg[bin]).collect();
+        let max = series.iter().cloned().fold(f64::MIN, f64::max);
+        let min = series.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max > 0.0);
+        assert!(
+            max / min.max(1e-12) > 2.0,
+            "interference should vary across segments: min {min}, max {max}"
+        );
+    }
+
+    #[test]
+    fn invalid_segment_counts_are_rejected() {
+        let e = engine();
+        let (time, _) = random_symbol(&e, 9);
+        let est = ChannelEstimate::identity(64);
+        assert!(extract_segments(&e, &time, &est, 0).is_err());
+        assert!(extract_segments(&e, &time, &est, 18).is_err());
+        assert!(interference_power_per_segment(&e, &time, 0).is_err());
+        assert!(interference_power_per_segment(&e, &time, 18).is_err());
+    }
+}

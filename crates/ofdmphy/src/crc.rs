@@ -1,0 +1,88 @@
+//! CRC-32 (the IEEE 802.11 frame check sequence).
+//!
+//! Every simulated MPDU carries the standard CRC-32 so "packet success" in the
+//! reproduction means exactly what it means on real hardware: the FCS of the decoded
+//! payload matches.
+
+/// The reflected CRC-32 polynomial (IEEE 802.3 / 802.11).
+const POLY: u32 = 0xEDB8_8320;
+
+/// Computes the CRC-32 of a byte slice (init `0xFFFFFFFF`, reflected, final XOR
+/// `0xFFFFFFFF` — the standard Ethernet/802.11 parameterisation).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            let lsb = crc & 1;
+            crc >>= 1;
+            if lsb != 0 {
+                crc ^= POLY;
+            }
+        }
+    }
+    !crc
+}
+
+/// Appends the FCS (little-endian, as transmitted on air) to a payload.
+pub fn append_fcs(payload: &[u8]) -> Vec<u8> {
+    let mut out = payload.to_vec();
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out
+}
+
+/// Checks a frame consisting of payload + 4-byte FCS. Returns the payload on success.
+pub fn check_fcs(frame: &[u8]) -> Option<&[u8]> {
+    if frame.len() < 4 {
+        return None;
+    }
+    let (payload, fcs) = frame.split_at(frame.len() - 4);
+    let expected = u32::from_le_bytes([fcs[0], fcs[1], fcs[2], fcs[3]]);
+    if crc32(payload) == expected {
+        Some(payload)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_test_vectors() {
+        // The classic check value: CRC-32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn append_and_check_roundtrip() {
+        let payload = b"the quick brown fox jumps over the lazy dog";
+        let frame = append_fcs(payload);
+        assert_eq!(frame.len(), payload.len() + 4);
+        assert_eq!(check_fcs(&frame), Some(&payload[..]));
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let payload: Vec<u8> = (0..=255u8).collect();
+        let mut frame = append_fcs(&payload);
+        frame[17] ^= 0x04;
+        assert_eq!(check_fcs(&frame), None);
+        // Corrupting the FCS itself is also detected.
+        let mut frame2 = append_fcs(&payload);
+        let n = frame2.len();
+        frame2[n - 1] ^= 0x80;
+        assert_eq!(check_fcs(&frame2), None);
+    }
+
+    #[test]
+    fn short_frames_are_rejected() {
+        assert_eq!(check_fcs(&[1, 2, 3]), None);
+        // A 4-byte frame is an empty payload plus FCS.
+        let frame = append_fcs(&[]);
+        assert_eq!(check_fcs(&frame), Some(&[][..]));
+    }
+}

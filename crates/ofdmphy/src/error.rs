@@ -1,0 +1,111 @@
+//! Error type for the OFDM PHY.
+
+use std::fmt;
+
+/// Errors produced by the PHY layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhyError {
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: String,
+    },
+    /// An input had an unexpected length.
+    LengthMismatch {
+        /// Length the operation expected.
+        expected: usize,
+        /// Length that was actually provided.
+        actual: usize,
+    },
+    /// Not enough received samples to decode the requested structure.
+    InsufficientSamples {
+        /// Samples needed.
+        needed: usize,
+        /// Samples available.
+        available: usize,
+    },
+    /// Packet/frame decoding failed (bad CRC, undecodable SIGNAL field, …).
+    DecodeFailure(String),
+    /// An underlying DSP primitive failed.
+    Dsp(rfdsp::DspError),
+}
+
+impl fmt::Display for PhyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhyError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            PhyError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: expected {expected}, got {actual}")
+            }
+            PhyError::InsufficientSamples { needed, available } => {
+                write!(f, "insufficient samples: need {needed}, have {available}")
+            }
+            PhyError::DecodeFailure(msg) => write!(f, "decode failure: {msg}"),
+            PhyError::Dsp(e) => write!(f, "dsp error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PhyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PhyError::Dsp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<rfdsp::DspError> for PhyError {
+    fn from(e: rfdsp::DspError) -> Self {
+        PhyError::Dsp(e)
+    }
+}
+
+impl PhyError {
+    /// Helper for building an [`PhyError::InvalidParameter`].
+    pub fn invalid(name: &'static str, reason: impl Into<String>) -> Self {
+        PhyError::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(PhyError::invalid("mcs", "unknown").to_string().contains("mcs"));
+        assert!(PhyError::LengthMismatch {
+            expected: 4,
+            actual: 2
+        }
+        .to_string()
+        .contains("expected 4"));
+        assert!(PhyError::InsufficientSamples {
+            needed: 100,
+            available: 10
+        }
+        .to_string()
+        .contains("need 100"));
+        assert!(PhyError::DecodeFailure("bad crc".into())
+            .to_string()
+            .contains("bad crc"));
+        assert!(PhyError::from(rfdsp::DspError::EmptyInput)
+            .to_string()
+            .contains("dsp"));
+    }
+
+    #[test]
+    fn source_only_for_wrapped_errors() {
+        use std::error::Error;
+        assert!(PhyError::from(rfdsp::DspError::EmptyInput).source().is_some());
+        assert!(PhyError::DecodeFailure("x".into()).source().is_none());
+    }
+}

@@ -1,0 +1,53 @@
+//! # ofdmphy — IEEE 802.11a/g OFDM PHY substrate
+//!
+//! A from-scratch implementation of the OFDM physical layer the CPRecycle paper builds
+//! on: the transmitter chain of an 802.11a/g station (scrambling, convolutional coding,
+//! puncturing, interleaving, constellation mapping, pilot insertion, IFFT + cyclic
+//! prefix, preambles) and a standard receiver (synchronisation, channel estimation,
+//! equalisation, demapping, Viterbi decoding, descrambling, CRC check) that discards the
+//! cyclic prefix exactly the way CPRecycle's baseline does.
+//!
+//! Module map:
+//!
+//! * [`params`] — OFDM numerology: FFT size, CP length, subcarrier roles; presets for
+//!   802.11a/g/n/ac (the paper's Table 1) and LTE.
+//! * [`modulation`] — Gray-coded BPSK/QPSK/16-QAM/64-QAM/256-QAM constellations with
+//!   802.11 normalisation, hard demapping and the lattice-point sets the sphere decoder
+//!   searches.
+//! * [`scrambler`] — the 802.11 self-synchronising scrambler (x⁷+x⁴+1).
+//! * [`convcode`] — the K=7 (171, 133) convolutional encoder with 2/3 and 3/4
+//!   puncturing.
+//! * [`viterbi`] — hard-decision Viterbi decoder with depuncturing.
+//! * [`interleaver`] — the two-permutation 802.11 block interleaver.
+//! * [`crc`] — CRC-32 (the 802.11 FCS) used as the packet success criterion.
+//! * [`preamble`] — short and long training fields (STF/LTF).
+//! * [`ofdm`] — subcarrier mapping, IFFT, cyclic-prefix insertion and the symbol-level
+//!   demodulation helpers shared by the standard and CPRecycle receivers.
+//! * [`frame`] — MCS definitions and full PPDU (preamble + SIGNAL + DATA) assembly.
+//! * [`sync`] — packet detection, timing and carrier-frequency-offset estimation.
+//! * [`chanest`] — least-squares channel estimation from the LTF and per-subcarrier
+//!   equalisation, plus residual phase tracking from pilots.
+//! * [`rx`] — the standard OFDM receiver (the paper's "Standard Receiver" baseline).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chanest;
+pub mod convcode;
+pub mod crc;
+pub mod error;
+pub mod frame;
+pub mod interleaver;
+pub mod modulation;
+pub mod ofdm;
+pub mod params;
+pub mod preamble;
+pub mod rx;
+pub mod scrambler;
+pub mod sync;
+pub mod viterbi;
+
+pub use error::PhyError;
+
+/// Convenience alias for results returned by fallible PHY operations.
+pub type Result<T> = std::result::Result<T, PhyError>;

@@ -1,0 +1,218 @@
+//! IEEE 802.11a/g training fields: the short training field (STF) and long training
+//! field (LTF).
+//!
+//! The LTF matters doubly here: the standard receiver estimates the channel from it,
+//! and the CPRecycle receiver additionally builds its per-subcarrier interference model
+//! from the LTF's ISI-free FFT segments ("the variation of the signal in different
+//! segments in this long training field is used to create the interference model",
+//! paper §5.1).
+
+use crate::params::OfdmParams;
+use rfdsp::fft::FftPlan;
+use rfdsp::Complex;
+
+/// Frequency-domain short-training sequence for subcarriers −26…+26 (53 entries,
+/// DC in the middle), before the √(13/6) power normalisation.
+fn stf_sequence() -> Vec<Complex> {
+    let p = Complex::new(1.0, 1.0);
+    let m = Complex::new(-1.0, -1.0);
+    let z = Complex::zero();
+    let seq = vec![
+        z, z, p, z, z, z, m, z, z, z, p, z, z, z, m, z, z, z, m, z, z, z, p, z, z, z, // −26..−1
+        z, // DC
+        z, z, z, m, z, z, z, m, z, z, z, p, z, z, z, p, z, z, z, p, z, z, z, p, z, z, // +1..+26
+    ];
+    let scale = (13.0f64 / 6.0).sqrt();
+    seq.into_iter().map(|c| c.scale(scale)).collect()
+}
+
+/// Frequency-domain long-training sequence for subcarriers −26…+26 (53 entries,
+/// DC = 0 in the middle). Values are ±1 (BPSK).
+pub fn ltf_sequence() -> Vec<Complex> {
+    let vals: [f64; 53] = [
+        1.0, 1.0, -1.0, -1.0, 1.0, 1.0, -1.0, 1.0, -1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, -1.0,
+        -1.0, 1.0, 1.0, -1.0, 1.0, -1.0, 1.0, 1.0, 1.0, 1.0, // −26..−1
+        0.0, // DC
+        1.0, -1.0, -1.0, 1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0, -1.0, -1.0, -1.0, -1.0, 1.0, 1.0,
+        -1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, 1.0, 1.0, 1.0, // +1..+26
+    ];
+    vals.iter().map(|v| Complex::new(*v, 0.0)).collect()
+}
+
+/// Places a −26…+26 sequence (53 entries, DC in the middle) into a 64-bin FFT-ordered
+/// vector (bin 0 = DC, bins 1..26 = +1..+26, bins 38..63 = −26..−1).
+pub fn sequence_to_bins(seq: &[Complex], fft_size: usize) -> Vec<Complex> {
+    assert_eq!(seq.len(), 53, "802.11 training sequences span -26..+26");
+    let mut bins = vec![Complex::zero(); fft_size];
+    for (i, &v) in seq.iter().enumerate() {
+        let k = i as isize - 26; // subcarrier index −26..+26
+        if k == 0 {
+            continue;
+        }
+        let bin = if k > 0 {
+            k as usize
+        } else {
+            fft_size - (-k) as usize
+        };
+        bins[bin] = v;
+    }
+    bins
+}
+
+/// The frequency-domain LTF symbol in FFT bin order for the given FFT size — the known
+/// reference `X_s[f]` that channel estimation and the CPRecycle interference model
+/// compare received segments against.
+pub fn ltf_bins(params: &OfdmParams) -> Vec<Complex> {
+    sequence_to_bins(&ltf_sequence(), params.fft_size)
+}
+
+/// Generates the 160-sample short training field (ten repetitions of the 16-sample
+/// short symbol) for 802.11a/g.
+pub fn generate_stf(params: &OfdmParams) -> Vec<Complex> {
+    let bins = sequence_to_bins(&stf_sequence(), params.fft_size);
+    let plan = FftPlan::new(params.fft_size);
+    let time = plan.ifft(&bins);
+    // The 64-sample IFFT of the STF sequence is periodic with period 16; the STF is 160
+    // samples long (2.5 repetitions of the 64-sample block).
+    let mut out = Vec::with_capacity(160);
+    for i in 0..160 {
+        out.push(time[i % params.fft_size]);
+    }
+    out
+}
+
+/// Generates the 160-sample long training field: a 32-sample guard interval (the tail
+/// of the long symbol, i.e. a double-length cyclic prefix) followed by two identical
+/// 64-sample long training symbols.
+pub fn generate_ltf(params: &OfdmParams) -> Vec<Complex> {
+    let bins = ltf_bins(params);
+    let plan = FftPlan::new(params.fft_size);
+    let time = plan.ifft(&bins);
+    let f = params.fft_size;
+    let gi2 = 2 * params.cp_len;
+    let mut out = Vec::with_capacity(gi2 + 2 * f);
+    out.extend_from_slice(&time[f - gi2..]);
+    out.extend_from_slice(&time);
+    out.extend_from_slice(&time);
+    out
+}
+
+/// Total preamble length in samples (STF + LTF) for the given numerology.
+pub fn preamble_len(params: &OfdmParams) -> usize {
+    160 + 2 * params.cp_len + 2 * params.fft_size
+}
+
+/// Generates the full 802.11a/g preamble (STF followed by LTF).
+pub fn generate_preamble(params: &OfdmParams) -> Vec<Complex> {
+    let mut p = generate_stf(params);
+    p.extend(generate_ltf(params));
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfdsp::power::signal_power;
+
+    fn params() -> OfdmParams {
+        OfdmParams::ieee80211ag()
+    }
+
+    #[test]
+    fn sequences_have_expected_structure() {
+        let stf = stf_sequence();
+        let ltf = ltf_sequence();
+        assert_eq!(stf.len(), 53);
+        assert_eq!(ltf.len(), 53);
+        // STF occupies 12 subcarriers.
+        assert_eq!(stf.iter().filter(|c| c.norm_sqr() > 0.0).count(), 12);
+        // LTF occupies 52 subcarriers (every non-DC of the occupied set), all ±1.
+        assert_eq!(ltf.iter().filter(|c| c.norm_sqr() > 0.0).count(), 52);
+        for v in ltf.iter().filter(|c| c.norm_sqr() > 0.0) {
+            assert!((v.norm() - 1.0).abs() < 1e-12);
+            assert_eq!(v.im, 0.0);
+        }
+        // DC is null in both.
+        assert_eq!(stf[26], Complex::zero());
+        assert_eq!(ltf[26], Complex::zero());
+    }
+
+    #[test]
+    fn sequence_to_bins_places_subcarriers() {
+        let ltf = ltf_sequence();
+        let bins = sequence_to_bins(&ltf, 64);
+        assert_eq!(bins.len(), 64);
+        assert_eq!(bins[0], Complex::zero()); // DC
+        // Subcarrier +1 is the entry right of DC (index 27), subcarrier −1 is index 25.
+        assert_eq!(bins[1], ltf[27]);
+        assert_eq!(bins[63], ltf[25]);
+        assert_eq!(bins[26], ltf[52]);
+        assert_eq!(bins[64 - 26], ltf[0]);
+        // Guard bins are empty.
+        for k in 27..=37 {
+            assert_eq!(bins[k], Complex::zero());
+        }
+    }
+
+    #[test]
+    fn stf_is_periodic_with_period_16() {
+        let stf = generate_stf(&params());
+        assert_eq!(stf.len(), 160);
+        for t in 0..160 - 16 {
+            assert!(
+                (stf[t] - stf[t + 16]).norm() < 1e-9,
+                "STF not periodic at {t}"
+            );
+        }
+        assert!(signal_power(&stf).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn ltf_structure_gi2_plus_two_symbols() {
+        let p = params();
+        let ltf = generate_ltf(&p);
+        assert_eq!(ltf.len(), 160);
+        // The two long symbols are identical.
+        for t in 0..64 {
+            assert!((ltf[32 + t] - ltf[96 + t]).norm() < 1e-9);
+        }
+        // The GI2 is the tail of the long symbol.
+        for t in 0..32 {
+            assert!((ltf[t] - ltf[32 + 32 + t]).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ltf_symbol_demodulates_to_known_sequence() {
+        let p = params();
+        let ltf = generate_ltf(&p);
+        let plan = FftPlan::new(p.fft_size);
+        let sym = plan.fft(&ltf[32..96].to_vec());
+        let expected = ltf_bins(&p);
+        for k in 0..64 {
+            assert!((sym[k] - expected[k]).norm() < 1e-9, "bin {k}");
+        }
+    }
+
+    #[test]
+    fn preamble_length_and_composition() {
+        let p = params();
+        let pre = generate_preamble(&p);
+        assert_eq!(pre.len(), preamble_len(&p));
+        assert_eq!(pre.len(), 320);
+        assert_eq!(&pre[..160], &generate_stf(&p)[..]);
+        assert_eq!(&pre[160..], &generate_ltf(&p)[..]);
+    }
+
+    #[test]
+    fn preamble_mean_power_is_close_to_unity() {
+        // Both fields are normalised so the preamble power matches the data symbols
+        // (52 occupied subcarriers of unit power over a 64-point IFFT → 52/64² scale in
+        // time domain; what matters is STF and LTF powers agree within ~1 dB).
+        let p = params();
+        let stf_p = signal_power(&generate_stf(&p)).unwrap();
+        let ltf_p = signal_power(&generate_ltf(&p)).unwrap();
+        let ratio_db = 10.0 * (stf_p / ltf_p).log10();
+        assert!(ratio_db.abs() < 1.0, "STF/LTF power ratio {ratio_db} dB");
+    }
+}

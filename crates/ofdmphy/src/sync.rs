@@ -1,0 +1,261 @@
+//! Packet detection, timing synchronisation and carrier-frequency-offset estimation.
+//!
+//! Detection uses the classic Schmidl–Cox style delay-and-correlate on the periodic
+//! short training field (period 16); fine timing comes from cross-correlating with the
+//! known long-training symbol; coarse and fine CFO estimates come from the phase of the
+//! STF / LTF autocorrelations. The controlled experiments use genie timing (the frame
+//! start is known exactly), so synchronisation errors never confound the
+//! packet-success-rate comparisons — but the module is exercised by its own tests and by
+//! the quickstart example, since a receiver without sync would not be adoptable.
+
+use crate::params::OfdmParams;
+use crate::preamble;
+use crate::{PhyError, Result};
+use rfdsp::Complex;
+
+/// Output of frame detection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyncResult {
+    /// Estimated index of the first STF sample.
+    pub frame_start: usize,
+    /// Estimated carrier frequency offset in Hz.
+    pub cfo_hz: f64,
+    /// Peak normalised STF correlation metric (0..1), useful as a detection confidence.
+    pub detection_metric: f64,
+}
+
+/// The synchroniser for one numerology.
+#[derive(Debug, Clone)]
+pub struct Synchronizer {
+    params: OfdmParams,
+    /// Time-domain reference of one 64-sample long training symbol.
+    ltf_reference: Vec<Complex>,
+    /// Detection threshold on the normalised STF autocorrelation (default 0.8).
+    pub detection_threshold: f64,
+}
+
+impl Synchronizer {
+    /// Creates a synchroniser for the given numerology.
+    pub fn new(params: OfdmParams) -> Self {
+        let ltf = preamble::generate_ltf(&params);
+        let f = params.fft_size;
+        let gi2 = 2 * params.cp_len;
+        let ltf_reference = ltf[gi2..gi2 + f].to_vec();
+        Synchronizer {
+            params,
+            ltf_reference,
+            detection_threshold: 0.8,
+        }
+    }
+
+    /// Detects a frame in `samples`, returning its estimated start and CFO.
+    ///
+    /// Returns `Ok(None)` when no region of the capture exceeds the detection
+    /// threshold (no packet present).
+    pub fn detect(&self, samples: &[Complex]) -> Result<Option<SyncResult>> {
+        let period = 16usize;
+        let window = 48usize; // correlation accumulation window
+        if samples.len() < 320 + self.params.symbol_len() {
+            return Err(PhyError::InsufficientSamples {
+                needed: 320 + self.params.symbol_len(),
+                available: samples.len(),
+            });
+        }
+
+        // Delay-and-correlate over the STF periodicity.
+        let mut best_metric = 0.0f64;
+        let mut coarse_start = None;
+        let mut acc = Complex::zero();
+        let mut energy = 0.0f64;
+        // Initialise the running sums for position 0.
+        for t in 0..window {
+            acc += samples[t + period] * samples[t].conj();
+            energy += samples[t + period].norm_sqr();
+        }
+        let limit = samples.len() - window - period - 1;
+        let mut metrics = vec![0.0f64; limit + 1];
+        metrics[0] = if energy > 1e-18 { acc.norm() / energy } else { 0.0 };
+        for start in 1..=limit {
+            let drop = start - 1;
+            acc -= samples[drop + period] * samples[drop].conj();
+            energy -= samples[drop + period].norm_sqr();
+            let add = start + window - 1;
+            acc += samples[add + period] * samples[add].conj();
+            energy += samples[add + period].norm_sqr();
+            metrics[start] = if energy > 1e-18 { acc.norm() / energy } else { 0.0 };
+        }
+        // Find the beginning of the first sustained plateau above the threshold: the
+        // STF makes the metric sit near 1 for ~100 consecutive samples, so requiring a
+        // short run rejects isolated noise spikes while locking on to the plateau start
+        // (which coincides with the frame start to within a few samples).
+        const SUSTAIN: usize = 8;
+        for start in 0..metrics.len().saturating_sub(SUSTAIN) {
+            if metrics[start..start + SUSTAIN]
+                .iter()
+                .all(|m| *m > self.detection_threshold)
+            {
+                coarse_start = Some(start);
+                best_metric = metrics[start..start + SUSTAIN]
+                    .iter()
+                    .fold(0.0f64, |a, b| a.max(*b));
+                break;
+            }
+        }
+        let coarse = match coarse_start {
+            Some(c) => c,
+            None => return Ok(None),
+        };
+
+        // Coarse CFO from the STF autocorrelation phase at the detected position.
+        let mut acc = Complex::zero();
+        for t in coarse..coarse + 96 {
+            if t + period >= samples.len() {
+                break;
+            }
+            acc += samples[t + period] * samples[t].conj();
+        }
+        let coarse_cfo =
+            acc.arg() / (2.0 * std::f64::consts::PI * period as f64) * self.params.sample_rate_hz;
+
+        // Fine timing: cross-correlate with the known LTF symbol around the expected
+        // position (coarse + 160 + GI2).
+        let gi2 = 2 * self.params.cp_len;
+        let f = self.params.fft_size;
+        let expected_ltf = coarse + 160 + gi2;
+        let search_lo = expected_ltf.saturating_sub(24);
+        let search_hi = (expected_ltf + 24).min(samples.len().saturating_sub(2 * f));
+        let mut best_corr = 0.0;
+        let mut best_pos = expected_ltf;
+        for pos in search_lo..=search_hi {
+            let corr = rfdsp::stats::normalized_cross_correlation(
+                &samples[pos..pos + f],
+                &self.ltf_reference,
+            )?;
+            if corr > best_corr {
+                best_corr = corr;
+                best_pos = pos;
+            }
+        }
+        let frame_start = best_pos.saturating_sub(160 + gi2);
+
+        // Fine CFO from the two identical LTF symbols (64 samples apart).
+        let mut acc = Complex::zero();
+        if best_pos + 2 * f <= samples.len() {
+            for t in best_pos..best_pos + f {
+                acc += samples[t + f] * samples[t].conj();
+            }
+        }
+        let fine_cfo = if acc.norm_sqr() > 0.0 {
+            acc.arg() / (2.0 * std::f64::consts::PI * f as f64) * self.params.sample_rate_hz
+        } else {
+            0.0
+        };
+        // The fine estimate is unambiguous only within ±(fs/2F); combine: coarse gives
+        // the integer part, fine refines it.
+        let cfo_hz = if fine_cfo.abs() > 0.0 { fine_cfo + ((coarse_cfo - fine_cfo)
+            / (self.params.sample_rate_hz / f as f64)).round()
+            * (self.params.sample_rate_hz / f as f64) } else { coarse_cfo };
+
+        Ok(Some(SyncResult {
+            frame_start,
+            cfo_hz,
+            detection_metric: best_metric,
+        }))
+    }
+
+    /// Removes a carrier frequency offset estimate from a capture (multiplies by the
+    /// conjugate rotation).
+    pub fn correct_cfo(&self, samples: &mut [Complex], cfo_hz: f64) {
+        let step = -2.0 * std::f64::consts::PI * cfo_hz / self.params.sample_rate_hz;
+        for (t, s) in samples.iter_mut().enumerate() {
+            *s = *s * Complex::cis(step * t as f64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convcode::CodeRate;
+    use crate::frame::{Mcs, Transmitter};
+    use crate::modulation::Modulation;
+    use rand::SeedableRng;
+    use wirelesschan::awgn::AwgnChannel;
+    use wirelesschan::impairments::apply_cfo;
+
+    fn build_capture(pad: usize, seed: u64, snr_db: f64, cfo_hz: f64) -> (Vec<Complex>, usize) {
+        let tx = Transmitter::new(OfdmParams::ieee80211ag());
+        let mcs = Mcs::new(Modulation::Qpsk, CodeRate::Half);
+        let frame = tx.build_frame(&[0xA5; 100], mcs, 0x5D).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut g = rfdsp::noise::GaussianSource::new();
+        let frame_power = rfdsp::power::signal_power(&frame.samples).unwrap();
+        let noise_var = frame_power / rfdsp::power::db_to_lin(snr_db);
+        let mut capture = g.complex_vector(&mut rng, pad, noise_var);
+        let mut body = frame.samples.clone();
+        if cfo_hz != 0.0 {
+            apply_cfo(&mut body, cfo_hz, 20e6).unwrap();
+        }
+        capture.extend(body);
+        capture.extend(g.complex_vector(&mut rng, 200, noise_var));
+        let mut chan = AwgnChannel::new();
+        chan.add_noise_variance(&mut rng, &mut capture, noise_var).unwrap();
+        (capture, pad)
+    }
+
+    #[test]
+    fn detects_frame_start_within_cp_tolerance() {
+        let sync = Synchronizer::new(OfdmParams::ieee80211ag());
+        for (pad, seed) in [(400usize, 1u64), (1000, 2), (123, 3)] {
+            let (capture, true_start) = build_capture(pad, seed, 25.0, 0.0);
+            let result = sync.detect(&capture).unwrap().expect("frame detected");
+            let err = result.frame_start as isize - true_start as isize;
+            assert!(err.abs() <= 8, "timing error {err} at pad {pad}");
+            assert!(result.detection_metric > 0.8);
+        }
+    }
+
+    #[test]
+    fn estimates_cfo() {
+        let sync = Synchronizer::new(OfdmParams::ieee80211ag());
+        for cfo in [-60_000.0, 30_000.0, 100_000.0] {
+            let (capture, _) = build_capture(600, 4, 30.0, cfo);
+            let result = sync.detect(&capture).unwrap().expect("frame detected");
+            assert!(
+                (result.cfo_hz - cfo).abs() < 3_000.0,
+                "cfo {cfo} estimated {}",
+                result.cfo_hz
+            );
+        }
+    }
+
+    #[test]
+    fn cfo_correction_enables_decoding() {
+        let sync = Synchronizer::new(OfdmParams::ieee80211ag());
+        let rx = crate::rx::StandardReceiver::new(OfdmParams::ieee80211ag());
+        let (mut capture, _) = build_capture(500, 5, 30.0, 80_000.0);
+        let result = sync.detect(&capture).unwrap().expect("frame detected");
+        sync.correct_cfo(&mut capture, result.cfo_hz);
+        // Allow a small residual timing error by decoding at the estimated start.
+        let decoded = rx.decode_frame(&capture, result.frame_start, None);
+        // With CFO corrected the SIGNAL field should parse; CRC may still fail if the
+        // timing estimate is at the edge of the CP, so only require successful parsing.
+        assert!(decoded.is_ok());
+    }
+
+    #[test]
+    fn no_frame_returns_none() {
+        let sync = Synchronizer::new(OfdmParams::ieee80211ag());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let mut g = rfdsp::noise::GaussianSource::new();
+        let noise = g.complex_vector(&mut rng, 2000, 1.0);
+        assert!(sync.detect(&noise).unwrap().is_none());
+    }
+
+    #[test]
+    fn short_capture_is_an_error() {
+        let sync = Synchronizer::new(OfdmParams::ieee80211ag());
+        let samples = vec![Complex::zero(); 100];
+        assert!(sync.detect(&samples).is_err());
+    }
+}

@@ -1,0 +1,260 @@
+//! Hard-decision Viterbi decoding of the 802.11 convolutional code.
+//!
+//! The decoder operates on the depunctured coded stream (erasures from puncturing are
+//! simply skipped in the branch metric) and performs a full traceback. Trellis
+//! transition tables are precomputed once per decoder instance; the add-compare-select
+//! inner loop avoids allocation beyond the path-metric/back-pointer matrices.
+
+use crate::convcode::{depuncture, CodeRate, G0, G1, NUM_STATES};
+use crate::{PhyError, Result};
+
+/// Precomputed trellis description: for every `(state, input_bit)` pair, the two coded
+/// output bits and the successor state.
+#[derive(Debug, Clone)]
+struct Trellis {
+    /// `outputs[state][bit] = (a, b)` coded bits.
+    outputs: Vec<[(u8, u8); 2]>,
+    /// `next[state][bit]` successor state.
+    next: Vec<[usize; 2]>,
+}
+
+impl Trellis {
+    fn new() -> Self {
+        let mut outputs = vec![[(0u8, 0u8); 2]; NUM_STATES];
+        let mut next = vec![[0usize; 2]; NUM_STATES];
+        for state in 0..NUM_STATES {
+            for bit in 0..2usize {
+                let reg = ((bit as u32) << 6) | state as u32;
+                let a = (reg & G0 as u32).count_ones() as u8 & 1;
+                let b = (reg & G1 as u32).count_ones() as u8 & 1;
+                outputs[state][bit] = (a, b);
+                next[state][bit] = ((reg >> 1) & 0x3F) as usize;
+            }
+        }
+        Trellis { outputs, next }
+    }
+}
+
+/// A hard-decision Viterbi decoder for the 802.11 rate-1/2 mother code with optional
+/// puncturing.
+#[derive(Debug, Clone)]
+pub struct ViterbiDecoder {
+    trellis: Trellis,
+}
+
+impl Default for ViterbiDecoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ViterbiDecoder {
+    /// Creates a decoder (precomputes the trellis).
+    pub fn new() -> Self {
+        ViterbiDecoder {
+            trellis: Trellis::new(),
+        }
+    }
+
+    /// Decodes a punctured hard-bit stream at the given code rate.
+    ///
+    /// The decoder assumes the encoder started in the all-zero state (true for 802.11,
+    /// where the scrambled SERVICE field is preceded by a reset encoder) and ends the
+    /// traceback at the best final state; if the caller appended the standard six zero
+    /// tail bits the final state is the all-zero state and the tail should be stripped
+    /// from the returned bits by the caller.
+    pub fn decode(&self, received: &[u8], rate: CodeRate) -> Result<Vec<u8>> {
+        if received.iter().any(|b| *b > 1) {
+            return Err(PhyError::invalid("received", "bit values must be 0 or 1"));
+        }
+        let aligned = depuncture(received, rate);
+        self.decode_depunctured(&aligned)
+    }
+
+    /// Decodes a stream that is already aligned with the rate-1/2 trellis, where `None`
+    /// marks an erasure (punctured position).
+    pub fn decode_depunctured(&self, coded: &[Option<u8>]) -> Result<Vec<u8>> {
+        if coded.len() < 2 {
+            return Err(PhyError::InsufficientSamples {
+                needed: 2,
+                available: coded.len(),
+            });
+        }
+        let num_steps = coded.len() / 2;
+        let infinity = u32::MAX / 2;
+        let mut metrics = vec![infinity; NUM_STATES];
+        metrics[0] = 0;
+        let mut back_pointers = vec![[0u8; NUM_STATES]; num_steps];
+
+        let mut new_metrics = vec![infinity; NUM_STATES];
+        for step in 0..num_steps {
+            let obs_a = coded[2 * step];
+            let obs_b = coded.get(2 * step + 1).copied().flatten();
+            new_metrics.iter_mut().for_each(|m| *m = infinity);
+            let mut best_prev = [0u8; NUM_STATES];
+            for (state, &metric) in metrics.iter().enumerate() {
+                if metric >= infinity {
+                    continue;
+                }
+                for bit in 0..2usize {
+                    let (a, b) = self.trellis.outputs[state][bit];
+                    let next = self.trellis.next[state][bit];
+                    let mut branch = 0u32;
+                    if let Some(oa) = obs_a {
+                        branch += (oa != a) as u32;
+                    }
+                    if let Some(ob) = obs_b {
+                        branch += (ob != b) as u32;
+                    }
+                    let candidate = metric + branch;
+                    if candidate < new_metrics[next] {
+                        new_metrics[next] = candidate;
+                        // The input bit is recoverable from the next state (it is the
+                        // MSB of the 6-bit state), so the back pointer only needs to
+                        // record the predecessor's low state bit that was shifted out.
+                        best_prev[next] = ((state & 1) as u8) | ((bit as u8) << 1);
+                    }
+                }
+            }
+            back_pointers[step]
+                .iter_mut()
+                .zip(best_prev.iter())
+                .for_each(|(dst, src)| *dst = *src);
+            std::mem::swap(&mut metrics, &mut new_metrics);
+        }
+
+        // Traceback from the best final state.
+        let mut state = metrics
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, m)| **m)
+            .map(|(s, _)| s)
+            .unwrap_or(0);
+        let mut decoded = vec![0u8; num_steps];
+        for step in (0..num_steps).rev() {
+            let record = back_pointers[step][state];
+            let bit = (record >> 1) & 1;
+            let shifted_out = record & 1;
+            decoded[step] = bit;
+            // Previous state: remove the input bit from the MSB and restore the bit that
+            // was shifted out at the LSB end.
+            state = ((state << 1) | shifted_out as usize) & 0x3F;
+        }
+        Ok(decoded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convcode::{encode, encode_rate_half};
+    use rand::{Rng, SeedableRng};
+
+    fn random_bits(n: usize, seed: u64) -> Vec<u8> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(0..2u8)).collect()
+    }
+
+    /// Appends the 802.11 tail of six zero bits so the trellis terminates.
+    fn with_tail(mut bits: Vec<u8>) -> Vec<u8> {
+        bits.extend_from_slice(&[0; 6]);
+        bits
+    }
+
+    #[test]
+    fn decodes_clean_rate_half() {
+        let decoder = ViterbiDecoder::new();
+        let data = with_tail(random_bits(200, 1));
+        let coded = encode_rate_half(&data).unwrap();
+        let decoded = decoder.decode(&coded, CodeRate::Half).unwrap();
+        assert_eq!(decoded, data);
+    }
+
+    #[test]
+    fn decodes_clean_punctured_rates() {
+        let decoder = ViterbiDecoder::new();
+        for rate in [CodeRate::TwoThirds, CodeRate::ThreeQuarters] {
+            let data = with_tail(random_bits(240, 2));
+            let coded = encode(&data, rate).unwrap();
+            let decoded = decoder.decode(&coded, rate).unwrap();
+            assert_eq!(decoded, data, "rate {rate:?}");
+        }
+    }
+
+    #[test]
+    fn corrects_scattered_bit_errors() {
+        let decoder = ViterbiDecoder::new();
+        let data = with_tail(random_bits(300, 3));
+        let mut coded = encode_rate_half(&data).unwrap();
+        // Flip well-separated bits — comfortably within the free distance budget.
+        for idx in (0..coded.len()).step_by(47) {
+            coded[idx] ^= 1;
+        }
+        let decoded = decoder.decode(&coded, CodeRate::Half).unwrap();
+        assert_eq!(decoded, data);
+    }
+
+    #[test]
+    fn corrects_errors_in_punctured_stream() {
+        let decoder = ViterbiDecoder::new();
+        let data = with_tail(random_bits(300, 4));
+        let mut coded = encode(&data, CodeRate::ThreeQuarters).unwrap();
+        for idx in (0..coded.len()).step_by(97) {
+            coded[idx] ^= 1;
+        }
+        let decoded = decoder.decode(&coded, CodeRate::ThreeQuarters).unwrap();
+        assert_eq!(decoded, data);
+    }
+
+    #[test]
+    fn heavy_corruption_causes_errors_but_not_panics() {
+        let decoder = ViterbiDecoder::new();
+        let data = with_tail(random_bits(100, 5));
+        let coded = encode_rate_half(&data).unwrap();
+        // Invert every second bit — far beyond correction capability.
+        let corrupted: Vec<u8> = coded
+            .iter()
+            .enumerate()
+            .map(|(i, b)| if i % 2 == 0 { b ^ 1 } else { *b })
+            .collect();
+        let decoded = decoder.decode(&corrupted, CodeRate::Half).unwrap();
+        assert_eq!(decoded.len(), data.len());
+        let errors: usize = decoded.iter().zip(&data).filter(|(a, b)| a != b).count();
+        assert!(errors > 0);
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        let decoder = ViterbiDecoder::new();
+        assert!(decoder.decode(&[0, 1, 2, 0], CodeRate::Half).is_err());
+        assert!(decoder.decode(&[], CodeRate::Half).is_err());
+        assert!(decoder.decode_depunctured(&[Some(1)]).is_err());
+    }
+
+    #[test]
+    fn erasures_alone_decode_to_all_zero_path_consistently() {
+        let decoder = ViterbiDecoder::new();
+        // A fully erased stream has no evidence; the decoder must still return a valid
+        // length without panicking.
+        let erased = vec![None; 40];
+        let decoded = decoder.decode_depunctured(&erased).unwrap();
+        assert_eq!(decoded.len(), 20);
+    }
+
+    #[test]
+    fn all_zero_and_all_one_messages() {
+        let decoder = ViterbiDecoder::new();
+        for data in [vec![0u8; 64], with_tail(vec![1u8; 58])] {
+            let coded = encode_rate_half(&data).unwrap();
+            assert_eq!(decoder.decode(&coded, CodeRate::Half).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn long_message_roundtrip() {
+        let decoder = ViterbiDecoder::new();
+        let data = with_tail(random_bits(4000, 6));
+        let coded = encode(&data, CodeRate::TwoThirds).unwrap();
+        assert_eq!(decoder.decode(&coded, CodeRate::TwoThirds).unwrap(), data);
+    }
+}

@@ -1,0 +1,103 @@
+//! Error type shared by all rfdsp modules.
+
+use std::fmt;
+
+/// Errors produced by DSP primitives.
+///
+/// The library never panics on malformed caller input in release paths; instead the
+/// offending call returns one of these variants so the simulation harness can surface a
+/// useful message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DspError {
+    /// An input slice had a length that the operation cannot handle
+    /// (e.g. an FFT plan applied to a buffer of the wrong size).
+    LengthMismatch {
+        /// Length the operation expected.
+        expected: usize,
+        /// Length that was actually provided.
+        actual: usize,
+    },
+    /// The operation requires a non-empty input but received an empty slice.
+    EmptyInput,
+    /// A numeric parameter was outside its valid domain (negative bandwidth,
+    /// zero-length window, cutoff outside (0, 0.5), …).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: String,
+    },
+    /// The requested FFT length is not supported by the chosen algorithm.
+    UnsupportedLength(usize),
+}
+
+impl fmt::Display for DspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DspError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: expected {expected}, got {actual}")
+            }
+            DspError::EmptyInput => write!(f, "input must not be empty"),
+            DspError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            DspError::UnsupportedLength(n) => {
+                write!(f, "unsupported transform length {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DspError {}
+
+impl DspError {
+    /// Helper for building an [`DspError::InvalidParameter`] with a formatted reason.
+    pub fn invalid(name: &'static str, reason: impl Into<String>) -> Self {
+        DspError::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_length_mismatch() {
+        let e = DspError::LengthMismatch {
+            expected: 64,
+            actual: 60,
+        };
+        assert_eq!(e.to_string(), "length mismatch: expected 64, got 60");
+    }
+
+    #[test]
+    fn display_empty() {
+        assert_eq!(DspError::EmptyInput.to_string(), "input must not be empty");
+    }
+
+    #[test]
+    fn display_invalid_parameter() {
+        let e = DspError::invalid("cutoff", "must lie in (0, 0.5)");
+        assert_eq!(
+            e.to_string(),
+            "invalid parameter `cutoff`: must lie in (0, 0.5)"
+        );
+    }
+
+    #[test]
+    fn display_unsupported_length() {
+        assert_eq!(
+            DspError::UnsupportedLength(3).to_string(),
+            "unsupported transform length 3"
+        );
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(DspError::EmptyInput);
+        assert!(e.to_string().contains("empty"));
+    }
+}

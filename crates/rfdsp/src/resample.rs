@@ -1,0 +1,186 @@
+//! Sample-rate conversion and fractional delays.
+//!
+//! Interfering transmitters in the paper are not sample-aligned with the receiver: the
+//! adjacent-channel interferer is started with "a temporal offset that is greater than
+//! the duration of the cyclic prefix", and in general an asynchronous interferer
+//! arrives with an arbitrary sub-sample timing offset. The fractional-delay
+//! interpolator here (windowed-sinc) gives scenario builders that control. Integer
+//! up/down-sampling supports the oversampling extension discussed in the paper's §6.
+
+use crate::complex::Complex;
+use crate::error::DspError;
+use crate::window;
+use crate::Result;
+
+/// Inserts `factor − 1` zeros between consecutive samples (zero-stuffing upsampler).
+///
+/// Combined with a low-pass interpolation filter from [`crate::filter`], this implements
+/// integer-rate oversampling.
+pub fn upsample(x: &[Complex], factor: usize) -> Result<Vec<Complex>> {
+    if factor == 0 {
+        return Err(DspError::invalid("factor", "must be at least 1"));
+    }
+    let mut out = vec![Complex::zero(); x.len() * factor];
+    for (i, &v) in x.iter().enumerate() {
+        out[i * factor] = v;
+    }
+    Ok(out)
+}
+
+/// Keeps every `factor`-th sample (decimator without anti-alias filtering).
+pub fn downsample(x: &[Complex], factor: usize) -> Result<Vec<Complex>> {
+    if factor == 0 {
+        return Err(DspError::invalid("factor", "must be at least 1"));
+    }
+    Ok(x.iter().step_by(factor).copied().collect())
+}
+
+/// Applies a fractional delay of `delay` samples (may be non-integer and/or larger than
+/// one) using a Kaiser-windowed sinc interpolator of half-width `half_taps`.
+///
+/// The output has the same length as the input; samples that would need data from
+/// before the start of the signal are zero-filled, which matches the physical picture
+/// of a transmission that simply has not started yet.
+pub fn fractional_delay(x: &[Complex], delay: f64, half_taps: usize) -> Result<Vec<Complex>> {
+    if delay < 0.0 {
+        return Err(DspError::invalid("delay", "must be non-negative"));
+    }
+    if half_taps == 0 {
+        return Err(DspError::invalid("half_taps", "must be at least 1"));
+    }
+    let n = x.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let int_delay = delay.floor() as usize;
+    let frac = delay - delay.floor();
+
+    // Pure integer delay: just shift.
+    if frac.abs() < 1e-12 {
+        let mut out = vec![Complex::zero(); n];
+        for i in int_delay..n {
+            out[i] = x[i - int_delay];
+        }
+        return Ok(out);
+    }
+
+    // Windowed-sinc fractional interpolation kernel centred on `frac`.
+    let taps = 2 * half_taps;
+    let win = window::kaiser(taps, 8.0);
+    let kernel: Vec<f64> = (0..taps)
+        .map(|k| {
+            let t = k as f64 - (half_taps as f64 - 1.0) - frac;
+            let sinc = if t.abs() < 1e-12 {
+                1.0
+            } else {
+                (std::f64::consts::PI * t).sin() / (std::f64::consts::PI * t)
+            };
+            sinc * win[k]
+        })
+        .collect();
+
+    let mut out = vec![Complex::zero(); n];
+    for (i, o) in out.iter_mut().enumerate() {
+        if i < int_delay {
+            continue;
+        }
+        let base = i - int_delay;
+        let mut acc = Complex::zero();
+        for (k, &h) in kernel.iter().enumerate() {
+            // Kernel tap k corresponds to input sample base - (k - (half_taps - 1)).
+            let offset = k as isize - (half_taps as isize - 1);
+            let idx = base as isize - offset;
+            if idx >= 0 && (idx as usize) < n {
+                acc += x[idx as usize].scale(h);
+            }
+        }
+        *o = acc;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::signal_power;
+
+    #[test]
+    fn upsample_places_samples_and_zeros() {
+        let x = vec![Complex::new(1.0, 0.0), Complex::new(2.0, 0.0)];
+        let y = upsample(&x, 3).unwrap();
+        assert_eq!(y.len(), 6);
+        assert_eq!(y[0], Complex::new(1.0, 0.0));
+        assert_eq!(y[1], Complex::zero());
+        assert_eq!(y[3], Complex::new(2.0, 0.0));
+        assert!(upsample(&x, 0).is_err());
+    }
+
+    #[test]
+    fn downsample_keeps_every_kth() {
+        let x: Vec<Complex> = (0..10).map(|i| Complex::new(i as f64, 0.0)).collect();
+        let y = downsample(&x, 2).unwrap();
+        assert_eq!(y.len(), 5);
+        assert_eq!(y[1], Complex::new(2.0, 0.0));
+        assert!(downsample(&x, 0).is_err());
+    }
+
+    #[test]
+    fn upsample_then_downsample_is_identity() {
+        let x: Vec<Complex> = (0..16).map(|i| Complex::new(i as f64, -(i as f64))).collect();
+        let y = downsample(&upsample(&x, 4).unwrap(), 4).unwrap();
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn integer_delay_shifts_signal() {
+        let x: Vec<Complex> = (0..8).map(|i| Complex::new(i as f64 + 1.0, 0.0)).collect();
+        let y = fractional_delay(&x, 3.0, 8).unwrap();
+        assert_eq!(y.len(), 8);
+        for i in 0..3 {
+            assert_eq!(y[i], Complex::zero());
+        }
+        for i in 3..8 {
+            assert_eq!(y[i], x[i - 3]);
+        }
+    }
+
+    #[test]
+    fn fractional_delay_of_tone_rotates_phase() {
+        // Delaying a complex tone exp(i2πf t) by d samples multiplies it by exp(-i2πf d).
+        let n = 256;
+        let f = 0.05;
+        let d = 2.5;
+        let x: Vec<Complex> = (0..n)
+            .map(|t| Complex::cis(2.0 * std::f64::consts::PI * f * t as f64))
+            .collect();
+        let y = fractional_delay(&x, d, 16).unwrap();
+        // Check away from the edges where the interpolator has full support.
+        for t in 40..n - 40 {
+            let expected = Complex::cis(2.0 * std::f64::consts::PI * f * (t as f64 - d));
+            assert!((y[t] - expected).norm() < 1e-3, "t={t}");
+        }
+    }
+
+    #[test]
+    fn fractional_delay_preserves_power_of_bandlimited_signal() {
+        let n = 512;
+        let x: Vec<Complex> = (0..n)
+            .map(|t| {
+                Complex::cis(2.0 * std::f64::consts::PI * 0.03 * t as f64)
+                    + Complex::cis(2.0 * std::f64::consts::PI * 0.11 * t as f64).scale(0.5)
+            })
+            .collect();
+        let y = fractional_delay(&x, 0.37, 16).unwrap();
+        let px = signal_power(&x[64..n - 64]).unwrap();
+        let py = signal_power(&y[64..n - 64]).unwrap();
+        assert!((px - py).abs() / px < 0.02, "px {px} py {py}");
+    }
+
+    #[test]
+    fn fractional_delay_validation() {
+        let x = vec![Complex::one(); 4];
+        assert!(fractional_delay(&x, -1.0, 8).is_err());
+        assert!(fractional_delay(&x, 1.0, 0).is_err());
+        assert!(fractional_delay(&[], 1.5, 8).unwrap().is_empty());
+    }
+}

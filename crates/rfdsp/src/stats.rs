@@ -1,0 +1,448 @@
+//! Descriptive statistics, empirical distributions and correlation.
+//!
+//! These helpers back three quite different consumers:
+//!
+//! * the **experiment harness** (packet-success-rate aggregation, CDF plots such as the
+//!   paper's Fig. 6b and Fig. 13),
+//! * the **ISI-free-region detector** (normalised correlation between the cyclic prefix
+//!   and the symbol tail, paper §6),
+//! * the **kernel density machinery** (sample standard deviation / IQR feed the
+//!   bandwidth selectors in [`crate::kde`]).
+
+use crate::complex::Complex;
+use crate::error::DspError;
+use crate::Result;
+
+/// Arithmetic mean of a slice. Errors on empty input.
+pub fn mean(xs: &[f64]) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Population variance (`1/N` normalisation). Errors on empty input.
+pub fn variance(xs: &[f64]) -> Result<f64> {
+    let m = mean(xs)?;
+    Ok(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64)
+}
+
+/// Sample variance (`1/(N−1)` normalisation). Errors unless at least two samples are given.
+pub fn sample_variance(xs: &[f64]) -> Result<f64> {
+    if xs.len() < 2 {
+        return Err(DspError::invalid("xs", "sample variance needs at least 2 samples"));
+    }
+    let m = mean(xs)?;
+    Ok(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64)
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> Result<f64> {
+    Ok(variance(xs)?.sqrt())
+}
+
+/// Sample standard deviation (`1/(N−1)`), the quantity Silverman's bandwidth rule uses.
+pub fn sample_std_dev(xs: &[f64]) -> Result<f64> {
+    Ok(sample_variance(xs)?.sqrt())
+}
+
+/// Median of a slice (average of the two middle elements for even lengths).
+pub fn median(xs: &[f64]) -> Result<f64> {
+    percentile(xs, 50.0)
+}
+
+/// Linear-interpolation percentile, `p` in `[0, 100]`.
+pub fn percentile(xs: &[f64], p: f64) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    if !(0.0..=100.0).contains(&p) {
+        return Err(DspError::invalid("p", "percentile must be in [0, 100]"));
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        Ok(sorted[lo])
+    } else {
+        let frac = rank - lo as f64;
+        Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+/// Interquartile range (75th − 25th percentile), used by robust bandwidth selection.
+pub fn iqr(xs: &[f64]) -> Result<f64> {
+    Ok(percentile(xs, 75.0)? - percentile(xs, 25.0)?)
+}
+
+/// Minimum of a slice. Errors on empty input.
+pub fn min(xs: &[f64]) -> Result<f64> {
+    xs.iter()
+        .copied()
+        .fold(None, |acc: Option<f64>, x| Some(acc.map_or(x, |a| a.min(x))))
+        .ok_or(DspError::EmptyInput)
+}
+
+/// Maximum of a slice. Errors on empty input.
+pub fn max(xs: &[f64]) -> Result<f64> {
+    xs.iter()
+        .copied()
+        .fold(None, |acc: Option<f64>, x| Some(acc.map_or(x, |a| a.max(x))))
+        .ok_or(DspError::EmptyInput)
+}
+
+/// Pearson correlation coefficient between two equally-long slices.
+pub fn pearson_correlation(xs: &[f64], ys: &[f64]) -> Result<f64> {
+    if xs.len() != ys.len() {
+        return Err(DspError::LengthMismatch {
+            expected: xs.len(),
+            actual: ys.len(),
+        });
+    }
+    if xs.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    let mx = mean(xs)?;
+    let my = mean(ys)?;
+    let mut num = 0.0;
+    let mut dx = 0.0;
+    let mut dy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        num += (x - mx) * (y - my);
+        dx += (x - mx) * (x - mx);
+        dy += (y - my) * (y - my);
+    }
+    let denom = (dx * dy).sqrt();
+    if denom == 0.0 {
+        Ok(0.0)
+    } else {
+        Ok(num / denom)
+    }
+}
+
+/// Normalised complex cross-correlation magnitude between two windows,
+/// `|Σ a·conj(b)| / sqrt(Σ|a|²·Σ|b|²)`, in `[0, 1]`.
+///
+/// This is the statistic the ISI-free-region detectors in the paper's §6 references
+/// compute between the cyclic prefix and the corresponding symbol tail.
+pub fn normalized_cross_correlation(a: &[Complex], b: &[Complex]) -> Result<f64> {
+    if a.len() != b.len() {
+        return Err(DspError::LengthMismatch {
+            expected: a.len(),
+            actual: b.len(),
+        });
+    }
+    if a.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    let mut num = Complex::zero();
+    let mut pa = 0.0;
+    let mut pb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        num += *x * y.conj();
+        pa += x.norm_sqr();
+        pb += y.norm_sqr();
+    }
+    let denom = (pa * pb).sqrt();
+    if denom == 0.0 {
+        Ok(0.0)
+    } else {
+        Ok(num.norm() / denom)
+    }
+}
+
+/// An empirical cumulative distribution function built from a sample set.
+///
+/// Evaluation uses the standard step definition `F(x) = #{samples ≤ x} / N`. The struct
+/// also exposes the sorted support so plots (paper Figs. 6b, 13) can be regenerated.
+#[derive(Debug, Clone)]
+pub struct EmpiricalCdf {
+    sorted: Vec<f64>,
+}
+
+impl EmpiricalCdf {
+    /// Builds a CDF from the given samples. Errors on empty input.
+    pub fn new(samples: &[f64]) -> Result<Self> {
+        if samples.is_empty() {
+            return Err(DspError::EmptyInput);
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in CDF input"));
+        Ok(EmpiricalCdf { sorted })
+    }
+
+    /// Fraction of samples less than or equal to `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point returns the count of elements <= x given the sorted order.
+        let count = self.sorted.partition_point(|v| *v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Inverse CDF (quantile function) for `q` in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize).saturating_sub(1);
+        self.sorted[idx.min(self.sorted.len() - 1)]
+    }
+
+    /// Number of underlying samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the CDF was built from an empty sample set (never true after `new`).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The sorted sample support, useful for stair-step plotting.
+    pub fn support(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Returns `(x, F(x))` pairs over the sample support — the series plotted in the
+    /// paper's CDF figures.
+    pub fn curve(&self) -> Vec<(f64, f64)> {
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, x)| (*x, (i + 1) as f64 / self.sorted.len() as f64))
+            .collect()
+    }
+}
+
+/// A fixed-width histogram over a closed interval.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equally-wide bins spanning `[lo, hi]`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self> {
+        if bins == 0 {
+            return Err(DspError::invalid("bins", "must be at least 1"));
+        }
+        if !(hi > lo) {
+            return Err(DspError::invalid("hi", "upper edge must exceed lower edge"));
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        })
+    }
+
+    /// Adds one observation; values outside `[lo, hi]` are clamped into the edge bins.
+    pub fn add(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let idx = if x <= self.lo {
+            0
+        } else if x >= self.hi {
+            bins - 1
+        } else {
+            (((x - self.lo) / (self.hi - self.lo)) * bins as f64) as usize
+        };
+        self.counts[idx.min(bins - 1)] += 1;
+        self.total += 1;
+    }
+
+    /// Adds every observation from a slice.
+    pub fn add_all(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.add(x);
+        }
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Bin centres.
+    pub fn centers(&self) -> Vec<f64> {
+        let bins = self.counts.len();
+        let w = (self.hi - self.lo) / bins as f64;
+        (0..bins).map(|i| self.lo + (i as f64 + 0.5) * w).collect()
+    }
+
+    /// Normalised density estimate per bin (integrates to 1 over `[lo, hi]`).
+    pub fn density(&self) -> Vec<f64> {
+        let bins = self.counts.len();
+        let w = (self.hi - self.lo) / bins as f64;
+        if self.total == 0 {
+            return vec![0.0; bins];
+        }
+        self.counts
+            .iter()
+            .map(|c| *c as f64 / (self.total as f64 * w))
+            .collect()
+    }
+}
+
+/// Mean of the squared magnitudes of a complex slice (average power).
+pub fn mean_power(xs: &[Complex]) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    Ok(xs.iter().map(|x| x.norm_sqr()).sum::<f64>() / xs.len() as f64)
+}
+
+/// Centroid (arithmetic mean) of a set of complex points — the sphere-decoder centre in
+/// the paper's §4.2.
+pub fn centroid(xs: &[Complex]) -> Result<Complex> {
+    if xs.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    Ok(xs.iter().copied().sum::<Complex>() / xs.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_basic() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs).unwrap(), 2.5);
+        assert_eq!(variance(&xs).unwrap(), 1.25);
+        assert!((sample_variance(&xs).unwrap() - 5.0 / 3.0).abs() < 1e-12);
+        assert!((std_dev(&xs).unwrap() - 1.25f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_error() {
+        assert_eq!(mean(&[]), Err(DspError::EmptyInput));
+        assert_eq!(median(&[]), Err(DspError::EmptyInput));
+        assert_eq!(min(&[]), Err(DspError::EmptyInput));
+        assert_eq!(max(&[]), Err(DspError::EmptyInput));
+        assert!(mean_power(&[]).is_err());
+        assert!(centroid(&[]).is_err());
+        assert!(EmpiricalCdf::new(&[]).is_err());
+    }
+
+    #[test]
+    fn median_and_percentiles() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(median(&xs).unwrap(), 3.0);
+        assert_eq!(percentile(&xs, 0.0).unwrap(), 1.0);
+        assert_eq!(percentile(&xs, 100.0).unwrap(), 5.0);
+        let even = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(median(&even).unwrap(), 2.5);
+        assert!(percentile(&xs, 101.0).is_err());
+    }
+
+    #[test]
+    fn iqr_of_uniform_grid() {
+        let xs: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        assert!((iqr(&xs).unwrap() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_max() {
+        let xs = [3.0, -1.0, 7.5, 0.0];
+        assert_eq!(min(&xs).unwrap(), -1.0);
+        assert_eq!(max(&xs).unwrap(), 7.5);
+    }
+
+    #[test]
+    fn correlation_of_linear_relation() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 1.0).collect();
+        let neg: Vec<f64> = xs.iter().map(|x| -2.0 * x).collect();
+        assert!((pearson_correlation(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson_correlation(&xs, &neg).unwrap() + 1.0).abs() < 1e-12);
+        let constant = vec![2.0; 50];
+        assert_eq!(pearson_correlation(&xs, &constant).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn correlation_length_mismatch() {
+        assert!(pearson_correlation(&[1.0, 2.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn cross_correlation_of_identical_windows_is_one() {
+        let a: Vec<Complex> = (0..16).map(|i| Complex::new(i as f64, -(i as f64))).collect();
+        assert!((normalized_cross_correlation(&a, &a).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_correlation_of_orthogonal_windows_is_zero() {
+        let a = vec![Complex::new(1.0, 0.0), Complex::new(1.0, 0.0)];
+        let b = vec![Complex::new(1.0, 0.0), Complex::new(-1.0, 0.0)];
+        assert!(normalized_cross_correlation(&a, &b).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn cross_correlation_error_cases() {
+        let a = vec![Complex::new(1.0, 0.0)];
+        assert!(normalized_cross_correlation(&a, &[]).is_err());
+        assert!(normalized_cross_correlation(&[], &[]).is_err());
+        let z = vec![Complex::zero(); 4];
+        assert_eq!(normalized_cross_correlation(&z, &z).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn empirical_cdf_step_values() {
+        let cdf = EmpiricalCdf::new(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(cdf.eval(0.5), 0.0);
+        assert_eq!(cdf.eval(1.0), 0.25);
+        assert_eq!(cdf.eval(2.5), 0.5);
+        assert_eq!(cdf.eval(4.0), 1.0);
+        assert_eq!(cdf.eval(10.0), 1.0);
+        assert_eq!(cdf.len(), 4);
+        assert!(!cdf.is_empty());
+    }
+
+    #[test]
+    fn empirical_cdf_quantiles() {
+        let cdf = EmpiricalCdf::new(&[10.0, 20.0, 30.0, 40.0, 50.0]).unwrap();
+        assert_eq!(cdf.quantile(0.0), 10.0);
+        assert_eq!(cdf.quantile(0.5), 30.0);
+        assert_eq!(cdf.quantile(1.0), 50.0);
+        let curve = cdf.curve();
+        assert_eq!(curve.len(), 5);
+        assert_eq!(curve[4], (50.0, 1.0));
+    }
+
+    #[test]
+    fn histogram_counts_and_density() {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        h.add_all(&[0.5, 1.5, 1.6, 9.9, 10.5, -3.0]);
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.counts()[0], 2); // 0.5 and clamped -3.0
+        assert_eq!(h.counts()[1], 2);
+        assert_eq!(h.counts()[9], 2); // 9.9 and clamped 10.5
+        let d = h.density();
+        let integral: f64 = d.iter().sum::<f64>() * 1.0;
+        assert!((integral - 1.0).abs() < 1e-12);
+        assert_eq!(h.centers()[0], 0.5);
+    }
+
+    #[test]
+    fn histogram_invalid_construction() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(2.0, 1.0, 4).is_err());
+    }
+
+    #[test]
+    fn mean_power_and_centroid() {
+        let xs = [Complex::new(1.0, 0.0), Complex::new(0.0, 1.0), Complex::new(-1.0, 0.0), Complex::new(0.0, -1.0)];
+        assert_eq!(mean_power(&xs).unwrap(), 1.0);
+        let c = centroid(&xs).unwrap();
+        assert!(c.norm() < 1e-12);
+    }
+}

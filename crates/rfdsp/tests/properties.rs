@@ -1,0 +1,90 @@
+//! Property-based tests of the DSP substrate's core invariants.
+
+use proptest::prelude::*;
+use rfdsp::fft::{dft, FftPlan};
+use rfdsp::power::{db_to_lin, lin_to_db};
+use rfdsp::stats;
+use rfdsp::Complex;
+
+fn complex_vec(len: usize) -> impl Strategy<Value = Vec<Complex>> {
+    prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), len..=len)
+        .prop_map(|v| v.into_iter().map(|(re, im)| Complex::new(re, im)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// FFT followed by IFFT recovers the original signal for any input.
+    #[test]
+    fn fft_ifft_roundtrip(x in complex_vec(64)) {
+        let plan = FftPlan::new(64);
+        let back = plan.ifft(&plan.fft(&x));
+        for (a, b) in x.iter().zip(&back) {
+            prop_assert!((*a - *b).norm() < 1e-6 * (1.0 + a.norm()));
+        }
+    }
+
+    /// The fast transform agrees with the direct O(N²) DFT.
+    #[test]
+    fn fft_matches_dft(x in complex_vec(32)) {
+        let plan = FftPlan::new(32);
+        let fast = plan.fft(&x);
+        let slow = dft(&x);
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert!((*a - *b).norm() < 1e-6 * (1.0 + b.norm()));
+        }
+    }
+
+    /// Parseval: time-domain and frequency-domain energies agree.
+    #[test]
+    fn parseval_energy(x in complex_vec(128)) {
+        let plan = FftPlan::new(128);
+        let spec = plan.fft(&x);
+        let et: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let ef: f64 = spec.iter().map(|v| v.norm_sqr()).sum::<f64>() / 128.0;
+        prop_assert!((et - ef).abs() <= 1e-6 * (1.0 + et));
+    }
+
+    /// dB ↔ linear conversions are inverse functions.
+    #[test]
+    fn db_roundtrip(db in -120.0f64..120.0) {
+        prop_assert!((lin_to_db(db_to_lin(db)) - db).abs() < 1e-9);
+    }
+
+    /// Complex multiplication magnitude is multiplicative and division inverts it.
+    #[test]
+    fn complex_field_properties(re1 in -50.0f64..50.0, im1 in -50.0f64..50.0,
+                                re2 in 0.1f64..50.0, im2 in 0.1f64..50.0) {
+        let a = Complex::new(re1, im1);
+        let b = Complex::new(re2, im2);
+        prop_assert!(((a * b).norm() - a.norm() * b.norm()).abs() < 1e-6 * (1.0 + a.norm() * b.norm()));
+        let back = (a * b) / b;
+        prop_assert!((back - a).norm() < 1e-6 * (1.0 + a.norm()));
+    }
+
+    /// The empirical CDF is monotone and bounded by [0, 1].
+    #[test]
+    fn cdf_is_monotone(mut xs in prop::collection::vec(-1000.0f64..1000.0, 1..200)) {
+        let cdf = stats::EmpiricalCdf::new(&xs).unwrap();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = 0.0;
+        for x in xs {
+            let v = cdf.eval(x);
+            prop_assert!((0.0..=1.0).contains(&v));
+            prop_assert!(v + 1e-12 >= prev);
+            prev = v;
+        }
+    }
+
+    /// Percentiles are bounded by the sample extremes and ordered in p.
+    #[test]
+    fn percentiles_are_ordered(xs in prop::collection::vec(-1000.0f64..1000.0, 2..100),
+                               p1 in 0.0f64..100.0, p2 in 0.0f64..100.0) {
+        let (lo, hi) = (p1.min(p2), p1.max(p2));
+        let a = stats::percentile(&xs, lo).unwrap();
+        let b = stats::percentile(&xs, hi).unwrap();
+        prop_assert!(a <= b + 1e-12);
+        prop_assert!(a >= stats::min(&xs).unwrap() - 1e-12);
+        prop_assert!(b <= stats::max(&xs).unwrap() + 1e-12);
+    }
+}

@@ -1,0 +1,34 @@
+//! # cprecycle-scenarios — experiment harness for the CPRecycle reproduction
+//!
+//! The paper evaluates CPRecycle over the air with USRPs and an off-the-shelf 802.11g
+//! access point. This crate rebuilds each of those experiments as a reproducible
+//! Monte-Carlo simulation:
+//!
+//! * [`wideband`] — oversampled composite-signal machinery: interferers on adjacent or
+//!   partially-overlapping channels are rendered at 4–8× the victim's sample rate, so
+//!   their spectra genuinely sit outside the victim band, and the victim receiver
+//!   applies a channel-select filter and decimates — exactly the path by which
+//!   adjacent-channel energy leaks into a real receiver.
+//! * [`interference`] — scenario builders for adjacent-channel interference (single and
+//!   dual interferer, configurable guard band) and co-channel interference.
+//! * [`link`] — the packet-level Monte-Carlo engine: build a frame, run it through a
+//!   scenario, decode with every receiver under test (Standard, CPRecycle, Naive,
+//!   Oracle), tally packet success rates.
+//! * [`figures`] — one driver per table/figure of the paper, returning serialisable
+//!   result series that the `cprecycle-bench` binaries print and that EXPERIMENTS.md
+//!   records.
+//! * [`neighbors`] — the synthetic office-building model behind Fig. 13.
+//! * [`report`] — plain-text rendering of result series.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod interference;
+pub mod link;
+pub mod neighbors;
+pub mod report;
+pub mod wideband;
+
+/// Convenience alias reusing the PHY error type.
+pub type Result<T> = std::result::Result<T, ofdmphy::PhyError>;

@@ -1,0 +1,153 @@
+//! Plain-text rendering of experiment results.
+//!
+//! Every figure driver returns an [`ExperimentResult`] — a set of labelled `(x, y)`
+//! series plus metadata — which the `cprecycle-bench` binaries print as aligned text
+//! tables (and optionally dump as JSON for plotting).
+
+use serde::{Deserialize, Serialize};
+
+/// One labelled data series (a curve in a paper figure).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct Series {
+    /// Legend label, e.g. "16-QAM 1/2, with CPRecycle".
+    pub label: String,
+    /// X values (SIR in dB, guard band in MHz, segment count, …).
+    pub x: Vec<f64>,
+    /// Y values (packet success rate in %, interference power in dB, CDF, …).
+    pub y: Vec<f64>,
+}
+
+impl Series {
+    /// Creates a series, checking that `x` and `y` have equal lengths.
+    pub fn new(label: impl Into<String>, x: Vec<f64>, y: Vec<f64>) -> Self {
+        assert_eq!(x.len(), y.len(), "series axes must have equal lengths");
+        Series {
+            label: label.into(),
+            x,
+            y,
+        }
+    }
+}
+
+/// A complete experiment result (one paper table or figure).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ExperimentResult {
+    /// Identifier matching the paper ("Figure 8", "Table 1", …).
+    pub id: String,
+    /// Short description of what is being measured.
+    pub description: String,
+    /// Label of the x axis.
+    pub x_label: String,
+    /// Label of the y axis.
+    pub y_label: String,
+    /// The measured series.
+    pub series: Vec<Series>,
+}
+
+impl ExperimentResult {
+    /// Renders the result as an aligned text table: one row per x value, one column per
+    /// series — the same rows/columns the paper's figures plot.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# {} — {}\n", self.id, self.description));
+        if self.series.is_empty() {
+            out.push_str("(no data)\n");
+            return out;
+        }
+        // Collect the union of x values preserving order of first appearance.
+        let mut xs: Vec<f64> = Vec::new();
+        for s in &self.series {
+            for &x in &s.x {
+                if !xs.iter().any(|v| (*v - x).abs() < 1e-9) {
+                    xs.push(x);
+                }
+            }
+        }
+        out.push_str(&format!("{:>14}", self.x_label));
+        for s in &self.series {
+            out.push_str(&format!(" | {:>28}", s.label));
+        }
+        out.push('\n');
+        out.push_str(&"-".repeat(14 + self.series.len() * 31));
+        out.push('\n');
+        for &x in &xs {
+            out.push_str(&format!("{x:>14.3}"));
+            for s in &self.series {
+                let y = s
+                    .x
+                    .iter()
+                    .position(|v| (*v - x).abs() < 1e-9)
+                    .map(|i| s.y[i]);
+                match y {
+                    Some(y) => out.push_str(&format!(" | {y:>28.3}")),
+                    None => out.push_str(&format!(" | {:>28}", "-")),
+                }
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("({})\n", self.y_label));
+        out
+    }
+
+    /// Serialises the result as pretty JSON (for downstream plotting).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("ExperimentResult is always serialisable")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExperimentResult {
+        ExperimentResult {
+            id: "Figure 8".into(),
+            description: "PSR vs SIR".into(),
+            x_label: "SIR (dB)".into(),
+            y_label: "Packet success rate (%)".into(),
+            series: vec![
+                Series::new("Standard", vec![-10.0, 0.0, 10.0], vec![0.0, 20.0, 95.0]),
+                Series::new("CPRecycle", vec![-10.0, 0.0], vec![60.0, 98.0]),
+            ],
+        }
+    }
+
+    #[test]
+    fn table_contains_headers_rows_and_missing_markers() {
+        let t = sample().to_table();
+        assert!(t.contains("Figure 8"));
+        assert!(t.contains("Standard"));
+        assert!(t.contains("CPRecycle"));
+        assert!(t.contains("-10.000"));
+        assert!(t.contains("95.000"));
+        // The CPRecycle series has no point at x = 10 → a dash appears in that row.
+        let row = t.lines().find(|l| l.starts_with("        10.000")).unwrap();
+        assert!(row.contains('-'));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = sample();
+        let json = r.to_json();
+        let back: ExperimentResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn empty_result_renders() {
+        let r = ExperimentResult {
+            id: "X".into(),
+            description: "empty".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![],
+        };
+        assert!(r.to_table().contains("no data"));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn mismatched_series_lengths_panic() {
+        let _ = Series::new("bad", vec![1.0], vec![]);
+    }
+}

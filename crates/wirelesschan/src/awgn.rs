@@ -1,0 +1,126 @@
+//! Additive white Gaussian noise at a target SNR.
+
+use crate::{ChannelError, Result};
+use rand::Rng;
+use rfdsp::noise::GaussianSource;
+use rfdsp::power::{db_to_lin, signal_power};
+use rfdsp::Complex;
+
+/// An AWGN channel that adds complex white Gaussian noise scaled to achieve a requested
+/// signal-to-noise ratio relative to the measured power of the signal passed in, or with
+/// an absolute noise variance.
+#[derive(Debug, Clone)]
+pub struct AwgnChannel {
+    gauss: GaussianSource,
+}
+
+impl Default for AwgnChannel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AwgnChannel {
+    /// Creates a new AWGN channel.
+    pub fn new() -> Self {
+        AwgnChannel {
+            gauss: GaussianSource::new(),
+        }
+    }
+
+    /// Adds noise so that the resulting SNR (signal power / noise power) equals
+    /// `snr_db`, measuring the signal power from `signal` itself.
+    ///
+    /// Returns the noise variance that was applied, which receivers can use as ground
+    /// truth when an oracle noise estimate is needed.
+    pub fn add_noise_snr<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        signal: &mut [Complex],
+        snr_db: f64,
+    ) -> Result<f64> {
+        if signal.is_empty() {
+            return Err(ChannelError::EmptyInput);
+        }
+        let p = signal_power(signal)?;
+        if p == 0.0 {
+            return Err(ChannelError::invalid("signal", "zero-power signal"));
+        }
+        let variance = p / db_to_lin(snr_db);
+        self.gauss.add_awgn(rng, signal, variance);
+        Ok(variance)
+    }
+
+    /// Adds noise with an explicit total variance `E[|n|²] = variance`.
+    pub fn add_noise_variance<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        signal: &mut [Complex],
+        variance: f64,
+    ) -> Result<()> {
+        if variance < 0.0 {
+            return Err(ChannelError::invalid("variance", "must be non-negative"));
+        }
+        if variance > 0.0 {
+            self.gauss.add_awgn(rng, signal, variance);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rfdsp::power::lin_to_db;
+
+    #[test]
+    fn snr_target_is_met() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut chan = AwgnChannel::new();
+        for snr in [0.0, 10.0, 20.0] {
+            let clean = vec![Complex::new(1.0, 1.0); 50_000];
+            let mut noisy = clean.clone();
+            chan.add_noise_snr(&mut rng, &mut noisy, snr).unwrap();
+            let noise_power: f64 = noisy
+                .iter()
+                .zip(&clean)
+                .map(|(a, b)| (*a - *b).norm_sqr())
+                .sum::<f64>()
+                / clean.len() as f64;
+            let measured = lin_to_db(signal_power(&clean).unwrap() / noise_power);
+            assert!((measured - snr).abs() < 0.3, "snr {snr} measured {measured}");
+        }
+    }
+
+    #[test]
+    fn returns_applied_variance() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut chan = AwgnChannel::new();
+        let mut sig = vec![Complex::new(2.0, 0.0); 1000];
+        let var = chan.add_noise_snr(&mut rng, &mut sig, 10.0).unwrap();
+        assert!((var - 0.4).abs() < 1e-12); // power 4 / 10
+    }
+
+    #[test]
+    fn zero_variance_leaves_signal_unchanged() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut chan = AwgnChannel::new();
+        let clean = vec![Complex::new(1.0, -1.0); 64];
+        let mut sig = clean.clone();
+        chan.add_noise_variance(&mut rng, &mut sig, 0.0).unwrap();
+        assert_eq!(sig, clean);
+    }
+
+    #[test]
+    fn error_cases() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut chan = AwgnChannel::new();
+        let mut empty: Vec<Complex> = vec![];
+        assert!(chan.add_noise_snr(&mut rng, &mut empty, 10.0).is_err());
+        let mut zeros = vec![Complex::zero(); 16];
+        assert!(chan.add_noise_snr(&mut rng, &mut zeros, 10.0).is_err());
+        let mut sig = vec![Complex::one(); 16];
+        assert!(chan.add_noise_variance(&mut rng, &mut sig, -1.0).is_err());
+    }
+}

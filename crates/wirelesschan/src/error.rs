@@ -1,0 +1,79 @@
+//! Error type for the channel simulator.
+
+use std::fmt;
+
+/// Errors produced by channel models and scenario mixing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChannelError {
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: String,
+    },
+    /// An input signal was empty where a non-empty one is required.
+    EmptyInput,
+    /// An underlying DSP primitive failed.
+    Dsp(rfdsp::DspError),
+}
+
+impl fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            ChannelError::EmptyInput => write!(f, "input signal must not be empty"),
+            ChannelError::Dsp(e) => write!(f, "dsp error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ChannelError::Dsp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<rfdsp::DspError> for ChannelError {
+    fn from(e: rfdsp::DspError) -> Self {
+        ChannelError::Dsp(e)
+    }
+}
+
+impl ChannelError {
+    /// Helper for building an [`ChannelError::InvalidParameter`].
+    pub fn invalid(name: &'static str, reason: impl Into<String>) -> Self {
+        ChannelError::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(ChannelError::EmptyInput.to_string().contains("empty"));
+        assert!(ChannelError::invalid("snr", "out of range")
+            .to_string()
+            .contains("snr"));
+        let wrapped = ChannelError::from(rfdsp::DspError::EmptyInput);
+        assert!(wrapped.to_string().contains("dsp error"));
+    }
+
+    #[test]
+    fn source_chains_dsp_errors() {
+        use std::error::Error;
+        let wrapped = ChannelError::from(rfdsp::DspError::EmptyInput);
+        assert!(wrapped.source().is_some());
+        assert!(ChannelError::EmptyInput.source().is_none());
+    }
+}

@@ -1,0 +1,205 @@
+//! Oscillator and timing impairments: carrier frequency offset, sampling clock offset
+//! and Wiener phase noise.
+//!
+//! The paper's §3.3 lists phase noise as one of the reasons a naive Euclidean-distance
+//! decoder fails, and §4.1 motivates decoupling amplitude and phase deviations in the
+//! interference model. These impairments let scenarios stress exactly that behaviour.
+
+use crate::{ChannelError, Result};
+use rand::Rng;
+use rfdsp::noise::GaussianSource;
+use rfdsp::Complex;
+
+/// Applies a carrier frequency offset of `cfo_hz` at `sample_rate_hz` to a signal,
+/// starting from phase zero.
+///
+/// A CFO of `f` rotates sample `t` by `e^{i2π·f·t/fs}`. Residual CFO after coarse
+/// correction is what the 802.11 pilot tracking loop removes.
+pub fn apply_cfo(signal: &mut [Complex], cfo_hz: f64, sample_rate_hz: f64) -> Result<()> {
+    if sample_rate_hz <= 0.0 {
+        return Err(ChannelError::invalid("sample_rate_hz", "must be positive"));
+    }
+    let step = 2.0 * std::f64::consts::PI * cfo_hz / sample_rate_hz;
+    for (t, s) in signal.iter_mut().enumerate() {
+        *s = *s * Complex::cis(step * t as f64);
+    }
+    Ok(())
+}
+
+/// Wiener (random-walk) phase-noise process.
+///
+/// Each sample's phase increment is drawn from `N(0, 2π·linewidth/fs)`, the standard
+/// Lorentzian-linewidth oscillator model; the accumulated phase multiplies the signal.
+#[derive(Debug, Clone)]
+pub struct WienerPhaseNoise {
+    /// Oscillator 3-dB linewidth in Hz.
+    linewidth_hz: f64,
+    /// Sample rate in Hz.
+    sample_rate_hz: f64,
+}
+
+impl WienerPhaseNoise {
+    /// Creates a phase-noise process with the given linewidth and sample rate.
+    pub fn new(linewidth_hz: f64, sample_rate_hz: f64) -> Result<Self> {
+        if linewidth_hz < 0.0 {
+            return Err(ChannelError::invalid("linewidth_hz", "must be non-negative"));
+        }
+        if sample_rate_hz <= 0.0 {
+            return Err(ChannelError::invalid("sample_rate_hz", "must be positive"));
+        }
+        Ok(WienerPhaseNoise {
+            linewidth_hz,
+            sample_rate_hz,
+        })
+    }
+
+    /// Applies one realisation of the phase-noise process to `signal` in place and
+    /// returns the final accumulated phase (useful for chaining across packets).
+    pub fn apply<R: Rng + ?Sized>(&self, rng: &mut R, signal: &mut [Complex]) -> f64 {
+        let mut gauss = GaussianSource::new();
+        let sigma = (2.0 * std::f64::consts::PI * self.linewidth_hz / self.sample_rate_hz).sqrt();
+        let mut phase = 0.0;
+        for s in signal.iter_mut() {
+            phase += gauss.sample(rng, 0.0, sigma);
+            *s = *s * Complex::cis(phase);
+        }
+        phase
+    }
+}
+
+/// Applies a constant timing offset of an integer number of samples by prepending
+/// zeros (the transmission starts `offset` samples later within the observation
+/// window) and truncating to the original length.
+pub fn apply_integer_delay(signal: &[Complex], offset: usize) -> Vec<Complex> {
+    let n = signal.len();
+    let mut out = vec![Complex::zero(); n];
+    for i in offset..n {
+        out[i] = signal[i - offset];
+    }
+    out
+}
+
+/// Applies a sampling-clock offset of `ppm` parts-per-million by linear interpolation
+/// resampling — sample `t` of the output reads the input at `t·(1 + ppm·1e-6)`.
+pub fn apply_sampling_clock_offset(signal: &[Complex], ppm: f64) -> Vec<Complex> {
+    let n = signal.len();
+    let rate = 1.0 + ppm * 1e-6;
+    let mut out = vec![Complex::zero(); n];
+    for (t, o) in out.iter_mut().enumerate() {
+        let pos = t as f64 * rate;
+        let lo = pos.floor() as usize;
+        let frac = pos - pos.floor();
+        if lo + 1 < n {
+            *o = signal[lo].scale(1.0 - frac) + signal[lo + 1].scale(frac);
+        } else if lo < n {
+            *o = signal[lo];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cfo_rotates_constant_signal() {
+        let mut sig = vec![Complex::one(); 100];
+        apply_cfo(&mut sig, 1000.0, 20_000_000.0).unwrap();
+        // After t samples phase = 2π·1000·t/20e6.
+        let expected = Complex::cis(2.0 * std::f64::consts::PI * 1000.0 * 50.0 / 20e6);
+        assert!((sig[50] - expected).norm() < 1e-12);
+        assert_eq!(sig[0], Complex::one());
+    }
+
+    #[test]
+    fn cfo_validation() {
+        let mut sig = vec![Complex::one(); 4];
+        assert!(apply_cfo(&mut sig, 100.0, 0.0).is_err());
+        assert!(apply_cfo(&mut sig, 100.0, -5.0).is_err());
+    }
+
+    #[test]
+    fn zero_cfo_is_identity() {
+        let orig: Vec<Complex> = (0..32).map(|t| Complex::new(t as f64, -1.0)).collect();
+        let mut sig = orig.clone();
+        apply_cfo(&mut sig, 0.0, 20e6).unwrap();
+        for (a, b) in sig.iter().zip(&orig) {
+            assert!((*a - *b).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn phase_noise_preserves_magnitude() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let pn = WienerPhaseNoise::new(1000.0, 20e6).unwrap();
+        let mut sig = vec![Complex::new(2.0, 0.0); 256];
+        pn.apply(&mut rng, &mut sig);
+        for s in &sig {
+            assert!((s.norm() - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn phase_noise_variance_grows_with_linewidth() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let narrow = WienerPhaseNoise::new(10.0, 20e6).unwrap();
+        let wide = WienerPhaseNoise::new(100_000.0, 20e6).unwrap();
+        let mut a = vec![Complex::one(); 2000];
+        let mut b = vec![Complex::one(); 2000];
+        narrow.apply(&mut rng, &mut a);
+        wide.apply(&mut rng, &mut b);
+        let drift = |v: &[Complex]| v.last().unwrap().arg().abs();
+        // Not strictly monotone per-realisation, but with these linewidths the wide
+        // oscillator drifts orders of magnitude more.
+        assert!(drift(&b) > drift(&a));
+    }
+
+    #[test]
+    fn phase_noise_validation() {
+        assert!(WienerPhaseNoise::new(-1.0, 20e6).is_err());
+        assert!(WienerPhaseNoise::new(100.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn zero_linewidth_leaves_signal_unchanged() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let pn = WienerPhaseNoise::new(0.0, 20e6).unwrap();
+        let orig: Vec<Complex> = (0..64).map(|t| Complex::cis(0.2 * t as f64)).collect();
+        let mut sig = orig.clone();
+        pn.apply(&mut rng, &mut sig);
+        for (a, b) in sig.iter().zip(&orig) {
+            assert!((*a - *b).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn integer_delay_shifts_and_zero_fills() {
+        let x: Vec<Complex> = (1..=5).map(|i| Complex::new(i as f64, 0.0)).collect();
+        let y = apply_integer_delay(&x, 2);
+        assert_eq!(y.len(), 5);
+        assert_eq!(y[0], Complex::zero());
+        assert_eq!(y[1], Complex::zero());
+        assert_eq!(y[2], Complex::new(1.0, 0.0));
+        assert_eq!(y[4], Complex::new(3.0, 0.0));
+        assert_eq!(apply_integer_delay(&x, 0), x);
+    }
+
+    #[test]
+    fn sampling_clock_offset_zero_is_identity() {
+        let x: Vec<Complex> = (0..16).map(|t| Complex::new(t as f64, t as f64)).collect();
+        let y = apply_sampling_clock_offset(&x, 0.0);
+        for (a, b) in x.iter().zip(&y) {
+            assert!((*a - *b).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sampling_clock_offset_stretches_signal() {
+        // With +100000 ppm (10%) the output index 10 reads input position 11.
+        let x: Vec<Complex> = (0..32).map(|t| Complex::new(t as f64, 0.0)).collect();
+        let y = apply_sampling_clock_offset(&x, 100_000.0);
+        assert!((y[10].re - 11.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,268 @@
+//! Scenario mixing: placing interferers at a frequency offset, timing offset and SIR
+//! relative to a signal of interest.
+//!
+//! The paper's two evaluation scenarios are built exactly this way:
+//!
+//! * **Adjacent-channel interference** — the interferer transmits its own OFDM waveform
+//!   on a neighbouring channel; at the victim receiver it appears frequency-shifted by
+//!   the channel separation and time-shifted by "a temporal offset that is greater than
+//!   the duration of the cyclic prefix" so it is never symbol-aligned.
+//! * **Co-channel interference** — same subcarriers (no frequency shift), also not
+//!   symbol-aligned.
+//!
+//! [`InterfererSpec`] captures those three degrees of freedom; [`combine`] renders a
+//! composite received waveform with every interferer scaled to its exact target SIR
+//! (measured over the in-band signal powers before mixing, matching how the testbed SIR
+//! was set by adjusting transmit power / position).
+
+use crate::{ChannelError, Result};
+use rfdsp::filter::frequency_shift;
+use rfdsp::power::{gain_for_sir, signal_power};
+use rfdsp::resample::fractional_delay;
+use rfdsp::Complex;
+
+/// Placement of one interferer relative to the signal of interest.
+#[derive(Debug, Clone)]
+pub struct InterfererSpec {
+    /// The interferer's transmitted baseband waveform (its own OFDM frames).
+    pub waveform: Vec<Complex>,
+    /// Frequency offset of the interferer's centre relative to the victim receiver's
+    /// centre frequency, in cycles/sample (e.g. a 20 MHz channel separation observed at
+    /// a 20 MS/s receiver is `1.0`, i.e. aliased; partially-overlapping Wi-Fi channels
+    /// are fractions like `15 MHz / 20 MS/s = 0.75`).
+    pub frequency_offset: f64,
+    /// Timing offset of the interferer's first sample relative to the victim packet's
+    /// first sample, in samples (may be fractional). The paper's ACI/CCI interferers use
+    /// offsets larger than the cyclic prefix so they are never symbol-aligned.
+    pub timing_offset_samples: f64,
+    /// Target signal-to-interference ratio in dB, measured as (signal power) /
+    /// (this interferer's power at the receiver).
+    pub sir_db: f64,
+}
+
+impl InterfererSpec {
+    /// Convenience constructor.
+    pub fn new(
+        waveform: Vec<Complex>,
+        frequency_offset: f64,
+        timing_offset_samples: f64,
+        sir_db: f64,
+    ) -> Self {
+        InterfererSpec {
+            waveform,
+            frequency_offset,
+            timing_offset_samples,
+            sir_db,
+        }
+    }
+}
+
+/// Output of [`combine`]: the composite waveform plus the per-interferer contributions,
+/// which the Oracle receiver and the interference-power figures (Fig. 4a/4b) need in
+/// isolation.
+#[derive(Debug, Clone)]
+pub struct CombinedSignal {
+    /// Signal of interest plus every interferer contribution (no receiver noise —
+    /// the AWGN stage is applied separately so SNR and SIR remain independent knobs).
+    pub composite: Vec<Complex>,
+    /// Each interferer's contribution as seen at the receiver, already shifted, delayed
+    /// and scaled. Same length as the composite.
+    pub interference: Vec<Vec<Complex>>,
+}
+
+/// Renders one interferer's contribution at the receiver: fractional delay, frequency
+/// shift, truncation/zero-padding to `len` samples and scaling to the target SIR
+/// relative to `signal`.
+pub fn render_interferer(
+    signal: &[Complex],
+    spec: &InterfererSpec,
+    len: usize,
+) -> Result<Vec<Complex>> {
+    if spec.waveform.is_empty() {
+        return Err(ChannelError::EmptyInput);
+    }
+    if spec.timing_offset_samples < 0.0 {
+        return Err(ChannelError::invalid(
+            "timing_offset_samples",
+            "must be non-negative",
+        ));
+    }
+    // Extend or truncate the interferer waveform to the observation length by cyclic
+    // repetition (a continuously transmitting interferer, as in the paper's setup where
+    // the interferer "continuously transmits 400 byte packets").
+    let mut extended = Vec::with_capacity(len);
+    while extended.len() < len {
+        let take = (len - extended.len()).min(spec.waveform.len());
+        extended.extend_from_slice(&spec.waveform[..take]);
+    }
+    // Apply the (possibly fractional) timing offset.
+    let delayed = if spec.timing_offset_samples == 0.0 {
+        extended
+    } else {
+        fractional_delay(&extended, spec.timing_offset_samples, 16)?
+    };
+    // Move the interferer to its channel offset.
+    let shifted = if spec.frequency_offset == 0.0 {
+        delayed
+    } else {
+        frequency_shift(&delayed, spec.frequency_offset)
+    };
+    // Scale to the target SIR relative to the signal of interest.
+    let nonzero: Vec<Complex> = shifted.iter().copied().filter(|s| s.norm_sqr() > 0.0).collect();
+    if nonzero.is_empty() {
+        return Err(ChannelError::invalid(
+            "waveform",
+            "interferer contribution has zero power at the receiver",
+        ));
+    }
+    let gain = gain_for_sir(signal, &nonzero, spec.sir_db)?;
+    Ok(shifted.iter().map(|s| s.scale(gain)).collect())
+}
+
+/// Combines a signal of interest with any number of interferers.
+///
+/// Each interferer is scaled so that `signal power / interferer power = sir_db`
+/// individually (the paper's multi-interferer experiments quote the SIR per interferer:
+/// "the SIR is varied by increasing the transmit power in both the interferers").
+pub fn combine(signal: &[Complex], interferers: &[InterfererSpec]) -> Result<CombinedSignal> {
+    if signal.is_empty() {
+        return Err(ChannelError::EmptyInput);
+    }
+    if signal_power(signal)? == 0.0 {
+        return Err(ChannelError::invalid("signal", "zero-power signal of interest"));
+    }
+    let len = signal.len();
+    let mut composite = signal.to_vec();
+    let mut interference = Vec::with_capacity(interferers.len());
+    for spec in interferers {
+        let contribution = render_interferer(signal, spec, len)?;
+        for (c, i) in composite.iter_mut().zip(&contribution) {
+            *c += *i;
+        }
+        interference.push(contribution);
+    }
+    Ok(CombinedSignal {
+        composite,
+        interference,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfdsp::noise::GaussianSource;
+    use rfdsp::power::lin_to_db;
+    use rand::SeedableRng;
+
+    fn test_signal(n: usize, seed: u64) -> Vec<Complex> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut g = GaussianSource::new();
+        g.complex_vector(&mut rng, n, 1.0)
+    }
+
+    #[test]
+    fn combine_without_interferers_is_identity() {
+        let sig = test_signal(256, 1);
+        let out = combine(&sig, &[]).unwrap();
+        assert_eq!(out.composite, sig);
+        assert!(out.interference.is_empty());
+    }
+
+    #[test]
+    fn single_interferer_hits_target_sir() {
+        let sig = test_signal(4096, 2);
+        let intf_wave = test_signal(4096, 3);
+        for sir in [-20.0, -10.0, 0.0, 10.0] {
+            let spec = InterfererSpec::new(intf_wave.clone(), 0.0, 0.0, sir);
+            let out = combine(&sig, &[spec]).unwrap();
+            let ps = signal_power(&sig).unwrap();
+            let pi = signal_power(&out.interference[0]).unwrap();
+            let measured = lin_to_db(ps / pi);
+            assert!((measured - sir).abs() < 0.3, "target {sir} measured {measured}");
+        }
+    }
+
+    #[test]
+    fn composite_is_signal_plus_interference() {
+        let sig = test_signal(512, 4);
+        let spec = InterfererSpec::new(test_signal(512, 5), 0.1, 3.0, -5.0);
+        let out = combine(&sig, &[spec]).unwrap();
+        for t in 0..512 {
+            let expected = sig[t] + out.interference[0][t];
+            assert!((out.composite[t] - expected).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn two_interferers_each_hit_their_sir() {
+        let sig = test_signal(2048, 6);
+        let specs = vec![
+            InterfererSpec::new(test_signal(2048, 7), 0.2, 10.0, -10.0),
+            InterfererSpec::new(test_signal(2048, 8), -0.2, 25.0, -10.0),
+        ];
+        let out = combine(&sig, &specs).unwrap();
+        assert_eq!(out.interference.len(), 2);
+        let ps = signal_power(&sig).unwrap();
+        for contribution in &out.interference {
+            let nz: Vec<Complex> = contribution
+                .iter()
+                .copied()
+                .filter(|s| s.norm_sqr() > 0.0)
+                .collect();
+            let measured = lin_to_db(ps / signal_power(&nz).unwrap());
+            assert!((measured + 10.0).abs() < 0.5, "measured {measured}");
+        }
+    }
+
+    #[test]
+    fn short_interferer_waveform_is_repeated() {
+        let sig = test_signal(1000, 9);
+        let short = test_signal(100, 10);
+        let spec = InterfererSpec::new(short, 0.0, 0.0, 0.0);
+        let out = combine(&sig, &[spec]).unwrap();
+        // The interferer contribution must span the whole observation.
+        let tail_power = signal_power(&out.interference[0][900..]).unwrap();
+        assert!(tail_power > 0.1);
+    }
+
+    #[test]
+    fn frequency_offset_moves_interferer_out_of_band() {
+        // A DC-heavy interferer shifted by 0.25 cycles/sample should end up with most of
+        // its energy away from DC.
+        let sig = test_signal(4096, 11);
+        let dc_interferer = vec![Complex::one(); 4096];
+        let spec = InterfererSpec::new(dc_interferer, 0.25, 0.0, 0.0);
+        let out = combine(&sig, &[spec]).unwrap();
+        let psd = rfdsp::power::welch_psd(&out.interference[0], 64).unwrap();
+        let peak_bin = psd
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak_bin, 16); // 0.25 cycles/sample of a 64-bin PSD
+    }
+
+    #[test]
+    fn timing_offset_delays_interferer_energy() {
+        let sig = test_signal(512, 12);
+        let spec = InterfererSpec::new(test_signal(512, 13), 0.0, 100.0, 0.0);
+        let out = combine(&sig, &[spec]).unwrap();
+        let early = signal_power(&out.interference[0][..95]).unwrap();
+        let late = signal_power(&out.interference[0][105..]).unwrap();
+        assert!(early < 1e-6 * late.max(1.0), "early {early} late {late}");
+    }
+
+    #[test]
+    fn error_cases() {
+        let sig = test_signal(64, 14);
+        assert!(combine(&[], &[]).is_err());
+        assert!(combine(&vec![Complex::zero(); 64], &[]).is_err());
+        let empty_spec = InterfererSpec::new(vec![], 0.0, 0.0, 0.0);
+        assert!(combine(&sig, &[empty_spec]).is_err());
+        let neg_delay = InterfererSpec::new(test_signal(64, 15), 0.0, -1.0, 0.0);
+        assert!(combine(&sig, &[neg_delay]).is_err());
+        let zero_intf = InterfererSpec::new(vec![Complex::zero(); 64], 0.0, 0.0, 0.0);
+        assert!(combine(&sig, &[zero_intf]).is_err());
+    }
+}

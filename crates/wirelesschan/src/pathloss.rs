@@ -1,0 +1,180 @@
+//! Large-scale propagation: log-distance path loss, shadowing and floor/wall losses.
+//!
+//! These models drive the office-building neighbor experiment (paper Fig. 13): received
+//! signal strength between every pair of access points determines how many neighbors
+//! exceed the interference threshold, and CPRecycle's extra interference tolerance
+//! shifts that threshold by ~15 dB.
+
+use crate::{ChannelError, Result};
+use rand::Rng;
+use rfdsp::noise::GaussianSource;
+
+/// Log-distance path-loss model with optional log-normal shadowing.
+///
+/// `PL(d) = PL(d0) + 10·n·log10(d/d0) + X_σ`, in dB.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogDistanceModel {
+    /// Path loss at the reference distance, in dB.
+    pub reference_loss_db: f64,
+    /// Reference distance in metres.
+    pub reference_distance_m: f64,
+    /// Path-loss exponent `n` (2 free space, 3–4 indoor obstructed).
+    pub exponent: f64,
+    /// Log-normal shadowing standard deviation in dB (0 disables shadowing).
+    pub shadowing_sigma_db: f64,
+}
+
+impl LogDistanceModel {
+    /// Free-space reference loss at 2.4 GHz and 1 m, exponent chosen for an open indoor
+    /// environment.
+    pub fn indoor_2_4ghz() -> Self {
+        LogDistanceModel {
+            reference_loss_db: 40.0,
+            reference_distance_m: 1.0,
+            exponent: 3.0,
+            shadowing_sigma_db: 4.0,
+        }
+    }
+
+    /// Validates the model parameters.
+    pub fn validate(&self) -> Result<()> {
+        if self.reference_distance_m <= 0.0 {
+            return Err(ChannelError::invalid(
+                "reference_distance_m",
+                "must be positive",
+            ));
+        }
+        if self.exponent <= 0.0 {
+            return Err(ChannelError::invalid("exponent", "must be positive"));
+        }
+        if self.shadowing_sigma_db < 0.0 {
+            return Err(ChannelError::invalid(
+                "shadowing_sigma_db",
+                "must be non-negative",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Deterministic (median) path loss at distance `d` metres, in dB.
+    pub fn median_loss_db(&self, distance_m: f64) -> f64 {
+        let d = distance_m.max(self.reference_distance_m);
+        self.reference_loss_db + 10.0 * self.exponent * (d / self.reference_distance_m).log10()
+    }
+
+    /// Path loss with one shadowing realisation drawn from the supplied RNG.
+    pub fn loss_db<R: Rng + ?Sized>(&self, rng: &mut R, distance_m: f64) -> f64 {
+        let mut gauss = GaussianSource::new();
+        self.median_loss_db(distance_m) + gauss.sample(rng, 0.0, self.shadowing_sigma_db)
+    }
+}
+
+/// Penetration losses for building structure between a transmitter and receiver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PenetrationLoss {
+    /// Loss per interior wall crossed, dB.
+    pub per_wall_db: f64,
+    /// Loss per floor crossed, dB.
+    pub per_floor_db: f64,
+}
+
+impl PenetrationLoss {
+    /// Glass-and-drywall office defaults (the paper's building has mostly glass walls
+    /// and a large atrium, so wall losses are modest but floor losses are substantial).
+    pub fn glass_office() -> Self {
+        PenetrationLoss {
+            per_wall_db: 3.0,
+            per_floor_db: 13.0,
+        }
+    }
+
+    /// Total penetration loss for the given structure counts.
+    pub fn total_db(&self, walls: u32, floors: u32) -> f64 {
+        self.per_wall_db * walls as f64 + self.per_floor_db * floors as f64
+    }
+}
+
+/// Received power in dBm for a transmit power, path-loss model and structure counts.
+pub fn received_power_dbm<R: Rng + ?Sized>(
+    rng: &mut R,
+    tx_power_dbm: f64,
+    model: &LogDistanceModel,
+    penetration: &PenetrationLoss,
+    distance_m: f64,
+    walls: u32,
+    floors: u32,
+) -> f64 {
+    tx_power_dbm - model.loss_db(rng, distance_m) - penetration.total_db(walls, floors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn median_loss_increases_with_distance() {
+        let m = LogDistanceModel::indoor_2_4ghz();
+        m.validate().unwrap();
+        assert!(m.median_loss_db(10.0) > m.median_loss_db(2.0));
+        // 10x distance at exponent 3 = +30 dB.
+        assert!((m.median_loss_db(10.0) - m.median_loss_db(1.0) - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distances_below_reference_clamp() {
+        let m = LogDistanceModel::indoor_2_4ghz();
+        assert_eq!(m.median_loss_db(0.1), m.median_loss_db(1.0));
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        let mut m = LogDistanceModel::indoor_2_4ghz();
+        m.reference_distance_m = 0.0;
+        assert!(m.validate().is_err());
+        let mut m = LogDistanceModel::indoor_2_4ghz();
+        m.exponent = -1.0;
+        assert!(m.validate().is_err());
+        let mut m = LogDistanceModel::indoor_2_4ghz();
+        m.shadowing_sigma_db = -2.0;
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn shadowing_spreads_around_median() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let m = LogDistanceModel::indoor_2_4ghz();
+        let median = m.median_loss_db(20.0);
+        let samples: Vec<f64> = (0..5000).map(|_| m.loss_db(&mut rng, 20.0)).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - median).abs() < 0.5);
+        let above = samples.iter().filter(|s| **s > median).count();
+        assert!(above > 2000 && above < 3000);
+    }
+
+    #[test]
+    fn zero_sigma_is_deterministic() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut m = LogDistanceModel::indoor_2_4ghz();
+        m.shadowing_sigma_db = 0.0;
+        assert_eq!(m.loss_db(&mut rng, 15.0), m.median_loss_db(15.0));
+    }
+
+    #[test]
+    fn penetration_loss_accumulates() {
+        let p = PenetrationLoss::glass_office();
+        assert_eq!(p.total_db(0, 0), 0.0);
+        assert_eq!(p.total_db(2, 1), 2.0 * 3.0 + 13.0);
+    }
+
+    #[test]
+    fn received_power_combines_terms() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut m = LogDistanceModel::indoor_2_4ghz();
+        m.shadowing_sigma_db = 0.0;
+        let p = PenetrationLoss::glass_office();
+        let rx = received_power_dbm(&mut rng, 20.0, &m, &p, 10.0, 1, 1);
+        let expected = 20.0 - m.median_loss_db(10.0) - 16.0;
+        assert!((rx - expected).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,57 @@
+//! Network-level planning: how many interfering neighbors does each AP in a dense
+//! office deployment see, and how does CPRecycle's extra interference tolerance change
+//! that picture? (A runnable version of the paper's Fig. 13 argument.)
+//!
+//! ```text
+//! cargo run --example network_planning
+//! ```
+
+use cprecycle_repro::scenarios::neighbors::{simulate_neighbors, BuildingModel};
+use rand::SeedableRng;
+
+fn main() {
+    let model = BuildingModel::default();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2016);
+    let counts = simulate_neighbors(&mut rng, &model);
+
+    let stats = |v: &[usize]| {
+        let mut sorted = v.to_vec();
+        sorted.sort_unstable();
+        let avg = v.iter().sum::<usize>() as f64 / v.len() as f64;
+        (avg, sorted[v.len() / 2], sorted[(v.len() * 4) / 5])
+    };
+    let (std_avg, std_median, std_p80) = stats(&counts.standard);
+    let (cp_avg, cp_median, cp_p80) = stats(&counts.cprecycle);
+
+    println!(
+        "Synthetic office: {} floors, {} APs, {} dBm APs, standard threshold {} dBm, CPRecycle gain {} dB",
+        model.floors,
+        model.floors * model.aps_per_floor,
+        model.tx_power_dbm,
+        model.standard_threshold_dbm,
+        model.cprecycle_gain_db
+    );
+    println!("Interfering neighbors per AP:");
+    println!("  Standard  — mean {std_avg:.1}, median {std_median}, 80th percentile {std_p80}");
+    println!("  CPRecycle — mean {cp_avg:.1}, median {cp_median}, 80th percentile {cp_p80}");
+
+    println!("\nCDF (number of interfering neighbors -> fraction of APs):");
+    println!("{:>10} | {:>10} | {:>10}", "neighbors", "Standard", "CPRecycle");
+    let std_cdf = counts.standard_cdf();
+    let cp_cdf = counts.cprecycle_cdf();
+    for n in (0..=24).step_by(4) {
+        let eval = |curve: &[(f64, f64)]| {
+            curve
+                .iter()
+                .take_while(|(x, _)| *x <= n as f64)
+                .last()
+                .map(|(_, y)| *y)
+                .unwrap_or(0.0)
+        };
+        println!(
+            "{n:>10} | {:>10.2} | {:>10.2}",
+            eval(&std_cdf),
+            eval(&cp_cdf)
+        );
+    }
+}

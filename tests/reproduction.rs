@@ -1,0 +1,146 @@
+//! Integration tests that exercise the figure drivers end to end at smoke scale and
+//! check the qualitative relationships the paper reports.
+
+use cprecycle_repro::scenarios::figures::{self, FigureScale};
+use cprecycle_repro::scenarios::interference::{AciScenario, CciScenario};
+use cprecycle_repro::scenarios::link::{
+    packet_success_rate, MonteCarloConfig, ReceiverKind, Scenario,
+};
+use cprecycle_repro::cprecycle::CpRecycleConfig;
+use cprecycle_repro::ofdmphy::convcode::CodeRate;
+use cprecycle_repro::ofdmphy::frame::Mcs;
+use cprecycle_repro::ofdmphy::modulation::Modulation;
+use cprecycle_repro::ofdmphy::params::OfdmParams;
+
+#[test]
+fn table1_reproduces_the_paper_rows() {
+    let t = figures::table1();
+    let table = t.to_table();
+    assert!(table.contains("Table 1"));
+    // 20 MHz → 64/16/0.8 µs; 160 MHz → 512/128/6.4 µs.
+    assert_eq!(t.series[0].y[0], 64.0);
+    assert_eq!(t.series[1].y[0], 16.0);
+    assert_eq!(t.series[1].y[3], 128.0);
+    assert!((t.series[3].y[3] - 6.4).abs() < 1e-9);
+}
+
+#[test]
+fn figure4_diagnostics_run_at_smoke_scale() {
+    let scale = FigureScale::smoke();
+    let a = figures::fig4a(&scale).unwrap();
+    assert_eq!(a.series.len(), 2);
+    let b = figures::fig4b(&scale).unwrap();
+    assert_eq!(b.series.len(), 3);
+    let c = figures::fig4c(&scale).unwrap();
+    assert_eq!(c.series[0].x.len(), 5);
+}
+
+#[test]
+fn oracle_dominates_standard_in_interference_power_terms() {
+    // The Fig. 4a relationship: per subcarrier, the oracle's chosen segment never sees
+    // more interference than the standard window, and on average sees clearly less.
+    let scale = FigureScale::smoke();
+    let r = figures::fig4a(&scale).unwrap();
+    let standard = &r.series[0].y;
+    let oracle = &r.series[1].y;
+    let mut advantage = 0.0;
+    for (s, o) in standard.iter().zip(oracle) {
+        assert!(*o <= *s + 1e-6, "oracle must not exceed standard: {o} vs {s}");
+        advantage += s - o;
+    }
+    assert!(advantage / standard.len() as f64 > 3.0, "mean oracle advantage too small");
+}
+
+#[test]
+fn cci_receiver_ordering_matches_the_paper() {
+    // At a co-channel operating point in the transition region, the ordering
+    // Standard ≤ CPRecycle must hold (Fig. 11's qualitative claim).
+    let params = OfdmParams::ieee80211ag();
+    let mcs = Mcs::new(Modulation::Qpsk, CodeRate::Half);
+    let receivers = vec![
+        ReceiverKind::Standard,
+        ReceiverKind::CpRecycle(CpRecycleConfig::default()),
+    ];
+    let config = MonteCarloConfig {
+        packets: 8,
+        payload_len: 80,
+        seed: 31,
+    };
+    let scenario = Scenario::Cci(CciScenario {
+        sir_db: 4.0,
+        ..Default::default()
+    });
+    let psr = packet_success_rate(&params, mcs, &scenario, &receivers, &config).unwrap();
+    assert!(
+        psr[1] >= psr[0],
+        "CPRecycle PSR {} must not be below the standard receiver's {}",
+        psr[1],
+        psr[0]
+    );
+}
+
+#[test]
+fn guard_band_helps_both_receivers_under_aci() {
+    // Fig. 5 / Fig. 10 monotonicity: a larger guard band can only help.
+    let params = OfdmParams::ieee80211ag();
+    let mcs = Mcs::new(Modulation::Qam16, CodeRate::Half);
+    let receivers = vec![ReceiverKind::Standard];
+    let config = MonteCarloConfig {
+        packets: 6,
+        payload_len: 80,
+        seed: 17,
+    };
+    let psr_at = |guard_mhz: f64| {
+        let scenario = Scenario::Aci(AciScenario {
+            sir_db: -20.0,
+            guard_band_hz: guard_mhz * 1e6,
+            channel_offset_hz: if guard_mhz < 0.0 { Some(15e6) } else { None },
+            ..Default::default()
+        });
+        packet_success_rate(&params, mcs, &scenario, &receivers, &config).unwrap()[0]
+    };
+    let overlapping = psr_at(-1.0); // overlapping channels (15 MHz offset)
+    let wide = psr_at(15.0);
+    assert!(
+        wide >= overlapping,
+        "a 15 MHz guard band ({wide}%) must not be worse than overlapping channels ({overlapping}%)"
+    );
+    assert!(wide >= 50.0, "with a 15 MHz guard band most packets should survive, got {wide}%");
+}
+
+#[test]
+fn more_segments_do_not_hurt_packet_success() {
+    // Fig. 14's qualitative claim: using more of the CP only helps (and saturates).
+    let params = OfdmParams::ieee80211ag();
+    let mcs = Mcs::new(Modulation::Qam16, CodeRate::Half);
+    let config = MonteCarloConfig {
+        packets: 6,
+        payload_len: 80,
+        seed: 23,
+    };
+    let scenario = Scenario::Aci(AciScenario {
+        sir_db: -12.0,
+        channel_offset_hz: Some(15e6),
+        ..Default::default()
+    });
+    let psr_with = |p: usize| {
+        let receivers = vec![ReceiverKind::CpRecycle(CpRecycleConfig::with_segments(p))];
+        packet_success_rate(&params, mcs, &scenario, &receivers, &config).unwrap()[0]
+    };
+    let one = psr_with(1);
+    let sixteen = psr_with(16);
+    assert!(
+        sixteen >= one,
+        "16 segments ({sixteen}%) must not be worse than 1 segment ({one}%)"
+    );
+}
+
+#[test]
+fn neighbor_cdf_shifts_left_with_cprecycle() {
+    let r = figures::fig13(&FigureScale::smoke());
+    let median = |s: &cprecycle_repro::scenarios::report::Series| {
+        let idx = s.y.iter().position(|v| *v >= 0.5).unwrap();
+        s.x[idx]
+    };
+    assert!(median(&r.series[1]) <= median(&r.series[0]));
+}
