@@ -3,10 +3,10 @@
 //! constellation order — the scaling the paper's §6 discusses and the justification for
 //! the fixed sphere.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cprecycle::interference_model::InterferenceModel;
 use cprecycle::segments::SymbolSegments;
 use cprecycle::{naive, CpRecycleConfig, FixedSphereMlDecoder};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ofdmphy::modulation::Modulation;
 use ofdmphy::ofdm::OfdmEngine;
 use ofdmphy::params::OfdmParams;
@@ -26,8 +26,13 @@ fn trained_model(engine: &OfdmEngine, bin: usize, num_segments: usize) -> Interf
         })
         .collect();
     let segments = SymbolSegments { values };
-    InterferenceModel::train(engine, &[segments], &[reference], CpRecycleConfig::default())
-        .expect("training on synthetic preamble succeeds")
+    InterferenceModel::train(
+        engine,
+        &[segments],
+        &[reference],
+        CpRecycleConfig::default(),
+    )
+    .expect("training on synthetic preamble succeeds")
 }
 
 fn bench_decoder(c: &mut Criterion) {

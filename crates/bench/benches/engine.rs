@@ -1,0 +1,90 @@
+//! Campaign-engine throughput: trials/sec of a real link campaign at 1, N/2 and N
+//! worker threads — the scaling baseline for future sharding/async/batching PRs.
+//!
+//! The workload is a small but genuine PHY grid (two ACI operating points × two
+//! receivers, short payloads) so the numbers track the real bottlenecks: FFTs, KDE
+//! training and the sphere decoder, not synthetic busywork.
+
+use cprecycle::CpRecycleConfig;
+use cprecycle_engine::{CampaignConfig, RunOptions};
+use cprecycle_scenarios::interference::AciScenario;
+use cprecycle_scenarios::link::{run_link_campaign, LinkPoint, ReceiverKind, Scenario};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ofdmphy::convcode::CodeRate;
+use ofdmphy::frame::Mcs;
+use ofdmphy::modulation::Modulation;
+
+fn bench_points() -> Vec<LinkPoint> {
+    let mcs = Mcs::new(Modulation::Qpsk, CodeRate::Half);
+    let receivers = vec![
+        ReceiverKind::Standard,
+        ReceiverKind::CpRecycle(CpRecycleConfig::default()),
+    ];
+    [-20.0, 0.0]
+        .iter()
+        .map(|sir| {
+            LinkPoint::new(
+                format!("SIR {sir} dB"),
+                mcs,
+                Scenario::Aci(AciScenario {
+                    sir_db: *sir,
+                    channel_offset_hz: Some(15e6),
+                    ..Default::default()
+                }),
+                receivers.clone(),
+            )
+            .payload(40)
+        })
+        .collect()
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let points = bench_points();
+    let trials = 4usize;
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut thread_counts = vec![1usize];
+    if cores / 2 > 1 {
+        thread_counts.push(cores / 2);
+    }
+    if cores > 1 {
+        thread_counts.push(cores);
+    }
+    thread_counts.dedup();
+
+    let mut group = c.benchmark_group("campaign_engine");
+    group.sample_size(3);
+    for threads in thread_counts {
+        group.bench_with_input(
+            BenchmarkId::new("link_grid", threads),
+            &threads,
+            |b, &threads| {
+                let config = CampaignConfig::new("engine-bench", 0xBE7C4)
+                    .trials(trials)
+                    .threads(threads);
+                b.iter(|| {
+                    let result =
+                        run_link_campaign(&config, &points, &RunOptions::default()).unwrap();
+                    assert_eq!(result.total_trials(), points.len() * trials);
+                    result
+                });
+            },
+        );
+        // trials/sec context line for the scaling baseline.
+        let config = CampaignConfig::new("engine-bench", 0xBE7C4)
+            .trials(trials)
+            .threads(threads);
+        let result = run_link_campaign(&config, &points, &RunOptions::default()).unwrap();
+        println!(
+            "campaign_engine/link_grid/{threads}: {:.1} trials/sec ({} trials in {:.3}s wall)",
+            result.total_trials() as f64 / result.total_elapsed_secs,
+            result.total_trials(),
+            result.total_elapsed_secs,
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

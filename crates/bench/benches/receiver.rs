@@ -2,8 +2,8 @@
 //! different segment counts — the computational-scalability claim of the paper's §6
 //! ("gracefully degrades to a standard OFDM receiver with one FFT segment").
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cprecycle::{CpRecycleConfig, CpRecycleReceiver};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ofdmphy::convcode::CodeRate;
 use ofdmphy::frame::{Mcs, Transmitter};
 use ofdmphy::modulation::Modulation;
@@ -25,7 +25,11 @@ fn bench_receiver(c: &mut Criterion) {
     group.sample_size(10);
     let standard = StandardReceiver::new(params.clone());
     group.bench_function("standard", |b| {
-        b.iter(|| standard.decode_frame(&frame.samples, 0, Some(info)).unwrap());
+        b.iter(|| {
+            standard
+                .decode_frame(&frame.samples, 0, Some(info))
+                .unwrap()
+        });
     });
     for p in [1usize, 4, 8, 16] {
         let rx = CpRecycleReceiver::new(params.clone(), CpRecycleConfig::with_segments(p));

@@ -15,9 +15,13 @@ fn bench_viterbi(c: &mut Criterion) {
     let decoder = ViterbiDecoder::new();
     for rate in [CodeRate::Half, CodeRate::TwoThirds, CodeRate::ThreeQuarters] {
         let coded = encode(&data, rate).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(rate.name()), &coded, |b, coded| {
-            b.iter(|| decoder.decode(coded, rate).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(rate.name()),
+            &coded,
+            |b, coded| {
+                b.iter(|| decoder.decode(coded, rate).unwrap());
+            },
+        );
     }
     group.finish();
 }

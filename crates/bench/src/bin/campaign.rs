@@ -1,0 +1,333 @@
+//! `campaign` — run, resume and inspect Monte-Carlo campaigns from the command line.
+//!
+//! ```text
+//! campaign list                         # named grids (the figure campaigns)
+//! campaign run fig8 --out fig8.json     # run with incremental checkpointing
+//! campaign run fig8 --smoke --trials 8  # coarse grid, 8 trials/point
+//! campaign resume fig8.json             # finish a half-done campaign
+//! campaign inspect fig8.json            # print the checkpoint as a report
+//! campaign replay fig8 3 17             # re-run trial 17 of grid point 3 alone
+//! ```
+//!
+//! `run` executes the named figure grid through `cprecycle-engine`, writing the
+//! checkpoint after every completed point, so a killed run loses at most one point of
+//! work. `resume` reloads the checkpoint, reruns only the missing points (the seed
+//! tree makes the result bit-identical to an uninterrupted run) and rewrites the file.
+
+use cprecycle_engine::{
+    load_campaign, report, save_campaign, CampaignConfig, CampaignPoint, RunOptions,
+};
+use cprecycle_scenarios::figures::{figure_grid, FigureScale, CAMPAIGN_FIGURES};
+use cprecycle_scenarios::link::{replay_link_trial, run_link_trial, LinkWorker};
+use std::path::PathBuf;
+use std::process::exit;
+
+struct Options {
+    smoke: bool,
+    json: bool,
+    trials: Option<usize>,
+    threads: Option<usize>,
+    seed: Option<u64>,
+    out: Option<PathBuf>,
+    positional: Vec<String>,
+}
+
+fn parse_args() -> Options {
+    let mut options = Options {
+        smoke: false,
+        json: false,
+        trials: None,
+        threads: None,
+        seed: None,
+        out: None,
+        positional: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} requires a value");
+                exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--smoke" => options.smoke = true,
+            "--json" => options.json = true,
+            "--trials" => options.trials = Some(parse_num(&take("--trials"))),
+            "--threads" => options.threads = Some(parse_num(&take("--threads"))),
+            "--seed" => options.seed = Some(parse_num(&take("--seed")) as u64),
+            "--out" => options.out = Some(PathBuf::from(take("--out"))),
+            "--help" | "-h" => {
+                usage();
+                exit(0);
+            }
+            other => options.positional.push(other.to_string()),
+        }
+    }
+    options
+}
+
+fn parse_num(text: &str) -> usize {
+    text.parse().unwrap_or_else(|_| {
+        eprintln!("invalid number `{text}`");
+        exit(2);
+    })
+}
+
+fn usage() {
+    eprintln!(
+        "usage: campaign <command> [options]\n\
+         \n\
+         commands:\n\
+         \x20 list                       list the named campaign grids\n\
+         \x20 run <grid>                 run a named grid through the engine\n\
+         \x20 resume <checkpoint.json>   finish an interrupted run (grid inferred from the name)\n\
+         \x20 inspect <checkpoint.json>  print a checkpoint as a report\n\
+         \x20 replay <grid> <point> <trial>  re-run one trial in isolation\n\
+         \n\
+         options:\n\
+         \x20 --smoke          coarse grid + small trial count (default: paper scale)\n\
+         \x20 --json           JSON output instead of a text table\n\
+         \x20 --trials N       trials per grid point (default: figure scale)\n\
+         \x20 --threads N      worker threads (default: all cores)\n\
+         \x20 --seed S         master seed (default: the figure seed)\n\
+         \x20 --out FILE       checkpoint file (default: campaign-<grid>.json for run)"
+    );
+}
+
+fn scale_for(options: &Options) -> FigureScale {
+    let mut scale = if options.smoke {
+        FigureScale::smoke()
+    } else {
+        FigureScale::full()
+    };
+    if let Some(seed) = options.seed {
+        scale.seed = seed;
+    }
+    if let Some(trials) = options.trials {
+        scale.packets = trials;
+    }
+    scale
+}
+
+fn config_for(name: &str, scale: &FigureScale, options: &Options) -> CampaignConfig {
+    scale.campaign(name).threads(options.threads.unwrap_or(0))
+}
+
+fn grid_or_exit(name: &str, scale: &FigureScale) -> Vec<cprecycle_scenarios::link::LinkPoint> {
+    figure_grid(name, scale).unwrap_or_else(|| {
+        eprintln!(
+            "unknown grid `{name}`; available: {}",
+            CAMPAIGN_FIGURES.join(", ")
+        );
+        exit(2);
+    })
+}
+
+fn emit(result: &cprecycle_engine::CampaignResult, json: bool) {
+    if json {
+        println!("{}", report::render_json(result));
+    } else {
+        print!("{}", report::render_text(result));
+    }
+}
+
+fn run_with_checkpoints(
+    name: &str,
+    options: &Options,
+    resume_from: Option<cprecycle_engine::CampaignResult>,
+    out: PathBuf,
+) {
+    let scale = scale_for(options);
+    let config = config_for(name, &scale, options);
+    let sink_path = out.clone();
+    let sink = move |snapshot: &cprecycle_engine::CampaignResult| {
+        if let Err(e) = save_campaign(snapshot, &sink_path) {
+            eprintln!("warning: checkpoint write failed: {e}");
+        }
+    };
+    let run_options = RunOptions {
+        resume_from: resume_from.as_ref(),
+        on_point_complete: Some(&sink),
+    };
+    // fig13 is a neighbor-survey campaign (trials = building realizations) rather than
+    // a packet-level link grid; every other name resolves through `figure_grid`.
+    let outcome = if name == "fig13" {
+        cprecycle_scenarios::neighbors::run_neighbor_campaign(
+            &config,
+            &cprecycle_scenarios::neighbors::BuildingModel::default(),
+            &run_options,
+        )
+    } else {
+        let points = grid_or_exit(name, &scale);
+        cprecycle_scenarios::link::run_link_campaign(&config, &points, &run_options)
+    };
+    match outcome {
+        Ok(result) => {
+            if let Err(e) = save_campaign(&result, &out) {
+                eprintln!("warning: final checkpoint write failed: {e}");
+            }
+            emit(&result, options.json);
+            eprintln!("checkpoint written to {}", out.display());
+        }
+        Err(e) => {
+            eprintln!("campaign failed: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn main() {
+    let options = parse_args();
+    let Some(command) = options.positional.first().cloned() else {
+        usage();
+        exit(2);
+    };
+    match command.as_str() {
+        "list" => {
+            println!("named campaign grids (run with `campaign run <name>`):");
+            let scale = scale_for(&options);
+            for name in CAMPAIGN_FIGURES {
+                let grid = figure_grid(name, &scale).expect("registered grid");
+                let arms: usize = grid.iter().map(|p| p.receivers.len()).sum();
+                println!(
+                    "  {name:<14} {:>3} points, {arms:>3} receiver arms, {} trials/point at this scale",
+                    grid.len(),
+                    scale.packets,
+                );
+            }
+            println!(
+                "  {:<14} {:>3} point,    2 receiver arms (trials = building realizations)",
+                "fig13", 1
+            );
+        }
+        "run" => {
+            let Some(name) = options.positional.get(1) else {
+                eprintln!("run requires a grid name");
+                exit(2);
+            };
+            let out = options
+                .out
+                .clone()
+                .unwrap_or_else(|| PathBuf::from(format!("campaign-{name}.json")));
+            run_with_checkpoints(name, &options, None, out);
+        }
+        "resume" => {
+            let Some(path) = options.positional.get(1) else {
+                eprintln!("resume requires a checkpoint path");
+                exit(2);
+            };
+            let path = PathBuf::from(path);
+            let prior = match load_campaign(&path) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("cannot load checkpoint: {e}");
+                    exit(1);
+                }
+            };
+            let name = prior.name.clone();
+            let done = prior.points.iter().filter(|p| p.complete).count();
+            eprintln!(
+                "resuming campaign `{name}`: {done}/{} points already complete",
+                prior.points.len()
+            );
+            // The checkpoint records the master seed and trial count it was produced
+            // with; reuse them so recorded points stay valid.
+            let mut options = options;
+            options.seed = Some(prior.master_seed);
+            options.trials = Some(prior.trials_per_point);
+            // The grid scale is not recorded in the checkpoint, and a scale mismatch
+            // means no point key matches — the run would silently recompute everything.
+            // Detect which scale the recorded keys came from and resume with it.
+            if !options.smoke && name != "fig13" {
+                let matches = |scale: &FigureScale| {
+                    let grid = grid_or_exit(&name, scale);
+                    prior
+                        .points
+                        .iter()
+                        .filter(|p| p.complete && grid.iter().any(|g| g.key() == p.key))
+                        .count()
+                };
+                let full_scale = scale_for(&options);
+                let mut smoke_scale = FigureScale::smoke();
+                smoke_scale.seed = full_scale.seed;
+                smoke_scale.packets = full_scale.packets;
+                if done > 0 && matches(&full_scale) == 0 && matches(&smoke_scale) > 0 {
+                    eprintln!(
+                        "note: recorded points match the --smoke grid, not the full grid; \
+                         resuming at smoke scale"
+                    );
+                    options.smoke = true;
+                }
+            }
+            run_with_checkpoints(&name, &options, Some(prior), path);
+        }
+        "inspect" => {
+            let Some(path) = options.positional.get(1) else {
+                eprintln!("inspect requires a checkpoint path");
+                exit(2);
+            };
+            match load_campaign(&PathBuf::from(path)) {
+                Ok(result) => emit(&result, options.json),
+                Err(e) => {
+                    eprintln!("cannot load checkpoint: {e}");
+                    exit(1);
+                }
+            }
+        }
+        "replay" => {
+            let (Some(name), Some(point_idx), Some(trial_idx)) = (
+                options.positional.get(1),
+                options.positional.get(2),
+                options.positional.get(3),
+            ) else {
+                eprintln!("replay requires: <grid> <point index> <trial index>");
+                exit(2);
+            };
+            let scale = scale_for(&options);
+            let points = grid_or_exit(name, &scale);
+            let point_idx = parse_num(point_idx);
+            let trial_idx = parse_num(trial_idx);
+            let Some(point) = points.get(point_idx) else {
+                eprintln!(
+                    "point index {point_idx} out of range (grid has {} points)",
+                    points.len()
+                );
+                exit(2);
+            };
+            println!(
+                "replaying trial {trial_idx} of point {point_idx}: {}",
+                point.label
+            );
+            println!("  key: {}", point.key());
+            match replay_link_trial(scale.seed, point, trial_idx) {
+                Ok(record) => {
+                    for (arm, outcome) in point.arm_labels().iter().zip(&record.arms) {
+                        println!(
+                            "  {arm:<24} success={} symbol_error_rate={:.4}",
+                            outcome.success, outcome.metric
+                        );
+                    }
+                    // Show the replay really is self-contained: a second execution from
+                    // the same seed tree agrees exactly.
+                    let mut worker = LinkWorker::new();
+                    let mut rng =
+                        cprecycle_engine::trial_rng(scale.seed, &point.key(), trial_idx as u64);
+                    let again = run_link_trial(&mut worker, point, &mut rng)
+                        .expect("replay is deterministic");
+                    assert_eq!(again, record);
+                    println!("  (verified: second replay is bit-identical)");
+                }
+                Err(e) => {
+                    eprintln!("replay failed: {e}");
+                    exit(1);
+                }
+            }
+        }
+        other => {
+            eprintln!("unknown command `{other}`");
+            usage();
+            exit(2);
+        }
+    }
+}

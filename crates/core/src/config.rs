@@ -84,10 +84,7 @@ mod tests {
         assert_eq!(c.num_segments, 16);
         assert!(c.data_driven_bandwidth);
         assert!(c.isi_free_samples.is_none());
-        assert_eq!(
-            c.bandwidth_selector(None),
-            BandwidthSelector::LeaveOneOut
-        );
+        assert_eq!(c.bandwidth_selector(None), BandwidthSelector::LeaveOneOut);
         assert_eq!(
             c.bandwidth_selector(Some(0.3)),
             BandwidthSelector::Fixed(0.3)

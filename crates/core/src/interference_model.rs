@@ -137,7 +137,9 @@ impl InterferenceModel {
                 // Per-axis selection honours whichever axis has a fixed bandwidth, then
                 // both axes are floored so a (nearly) interference-free preamble cannot
                 // collapse the density into an unusable spike.
-                let selector_a = self.config.bandwidth_selector(self.config.bandwidth_amplitude);
+                let selector_a = self
+                    .config
+                    .bandwidth_selector(self.config.bandwidth_amplitude);
                 let selector_p = self.config.bandwidth_selector(self.config.bandwidth_phase);
                 let a_samples: Vec<f64> = self.samples[bin].iter().map(|s| s.0).collect();
                 let p_samples: Vec<f64> = self.samples[bin].iter().map(|s| s.1).collect();
@@ -298,8 +300,8 @@ mod tests {
 
         // The interfered model must have learned larger amplitude deviations.
         let bin = e.params().data_bins()[5];
-        let clean_mean: f64 = clean.samples(bin).iter().map(|s| s.0).sum::<f64>()
-            / clean.samples(bin).len() as f64;
+        let clean_mean: f64 =
+            clean.samples(bin).iter().map(|s| s.0).sum::<f64>() / clean.samples(bin).len() as f64;
         let intf_mean: f64 = interfered.samples(bin).iter().map(|s| s.0).sum::<f64>()
             / interfered.samples(bin).len() as f64;
         assert!(
@@ -322,7 +324,7 @@ mod tests {
         let mut model = InterferenceModel::train(
             &e,
             &segs[..1],
-            &[reference.clone()],
+            std::slice::from_ref(&reference),
             CpRecycleConfig::default(),
         )
         .unwrap();
@@ -341,8 +343,13 @@ mod tests {
         let est = ChannelEstimate::identity(64);
         let segs = extract_segments(&e, &ltf[16..96], &est, 5).unwrap();
         // Mismatched reference count.
-        assert!(InterferenceModel::train(&e, &[segs.clone()], &[], CpRecycleConfig::default())
-            .is_err());
+        assert!(InterferenceModel::train(
+            &e,
+            std::slice::from_ref(&segs),
+            &[],
+            CpRecycleConfig::default()
+        )
+        .is_err());
         // Wrong reference length.
         assert!(InterferenceModel::train(
             &e,
@@ -374,8 +381,7 @@ mod tests {
             bandwidth_phase: Some(0.5),
             ..Default::default()
         };
-        let model =
-            InterferenceModel::train(&e, &[segs], &[reference], config).unwrap();
+        let model = InterferenceModel::train(&e, &[segs], &[reference], config).unwrap();
         let bin = e.params().data_bins()[3];
         let kde = model.kde(bin).unwrap();
         assert!((kde.bandwidth_amplitude() - 0.25).abs() < 1e-12);

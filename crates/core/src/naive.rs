@@ -93,7 +93,7 @@ mod tests {
         let obs = vec![
             Complex::new(1.02, 0.01),
             Complex::new(0.99, -0.02),
-            Complex::new(-2.1, 0.15),  // +1 plus an interference vector of amplitude ≈ 3.1
+            Complex::new(-2.1, 0.15), // +1 plus an interference vector of amplitude ≈ 3.1
             Complex::new(-2.05, -0.1),
             Complex::new(-2.12, 0.05),
         ];

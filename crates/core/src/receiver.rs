@@ -87,7 +87,7 @@ impl CpRecycleReceiver {
         let params = self.engine.params().clone();
         let sym_len = params.symbol_len();
         let preamble_len = preamble::preamble_len(&params);
-        let ltf_start = frame_start + 160;
+        let ltf_start = frame_start + preamble::ltf_start_offset(&params);
         let signal_start = frame_start + preamble_len;
         let data_start = signal_start + sym_len;
         if samples.len() < data_start + sym_len {
@@ -98,8 +98,7 @@ impl CpRecycleReceiver {
         }
 
         // --- Channel estimate and interference model from the LTF -------------------
-        let estimate =
-            ChannelEstimate::from_ltf(&self.engine, &samples[ltf_start..signal_start])?;
+        let estimate = ChannelEstimate::from_ltf(&self.engine, &samples[ltf_start..signal_start])?;
         let num_segments = self.effective_segments();
         let model = self.train_model(samples, ltf_start, &estimate, num_segments)?;
 
@@ -127,16 +126,18 @@ impl CpRecycleReceiver {
             });
         }
 
-        let decoder = FixedSphereMlDecoder::new(
-            info.mcs.modulation,
-            self.config.sphere_radius_min_distances,
-        );
+        let decoder =
+            FixedSphereMlDecoder::new(info.mcs.modulation, self.config.sphere_radius_min_distances);
         let data_bins = params.data_bins();
         let mut decided_symbols = Vec::with_capacity(num_symbols);
         for s in 0..num_symbols {
             let start = data_start + s * sym_len;
-            let segments =
-                extract_segments(&self.engine, &samples[start..start + sym_len], &estimate, num_segments)?;
+            let segments = extract_segments(
+                &self.engine,
+                &samples[start..start + sym_len],
+                &estimate,
+                num_segments,
+            )?;
             let per_bin: Vec<(usize, Vec<Complex>)> = data_bins
                 .iter()
                 .map(|&bin| (bin, segments.bin_observations(bin)))
@@ -359,12 +360,8 @@ mod tests {
             // Timing offsets spread over the interferer symbol period so both favourable
             // and unfavourable alignments are covered; small frequency offset models the
             // oscillator difference between distinct transmitters.
-            let spec = InterfererSpec::new(
-                intf_wave,
-                0.0017,
-                17.0 + (t as f64) * 13.0 + 0.37,
-                SIR_DB,
-            );
+            let spec =
+                InterfererSpec::new(intf_wave, 0.0017, 17.0 + (t as f64) * 13.0 + 0.37, SIR_DB);
             let combined = combine(&frame.samples, &[spec]).unwrap();
             let mut received = combined.composite;
             awgn.add_noise_snr(&mut rng, &mut received, 30.0).unwrap();
@@ -400,6 +397,35 @@ mod tests {
     }
 
     #[test]
+    fn clean_channel_roundtrip_on_non_ag_numerology() {
+        // Regression test for the hard-coded `ltf_start = frame_start + 160`: with a
+        // 128-point FFT the STF is 10 × 32 = 320 samples long, so a receiver that
+        // assumes the 802.11a/g offset trains its channel estimate and interference
+        // model on the wrong samples and cannot decode at all. The tone map keeps the
+        // a/g ±26 occupancy (the training sequences span ±26) so the rest of the frame
+        // pipeline is exercised unchanged.
+        let mut roles = vec![ofdmphy::params::SubcarrierRole::Null; 128];
+        for k in 1..=26usize {
+            roles[k] = ofdmphy::params::SubcarrierRole::Data;
+            roles[128 - k] = ofdmphy::params::SubcarrierRole::Data;
+        }
+        for k in [7usize, 21] {
+            roles[k] = ofdmphy::params::SubcarrierRole::Pilot;
+            roles[128 - k] = ofdmphy::params::SubcarrierRole::Pilot;
+        }
+        let params = OfdmParams::new(128, 32, 40e6, roles).unwrap();
+        assert_eq!(ofdmphy::preamble::ltf_start_offset(&params), 320);
+        let tx = Transmitter::new(params.clone());
+        let rx = CpRecycleReceiver::new(params, CpRecycleConfig::default());
+        let payload = random_payload(100, 9);
+        let mcs = Mcs::paper_set()[0];
+        let frame = tx.build_frame(&payload, mcs, 0x5D).unwrap();
+        let decoded = rx.decode_frame(&frame.samples, 0, None).unwrap();
+        assert!(decoded.crc_ok);
+        assert_eq!(decoded.payload.as_deref(), Some(&payload[..]));
+    }
+
+    #[test]
     fn single_segment_degrades_to_standard_behaviour() {
         let params = OfdmParams::ieee80211ag();
         let tx = Transmitter::new(params.clone());
@@ -416,9 +442,7 @@ mod tests {
     fn truncated_capture_is_an_error() {
         let (tx, rx, _) = setup();
         let payload = random_payload(60, 7);
-        let frame = tx
-            .build_frame(&payload, Mcs::paper_set()[0], 0x5D)
-            .unwrap();
+        let frame = tx.build_frame(&payload, Mcs::paper_set()[0], 0x5D).unwrap();
         assert!(rx.decode_frame(&frame.samples[..300], 0, None).is_err());
         assert!(rx.decode_frame(&frame.samples[..500], 0, None).is_err());
     }

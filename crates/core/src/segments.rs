@@ -207,8 +207,7 @@ mod tests {
         intf.extend(intf_b);
         let spec = InterfererSpec::new(intf, 0.3, 23.4, -10.0);
         let combined = combine(&time, &[spec]).unwrap();
-        let powers =
-            interference_power_per_segment(&e, &combined.interference[0], 17).unwrap();
+        let powers = interference_power_per_segment(&e, &combined.interference[0], 17).unwrap();
         assert_eq!(powers.len(), 17);
         // Look at one occupied bin near the band edge and check the spread across
         // segments is non-trivial.

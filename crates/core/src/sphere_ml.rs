@@ -249,16 +249,15 @@ mod tests {
         let model = InterferenceModel::new(64, CpRecycleConfig::default());
         let dec = FixedSphereMlDecoder::new(Modulation::Qam16, 1.0);
         let points = Modulation::Qam16.points();
-        let per_bin: Vec<(usize, Vec<Complex>)> = (0..8)
-            .map(|i| (i + 1, vec![points[i]; 3]))
-            .collect();
+        let per_bin: Vec<(usize, Vec<Complex>)> =
+            (0..8).map(|i| (i + 1, vec![points[i]; 3])).collect();
         let decided = dec.decode_symbol(&model, &per_bin);
         assert_eq!(decided.len(), 8);
         for (d, p) in decided.iter().zip(points.iter().take(8)) {
             assert!((*d - *p).norm() < 1e-12);
         }
         let mean_space = dec.mean_search_space(&per_bin);
-        assert!(mean_space >= 1.0 && mean_space < 16.0);
+        assert!((1.0..16.0).contains(&mean_space));
         assert_eq!(dec.mean_search_space(&[]), 0.0);
     }
 }

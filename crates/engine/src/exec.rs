@@ -1,0 +1,617 @@
+//! The parallel campaign executor.
+//!
+//! Work distribution: all `(point, trial)` pairs of the points that still need
+//! computing form one flat queue, claimed trial-by-trial through an atomic cursor.
+//! Dynamic claiming means an imbalanced grid (cheap clean-channel points next to
+//! expensive 64-QAM points) still keeps every worker busy until the queue drains —
+//! the work-stealing property that matters for campaign shapes, without per-thread
+//! deques.
+//!
+//! Determinism: a trial's RNG is derived from `(master seed, point key, trial index)`
+//! alone, and the reduction into [`ArmTally`]s walks recorded trials in index order.
+//! Scheduling therefore cannot influence any tallied value, so serial and parallel
+//! runs agree bit-for-bit; see `tests/determinism.rs` for the enforced contract.
+//!
+//! Worker-local state: each worker thread builds one `S` via the caller's factory and
+//! reuses it for every trial it claims. The experiment harness keeps constructed
+//! receivers and FFT plans there, so per-trial allocations happen once per worker
+//! rather than once per trial.
+
+use crate::seed::trial_rng;
+use crate::spec::{CampaignConfig, CampaignPoint};
+use crate::tally::{ArmTally, CampaignResult, PointResult, TrialRecord};
+use rand::rngs::StdRng;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Errors surfaced by the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A trial closure failed; the first failure in `(point, trial)` order is kept.
+    Trial {
+        /// Key of the failing point.
+        point_key: String,
+        /// Trial index within the point.
+        trial: usize,
+        /// Rendered error from the trial closure.
+        message: String,
+    },
+    /// Checkpoint I/O failed.
+    Io(
+        /// Rendered `std::io::Error`.
+        String,
+    ),
+    /// A checkpoint file could not be parsed or did not match the campaign.
+    Checkpoint(
+        /// What went wrong.
+        String,
+    ),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Trial {
+                point_key,
+                trial,
+                message,
+            } => write!(f, "trial {trial} of point `{point_key}` failed: {message}"),
+            EngineError::Io(e) => write!(f, "campaign I/O error: {e}"),
+            EngineError::Checkpoint(e) => write!(f, "campaign checkpoint error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Options of one engine run.
+#[derive(Default)]
+pub struct RunOptions<'a> {
+    /// A previously recorded result to resume from: points whose key matches a
+    /// complete recorded point (under the same master seed and trial count) are copied
+    /// instead of recomputed.
+    pub resume_from: Option<&'a CampaignResult>,
+    /// Called with a snapshot after every point completes; the `campaign` CLI uses it
+    /// to write the checkpoint file incrementally.
+    #[allow(clippy::type_complexity)]
+    pub on_point_complete: Option<&'a (dyn Fn(&CampaignResult) + Sync)>,
+}
+
+/// Per-point mutable state while a run is in flight.
+struct PointProgress {
+    /// Recorded trials, indexed by trial number; `None` until the trial lands.
+    records: Vec<Option<TrialRecord>>,
+    /// Number of landed trials.
+    done: usize,
+    /// Sum of individual trial durations.
+    elapsed_secs: f64,
+}
+
+struct Collector {
+    progress: Vec<PointProgress>,
+    /// Finished per-point results, keyed by point index.
+    finished: Vec<Option<PointResult>>,
+    /// First trial error in flat-index order.
+    first_error: Option<(usize, EngineError)>,
+}
+
+/// Runs a campaign: every point of `points` measured by
+/// [`CampaignConfig::trials_per_point`] trials of `trial`, in parallel over
+/// [`CampaignConfig::effective_threads`] workers.
+///
+/// `new_worker` builds one worker-local state per thread (receiver caches, FFT plans,
+/// scratch buffers); `trial` receives that state, the point, the point/trial indices
+/// and the trial's derived RNG, and returns one [`TrialRecord`] with an outcome per
+/// arm (in `point.arm_labels()` order).
+pub fn run_campaign<P, S, E, NW, T>(
+    config: &CampaignConfig,
+    points: &[P],
+    new_worker: NW,
+    trial: T,
+    options: &RunOptions<'_>,
+) -> Result<CampaignResult, EngineError>
+where
+    P: CampaignPoint,
+    E: fmt::Display,
+    NW: Fn() -> S + Sync,
+    T: Fn(&mut S, &P, usize, usize, &mut StdRng) -> Result<TrialRecord, E> + Sync,
+{
+    let start = Instant::now();
+    let trials = config.trials_per_point;
+
+    // Resolve which points can be copied from the resumed result.
+    let mut reused: Vec<Option<PointResult>> = points.iter().map(|_| None).collect();
+    if let Some(prior) = options.resume_from {
+        if prior.master_seed == config.master_seed && prior.trials_per_point == trials {
+            for (i, point) in points.iter().enumerate() {
+                if let Some(done) = prior.point(&point.key()) {
+                    if done.complete && done.trials == trials {
+                        reused[i] = Some(done.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    let pending: Vec<usize> = (0..points.len()).filter(|i| reused[*i].is_none()).collect();
+    let arm_labels: Vec<Vec<String>> = points.iter().map(|p| p.arm_labels()).collect();
+    let keys: Vec<String> = points.iter().map(|p| p.key()).collect();
+
+    let collector = Mutex::new(Collector {
+        progress: pending
+            .iter()
+            .map(|_| PointProgress {
+                records: (0..trials).map(|_| None).collect(),
+                done: 0,
+                elapsed_secs: 0.0,
+            })
+            .collect(),
+        finished: points.iter().map(|_| None).collect(),
+        first_error: None,
+    });
+
+    let cursor = AtomicUsize::new(0);
+    // Raised on the first trial error so workers stop claiming new work instead of
+    // burning the rest of a doomed campaign; in-flight trials still finish.
+    let abort = AtomicBool::new(false);
+    let total_work = pending.len() * trials;
+    let workers = config.effective_threads().min(total_work.max(1));
+
+    let assemble_snapshot = |collector: &Collector| -> CampaignResult {
+        let mut out: Vec<PointResult> = Vec::with_capacity(points.len());
+        for (i, key) in keys.iter().enumerate() {
+            if let Some(r) = &reused[i] {
+                out.push(r.clone());
+            } else if let Some(r) = &collector.finished[i] {
+                out.push(r.clone());
+            } else {
+                // Incomplete point: record its identity so inspect shows progress.
+                let pi = pending.iter().position(|p| *p == i).expect("pending point");
+                let progress = &collector.progress[pi];
+                out.push(PointResult {
+                    key: key.clone(),
+                    label: points[i].label(),
+                    complete: false,
+                    trials: progress.done,
+                    arms: arm_labels[i]
+                        .iter()
+                        .map(|l| ArmTally::empty(l.clone()))
+                        .collect(),
+                    elapsed_secs: progress.elapsed_secs,
+                });
+            }
+        }
+        CampaignResult {
+            name: config.name.clone(),
+            master_seed: config.master_seed,
+            trials_per_point: trials,
+            points: out,
+            total_elapsed_secs: start.elapsed().as_secs_f64(),
+            threads: workers,
+        }
+    };
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut state: Option<S> = None;
+                loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let flat = cursor.fetch_add(1, Ordering::Relaxed);
+                    if flat >= total_work {
+                        break;
+                    }
+                    let pending_idx = flat / trials;
+                    let trial_idx = flat % trials;
+                    let point_idx = pending[pending_idx];
+                    let point = &points[point_idx];
+                    let state = state.get_or_insert_with(&new_worker);
+                    let mut rng = trial_rng(config.master_seed, &keys[point_idx], trial_idx as u64);
+                    let trial_start = Instant::now();
+                    let outcome = trial(state, point, point_idx, trial_idx, &mut rng);
+                    let duration = trial_start.elapsed().as_secs_f64();
+
+                    let mut guard = collector.lock().expect("collector poisoned");
+                    match outcome {
+                        Ok(record) => {
+                            let progress = &mut guard.progress[pending_idx];
+                            progress.records[trial_idx] = Some(record);
+                            progress.done += 1;
+                            progress.elapsed_secs += duration;
+                            if progress.done == trials {
+                                let result = finalize_point(
+                                    &keys[point_idx],
+                                    points[point_idx].label(),
+                                    &arm_labels[point_idx],
+                                    &mut guard.progress[pending_idx],
+                                );
+                                guard.finished[point_idx] = Some(result);
+                                if let Some(sink) = options.on_point_complete {
+                                    let snapshot = assemble_snapshot(&guard);
+                                    drop(guard);
+                                    sink(&snapshot);
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            let err = EngineError::Trial {
+                                point_key: keys[point_idx].clone(),
+                                trial: trial_idx,
+                                message: e.to_string(),
+                            };
+                            match &guard.first_error {
+                                Some((at, _)) if *at <= flat => {}
+                                _ => guard.first_error = Some((flat, err)),
+                            }
+                            abort.store(true, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let guard = collector.into_inner().expect("collector poisoned");
+    if let Some((_, err)) = guard.first_error {
+        return Err(err);
+    }
+    Ok(assemble_snapshot(&guard))
+}
+
+/// Reduces a point's recorded trials — in trial-index order, for bit-stable floating
+/// point sums — into per-arm tallies.
+fn finalize_point(
+    key: &str,
+    label: String,
+    arm_labels: &[String],
+    progress: &mut PointProgress,
+) -> PointResult {
+    let mut arms: Vec<ArmTally> = arm_labels
+        .iter()
+        .map(|l| ArmTally::empty(l.clone()))
+        .collect();
+    let mut reduced = 0usize;
+    for record in progress.records.iter().flatten() {
+        assert_eq!(
+            record.arms.len(),
+            arms.len(),
+            "trial of point `{key}` returned {} arm outcomes, expected {}",
+            record.arms.len(),
+            arms.len()
+        );
+        for (tally, outcome) in arms.iter_mut().zip(&record.arms) {
+            tally.trials += 1;
+            if outcome.success {
+                tally.successes += 1;
+            }
+            tally.metric_sum += outcome.metric;
+            tally.samples.extend_from_slice(&outcome.samples);
+        }
+        reduced += 1;
+    }
+    // Free the per-trial records eagerly; long campaigns hold many points.
+    progress.records.clear();
+    progress.records.shrink_to_fit();
+    PointResult {
+        key: key.to_string(),
+        label,
+        complete: true,
+        trials: reduced,
+        arms,
+        elapsed_secs: progress.elapsed_secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tally::TrialOutcome;
+    use rand::Rng;
+
+    struct TestPoint {
+        name: String,
+        threshold: f64,
+    }
+
+    impl CampaignPoint for TestPoint {
+        fn key(&self) -> String {
+            format!("{}:thr={}", self.name, self.threshold)
+        }
+
+        fn arm_labels(&self) -> Vec<String> {
+            vec!["low".into(), "high".into()]
+        }
+    }
+
+    fn test_points() -> Vec<TestPoint> {
+        vec![
+            TestPoint {
+                name: "a".into(),
+                threshold: 0.3,
+            },
+            TestPoint {
+                name: "b".into(),
+                threshold: 0.6,
+            },
+            TestPoint {
+                name: "c".into(),
+                threshold: 0.9,
+            },
+        ]
+    }
+
+    fn test_trial(
+        calls: &mut usize,
+        point: &TestPoint,
+        _pi: usize,
+        _ti: usize,
+        rng: &mut StdRng,
+    ) -> Result<TrialRecord, String> {
+        *calls += 1;
+        let draw: f64 = rng.gen();
+        Ok(TrialRecord {
+            arms: vec![
+                TrialOutcome::new(draw < point.threshold, draw),
+                TrialOutcome {
+                    success: draw < point.threshold + 0.05,
+                    metric: draw * 0.5,
+                    samples: vec![(draw * 10.0).floor()],
+                },
+            ],
+        })
+    }
+
+    fn run(threads: usize, trials: usize) -> CampaignResult {
+        let config = CampaignConfig::new("exec-test", 0xDECAF)
+            .trials(trials)
+            .threads(threads);
+        run_campaign(
+            &config,
+            &test_points(),
+            || 0usize,
+            test_trial,
+            &RunOptions::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tallies_reflect_trial_outcomes() {
+        let result = run(1, 400);
+        assert_eq!(result.points.len(), 3);
+        for point in &result.points {
+            assert!(point.complete);
+            assert_eq!(point.trials, 400);
+            assert_eq!(point.arms.len(), 2);
+            assert_eq!(point.arms[1].samples.len(), 400);
+        }
+        // Success rates track the per-point thresholds (law of large numbers).
+        for (point, expected) in result.points.iter().zip([0.3, 0.6, 0.9]) {
+            let rate = point.arms[0].success_rate();
+            assert!(
+                (rate - expected).abs() < 0.08,
+                "{}: rate {rate} vs threshold {expected}",
+                point.key
+            );
+            // The second arm has a slightly looser threshold, so it can only do better.
+            assert!(point.arms[1].successes >= point.arms[0].successes);
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_bit_for_bit() {
+        let serial = run(1, 100);
+        for threads in [2, 4, 7] {
+            let parallel = run(threads, 100);
+            assert_eq!(
+                serial.deterministic_view(),
+                parallel.deterministic_view(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_trial_replay_matches_recorded_outcome() {
+        let result = run(4, 50);
+        let points = test_points();
+        // Replay trial 17 of point "b" in isolation and compare against the aggregate:
+        // re-running all trials of that point serially must reproduce the tally, and
+        // the replayed draw must match what the recorded tally implies.
+        let point = &points[1];
+        let mut rng = trial_rng(0xDECAF, &point.key(), 17);
+        let mut calls = 0usize;
+        let replayed = test_trial(&mut calls, point, 1, 17, &mut rng).unwrap();
+        // Reconstruct the same trial's contribution by rerunning the whole point.
+        let mut metric_sum = 0.0;
+        let mut successes = 0usize;
+        for t in 0..50usize {
+            let mut rng = trial_rng(0xDECAF, &point.key(), t as u64);
+            let record = test_trial(&mut calls, point, 1, t, &mut rng).unwrap();
+            if t == 17 {
+                assert_eq!(record, replayed, "replay must be bit-identical");
+            }
+            metric_sum += record.arms[0].metric;
+            if record.arms[0].success {
+                successes += 1;
+            }
+        }
+        let recorded = result.point(&point.key()).unwrap();
+        assert_eq!(recorded.arms[0].successes, successes);
+        assert_eq!(recorded.arms[0].metric_sum.to_bits(), metric_sum.to_bits());
+    }
+
+    #[test]
+    fn resume_skips_completed_points_and_runs_new_ones() {
+        let first = run(2, 60);
+        let mut points = test_points();
+        points.push(TestPoint {
+            name: "d".into(),
+            threshold: 0.5,
+        });
+        let config = CampaignConfig::new("exec-test", 0xDECAF)
+            .trials(60)
+            .threads(2);
+        let calls = std::sync::atomic::AtomicUsize::new(0);
+        let resumed = run_campaign(
+            &config,
+            &points,
+            || (),
+            |_, point, pi, ti, rng| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                let mut c = 0usize;
+                test_trial(&mut c, point, pi, ti, rng)
+            },
+            &RunOptions {
+                resume_from: Some(&first),
+                on_point_complete: None,
+            },
+        )
+        .unwrap();
+        // Only the new point was computed.
+        assert_eq!(calls.load(Ordering::Relaxed), 60);
+        assert_eq!(resumed.points.len(), 4);
+        for (a, b) in first.points.iter().zip(&resumed.points) {
+            assert_eq!(a, b, "reused points must be copied verbatim");
+        }
+        assert!(resumed.points[3].complete);
+    }
+
+    #[test]
+    fn resume_with_different_seed_recomputes_everything() {
+        let first = run(1, 20);
+        let config = CampaignConfig::new("exec-test", 999).trials(20).threads(1);
+        let calls = AtomicUsize::new(0);
+        let result = run_campaign(
+            &config,
+            &test_points(),
+            || (),
+            |_, point, pi, ti, rng| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                let mut c = 0usize;
+                test_trial(&mut c, point, pi, ti, rng)
+            },
+            &RunOptions {
+                resume_from: Some(&first),
+                on_point_complete: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(calls.load(Ordering::Relaxed), 60);
+        assert_eq!(result.master_seed, 999);
+    }
+
+    #[test]
+    fn first_error_in_flat_order_wins() {
+        let config = CampaignConfig::new("exec-test", 7).trials(10).threads(4);
+        let err = run_campaign(
+            &config,
+            &test_points(),
+            || (),
+            |_, point, _pi, ti, _rng| -> Result<TrialRecord, String> {
+                if point.name == "a" && ti >= 3 {
+                    Err(format!("boom at {ti}"))
+                } else if point.name == "b" {
+                    Err("later point".into())
+                } else {
+                    Ok(TrialRecord {
+                        arms: vec![TrialOutcome::new(true, 0.0), TrialOutcome::new(true, 0.0)],
+                    })
+                }
+            },
+            &RunOptions::default(),
+        )
+        .unwrap_err();
+        match err {
+            EngineError::Trial {
+                point_key, trial, ..
+            } => {
+                assert!(point_key.starts_with("a:"), "{point_key}");
+                assert_eq!(trial, 3);
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn workers_stop_claiming_after_the_first_error() {
+        // Serial execution: the first trial fails, so no further trial may even start.
+        let config = CampaignConfig::new("exec-test", 7).trials(10).threads(1);
+        let calls = AtomicUsize::new(0);
+        let err = run_campaign(
+            &config,
+            &test_points(),
+            || (),
+            |_, _point, _pi, _ti, _rng| -> Result<TrialRecord, String> {
+                calls.fetch_add(1, Ordering::Relaxed);
+                Err("always fails".into())
+            },
+            &RunOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::Trial { trial: 0, .. }));
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            1,
+            "the abort flag must stop the claim loop immediately"
+        );
+    }
+
+    #[test]
+    fn on_point_complete_fires_with_growing_snapshots() {
+        let seen = Mutex::new(Vec::new());
+        let config = CampaignConfig::new("exec-test", 3).trials(5).threads(2);
+        let sink = |snapshot: &CampaignResult| {
+            seen.lock()
+                .unwrap()
+                .push(snapshot.points.iter().filter(|p| p.complete).count());
+        };
+        run_campaign(
+            &config,
+            &test_points(),
+            || (),
+            |_, point, pi, ti, rng| {
+                let mut c = 0usize;
+                test_trial(&mut c, point, pi, ti, rng)
+            },
+            &RunOptions {
+                resume_from: None,
+                on_point_complete: Some(&sink),
+            },
+        )
+        .unwrap();
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), 3, "one snapshot per completed point");
+        assert_eq!(*seen.last().unwrap(), 3);
+    }
+
+    #[test]
+    fn worker_state_is_reused_across_trials() {
+        // With one thread, a single worker state must see every trial.
+        let config = CampaignConfig::new("exec-test", 5).trials(8).threads(1);
+        let result = run_campaign(
+            &config,
+            &test_points(),
+            Vec::<usize>::new,
+            |seen, _point, pi, ti, _rng| -> Result<TrialRecord, String> {
+                seen.push(pi * 100 + ti);
+                Ok(TrialRecord {
+                    arms: vec![
+                        TrialOutcome::new(true, seen.len() as f64),
+                        TrialOutcome::new(true, 0.0),
+                    ],
+                })
+            },
+            &RunOptions::default(),
+        )
+        .unwrap();
+        // The metric of the last trial of the last point equals the total number of
+        // trials executed by that single worker: 3 points × 8 trials.
+        let last = result.points.last().unwrap();
+        assert!((last.arms[0].metric_sum - (17..=24).sum::<usize>() as f64).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,160 @@
+//! Plain-text and JSON rendering of campaign results.
+
+use crate::tally::CampaignResult;
+use cpjson::ToJson;
+
+/// Renders a campaign result as an aligned text table: one row per grid point, one
+/// column per arm showing `success% [ci95lo, ci95hi]`.
+pub fn render_text(result: &CampaignResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# campaign `{}` — seed {:#x}, {} trials/point, {} thread(s), {:.2}s wall\n",
+        result.name,
+        result.master_seed,
+        result.trials_per_point,
+        result.threads,
+        result.total_elapsed_secs,
+    ));
+    let arm_labels: Vec<String> = result
+        .points
+        .iter()
+        .flat_map(|p| p.arms.iter().map(|a| a.label.clone()))
+        .fold(Vec::new(), |mut acc, l| {
+            if !acc.contains(&l) {
+                acc.push(l);
+            }
+            acc
+        });
+    let label_width = result
+        .points
+        .iter()
+        .map(|p| p.label.chars().count())
+        .chain(std::iter::once(5))
+        .max()
+        .unwrap_or(5)
+        .min(48);
+    out.push_str(&format!("{:>label_width$}", "point"));
+    for label in &arm_labels {
+        out.push_str(&format!(" | {label:>26}"));
+    }
+    out.push_str(" | status\n");
+    out.push_str(&"-".repeat(label_width + arm_labels.len() * 29 + 9));
+    out.push('\n');
+    for point in &result.points {
+        let mut label: String = point.label.clone();
+        if label.chars().count() > label_width {
+            label = label.chars().take(label_width - 1).collect::<String>() + "…";
+        }
+        out.push_str(&format!("{label:>label_width$}"));
+        for arm_label in &arm_labels {
+            match point.arms.iter().find(|a| &a.label == arm_label) {
+                Some(arm) if arm.trials > 0 => {
+                    let (lo, hi) = arm.wilson_ci95();
+                    out.push_str(&format!(
+                        " | {:>7.2}% [{:>5.1}, {:>5.1}]",
+                        arm.success_percent(),
+                        100.0 * lo,
+                        100.0 * hi
+                    ));
+                }
+                _ => out.push_str(&format!(" | {:>26}", "-")),
+            }
+        }
+        if point.complete {
+            out.push_str(&format!(" | done ({:.2}s)\n", point.elapsed_secs));
+        } else {
+            out.push_str(&format!(
+                " | {}/{} trials\n",
+                point.trials, result.trials_per_point
+            ));
+        }
+    }
+    let total = result.total_trials();
+    if result.total_elapsed_secs > 0.0 && total > 0 {
+        out.push_str(&format!(
+            "({} trials total, {:.1} trials/sec)\n",
+            total,
+            total as f64 / result.total_elapsed_secs
+        ));
+    }
+    out
+}
+
+/// Renders a campaign result as pretty JSON (the checkpoint format).
+pub fn render_json(result: &CampaignResult) -> String {
+    result.to_json().pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tally::{ArmTally, PointResult};
+
+    fn sample() -> CampaignResult {
+        CampaignResult {
+            name: "fig8".into(),
+            master_seed: 0xC0FFEE,
+            trials_per_point: 100,
+            points: vec![
+                PointResult {
+                    key: "sir=-20".into(),
+                    label: "SIR −20 dB".into(),
+                    complete: true,
+                    trials: 100,
+                    arms: vec![
+                        ArmTally {
+                            label: "Standard".into(),
+                            trials: 100,
+                            successes: 12,
+                            metric_sum: 30.0,
+                            samples: vec![],
+                        },
+                        ArmTally {
+                            label: "CPRecycle(P=16)".into(),
+                            trials: 100,
+                            successes: 84,
+                            metric_sum: 4.0,
+                            samples: vec![],
+                        },
+                    ],
+                    elapsed_secs: 2.0,
+                },
+                PointResult {
+                    key: "sir=0".into(),
+                    label: "SIR 0 dB".into(),
+                    complete: false,
+                    trials: 40,
+                    arms: vec![
+                        ArmTally::empty("Standard".into()),
+                        ArmTally::empty("CPRecycle(P=16)".into()),
+                    ],
+                    elapsed_secs: 0.8,
+                },
+            ],
+            total_elapsed_secs: 3.5,
+            threads: 4,
+        }
+    }
+
+    #[test]
+    fn text_report_contains_rates_cis_and_progress() {
+        let text = render_text(&sample());
+        assert!(text.contains("campaign `fig8`"));
+        assert!(text.contains("Standard"));
+        assert!(text.contains("CPRecycle(P=16)"));
+        assert!(text.contains("12.00%"));
+        assert!(text.contains("84.00%"));
+        assert!(text.contains("40/100 trials"));
+        assert!(text.contains("trials/sec"));
+    }
+
+    #[test]
+    fn json_report_is_valid_checkpoint_json() {
+        let json = render_json(&sample());
+        let value = cpjson::Value::parse(&json).unwrap();
+        assert_eq!(
+            value.field_as::<String>("format").unwrap(),
+            crate::tally::FORMAT
+        );
+    }
+}

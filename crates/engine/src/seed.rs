@@ -1,0 +1,89 @@
+//! The deterministic seed tree.
+//!
+//! A campaign's randomness is a pure function of `(master seed, point key, trial
+//! index)`. The point *key* — not its position in the grid — feeds the derivation, so
+//! appending, removing or reordering grid points never changes the random stream of
+//! the surviving points; that is what makes checkpoint/append workflows sound.
+//!
+//! Derivation: FNV-1a hashes the key string, then two rounds of the SplitMix64
+//! finalizer mix master seed, key hash and trial index into the child seed. SplitMix64
+//! is bijective and avalanching, so child seeds collide no more often than 64-bit
+//! random values.
+
+use rand::rngs::StdRng;
+use rand::{split_mix64, SeedableRng};
+
+/// FNV-1a hash of a point key.
+pub fn key_hash(key: &str) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for b in key.as_bytes() {
+        hash ^= *b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// Derives the child seed for one `(master, point key, trial)` triple.
+pub fn trial_seed(master_seed: u64, point_key: &str, trial: u64) -> u64 {
+    derive(master_seed, key_hash(point_key), trial)
+}
+
+fn derive(master_seed: u64, key_hash: u64, trial: u64) -> u64 {
+    let mut state = master_seed ^ key_hash.rotate_left(17);
+    let a = split_mix64(&mut state);
+    let mut state2 = a ^ trial.wrapping_mul(0x9E3779B97F4A7C15);
+    split_mix64(&mut state2)
+}
+
+/// Builds the replayable RNG of one trial. This is the only constructor the executor
+/// uses, so calling it with the same arguments reproduces a trial's randomness exactly.
+pub fn trial_rng(master_seed: u64, point_key: &str, trial: u64) -> StdRng {
+    StdRng::seed_from_u64(trial_seed(master_seed, point_key, trial))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn seeds_are_stable() {
+        assert_eq!(
+            trial_seed(1, "point-a", 0),
+            trial_seed(1, "point-a", 0),
+            "derivation must be a pure function"
+        );
+    }
+
+    #[test]
+    fn seeds_differ_across_axes() {
+        let base = trial_seed(1, "point-a", 0);
+        assert_ne!(base, trial_seed(2, "point-a", 0), "master seed axis");
+        assert_ne!(base, trial_seed(1, "point-b", 0), "point key axis");
+        assert_ne!(base, trial_seed(1, "point-a", 1), "trial axis");
+    }
+
+    #[test]
+    fn point_identity_is_positional_independent() {
+        // The same key yields the same stream no matter where the point sits in a grid —
+        // there is no positional input to the derivation at all.
+        let mut a = trial_rng(7, "sir=-20;mcs=qpsk12", 3);
+        let mut b = trial_rng(7, "sir=-20;mcs=qpsk12", 3);
+        for _ in 0..16 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn child_seeds_spread_over_trials() {
+        let mut seen = std::collections::HashSet::new();
+        for trial in 0..10_000u64 {
+            seen.insert(trial_seed(0xC0FFEE, "p", trial));
+        }
+        assert_eq!(
+            seen.len(),
+            10_000,
+            "no collisions over a realistic campaign"
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! Campaign description: engine-level configuration and the grid-point contract.
+
+/// Engine-level configuration of one campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignConfig {
+    /// Human-readable campaign name; recorded in checkpoints and reports.
+    pub name: String,
+    /// Master seed of the deterministic seed tree (see [`crate::seed`]).
+    pub master_seed: u64,
+    /// Monte-Carlo trials per grid point (the paper uses 2000 per operating point).
+    pub trials_per_point: usize,
+    /// Worker threads; `0` means `std::thread::available_parallelism()`.
+    pub threads: usize,
+}
+
+impl CampaignConfig {
+    /// A campaign with the given name and seed, defaulting to 100 trials per point and
+    /// auto-detected parallelism.
+    pub fn new(name: impl Into<String>, master_seed: u64) -> Self {
+        CampaignConfig {
+            name: name.into(),
+            master_seed,
+            trials_per_point: 100,
+            threads: 0,
+        }
+    }
+
+    /// Sets the trial count per point.
+    pub fn trials(mut self, trials_per_point: usize) -> Self {
+        self.trials_per_point = trials_per_point;
+        self
+    }
+
+    /// Sets the worker-thread count (`0` = auto).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The effective worker count after resolving `0` to the machine's parallelism.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// One operating point of a campaign grid.
+///
+/// The engine never inspects the point beyond this trait; the experiment harness
+/// defines concrete point types (scenario, receiver set, modulation, …) and the trial
+/// closure that interprets them.
+pub trait CampaignPoint: Sync {
+    /// Stable identity of the point: equal keys mean "the same experiment".
+    ///
+    /// The key feeds both the seed tree and checkpoint resume, so it must encode every
+    /// parameter that affects the trial's outcome distribution (scenario parameters,
+    /// modulation, receiver configuration, payload length, …). Position in the grid
+    /// must *not* be encoded, so grids can be appended to without invalidating
+    /// recorded points.
+    fn key(&self) -> String;
+
+    /// Display label for reports; defaults to the key.
+    fn label(&self) -> String {
+        self.key()
+    }
+
+    /// Labels of the point's *arms* — the receivers (or other alternatives) each trial
+    /// measures simultaneously on the same realization.
+    fn arm_labels(&self) -> Vec<String>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct P;
+
+    impl CampaignPoint for P {
+        fn key(&self) -> String {
+            "p".into()
+        }
+
+        fn arm_labels(&self) -> Vec<String> {
+            vec!["only".into()]
+        }
+    }
+
+    #[test]
+    fn config_builder_and_defaults() {
+        let c = CampaignConfig::new("fig8", 0xC0FFEE)
+            .trials(2000)
+            .threads(4);
+        assert_eq!(c.name, "fig8");
+        assert_eq!(c.trials_per_point, 2000);
+        assert_eq!(c.effective_threads(), 4);
+        let auto = CampaignConfig::new("x", 1);
+        assert!(auto.effective_threads() >= 1);
+    }
+
+    #[test]
+    fn default_label_is_key() {
+        assert_eq!(P.label(), "p");
+    }
+}

@@ -1,0 +1,395 @@
+//! Trial records and campaign aggregates.
+//!
+//! A trial produces one [`TrialOutcome`] per *arm* (receiver under test); the executor
+//! reduces them — always in trial-index order, so floating-point sums are bit-stable —
+//! into per-point [`ArmTally`]s and finally a [`CampaignResult`].
+
+use cpjson::{object, FromJson, JsonError, ToJson, Value};
+
+/// What one trial observed for one arm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialOutcome {
+    /// Whether the packet (or other unit of work) succeeded.
+    pub success: bool,
+    /// An auxiliary scalar metric (the harness uses the uncoded symbol error rate).
+    pub metric: f64,
+    /// Optional auxiliary sample stream (e.g. per-AP neighbor counts for CDF figures);
+    /// concatenated across trials in trial order.
+    pub samples: Vec<f64>,
+}
+
+impl TrialOutcome {
+    /// A plain success/failure outcome with a metric and no sample stream.
+    pub fn new(success: bool, metric: f64) -> Self {
+        TrialOutcome {
+            success,
+            metric,
+            samples: Vec::new(),
+        }
+    }
+}
+
+/// All arms' outcomes for one trial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialRecord {
+    /// One outcome per arm, in [`crate::CampaignPoint::arm_labels`] order.
+    pub arms: Vec<TrialOutcome>,
+}
+
+/// Aggregated outcomes of one arm at one grid point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArmTally {
+    /// Arm label (receiver name).
+    pub label: String,
+    /// Trials reduced into this tally.
+    pub trials: usize,
+    /// Successful trials.
+    pub successes: usize,
+    /// Sum of the auxiliary metric over trials, reduced in trial-index order.
+    pub metric_sum: f64,
+    /// Concatenated auxiliary samples, in trial-index order.
+    pub samples: Vec<f64>,
+}
+
+impl ArmTally {
+    /// An empty tally for `label`.
+    pub fn empty(label: String) -> Self {
+        ArmTally {
+            label,
+            trials: 0,
+            successes: 0,
+            metric_sum: 0.0,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Success rate in `[0, 1]`.
+    pub fn success_rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.trials as f64
+        }
+    }
+
+    /// Success rate in percent, as the paper plots it.
+    pub fn success_percent(&self) -> f64 {
+        100.0 * self.success_rate()
+    }
+
+    /// Mean auxiliary metric.
+    pub fn metric_mean(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.metric_sum / self.trials as f64
+        }
+    }
+
+    /// 95% Wilson score interval of the success rate, in `[0, 1]`.
+    pub fn wilson_ci95(&self) -> (f64, f64) {
+        if self.trials == 0 {
+            return (0.0, 1.0);
+        }
+        let n = self.trials as f64;
+        let p = self.success_rate();
+        let z = 1.959_963_984_540_054f64; // Φ⁻¹(0.975)
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let half = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt() / denom;
+        ((center - half).max(0.0), (center + half).min(1.0))
+    }
+}
+
+/// Aggregated result of one grid point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointResult {
+    /// The point's stable identity (see [`crate::CampaignPoint::key`]).
+    pub key: String,
+    /// Display label.
+    pub label: String,
+    /// Whether all configured trials have been reduced (resume reruns incomplete
+    /// points from scratch).
+    pub complete: bool,
+    /// Trials reduced into the tallies.
+    pub trials: usize,
+    /// Per-arm tallies.
+    pub arms: Vec<ArmTally>,
+    /// Sum of individual trial wall-clock durations in seconds. *Not* covered by the
+    /// determinism contract.
+    pub elapsed_secs: f64,
+}
+
+/// A full campaign result; doubles as the checkpoint format (see
+/// [`crate::checkpoint`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignResult {
+    /// Campaign name from [`crate::CampaignConfig::name`].
+    pub name: String,
+    /// Master seed the tallies were produced under.
+    pub master_seed: u64,
+    /// Configured trials per point.
+    pub trials_per_point: usize,
+    /// Per-point results, in grid order.
+    pub points: Vec<PointResult>,
+    /// Wall-clock duration of the producing run in seconds (excludes resumed points).
+    /// *Not* covered by the determinism contract.
+    pub total_elapsed_secs: f64,
+    /// Worker threads used by the producing run. *Not* covered by the determinism
+    /// contract.
+    pub threads: usize,
+}
+
+impl CampaignResult {
+    /// Looks up a point result by key.
+    pub fn point(&self, key: &str) -> Option<&PointResult> {
+        self.points.iter().find(|p| p.key == key)
+    }
+
+    /// Total trials executed across all points.
+    pub fn total_trials(&self) -> usize {
+        self.points.iter().map(|p| p.trials).sum()
+    }
+
+    /// The fields covered by the determinism contract (everything except timing and
+    /// thread count), for equality assertions in tests.
+    pub fn deterministic_view(&self) -> Vec<DeterministicPointView> {
+        self.points
+            .iter()
+            .map(|p| {
+                (
+                    p.key.clone(),
+                    p.complete,
+                    p.trials,
+                    p.arms
+                        .iter()
+                        .map(|a| {
+                            (
+                                a.label.clone(),
+                                a.trials,
+                                a.successes,
+                                a.metric_sum.to_bits(),
+                                a.samples.iter().map(|s| s.to_bits()).collect(),
+                            )
+                        })
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+}
+
+/// One arm of [`CampaignResult::deterministic_view`]: `(label, trials, successes,
+/// metric-sum bits, sample bits)` — floats as raw bits so "identical" means
+/// bit-identical.
+pub type DeterministicArmView = (String, usize, usize, u64, Vec<u64>);
+
+/// One point of [`CampaignResult::deterministic_view`]: `(key, complete, trials,
+/// arms)`.
+pub type DeterministicPointView = (String, bool, usize, Vec<DeterministicArmView>);
+
+// ---------------------------------------------------------------------------
+// JSON conversions (checkpoint format)
+// ---------------------------------------------------------------------------
+
+impl ToJson for ArmTally {
+    fn to_json(&self) -> Value {
+        let (lo, hi) = self.wilson_ci95();
+        object(vec![
+            ("label", self.label.to_json()),
+            ("trials", self.trials.to_json()),
+            ("successes", self.successes.to_json()),
+            ("success_percent", self.success_percent().to_json()),
+            ("ci95_percent", vec![100.0 * lo, 100.0 * hi].to_json()),
+            ("metric_sum", self.metric_sum.to_json()),
+            ("samples", self.samples.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ArmTally {
+    fn from_json(value: &Value) -> cpjson::Result<Self> {
+        Ok(ArmTally {
+            label: value.field_as("label")?,
+            trials: value.field_as("trials")?,
+            successes: value.field_as("successes")?,
+            metric_sum: value.field_as("metric_sum")?,
+            samples: value.field_as("samples")?,
+        })
+    }
+}
+
+impl ToJson for PointResult {
+    fn to_json(&self) -> Value {
+        object(vec![
+            ("key", self.key.to_json()),
+            ("label", self.label.to_json()),
+            ("complete", self.complete.to_json()),
+            ("trials", self.trials.to_json()),
+            ("elapsed_secs", self.elapsed_secs.to_json()),
+            ("arms", self.arms.to_json()),
+        ])
+    }
+}
+
+impl FromJson for PointResult {
+    fn from_json(value: &Value) -> cpjson::Result<Self> {
+        Ok(PointResult {
+            key: value.field_as("key")?,
+            label: value.field_as("label")?,
+            complete: value.field_as("complete")?,
+            trials: value.field_as("trials")?,
+            elapsed_secs: value.field_as("elapsed_secs")?,
+            arms: value.field_as("arms")?,
+        })
+    }
+}
+
+/// Version tag of the checkpoint format.
+pub const FORMAT: &str = "cprecycle-campaign/v1";
+
+impl ToJson for CampaignResult {
+    fn to_json(&self) -> Value {
+        object(vec![
+            ("format", FORMAT.to_json()),
+            ("name", self.name.to_json()),
+            ("master_seed", self.master_seed.to_json()),
+            ("trials_per_point", self.trials_per_point.to_json()),
+            ("total_elapsed_secs", self.total_elapsed_secs.to_json()),
+            ("threads", self.threads.to_json()),
+            ("points", self.points.to_json()),
+        ])
+    }
+}
+
+impl FromJson for CampaignResult {
+    fn from_json(value: &Value) -> cpjson::Result<Self> {
+        let format: String = value.field_as("format")?;
+        if format != FORMAT {
+            return Err(JsonError::Type {
+                expected: format!("checkpoint format {FORMAT}"),
+                found: format,
+            });
+        }
+        Ok(CampaignResult {
+            name: value.field_as("name")?,
+            master_seed: value.field_as("master_seed")?,
+            trials_per_point: value.field_as("trials_per_point")?,
+            points: value.field_as("points")?,
+            total_elapsed_secs: value.field_as("total_elapsed_secs")?,
+            threads: value.field_as("threads")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tally() -> ArmTally {
+        ArmTally {
+            label: "Standard".into(),
+            trials: 100,
+            successes: 88,
+            metric_sum: 1.75,
+            samples: vec![1.0, 2.0],
+        }
+    }
+
+    #[test]
+    fn rates_and_means() {
+        let t = sample_tally();
+        assert!((t.success_rate() - 0.88).abs() < 1e-12);
+        assert!((t.success_percent() - 88.0).abs() < 1e-12);
+        assert!((t.metric_mean() - 0.0175).abs() < 1e-12);
+        let empty = ArmTally::empty("x".into());
+        assert_eq!(empty.success_rate(), 0.0);
+        assert_eq!(empty.metric_mean(), 0.0);
+    }
+
+    #[test]
+    fn wilson_interval_brackets_the_estimate() {
+        let t = sample_tally();
+        let (lo, hi) = t.wilson_ci95();
+        assert!(lo < 0.88 && 0.88 < hi);
+        assert!(lo > 0.79 && hi < 0.94, "({lo}, {hi})");
+        // Degenerate cases stay inside [0, 1].
+        let all = ArmTally {
+            successes: 100,
+            ..sample_tally()
+        };
+        let (lo, hi) = all.wilson_ci95();
+        assert!(lo > 0.9 && hi <= 1.0);
+        let none = ArmTally {
+            successes: 0,
+            ..sample_tally()
+        };
+        let (lo, hi) = none.wilson_ci95();
+        assert!(lo < 1e-9 && hi < 0.1);
+    }
+
+    #[test]
+    fn campaign_result_json_roundtrip() {
+        let result = CampaignResult {
+            name: "fig8".into(),
+            master_seed: u64::MAX - 5,
+            trials_per_point: 100,
+            points: vec![PointResult {
+                key: "sir=-20".into(),
+                label: "SIR −20 dB".into(),
+                complete: true,
+                trials: 100,
+                arms: vec![sample_tally()],
+                elapsed_secs: 1.5,
+            }],
+            total_elapsed_secs: 2.0,
+            threads: 4,
+        };
+        let text = result.to_json().pretty();
+        let back = CampaignResult::from_json(&Value::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, result);
+    }
+
+    #[test]
+    fn format_mismatch_is_rejected() {
+        let mut v = CampaignResult {
+            name: "x".into(),
+            master_seed: 1,
+            trials_per_point: 1,
+            points: vec![],
+            total_elapsed_secs: 0.0,
+            threads: 1,
+        }
+        .to_json();
+        if let Value::Object(fields) = &mut v {
+            fields[0].1 = Value::Str("other/v9".into());
+        }
+        assert!(CampaignResult::from_json(&v).is_err());
+    }
+
+    #[test]
+    fn deterministic_view_ignores_timing() {
+        let mut a = CampaignResult {
+            name: "x".into(),
+            master_seed: 1,
+            trials_per_point: 1,
+            points: vec![],
+            total_elapsed_secs: 1.0,
+            threads: 1,
+        };
+        let mut b = a.clone();
+        b.total_elapsed_secs = 99.0;
+        b.threads = 16;
+        assert_eq!(a.deterministic_view(), b.deterministic_view());
+        a.points.push(PointResult {
+            key: "k".into(),
+            label: "k".into(),
+            complete: true,
+            trials: 1,
+            arms: vec![],
+            elapsed_secs: 0.5,
+        });
+        assert_ne!(a.deterministic_view(), b.deterministic_view());
+    }
+}

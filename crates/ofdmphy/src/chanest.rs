@@ -71,13 +71,7 @@ impl ChannelEstimate {
         Ok(bins
             .iter()
             .zip(&self.h)
-            .map(|(y, h)| {
-                if h.norm_sqr() < 1e-12 {
-                    *y
-                } else {
-                    *y / *h
-                }
-            })
+            .map(|(y, h)| if h.norm_sqr() < 1e-12 { *y } else { *y / *h })
             .collect())
     }
 
@@ -116,10 +110,10 @@ pub fn common_phase_correction(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::convcode::CodeRate;
     use crate::frame::{pilot_values, Mcs, Transmitter};
     use crate::modulation::Modulation;
     use crate::params::OfdmParams;
-    use crate::convcode::CodeRate;
     use rand::SeedableRng;
     use wirelesschan::multipath::{FadingKind, MultipathChannel, PowerDelayProfile};
 

@@ -81,7 +81,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(PhyError::invalid("mcs", "unknown").to_string().contains("mcs"));
+        assert!(PhyError::invalid("mcs", "unknown")
+            .to_string()
+            .contains("mcs"));
         assert!(PhyError::LengthMismatch {
             expected: 4,
             actual: 2
@@ -105,7 +107,9 @@ mod tests {
     #[test]
     fn source_only_for_wrapped_errors() {
         use std::error::Error;
-        assert!(PhyError::from(rfdsp::DspError::EmptyInput).source().is_some());
+        assert!(PhyError::from(rfdsp::DspError::EmptyInput)
+            .source()
+            .is_some());
         assert!(PhyError::DecodeFailure("x".into()).source().is_none());
     }
 }

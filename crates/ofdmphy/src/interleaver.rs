@@ -24,13 +24,13 @@ impl Interleaver {
     /// Creates the interleaver for `n_cbps` coded bits per symbol and `n_bpsc` coded
     /// bits per subcarrier (1, 2, 4, 6 or 8).
     pub fn new(n_cbps: usize, n_bpsc: usize) -> Result<Self> {
-        if n_bpsc == 0 || n_cbps == 0 || n_cbps % n_bpsc != 0 {
+        if n_bpsc == 0 || n_cbps == 0 || !n_cbps.is_multiple_of(n_bpsc) {
             return Err(PhyError::invalid(
                 "n_cbps",
                 "must be a positive multiple of n_bpsc",
             ));
         }
-        if n_cbps % 16 != 0 {
+        if !n_cbps.is_multiple_of(16) {
             return Err(PhyError::invalid(
                 "n_cbps",
                 "802.11 interleaver requires a multiple of 16 coded bits per symbol",
@@ -38,12 +38,12 @@ impl Interleaver {
         }
         let s = (n_bpsc / 2).max(1);
         let mut permutation = vec![0usize; n_cbps];
-        for k in 0..n_cbps {
+        for (k, slot) in permutation.iter_mut().enumerate() {
             // First permutation.
             let i = (n_cbps / 16) * (k % 16) + k / 16;
             // Second permutation.
             let j = s * (i / s) + (i + n_cbps - (16 * i) / n_cbps) % s;
-            permutation[k] = j;
+            *slot = j;
         }
         let mut inverse = vec![0usize; n_cbps];
         for (k, &j) in permutation.iter().enumerate() {
@@ -82,7 +82,7 @@ impl Interleaver {
     }
 
     fn stream(&self, bits: &[u8], forward: bool) -> Result<Vec<u8>> {
-        if bits.len() % self.n_cbps != 0 {
+        if !bits.len().is_multiple_of(self.n_cbps) {
             return Err(PhyError::invalid(
                 "bits",
                 format!(
@@ -201,7 +201,12 @@ mod tests {
         for k in 0..191 {
             let sc_a = il.permutation[k] / n_bpsc;
             let sc_b = il.permutation[k + 1] / n_bpsc;
-            assert_ne!(sc_a, sc_b, "adjacent coded bits {k},{} on same subcarrier", k + 1);
+            assert_ne!(
+                sc_a,
+                sc_b,
+                "adjacent coded bits {k},{} on same subcarrier",
+                k + 1
+            );
         }
     }
 

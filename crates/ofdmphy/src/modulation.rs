@@ -89,7 +89,7 @@ impl Modulation {
     /// a multiple of `bits_per_symbol`.
     pub fn map_bits(self, bits: &[u8]) -> Result<Vec<Complex>> {
         let n = self.bits_per_symbol();
-        if bits.len() % n != 0 {
+        if !bits.len().is_multiple_of(n) {
             return Err(PhyError::invalid(
                 "bits",
                 format!("length {} is not a multiple of {}", bits.len(), n),
@@ -254,12 +254,7 @@ mod tests {
         by_level.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         assert_eq!(by_level.len(), 4);
         for w in by_level.windows(2) {
-            let differing: usize = w[0]
-                .1
-                .iter()
-                .zip(&w[1].1)
-                .filter(|(a, b)| a != b)
-                .count();
+            let differing: usize = w[0].1.iter().zip(&w[1].1).filter(|(a, b)| a != b).count();
             assert_eq!(differing, 1, "adjacent Gray levels must differ in one bit");
         }
     }
@@ -268,8 +263,12 @@ mod tests {
     fn bpsk_points_are_real_plus_minus_one() {
         let pts = Modulation::Bpsk.points();
         assert_eq!(pts.len(), 2);
-        assert!(pts.iter().any(|p| (p.re - 1.0).abs() < 1e-12 && p.im.abs() < 1e-12));
-        assert!(pts.iter().any(|p| (p.re + 1.0).abs() < 1e-12 && p.im.abs() < 1e-12));
+        assert!(pts
+            .iter()
+            .any(|p| (p.re - 1.0).abs() < 1e-12 && p.im.abs() < 1e-12));
+        assert!(pts
+            .iter()
+            .any(|p| (p.re + 1.0).abs() < 1e-12 && p.im.abs() < 1e-12));
     }
 
     #[test]

@@ -109,7 +109,9 @@ impl OfdmEngine {
                 format!("must not exceed the cyclic prefix length {c}"),
             ));
         }
-        let mut bins = self.plan.fft(&symbol_samples[window_start..window_start + f]);
+        let mut bins = self
+            .plan
+            .fft(&symbol_samples[window_start..window_start + f]);
         // Starting the window `shift = cp_len − window_start` samples early is a cyclic
         // delay of the useful symbol by `shift`, i.e. a multiplication of bin k by
         // e^{−i2πk·shift/F}; undo it.
@@ -222,7 +224,9 @@ mod tests {
     #[test]
     fn assemble_length_validation() {
         let e = engine();
-        assert!(e.assemble_bins(&random_data_symbols(40, 2), &pilots()).is_err());
+        assert!(e
+            .assemble_bins(&random_data_symbols(40, 2), &pilots())
+            .is_err());
         assert!(e
             .assemble_bins(&random_data_symbols(48, 2), &[Complex::one(); 3])
             .is_err());
@@ -284,8 +288,8 @@ mod tests {
         let data = random_data_symbols(48, 6);
         let sym = e.modulate(&data, &pilots()).unwrap();
         let plan = FftPlan::new(64);
-        let w0 = plan.fft(&sym[0..64].to_vec());
-        let w16 = plan.fft(&sym[16..80].to_vec());
+        let w0 = plan.fft(&sym[0..64]);
+        let w16 = plan.fft(&sym[16..80]);
         let diff: f64 = (0..64).map(|k| (w0[k] - w16[k]).norm_sqr()).sum();
         assert!(diff > 1e-3);
     }
@@ -327,7 +331,7 @@ mod tests {
     #[test]
     fn extract_role_validates_length() {
         let e = engine();
-        assert!(e.extract_data(&vec![Complex::zero(); 10]).is_err());
-        assert!(e.extract_pilots(&vec![Complex::zero(); 10]).is_err());
+        assert!(e.extract_data(&[Complex::zero(); 10]).is_err());
+        assert!(e.extract_pilots(&[Complex::zero(); 10]).is_err());
     }
 }

@@ -61,8 +61,11 @@ impl OfdmParams {
                 actual: roles.len(),
             });
         }
-        if !roles.iter().any(|r| *r == SubcarrierRole::Data) {
-            return Err(PhyError::invalid("roles", "at least one data subcarrier required"));
+        if !roles.contains(&SubcarrierRole::Data) {
+            return Err(PhyError::invalid(
+                "roles",
+                "at least one data subcarrier required",
+            ));
         }
         Ok(OfdmParams {
             fft_size,
@@ -215,7 +218,9 @@ impl OfdmParams {
     }
 
     fn bins_with_role(&self, role: SubcarrierRole) -> Vec<usize> {
-        (0..self.fft_size).filter(|k| self.roles[*k] == role).collect()
+        (0..self.fft_size)
+            .filter(|k| self.roles[*k] == role)
+            .collect()
     }
 
     /// Fraction of the symbol duration consumed by the cyclic prefix (the overhead the

@@ -18,9 +18,11 @@ fn stf_sequence() -> Vec<Complex> {
     let m = Complex::new(-1.0, -1.0);
     let z = Complex::zero();
     let seq = vec![
-        z, z, p, z, z, z, m, z, z, z, p, z, z, z, m, z, z, z, m, z, z, z, p, z, z, z, // −26..−1
+        z, z, p, z, z, z, m, z, z, z, p, z, z, z, m, z, z, z, m, z, z, z, p, z, z,
+        z, // −26..−1
         z, // DC
-        z, z, z, m, z, z, z, m, z, z, z, p, z, z, z, p, z, z, z, p, z, z, z, p, z, z, // +1..+26
+        z, z, z, m, z, z, z, m, z, z, z, p, z, z, z, p, z, z, z, p, z, z, z, p, z,
+        z, // +1..+26
     ];
     let scale = (13.0f64 / 6.0).sqrt();
     seq.into_iter().map(|c| c.scale(scale)).collect()
@@ -30,8 +32,8 @@ fn stf_sequence() -> Vec<Complex> {
 /// DC = 0 in the middle). Values are ±1 (BPSK).
 pub fn ltf_sequence() -> Vec<Complex> {
     let vals: [f64; 53] = [
-        1.0, 1.0, -1.0, -1.0, 1.0, 1.0, -1.0, 1.0, -1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, -1.0,
-        -1.0, 1.0, 1.0, -1.0, 1.0, -1.0, 1.0, 1.0, 1.0, 1.0, // −26..−1
+        1.0, 1.0, -1.0, -1.0, 1.0, 1.0, -1.0, 1.0, -1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, -1.0, -1.0,
+        1.0, 1.0, -1.0, 1.0, -1.0, 1.0, 1.0, 1.0, 1.0, // −26..−1
         0.0, // DC
         1.0, -1.0, -1.0, 1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0, -1.0, -1.0, -1.0, -1.0, 1.0, 1.0,
         -1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, 1.0, 1.0, 1.0, // +1..+26
@@ -66,16 +68,44 @@ pub fn ltf_bins(params: &OfdmParams) -> Vec<Complex> {
     sequence_to_bins(&ltf_sequence(), params.fft_size)
 }
 
-/// Generates the 160-sample short training field (ten repetitions of the 16-sample
-/// short symbol) for 802.11a/g.
+/// Period in samples of the short training symbol: the STF sequence only occupies
+/// subcarriers at multiples of 4, so its IFFT repeats every `fft_size / 4` samples
+/// (16 samples for 802.11a/g).
+pub fn stf_period(params: &OfdmParams) -> usize {
+    params.fft_size / 4
+}
+
+/// Length in samples of the short training field: ten repetitions of the short symbol
+/// (160 samples for 802.11a/g, scaling with the FFT size for wider numerologies, e.g.
+/// 320 samples at 40 MHz / 128-point FFT as in 802.11n).
+pub fn stf_len(params: &OfdmParams) -> usize {
+    10 * stf_period(params)
+}
+
+/// Length in samples of the long training field: the double guard interval followed by
+/// two full long symbols (160 samples for 802.11a/g).
+pub fn ltf_len(params: &OfdmParams) -> usize {
+    2 * params.cp_len + 2 * params.fft_size
+}
+
+/// Offset of the LTF from the frame start (i.e. the STF length). Receivers must derive
+/// their channel-estimation window from this rather than hard-coding the 802.11a/g
+/// value of 160.
+pub fn ltf_start_offset(params: &OfdmParams) -> usize {
+    stf_len(params)
+}
+
+/// Generates the short training field: ten repetitions of the `fft_size / 4`-sample
+/// short symbol (160 samples of 16-sample symbols for 802.11a/g).
 pub fn generate_stf(params: &OfdmParams) -> Vec<Complex> {
     let bins = sequence_to_bins(&stf_sequence(), params.fft_size);
     let plan = FftPlan::new(params.fft_size);
     let time = plan.ifft(&bins);
-    // The 64-sample IFFT of the STF sequence is periodic with period 16; the STF is 160
-    // samples long (2.5 repetitions of the 64-sample block).
-    let mut out = Vec::with_capacity(160);
-    for i in 0..160 {
+    // The IFFT of the STF sequence is periodic with period fft_size/4; the STF is 2.5
+    // repetitions of the full block = 10 short symbols.
+    let n = stf_len(params);
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
         out.push(time[i % params.fft_size]);
     }
     out
@@ -99,7 +129,7 @@ pub fn generate_ltf(params: &OfdmParams) -> Vec<Complex> {
 
 /// Total preamble length in samples (STF + LTF) for the given numerology.
 pub fn preamble_len(params: &OfdmParams) -> usize {
-    160 + 2 * params.cp_len + 2 * params.fft_size
+    stf_len(params) + ltf_len(params)
 }
 
 /// Generates the full 802.11a/g preamble (STF followed by LTF).
@@ -143,14 +173,14 @@ mod tests {
         let bins = sequence_to_bins(&ltf, 64);
         assert_eq!(bins.len(), 64);
         assert_eq!(bins[0], Complex::zero()); // DC
-        // Subcarrier +1 is the entry right of DC (index 27), subcarrier −1 is index 25.
+                                              // Subcarrier +1 is the entry right of DC (index 27), subcarrier −1 is index 25.
         assert_eq!(bins[1], ltf[27]);
         assert_eq!(bins[63], ltf[25]);
         assert_eq!(bins[26], ltf[52]);
         assert_eq!(bins[64 - 26], ltf[0]);
         // Guard bins are empty.
-        for k in 27..=37 {
-            assert_eq!(bins[k], Complex::zero());
+        for bin in bins.iter().take(38).skip(27) {
+            assert_eq!(*bin, Complex::zero());
         }
     }
 
@@ -187,7 +217,7 @@ mod tests {
         let p = params();
         let ltf = generate_ltf(&p);
         let plan = FftPlan::new(p.fft_size);
-        let sym = plan.fft(&ltf[32..96].to_vec());
+        let sym = plan.fft(&ltf[32..96]);
         let expected = ltf_bins(&p);
         for k in 0..64 {
             assert!((sym[k] - expected[k]).norm() < 1e-9, "bin {k}");
@@ -202,6 +232,37 @@ mod tests {
         assert_eq!(pre.len(), 320);
         assert_eq!(&pre[..160], &generate_stf(&p)[..]);
         assert_eq!(&pre[160..], &generate_ltf(&p)[..]);
+    }
+
+    #[test]
+    fn preamble_layout_scales_with_the_numerology() {
+        // The satellite fix for non-802.11a/g numerologies: STF/LTF offsets must be
+        // derived, never the hard-coded 160/320 of the 20 MHz numerology.
+        let ag = OfdmParams::ieee80211ag();
+        assert_eq!(stf_len(&ag), 160);
+        assert_eq!(ltf_len(&ag), 160);
+        assert_eq!(ltf_start_offset(&ag), 160);
+        for p in [
+            OfdmParams::ieee80211n_40mhz(false),
+            OfdmParams::ieee80211ac_80mhz(false),
+        ] {
+            let stf = generate_stf(&p);
+            let ltf = generate_ltf(&p);
+            assert_eq!(stf.len(), stf_len(&p));
+            assert_eq!(ltf.len(), ltf_len(&p));
+            assert_eq!(stf.len() + ltf.len(), preamble_len(&p));
+            assert_eq!(ltf_start_offset(&p), stf.len());
+            // The STF stays periodic with fft/4 at every numerology.
+            let period = stf_period(&p);
+            for t in 0..stf.len() - period {
+                assert!((stf[t] - stf[t + period]).norm() < 1e-9);
+            }
+            // The two long symbols remain identical.
+            let gi2 = 2 * p.cp_len;
+            for t in 0..p.fft_size {
+                assert!((ltf[gi2 + t] - ltf[gi2 + p.fft_size + t]).norm() < 1e-9);
+            }
+        }
     }
 
     #[test]

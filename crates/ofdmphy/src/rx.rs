@@ -12,9 +12,7 @@
 use crate::chanest::{common_phase_correction, ChannelEstimate};
 use crate::convcode::CodeRate;
 use crate::crc;
-use crate::frame::{
-    parse_signal_bits, pilot_polarity_sequence, Mcs, SERVICE_BITS, TAIL_BITS,
-};
+use crate::frame::{parse_signal_bits, pilot_polarity_sequence, Mcs, SERVICE_BITS, TAIL_BITS};
 use crate::interleaver::Interleaver;
 use crate::modulation::Modulation;
 use crate::ofdm::OfdmEngine;
@@ -87,7 +85,7 @@ impl StandardReceiver {
         let params = self.engine.params();
         let preamble_len = preamble::preamble_len(params);
         let sym_len = params.symbol_len();
-        let ltf_start = frame_start + 160;
+        let ltf_start = frame_start + preamble::ltf_start_offset(params);
         let signal_start = frame_start + preamble_len;
         let data_start = signal_start + sym_len;
         if samples.len() < data_start + sym_len {
@@ -104,7 +102,9 @@ impl StandardReceiver {
         // Frame metadata.
         let info = match info {
             Some(i) => i,
-            None => self.decode_signal(&samples[signal_start..signal_start + sym_len], &estimate)?,
+            None => {
+                self.decode_signal(&samples[signal_start..signal_start + sym_len], &estimate)?
+            }
         };
 
         // DATA symbols.
@@ -215,7 +215,8 @@ pub fn decode_psdu_from_symbols(
     // Descramble: recover the transmitter's scrambler state from the 7 known-zero
     // SERVICE bits, then descramble the whole DATA field.
     let mut descrambled = decoded.clone();
-    if let Some(mut scrambler) = Scrambler::state_from_service_bits(&decoded[..7.min(decoded.len())])
+    if let Some(mut scrambler) =
+        Scrambler::state_from_service_bits(&decoded[..7.min(decoded.len())])
     {
         scrambler.scramble_in_place(&mut descrambled);
     }
@@ -281,7 +282,12 @@ mod tests {
             let frame = tx.build_frame(&payload, mcs, 0x5D).unwrap();
             let decoded = rx.decode_frame(&frame.samples, 0, None).unwrap();
             assert!(decoded.crc_ok, "{}", mcs.label());
-            assert_eq!(decoded.payload.as_deref(), Some(&payload[..]), "{}", mcs.label());
+            assert_eq!(
+                decoded.payload.as_deref(),
+                Some(&payload[..]),
+                "{}",
+                mcs.label()
+            );
             assert_eq!(decoded.info.mcs, mcs);
             assert_eq!(decoded.info.psdu_len, payload.len() + 4);
         }

@@ -53,11 +53,12 @@ impl Synchronizer {
     /// Returns `Ok(None)` when no region of the capture exceeds the detection
     /// threshold (no packet present).
     pub fn detect(&self, samples: &[Complex]) -> Result<Option<SyncResult>> {
-        let period = 16usize;
-        let window = 48usize; // correlation accumulation window
-        if samples.len() < 320 + self.params.symbol_len() {
+        let period = preamble::stf_period(&self.params);
+        let window = 3 * period; // correlation accumulation window
+        let preamble_len = preamble::preamble_len(&self.params);
+        if samples.len() < preamble_len + self.params.symbol_len() {
             return Err(PhyError::InsufficientSamples {
-                needed: 320 + self.params.symbol_len(),
+                needed: preamble_len + self.params.symbol_len(),
                 available: samples.len(),
             });
         }
@@ -74,15 +75,23 @@ impl Synchronizer {
         }
         let limit = samples.len() - window - period - 1;
         let mut metrics = vec![0.0f64; limit + 1];
-        metrics[0] = if energy > 1e-18 { acc.norm() / energy } else { 0.0 };
-        for start in 1..=limit {
+        metrics[0] = if energy > 1e-18 {
+            acc.norm() / energy
+        } else {
+            0.0
+        };
+        for (start, metric) in metrics.iter_mut().enumerate().take(limit + 1).skip(1) {
             let drop = start - 1;
             acc -= samples[drop + period] * samples[drop].conj();
             energy -= samples[drop + period].norm_sqr();
             let add = start + window - 1;
             acc += samples[add + period] * samples[add].conj();
             energy += samples[add + period].norm_sqr();
-            metrics[start] = if energy > 1e-18 { acc.norm() / energy } else { 0.0 };
+            *metric = if energy > 1e-18 {
+                acc.norm() / energy
+            } else {
+                0.0
+            };
         }
         // Find the beginning of the first sustained plateau above the threshold: the
         // STF makes the metric sit near 1 for ~100 consecutive samples, so requiring a
@@ -108,7 +117,7 @@ impl Synchronizer {
 
         // Coarse CFO from the STF autocorrelation phase at the detected position.
         let mut acc = Complex::zero();
-        for t in coarse..coarse + 96 {
+        for t in coarse..coarse + 6 * period {
             if t + period >= samples.len() {
                 break;
             }
@@ -118,10 +127,10 @@ impl Synchronizer {
             acc.arg() / (2.0 * std::f64::consts::PI * period as f64) * self.params.sample_rate_hz;
 
         // Fine timing: cross-correlate with the known LTF symbol around the expected
-        // position (coarse + 160 + GI2).
+        // position (coarse + STF + GI2).
         let gi2 = 2 * self.params.cp_len;
         let f = self.params.fft_size;
-        let expected_ltf = coarse + 160 + gi2;
+        let expected_ltf = coarse + preamble::stf_len(&self.params) + gi2;
         let search_lo = expected_ltf.saturating_sub(24);
         let search_hi = (expected_ltf + 24).min(samples.len().saturating_sub(2 * f));
         let mut best_corr = 0.0;
@@ -136,7 +145,7 @@ impl Synchronizer {
                 best_pos = pos;
             }
         }
-        let frame_start = best_pos.saturating_sub(160 + gi2);
+        let frame_start = best_pos.saturating_sub(preamble::stf_len(&self.params) + gi2);
 
         // Fine CFO from the two identical LTF symbols (64 samples apart).
         let mut acc = Complex::zero();
@@ -152,9 +161,13 @@ impl Synchronizer {
         };
         // The fine estimate is unambiguous only within ±(fs/2F); combine: coarse gives
         // the integer part, fine refines it.
-        let cfo_hz = if fine_cfo.abs() > 0.0 { fine_cfo + ((coarse_cfo - fine_cfo)
-            / (self.params.sample_rate_hz / f as f64)).round()
-            * (self.params.sample_rate_hz / f as f64) } else { coarse_cfo };
+        let cfo_hz = if fine_cfo.abs() > 0.0 {
+            fine_cfo
+                + ((coarse_cfo - fine_cfo) / (self.params.sample_rate_hz / f as f64)).round()
+                    * (self.params.sample_rate_hz / f as f64)
+        } else {
+            coarse_cfo
+        };
 
         Ok(Some(SyncResult {
             frame_start,
@@ -168,7 +181,7 @@ impl Synchronizer {
     pub fn correct_cfo(&self, samples: &mut [Complex], cfo_hz: f64) {
         let step = -2.0 * std::f64::consts::PI * cfo_hz / self.params.sample_rate_hz;
         for (t, s) in samples.iter_mut().enumerate() {
-            *s = *s * Complex::cis(step * t as f64);
+            *s *= Complex::cis(step * t as f64);
         }
     }
 }
@@ -199,7 +212,8 @@ mod tests {
         capture.extend(body);
         capture.extend(g.complex_vector(&mut rng, 200, noise_var));
         let mut chan = AwgnChannel::new();
-        chan.add_noise_variance(&mut rng, &mut capture, noise_var).unwrap();
+        chan.add_noise_variance(&mut rng, &mut capture, noise_var)
+            .unwrap();
         (capture, pad)
     }
 

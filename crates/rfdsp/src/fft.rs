@@ -40,7 +40,10 @@ impl FftPlan {
     ///
     /// Panics if `n` is zero or not a power of two. Use [`dft`] for arbitrary lengths.
     pub fn new(n: usize) -> Self {
-        assert!(n > 0 && n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+        assert!(
+            n > 0 && n.is_power_of_two(),
+            "FFT length must be a power of two, got {n}"
+        );
         let half = n / 2;
         let mut twiddles_fwd = Vec::with_capacity(half.max(1));
         let mut twiddles_inv = Vec::with_capacity(half.max(1));
@@ -234,10 +237,7 @@ mod tests {
     fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(b) {
-            assert!(
-                (*x - *y).norm() < tol,
-                "mismatch: {x} vs {y} (tol {tol})"
-            );
+            assert!((*x - *y).norm() < tol, "mismatch: {x} vs {y} (tol {tol})");
         }
     }
 
@@ -259,7 +259,9 @@ mod tests {
         let plan = FftPlan::new(n);
         for bin in [0usize, 1, 5, 31, 32, 63] {
             let x: Vec<Complex> = (0..n)
-                .map(|t| Complex::cis(2.0 * std::f64::consts::PI * bin as f64 * t as f64 / n as f64))
+                .map(|t| {
+                    Complex::cis(2.0 * std::f64::consts::PI * bin as f64 * t as f64 / n as f64)
+                })
                 .collect();
             let spec = plan.fft(&x);
             for (k, s) in spec.iter().enumerate() {
@@ -302,7 +304,9 @@ mod tests {
     #[test]
     fn dft_idft_roundtrip_non_power_of_two() {
         let n = 12;
-        let x: Vec<Complex> = (0..n).map(|t| Complex::new(t as f64, -(t as f64) / 3.0)).collect();
+        let x: Vec<Complex> = (0..n)
+            .map(|t| Complex::new(t as f64, -(t as f64) / 3.0))
+            .collect();
         let y = idft(&dft(&x));
         assert_close(&x, &y, 1e-9);
     }
@@ -352,7 +356,8 @@ mod tests {
         let fx = plan.fft(&x);
         let fs = plan.fft(&shifted);
         for k in 0..n {
-            let expected = fx[k] * Complex::cis(2.0 * std::f64::consts::PI * (k * shift) as f64 / n as f64);
+            let expected =
+                fx[k] * Complex::cis(2.0 * std::f64::consts::PI * (k * shift) as f64 / n as f64);
             assert!((fs[k] - expected).norm() < 1e-9);
         }
     }
@@ -363,11 +368,17 @@ mod tests {
         let mut buf = vec![Complex::zero(); 4];
         assert_eq!(
             plan.fft_in_place(&mut buf),
-            Err(DspError::LengthMismatch { expected: 8, actual: 4 })
+            Err(DspError::LengthMismatch {
+                expected: 8,
+                actual: 4
+            })
         );
         assert_eq!(
             plan.ifft_in_place(&mut buf),
-            Err(DspError::LengthMismatch { expected: 8, actual: 4 })
+            Err(DspError::LengthMismatch {
+                expected: 8,
+                actual: 4
+            })
         );
     }
 

@@ -37,7 +37,10 @@ impl FirFilter {
             return Err(DspError::invalid("num_taps", "must be at least 1"));
         }
         if !(0.0 < cutoff && cutoff < 0.5) {
-            return Err(DspError::invalid("cutoff", "must lie in (0, 0.5) cycles/sample"));
+            return Err(DspError::invalid(
+                "cutoff",
+                "must lie in (0, 0.5) cycles/sample",
+            ));
         }
         if win.len() != num_taps {
             return Err(DspError::LengthMismatch {
@@ -222,7 +225,10 @@ mod tests {
         let near = |target: f64| {
             resp.iter()
                 .min_by(|a, b| {
-                    (a.0 - target).abs().partial_cmp(&(b.0 - target).abs()).unwrap()
+                    (a.0 - target)
+                        .abs()
+                        .partial_cmp(&(b.0 - target).abs())
+                        .unwrap()
                 })
                 .unwrap()
                 .1

@@ -219,7 +219,10 @@ impl ProductKde2d {
             return Err(DspError::EmptyInput);
         }
         if bw_a <= 0.0 || bw_p <= 0.0 {
-            return Err(DspError::invalid("bandwidth", "bandwidths must be positive"));
+            return Err(DspError::invalid(
+                "bandwidth",
+                "bandwidths must be positive",
+            ));
         }
         Ok(ProductKde2d {
             samples: samples.to_vec(),
@@ -267,7 +270,11 @@ impl ProductKde2d {
     /// Merges additional samples into the estimate and reselects bandwidths with the
     /// given strategy — used when a new preamble arrives (paper §4.3: "probability
     /// density functions are constantly updated when subsequent preambles are received").
-    pub fn update(&mut self, new_samples: &[(f64, f64)], selector: BandwidthSelector) -> Result<()> {
+    pub fn update(
+        &mut self,
+        new_samples: &[(f64, f64)],
+        selector: BandwidthSelector,
+    ) -> Result<()> {
         if new_samples.is_empty() {
             return Ok(());
         }
@@ -348,7 +355,10 @@ mod tests {
         let xs = vec![0.9, 1.0, 1.05, 1.1, 0.95, 1.02, 5.0];
         let kde = KernelDensity1d::new(&xs, BandwidthSelector::Silverman).unwrap();
         assert!(kde.eval(1.0) > kde.eval(3.0));
-        assert!(kde.eval(1.0) > kde.eval(5.0), "single outlier should not dominate");
+        assert!(
+            kde.eval(1.0) > kde.eval(5.0),
+            "single outlier should not dominate"
+        );
         assert_eq!(kde.len(), 7);
         assert!(!kde.is_empty());
     }
@@ -385,14 +395,19 @@ mod tests {
         let samples = vec![(0.1, 0.0), (0.12, 0.05), (0.09, -0.02), (0.11, 0.01)];
         let kde = ProductKde2d::new(&samples, BandwidthSelector::Silverman).unwrap();
         assert!(kde.eval(0.1, 0.0) > kde.eval(1.0, 1.0));
-        assert!(kde.eval(0.1, 0.0) > kde.eval(0.1, 2.0), "phase axis matters");
-        assert!(kde.eval(0.1, 0.0) > kde.eval(2.0, 0.0), "amplitude axis matters");
+        assert!(
+            kde.eval(0.1, 0.0) > kde.eval(0.1, 2.0),
+            "phase axis matters"
+        );
+        assert!(
+            kde.eval(0.1, 0.0) > kde.eval(2.0, 0.0),
+            "amplitude axis matters"
+        );
     }
 
     #[test]
     fn product_kde_log_eval_is_finite_far_from_data() {
-        let kde =
-            ProductKde2d::with_bandwidths(&[(0.0, 0.0)], 0.05, 0.05).unwrap();
+        let kde = ProductKde2d::with_bandwidths(&[(0.0, 0.0)], 0.05, 0.05).unwrap();
         let ll = kde.log_eval(100.0, 100.0);
         assert!(ll.is_finite());
         assert!(ll < kde.log_eval(0.0, 0.0));
@@ -400,8 +415,8 @@ mod tests {
 
     #[test]
     fn product_kde_update_extends_samples() {
-        let mut kde = ProductKde2d::new(&[(0.0, 0.0), (0.1, 0.1)], BandwidthSelector::Silverman)
-            .unwrap();
+        let mut kde =
+            ProductKde2d::new(&[(0.0, 0.0), (0.1, 0.1)], BandwidthSelector::Silverman).unwrap();
         assert_eq!(kde.len(), 2);
         kde.update(&[(0.05, 0.02), (0.07, -0.03)], BandwidthSelector::Silverman)
             .unwrap();

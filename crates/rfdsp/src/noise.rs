@@ -63,7 +63,12 @@ impl GaussianSource {
     }
 
     /// Adds complex AWGN of total variance `variance` to `signal` in place.
-    pub fn add_awgn<R: Rng + ?Sized>(&mut self, rng: &mut R, signal: &mut [Complex], variance: f64) {
+    pub fn add_awgn<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        signal: &mut [Complex],
+        variance: f64,
+    ) {
         for s in signal.iter_mut() {
             *s += self.complex_sample(rng, variance);
         }
@@ -147,7 +152,9 @@ mod tests {
         // E[Rayleigh(sigma)] = sigma * sqrt(pi/2)
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let mut g = GaussianSource::new();
-        let xs: Vec<f64> = (0..100_000).map(|_| rayleigh(&mut g, &mut rng, 2.0)).collect();
+        let xs: Vec<f64> = (0..100_000)
+            .map(|_| rayleigh(&mut g, &mut rng, 2.0))
+            .collect();
         let expected = 2.0 * (std::f64::consts::PI / 2.0).sqrt();
         assert!((stats::mean(&xs).unwrap() - expected).abs() < 0.05);
     }

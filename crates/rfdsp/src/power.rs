@@ -64,7 +64,10 @@ pub fn normalize_power(signal: &mut [Complex], target_power: f64) -> Result<()> 
     }
     let p = signal_power(signal)?;
     if p == 0.0 {
-        return Err(DspError::invalid("signal", "cannot normalise a zero-power signal"));
+        return Err(DspError::invalid(
+            "signal",
+            "cannot normalise a zero-power signal",
+        ));
     }
     let g = (target_power / p).sqrt();
     for s in signal.iter_mut() {
@@ -189,9 +192,11 @@ mod tests {
         for sir in [-20.0, -10.0, 0.0, 10.0] {
             let g = gain_for_sir(&sig, &intf, sir).unwrap();
             let scaled: Vec<Complex> = intf.iter().map(|x| x.scale(g)).collect();
-            let measured =
-                lin_to_db(signal_power(&sig).unwrap() / signal_power(&scaled).unwrap());
-            assert!((measured - sir).abs() < 1e-9, "sir {sir} measured {measured}");
+            let measured = lin_to_db(signal_power(&sig).unwrap() / signal_power(&scaled).unwrap());
+            assert!(
+                (measured - sir).abs() < 1e-9,
+                "sir {sir} measured {measured}"
+            );
         }
         assert!(gain_for_sir(&sig, &[Complex::zero(); 4], 0.0).is_err());
     }
@@ -207,7 +212,10 @@ mod tests {
         let total: f64 = psd.iter().sum();
         assert!((total - 1.0).abs() < 0.15, "total {total}");
         for p in &psd {
-            assert!(*p > 0.2 * avg && *p < 5.0 * avg, "non-flat PSD bin {p} vs avg {avg}");
+            assert!(
+                *p > 0.2 * avg && *p < 5.0 * avg,
+                "non-flat PSD bin {p} vs avg {avg}"
+            );
         }
     }
 

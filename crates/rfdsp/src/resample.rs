@@ -58,9 +58,7 @@ pub fn fractional_delay(x: &[Complex], delay: f64, half_taps: usize) -> Result<V
     // Pure integer delay: just shift.
     if frac.abs() < 1e-12 {
         let mut out = vec![Complex::zero(); n];
-        for i in int_delay..n {
-            out[i] = x[i - int_delay];
-        }
+        out[int_delay..n].copy_from_slice(&x[..n - int_delay]);
         return Ok(out);
     }
 
@@ -126,7 +124,9 @@ mod tests {
 
     #[test]
     fn upsample_then_downsample_is_identity() {
-        let x: Vec<Complex> = (0..16).map(|i| Complex::new(i as f64, -(i as f64))).collect();
+        let x: Vec<Complex> = (0..16)
+            .map(|i| Complex::new(i as f64, -(i as f64)))
+            .collect();
         let y = downsample(&upsample(&x, 4).unwrap(), 4).unwrap();
         assert_eq!(x, y);
     }
@@ -136,8 +136,8 @@ mod tests {
         let x: Vec<Complex> = (0..8).map(|i| Complex::new(i as f64 + 1.0, 0.0)).collect();
         let y = fractional_delay(&x, 3.0, 8).unwrap();
         assert_eq!(y.len(), 8);
-        for i in 0..3 {
-            assert_eq!(y[i], Complex::zero());
+        for v in &y[..3] {
+            assert_eq!(*v, Complex::zero());
         }
         for i in 3..8 {
             assert_eq!(y[i], x[i - 3]);
@@ -155,9 +155,9 @@ mod tests {
             .collect();
         let y = fractional_delay(&x, d, 16).unwrap();
         // Check away from the edges where the interpolator has full support.
-        for t in 40..n - 40 {
+        for (t, v) in y.iter().enumerate().take(n - 40).skip(40) {
             let expected = Complex::cis(2.0 * std::f64::consts::PI * f * (t as f64 - d));
-            assert!((y[t] - expected).norm() < 1e-3, "t={t}");
+            assert!((*v - expected).norm() < 1e-3, "t={t}");
         }
     }
 

@@ -30,7 +30,10 @@ pub fn variance(xs: &[f64]) -> Result<f64> {
 /// Sample variance (`1/(N−1)` normalisation). Errors unless at least two samples are given.
 pub fn sample_variance(xs: &[f64]) -> Result<f64> {
     if xs.len() < 2 {
-        return Err(DspError::invalid("xs", "sample variance needs at least 2 samples"));
+        return Err(DspError::invalid(
+            "xs",
+            "sample variance needs at least 2 samples",
+        ));
     }
     let m = mean(xs)?;
     Ok(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64)
@@ -81,7 +84,9 @@ pub fn iqr(xs: &[f64]) -> Result<f64> {
 pub fn min(xs: &[f64]) -> Result<f64> {
     xs.iter()
         .copied()
-        .fold(None, |acc: Option<f64>, x| Some(acc.map_or(x, |a| a.min(x))))
+        .fold(None, |acc: Option<f64>, x| {
+            Some(acc.map_or(x, |a| a.min(x)))
+        })
         .ok_or(DspError::EmptyInput)
 }
 
@@ -89,7 +94,9 @@ pub fn min(xs: &[f64]) -> Result<f64> {
 pub fn max(xs: &[f64]) -> Result<f64> {
     xs.iter()
         .copied()
-        .fold(None, |acc: Option<f64>, x| Some(acc.map_or(x, |a| a.max(x))))
+        .fold(None, |acc: Option<f64>, x| {
+            Some(acc.map_or(x, |a| a.max(x)))
+        })
         .ok_or(DspError::EmptyInput)
 }
 
@@ -228,7 +235,8 @@ impl Histogram {
         if bins == 0 {
             return Err(DspError::invalid("bins", "must be at least 1"));
         }
-        if !(hi > lo) {
+        // `partial_cmp` keeps the NaN-rejecting behaviour of `!(hi > lo)` explicit.
+        if hi.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) {
             return Err(DspError::invalid("hi", "upper edge must exceed lower edge"));
         }
         Ok(Histogram {
@@ -374,7 +382,9 @@ mod tests {
 
     #[test]
     fn cross_correlation_of_identical_windows_is_one() {
-        let a: Vec<Complex> = (0..16).map(|i| Complex::new(i as f64, -(i as f64))).collect();
+        let a: Vec<Complex> = (0..16)
+            .map(|i| Complex::new(i as f64, -(i as f64)))
+            .collect();
         assert!((normalized_cross_correlation(&a, &a).unwrap() - 1.0).abs() < 1e-12);
     }
 
@@ -440,7 +450,12 @@ mod tests {
 
     #[test]
     fn mean_power_and_centroid() {
-        let xs = [Complex::new(1.0, 0.0), Complex::new(0.0, 1.0), Complex::new(-1.0, 0.0), Complex::new(0.0, -1.0)];
+        let xs = [
+            Complex::new(1.0, 0.0),
+            Complex::new(0.0, 1.0),
+            Complex::new(-1.0, 0.0),
+            Complex::new(0.0, -1.0),
+        ];
         assert_eq!(mean_power(&xs).unwrap(), 1.0);
         let c = centroid(&xs).unwrap();
         assert!(c.norm() < 1e-12);

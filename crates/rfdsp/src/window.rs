@@ -136,7 +136,10 @@ mod tests {
     fn windows_are_symmetric() {
         for w in [hann(64), hamming(64), blackman(64), kaiser(64, 8.6)] {
             for i in 0..w.len() / 2 {
-                assert!((w[i] - w[w.len() - 1 - i]).abs() < 1e-12, "asymmetry at {i}");
+                assert!(
+                    (w[i] - w[w.len() - 1 - i]).abs() < 1e-12,
+                    "asymmetry at {i}"
+                );
             }
         }
     }

@@ -5,6 +5,13 @@
 //! the `cprecycle-bench` binaries print them and EXPERIMENTS.md records the comparison
 //! against the paper.
 //!
+//! Every Monte-Carlo figure builds its full grid of [`LinkPoint`]s — scenario ×
+//! receiver × modulation × SINR — and submits it to the `cprecycle-engine` campaign
+//! engine as **one** campaign, so the whole grid parallelises across workers instead
+//! of running operating points serially. The grid builders are public (see
+//! [`figure_grid`]) so the `campaign` CLI can run, checkpoint and resume the same
+//! grids the figure binaries use.
+//!
 //! All drivers accept a [`FigureScale`] so unit tests can run them with a handful of
 //! packets and a coarse sweep while the figure binaries use a dense grid and more
 //! packets. Absolute values will not match the authors' over-the-air testbed; the
@@ -12,14 +19,15 @@
 //! reproduction target.
 
 use crate::interference::{AciScenario, AciSide, CciScenario};
-use crate::link::{packet_success_rate, MonteCarloConfig, ReceiverKind, Scenario};
-use crate::neighbors::{simulate_neighbors, BuildingModel};
+use crate::link::{run_link_campaign, LinkPoint, MonteCarloConfig, ReceiverKind, Scenario};
+use crate::neighbors::{run_neighbor_campaign, BuildingModel};
 use crate::report::{ExperimentResult, Series};
 use crate::Result;
 use cprecycle::interference_model::InterferenceModel;
 use cprecycle::oracle;
 use cprecycle::segments::{extract_segments, interference_power_per_segment};
 use cprecycle::CpRecycleConfig;
+use cprecycle_engine::{CampaignConfig, CampaignResult, RunOptions};
 use ofdmphy::chanest::ChannelEstimate;
 use ofdmphy::convcode::CodeRate;
 use ofdmphy::frame::{Mcs, Transmitter};
@@ -31,10 +39,9 @@ use rand::SeedableRng;
 use rfdsp::kde::{BandwidthSelector, KernelDensity1d};
 use rfdsp::power::lin_to_db;
 use rfdsp::stats::EmpiricalCdf;
-use serde::{Deserialize, Serialize};
 
 /// How much work a figure driver should do.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct FigureScale {
     /// Packets per Monte-Carlo operating point.
     pub packets: usize,
@@ -67,12 +74,18 @@ impl FigureScale {
         }
     }
 
-    fn monte_carlo(&self) -> MonteCarloConfig {
+    /// The equivalent single-point Monte-Carlo configuration.
+    pub fn monte_carlo(&self) -> MonteCarloConfig {
         MonteCarloConfig {
             packets: self.packets,
             payload_len: self.payload_len,
             seed: self.seed,
         }
+    }
+
+    /// The engine-level campaign configuration for a figure grid.
+    pub fn campaign(&self, name: &str) -> CampaignConfig {
+        CampaignConfig::new(name, self.seed).trials(self.packets)
     }
 }
 
@@ -84,9 +97,319 @@ fn paper_mcs_labels() -> Vec<(Mcs, &'static str)> {
     vec![
         (Mcs::new(Modulation::Qpsk, CodeRate::Half), "QPSK 1/2"),
         (Mcs::new(Modulation::Qam16, CodeRate::Half), "16-QAM 1/2"),
-        (Mcs::new(Modulation::Qam64, CodeRate::TwoThirds), "64-QAM 2/3"),
+        (
+            Mcs::new(Modulation::Qam64, CodeRate::TwoThirds),
+            "64-QAM 2/3",
+        ),
     ]
 }
+
+fn engine_error(e: cprecycle_engine::EngineError) -> ofdmphy::PhyError {
+    ofdmphy::PhyError::DecodeFailure(e.to_string())
+}
+
+/// Runs a figure's grid as one engine campaign.
+fn run_grid(name: &str, scale: &FigureScale, points: &[LinkPoint]) -> Result<CampaignResult> {
+    run_link_campaign(&scale.campaign(name), points, &RunOptions::default()).map_err(engine_error)
+}
+
+/// Success rates (in percent) of every arm of grid point `idx`.
+fn arm_percents(result: &CampaignResult, idx: usize) -> Vec<f64> {
+    result.points[idx]
+        .arms
+        .iter()
+        .map(|arm| arm.success_percent())
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Grid builders (shared by the figure drivers and the `campaign` CLI)
+// ---------------------------------------------------------------------------
+
+fn psr_vs_sir_grid(
+    scale: &FigureScale,
+    sirs: &[f64],
+    scenario_for: impl Fn(f64) -> Scenario,
+) -> Vec<LinkPoint> {
+    let receivers = vec![
+        ReceiverKind::Standard,
+        ReceiverKind::CpRecycle(CpRecycleConfig::default()),
+    ];
+    let mut points = Vec::new();
+    for (mcs, label) in paper_mcs_labels() {
+        for sir in sirs {
+            points.push(
+                LinkPoint::new(
+                    format!("{label} @ SIR {sir} dB"),
+                    mcs,
+                    scenario_for(*sir),
+                    receivers.clone(),
+                )
+                .payload(scale.payload_len),
+            );
+        }
+    }
+    points
+}
+
+fn fig5_sirs() -> [f64; 3] {
+    [-10.0, -20.0, -30.0]
+}
+
+fn fig5_guards(scale: &FigureScale) -> Vec<f64> {
+    if scale.coarse {
+        vec![0.0, 10.0]
+    } else {
+        vec![0.0, 2.5, 5.0, 7.5, 10.0, 12.5, 15.0, 20.0]
+    }
+}
+
+fn fig5_grid(scale: &FigureScale) -> Vec<LinkPoint> {
+    let mcs = Mcs::new(Modulation::Qpsk, CodeRate::ThreeQuarters);
+    let receivers = vec![
+        ReceiverKind::Standard,
+        ReceiverKind::Naive { num_segments: 16 },
+        ReceiverKind::Oracle { num_segments: 16 },
+    ];
+    let mut points = Vec::new();
+    for sir in fig5_sirs() {
+        for guard in fig5_guards(scale) {
+            points.push(
+                LinkPoint::new(
+                    format!("SIR {sir} dB, guard {guard} MHz"),
+                    mcs,
+                    Scenario::Aci(AciScenario {
+                        sir_db: sir,
+                        guard_band_hz: guard * 1e6,
+                        oversample: if guard > 18.0 { 8 } else { 4 },
+                        ..Default::default()
+                    }),
+                    receivers.clone(),
+                )
+                .payload(scale.payload_len),
+            );
+        }
+    }
+    points
+}
+
+fn fig8_sirs(scale: &FigureScale) -> Vec<f64> {
+    if scale.coarse {
+        vec![-20.0, 0.0]
+    } else {
+        vec![-40.0, -30.0, -20.0, -10.0, 0.0, 10.0]
+    }
+}
+
+fn fig8_grid(scale: &FigureScale) -> Vec<LinkPoint> {
+    psr_vs_sir_grid(scale, &fig8_sirs(scale), |sir| {
+        Scenario::Aci(AciScenario {
+            sir_db: sir,
+            channel_offset_hz: Some(15e6),
+            ..Default::default()
+        })
+    })
+}
+
+fn fig9_grid(scale: &FigureScale) -> Vec<LinkPoint> {
+    psr_vs_sir_grid(scale, &fig8_sirs(scale), |sir| {
+        Scenario::Aci(AciScenario {
+            sir_db: sir,
+            side: AciSide::BothSides,
+            channel_offset_hz: Some(15e6),
+            ..Default::default()
+        })
+    })
+}
+
+fn fig10_guards(scale: &FigureScale) -> Vec<f64> {
+    if scale.coarse {
+        vec![0.0, 15.0]
+    } else {
+        vec![0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0]
+    }
+}
+
+fn fig10_grid(scale: &FigureScale) -> Vec<LinkPoint> {
+    let mcs = Mcs::new(Modulation::Qam16, CodeRate::Half);
+    let receivers = vec![
+        ReceiverKind::Standard,
+        ReceiverKind::CpRecycle(CpRecycleConfig::default()),
+    ];
+    let mut points = Vec::new();
+    for sir in [-10.0, -20.0, -30.0] {
+        for guard in fig10_guards(scale) {
+            points.push(
+                LinkPoint::new(
+                    format!("SIR {sir} dB, guard {guard} MHz"),
+                    mcs,
+                    Scenario::Aci(AciScenario {
+                        sir_db: sir,
+                        guard_band_hz: guard * 1e6,
+                        oversample: if guard > 18.0 { 8 } else { 4 },
+                        ..Default::default()
+                    }),
+                    receivers.clone(),
+                )
+                .payload(scale.payload_len),
+            );
+        }
+    }
+    points
+}
+
+fn fig11_sirs(scale: &FigureScale) -> Vec<f64> {
+    if scale.coarse {
+        vec![0.0, 20.0]
+    } else {
+        vec![-10.0, -5.0, 0.0, 5.0, 10.0, 15.0, 20.0, 30.0, 40.0]
+    }
+}
+
+fn fig11_grid(scale: &FigureScale) -> Vec<LinkPoint> {
+    psr_vs_sir_grid(scale, &fig11_sirs(scale), |sir| {
+        Scenario::Cci(CciScenario {
+            sir_db: sir,
+            ..Default::default()
+        })
+    })
+}
+
+fn fig12_grid(scale: &FigureScale) -> Vec<LinkPoint> {
+    psr_vs_sir_grid(scale, &fig11_sirs(scale), |sir| {
+        Scenario::Cci(CciScenario {
+            sir_db: sir,
+            num_interferers: 2,
+            ..Default::default()
+        })
+    })
+}
+
+fn fig14_segment_counts(scale: &FigureScale) -> Vec<usize> {
+    if scale.coarse {
+        vec![1, 8, 16]
+    } else {
+        vec![1, 2, 4, 6, 8, 10, 12, 14, 16]
+    }
+}
+
+fn fig14_grid(scale: &FigureScale) -> Vec<LinkPoint> {
+    let mcs = Mcs::new(Modulation::Qam16, CodeRate::Half);
+    let mut points = Vec::new();
+    for sir in [-10.0, -20.0, -30.0] {
+        for p in fig14_segment_counts(scale) {
+            points.push(
+                LinkPoint::new(
+                    format!("SIR {sir} dB, P={p}"),
+                    mcs,
+                    Scenario::Aci(AciScenario {
+                        sir_db: sir,
+                        ..Default::default()
+                    }),
+                    vec![ReceiverKind::CpRecycle(CpRecycleConfig::with_segments(p))],
+                )
+                .payload(scale.payload_len),
+            );
+        }
+    }
+    points
+}
+
+fn ablate_sphere_radii() -> [f64; 5] {
+    [0.5, 1.0, 2.0, 4.0, 8.0]
+}
+
+fn ablate_sphere_grid(scale: &FigureScale) -> Vec<LinkPoint> {
+    let mcs = Mcs::new(Modulation::Qam64, CodeRate::TwoThirds);
+    ablate_sphere_radii()
+        .iter()
+        .map(|r| {
+            LinkPoint::new(
+                format!("radius {r}"),
+                mcs,
+                Scenario::Aci(AciScenario {
+                    sir_db: -10.0,
+                    ..Default::default()
+                }),
+                vec![ReceiverKind::CpRecycle(CpRecycleConfig {
+                    sphere_radius_min_distances: *r,
+                    ..Default::default()
+                })],
+            )
+            .payload(scale.payload_len)
+        })
+        .collect()
+}
+
+fn ablate_kernel_sirs(scale: &FigureScale) -> Vec<f64> {
+    if scale.coarse {
+        vec![-10.0]
+    } else {
+        vec![-20.0, -10.0, 0.0]
+    }
+}
+
+fn ablate_kernel_grid(scale: &FigureScale) -> Vec<LinkPoint> {
+    let mcs = Mcs::new(Modulation::Qam16, CodeRate::Half);
+    // An enormous phase bandwidth makes the phase kernel uninformative, isolating the
+    // contribution of the amplitude axis.
+    let amplitude_only = CpRecycleConfig {
+        bandwidth_phase: Some(1.0e6),
+        ..Default::default()
+    };
+    ablate_kernel_sirs(scale)
+        .iter()
+        .map(|sir| {
+            LinkPoint::new(
+                format!("SIR {sir} dB"),
+                mcs,
+                Scenario::Aci(AciScenario {
+                    sir_db: *sir,
+                    ..Default::default()
+                }),
+                vec![
+                    ReceiverKind::CpRecycle(CpRecycleConfig::default()),
+                    ReceiverKind::CpRecycle(amplitude_only),
+                ],
+            )
+            .payload(scale.payload_len)
+        })
+        .collect()
+}
+
+/// The Monte-Carlo grid of a named figure, for the `campaign` CLI. Returns `None` for
+/// names that are not packet-level campaigns (Table 1 and the capture diagnostics).
+pub fn figure_grid(name: &str, scale: &FigureScale) -> Option<Vec<LinkPoint>> {
+    match name {
+        "fig5" => Some(fig5_grid(scale)),
+        "fig8" => Some(fig8_grid(scale)),
+        "fig9" => Some(fig9_grid(scale)),
+        "fig10" => Some(fig10_grid(scale)),
+        "fig11" => Some(fig11_grid(scale)),
+        "fig12" => Some(fig12_grid(scale)),
+        "fig14" => Some(fig14_grid(scale)),
+        "ablate_sphere" => Some(ablate_sphere_grid(scale)),
+        "ablate_kernel" => Some(ablate_kernel_grid(scale)),
+        _ => None,
+    }
+}
+
+/// Names accepted by [`figure_grid`].
+pub const CAMPAIGN_FIGURES: &[&str] = &[
+    "fig5",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig14",
+    "ablate_sphere",
+    "ablate_kernel",
+];
+
+// ---------------------------------------------------------------------------
+// Figure drivers
+// ---------------------------------------------------------------------------
 
 /// Table 1: cyclic-prefix size and duration across 802.11 standards.
 pub fn table1() -> ExperimentResult {
@@ -120,7 +443,7 @@ pub fn table1() -> ExperimentResult {
 }
 
 /// Shared helper: render one ACI capture and return (engine, channel estimate,
-/// per-symbol interference-only samples start, scenario output, frame).
+/// scenario output, frame).
 fn one_aci_capture(
     sir_db: f64,
     guard_band_hz: f64,
@@ -134,15 +457,21 @@ fn one_aci_capture(
     let params = params();
     let tx = Transmitter::new(params.clone());
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let frame = tx.build_frame(&vec![0xA5; 400], Mcs::new(Modulation::Qam16, CodeRate::Half), 0x5D)?;
+    let frame = tx.build_frame(
+        &vec![0xA5; 400],
+        Mcs::new(Modulation::Qam16, CodeRate::Half),
+        0x5D,
+    )?;
     let scenario = AciScenario {
         sir_db,
         guard_band_hz,
         ..Default::default()
     };
     let output = scenario.render(&mut rng, &params, &frame.samples)?;
+    let ltf_start = preamble::ltf_start_offset(&params);
+    let preamble_len = preamble::preamble_len(&params);
     let engine = OfdmEngine::new(params);
-    let estimate = ChannelEstimate::from_ltf(&engine, &output.received[160..320])?;
+    let estimate = ChannelEstimate::from_ltf(&engine, &output.received[ltf_start..preamble_len])?;
     Ok((engine, estimate, output, frame))
 }
 
@@ -154,7 +483,9 @@ pub fn fig4a(scale: &FigureScale) -> Result<ExperimentResult> {
     let sym_len = params.symbol_len();
     let data_start = preamble::preamble_len(&params) + sym_len;
     // Average interference power over a few data symbols.
-    let num_symbols = frame.num_data_symbols.min(if scale.coarse { 4 } else { 16 });
+    let num_symbols = frame
+        .num_data_symbols
+        .min(if scale.coarse { 4 } else { 16 });
     let mut standard_acc = vec![0.0f64; params.fft_size];
     let mut oracle_acc = vec![0.0f64; params.fft_size];
     for s in 0..num_symbols {
@@ -222,7 +553,8 @@ pub fn fig4b(scale: &FigureScale) -> Result<ExperimentResult> {
     }
     Ok(ExperimentResult {
         id: "Figure 4b".into(),
-        description: "Normalised interference power vs FFT segment index at a band-edge subcarrier".into(),
+        description: "Normalised interference power vs FFT segment index at a band-edge subcarrier"
+            .into(),
         x_label: "FFT segment index".into(),
         y_label: "Interference power (dB, normalised to worst segment)".into(),
         series,
@@ -264,45 +596,38 @@ pub fn fig4c(scale: &FigureScale) -> Result<ExperimentResult> {
 /// Figure 5: packet success rate vs guard band for the Standard receiver, the naive
 /// decoder and the Oracle, at SIR −10 / −20 / −30 dB (QPSK 3/4, single ACI interferer).
 pub fn fig5(scale: &FigureScale) -> Result<ExperimentResult> {
-    let params = params();
-    let mcs = Mcs::new(Modulation::Qpsk, CodeRate::ThreeQuarters);
-    let guards_mhz: Vec<f64> = if scale.coarse {
-        vec![0.0, 10.0]
-    } else {
-        vec![0.0, 2.5, 5.0, 7.5, 10.0, 12.5, 15.0, 20.0]
-    };
-    let receivers = vec![
-        ReceiverKind::Standard,
-        ReceiverKind::Naive { num_segments: 16 },
-        ReceiverKind::Oracle { num_segments: 16 },
-    ];
+    let guards = fig5_guards(scale);
+    let points = fig5_grid(scale);
+    let result = run_grid("fig5", scale, &points)?;
+    // Arm labels come from the recorded tallies, so they can never drift from the
+    // receiver set fig5_grid actually ran.
+    let arm_labels: Vec<String> = result.points[0]
+        .arms
+        .iter()
+        .map(|a| a.label.clone())
+        .collect();
     let mut series: Vec<Series> = Vec::new();
-    for sir in [-10.0, -20.0, -30.0] {
-        let mut per_receiver: Vec<Vec<f64>> = vec![Vec::new(); receivers.len()];
-        for guard in &guards_mhz {
-            let scenario = Scenario::Aci(AciScenario {
-                sir_db: sir,
-                guard_band_hz: guard * 1e6,
-                oversample: if *guard > 18.0 { 8 } else { 4 },
-                ..Default::default()
-            });
-            let psr =
-                packet_success_rate(&params, mcs, &scenario, &receivers, &scale.monte_carlo())?;
+    for (si, sir) in fig5_sirs().iter().enumerate() {
+        let mut per_receiver: Vec<Vec<f64>> = vec![Vec::new(); arm_labels.len()];
+        for gi in 0..guards.len() {
+            let psr = arm_percents(&result, si * guards.len() + gi);
             for (dst, v) in per_receiver.iter_mut().zip(&psr) {
                 dst.push(*v);
             }
         }
-        for (kind, ys) in receivers.iter().zip(per_receiver) {
+        for (label, ys) in arm_labels.iter().zip(per_receiver) {
             series.push(Series::new(
-                format!("{} @ SIR {sir} dB", kind.label()),
-                guards_mhz.clone(),
+                format!("{label} @ SIR {sir} dB"),
+                guards.clone(),
                 ys,
             ));
         }
     }
     Ok(ExperimentResult {
         id: "Figure 5".into(),
-        description: "PSR vs guard band for Standard / Naive / Oracle (QPSK 3/4, single ACI interferer)".into(),
+        description:
+            "PSR vs guard band for Standard / Naive / Oracle (QPSK 3/4, single ACI interferer)"
+                .into(),
         x_label: "Guard band (MHz)".into(),
         y_label: "Packet success rate (%)".into(),
         series,
@@ -312,7 +637,9 @@ pub fn fig5(scale: &FigureScale) -> Result<ExperimentResult> {
 /// Figure 6a: kernel density estimates of one sample set at three bandwidths.
 pub fn fig6a() -> ExperimentResult {
     // A bimodal sample set similar in spirit to the paper's illustration.
-    let samples = vec![-4.0, -3.5, -3.2, 0.0, 0.3, 0.5, 0.8, 1.0, 1.2, 5.5, 6.0, 6.2];
+    let samples = vec![
+        -4.0, -3.5, -3.2, 0.0, 0.3, 0.5, 0.8, 1.0, 1.2, 5.5, 6.0, 6.2,
+    ];
     let mut series = Vec::new();
     for bw in [1.0, 2.0, 3.0] {
         let kde = KernelDensity1d::new(&samples, BandwidthSelector::Fixed(bw))
@@ -349,18 +676,21 @@ pub fn fig6b(scale: &FigureScale) -> Result<ExperimentResult> {
         let sym_len = params.symbol_len();
         let config = CpRecycleConfig::default();
 
-        // Train the model from the LTF exactly as the receiver does.
+        // Train the model from the LTF exactly as the receiver does: the LTF is
+        // re-framed as two symbols whose prefixes are genuinely cyclic.
         let reference = preamble::ltf_bins(&params);
-        let ltf_start = 160usize;
+        let ltf_start = preamble::ltf_start_offset(&params);
+        let c = params.cp_len;
+        let f = params.fft_size;
         let seg1 = extract_segments(
             &engine,
-            &output.received[ltf_start + 16..ltf_start + 96],
+            &output.received[ltf_start + c..ltf_start + c + sym_len],
             &estimate,
             16,
         )?;
         let seg2 = extract_segments(
             &engine,
-            &output.received[ltf_start + 80..ltf_start + 160],
+            &output.received[ltf_start + c + f..ltf_start + c + f + sym_len],
             &estimate,
             16,
         )?;
@@ -377,7 +707,9 @@ pub fn fig6b(scale: &FigureScale) -> Result<ExperimentResult> {
         let bin = *data_bins.last().expect("data bins exist");
         let bin_col = data_bins.len() - 1;
         let mut deviations = Vec::new();
-        let symbols = frame.num_data_symbols.min(if scale.coarse { 6 } else { 20 });
+        let symbols = frame
+            .num_data_symbols
+            .min(if scale.coarse { 6 } else { 20 });
         for s in 0..symbols {
             let start = data_start + s * sym_len;
             let segments = extract_segments(
@@ -395,7 +727,10 @@ pub fn fig6b(scale: &FigureScale) -> Result<ExperimentResult> {
         let curve = data_cdf.curve();
         series.push(Series::new(
             format!("Data-symbol samples, SIR {sir} dB"),
-            curve.iter().map(|(x, _)| lin_to_db((x * x).max(1e-30))).collect(),
+            curve
+                .iter()
+                .map(|(x, _)| lin_to_db((x * x).max(1e-30)))
+                .collect(),
             curve.iter().map(|(_, p)| *p).collect(),
         ));
         // Model-predicted CDF from the preamble-trained deviation samples.
@@ -404,13 +739,18 @@ pub fn fig6b(scale: &FigureScale) -> Result<ExperimentResult> {
         let curve = model_cdf.curve();
         series.push(Series::new(
             format!("Preamble-trained density, SIR {sir} dB"),
-            curve.iter().map(|(x, _)| lin_to_db((x * x).max(1e-30))).collect(),
+            curve
+                .iter()
+                .map(|(x, _)| lin_to_db((x * x).max(1e-30)))
+                .collect(),
             curve.iter().map(|(_, p)| *p).collect(),
         ));
     }
     Ok(ExperimentResult {
         id: "Figure 6b".into(),
-        description: "CDF of interference amplitude: data-symbol observations vs preamble-trained model".into(),
+        description:
+            "CDF of interference amplitude: data-symbol observations vs preamble-trained model"
+                .into(),
         x_label: "Interference power (dB)".into(),
         y_label: "CDF".into(),
         series,
@@ -422,21 +762,15 @@ fn psr_vs_sir(
     description: &str,
     scale: &FigureScale,
     sirs: &[f64],
-    scenario_for: impl Fn(f64) -> Scenario,
+    points: Vec<LinkPoint>,
 ) -> Result<ExperimentResult> {
-    let params = params();
-    let receivers = vec![
-        ReceiverKind::Standard,
-        ReceiverKind::CpRecycle(CpRecycleConfig::default()),
-    ];
+    let result = run_grid(id, scale, &points)?;
     let mut series = Vec::new();
-    for (mcs, label) in paper_mcs_labels() {
+    for (mi, (_mcs, label)) in paper_mcs_labels().iter().enumerate() {
         let mut without = Vec::new();
         let mut with = Vec::new();
-        for sir in sirs {
-            let scenario = scenario_for(*sir);
-            let psr =
-                packet_success_rate(&params, mcs, &scenario, &receivers, &scale.monte_carlo())?;
+        for si in 0..sirs.len() {
+            let psr = arm_percents(&result, mi * sirs.len() + si);
             without.push(psr[0]);
             with.push(psr[1]);
         }
@@ -463,87 +797,49 @@ fn psr_vs_sir(
 /// Figure 8: PSR vs SIR with a single adjacent-channel interferer, for the three paper
 /// MCS modes, with and without CPRecycle.
 pub fn fig8(scale: &FigureScale) -> Result<ExperimentResult> {
-    let sirs: Vec<f64> = if scale.coarse {
-        vec![-20.0, 0.0]
-    } else {
-        vec![-40.0, -30.0, -20.0, -10.0, 0.0, 10.0]
-    };
     psr_vs_sir(
         "Figure 8",
         "PSR vs SIR, single adjacent-channel interferer (overlapping 802.11 channel, 15 MHz away)",
         scale,
-        &sirs,
-        |sir| {
-            Scenario::Aci(AciScenario {
-                sir_db: sir,
-                channel_offset_hz: Some(15e6),
-                ..Default::default()
-            })
-        },
+        &fig8_sirs(scale),
+        fig8_grid(scale),
     )
 }
 
 /// Figure 9: PSR vs SIR with two adjacent-channel interferers (one on each side).
 pub fn fig9(scale: &FigureScale) -> Result<ExperimentResult> {
-    let sirs: Vec<f64> = if scale.coarse {
-        vec![-20.0, 0.0]
-    } else {
-        vec![-40.0, -30.0, -20.0, -10.0, 0.0, 10.0]
-    };
     psr_vs_sir(
         "Figure 9",
         "PSR vs SIR, two adjacent-channel interferers (overlapping channels on both sides)",
         scale,
-        &sirs,
-        |sir| {
-            Scenario::Aci(AciScenario {
-                sir_db: sir,
-                side: AciSide::BothSides,
-                channel_offset_hz: Some(15e6),
-                ..Default::default()
-            })
-        },
+        &fig8_sirs(scale),
+        fig9_grid(scale),
     )
 }
 
 /// Figure 10: PSR vs guard band (16-QAM 1/2), SIR −10 / −20 / −30 dB, with and without
 /// CPRecycle.
 pub fn fig10(scale: &FigureScale) -> Result<ExperimentResult> {
-    let params = params();
-    let mcs = Mcs::new(Modulation::Qam16, CodeRate::Half);
-    let guards_mhz: Vec<f64> = if scale.coarse {
-        vec![0.0, 15.0]
-    } else {
-        vec![0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0]
-    };
-    let receivers = vec![
-        ReceiverKind::Standard,
-        ReceiverKind::CpRecycle(CpRecycleConfig::default()),
-    ];
+    let guards = fig10_guards(scale);
+    let points = fig10_grid(scale);
+    let result = run_grid("fig10", scale, &points)?;
     let mut series = Vec::new();
-    for sir in [-10.0, -20.0, -30.0] {
+    for (si, sir) in [-10.0, -20.0, -30.0].iter().enumerate() {
         let mut without = Vec::new();
         let mut with = Vec::new();
-        for guard in &guards_mhz {
-            let scenario = Scenario::Aci(AciScenario {
-                sir_db: sir,
-                guard_band_hz: guard * 1e6,
-                oversample: if *guard > 18.0 { 8 } else { 4 },
-                ..Default::default()
-            });
-            let psr =
-                packet_success_rate(&params, mcs, &scenario, &receivers, &scale.monte_carlo())?;
+        for gi in 0..guards.len() {
+            let psr = arm_percents(&result, si * guards.len() + gi);
             without.push(psr[0]);
             with.push(psr[1]);
         }
         series.push(Series::new(
             format!("SIR {sir} dB, without CPRecycle"),
-            guards_mhz.clone(),
+            guards.clone(),
             without,
         ));
         series.push(Series::new(
             format!("SIR {sir} dB, with CPRecycle"),
-            guards_mhz.clone(),
+            guards.clone(),
             with,
         ));
     }
@@ -558,52 +854,39 @@ pub fn fig10(scale: &FigureScale) -> Result<ExperimentResult> {
 
 /// Figure 11: PSR vs SIR with a single co-channel interferer.
 pub fn fig11(scale: &FigureScale) -> Result<ExperimentResult> {
-    let sirs: Vec<f64> = if scale.coarse {
-        vec![0.0, 20.0]
-    } else {
-        vec![-10.0, -5.0, 0.0, 5.0, 10.0, 15.0, 20.0, 30.0, 40.0]
-    };
     psr_vs_sir(
         "Figure 11",
         "PSR vs SIR, single co-channel interferer",
         scale,
-        &sirs,
-        |sir| {
-            Scenario::Cci(CciScenario {
-                sir_db: sir,
-                ..Default::default()
-            })
-        },
+        &fig11_sirs(scale),
+        fig11_grid(scale),
     )
 }
 
 /// Figure 12: PSR vs SIR with two co-channel interferers.
 pub fn fig12(scale: &FigureScale) -> Result<ExperimentResult> {
-    let sirs: Vec<f64> = if scale.coarse {
-        vec![0.0, 20.0]
-    } else {
-        vec![-10.0, -5.0, 0.0, 5.0, 10.0, 15.0, 20.0, 30.0, 40.0]
-    };
     psr_vs_sir(
         "Figure 12",
         "PSR vs SIR, two co-channel interferers",
         scale,
-        &sirs,
-        |sir| {
-            Scenario::Cci(CciScenario {
-                sir_db: sir,
-                num_interferers: 2,
-                ..Default::default()
-            })
-        },
+        &fig11_sirs(scale),
+        fig12_grid(scale),
     )
 }
 
 /// Figure 13: CDF of the number of interfering neighbors in the office building, with
 /// and without CPRecycle.
+///
+/// Runs as an engine campaign over independent building realizations (the trial
+/// stream) whose per-AP neighbor counts are pooled through the tallies' auxiliary
+/// sample streams — so even the non-packet figure checkpoints and parallelises like
+/// every other campaign.
 pub fn fig13(scale: &FigureScale) -> ExperimentResult {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(scale.seed);
-    let counts = simulate_neighbors(&mut rng, &BuildingModel::default());
+    let realizations = if scale.coarse { 2 } else { 16 };
+    let config = CampaignConfig::new("fig13", scale.seed).trials(realizations);
+    let result = run_neighbor_campaign(&config, &BuildingModel::default(), &RunOptions::default())
+        .expect("neighbor trials are infallible");
+    let counts = crate::neighbors::counts_from_campaign(&result.points[0]);
     let std_curve = counts.standard_cdf();
     let cp_curve = counts.cprecycle_cdf();
     ExperimentResult {
@@ -630,25 +913,14 @@ pub fn fig13(scale: &FigureScale) -> ExperimentResult {
 /// SIR −10 / −20 / −30 dB.
 pub fn fig14(scale: &FigureScale) -> Result<ExperimentResult> {
     let params = params();
-    let mcs = Mcs::new(Modulation::Qam16, CodeRate::Half);
-    let segment_counts: Vec<usize> = if scale.coarse {
-        vec![1, 8, 16]
-    } else {
-        vec![1, 2, 4, 6, 8, 10, 12, 14, 16]
-    };
+    let segment_counts = fig14_segment_counts(scale);
+    let points = fig14_grid(scale);
+    let result = run_grid("fig14", scale, &points)?;
     let mut series = Vec::new();
-    for sir in [-10.0, -20.0, -30.0] {
-        let mut psrs = Vec::new();
-        for p in &segment_counts {
-            let scenario = Scenario::Aci(AciScenario {
-                sir_db: sir,
-                ..Default::default()
-            });
-            let receivers = vec![ReceiverKind::CpRecycle(CpRecycleConfig::with_segments(*p))];
-            let psr =
-                packet_success_rate(&params, mcs, &scenario, &receivers, &scale.monte_carlo())?;
-            psrs.push(psr[0]);
-        }
+    for (si, sir) in [-10.0, -20.0, -30.0].iter().enumerate() {
+        let psrs: Vec<f64> = (0..segment_counts.len())
+            .map(|pi| arm_percents(&result, si * segment_counts.len() + pi)[0])
+            .collect();
         series.push(Series::new(
             format!("SIR {sir} dB"),
             segment_counts
@@ -669,22 +941,12 @@ pub fn fig14(scale: &FigureScale) -> Result<ExperimentResult> {
 
 /// Ablation: sphere radius vs PSR and mean search-space size (design choice of §4.2).
 pub fn ablate_sphere_radius(scale: &FigureScale) -> Result<ExperimentResult> {
-    let params = params();
-    let mcs = Mcs::new(Modulation::Qam64, CodeRate::TwoThirds);
-    let radii = [0.5, 1.0, 2.0, 4.0, 8.0];
-    let mut psrs = Vec::new();
-    for r in radii {
-        let scenario = Scenario::Aci(AciScenario {
-            sir_db: -10.0,
-            ..Default::default()
-        });
-        let receivers = vec![ReceiverKind::CpRecycle(CpRecycleConfig {
-            sphere_radius_min_distances: r,
-            ..Default::default()
-        })];
-        let psr = packet_success_rate(&params, mcs, &scenario, &receivers, &scale.monte_carlo())?;
-        psrs.push(psr[0]);
-    }
+    let radii = ablate_sphere_radii();
+    let points = ablate_sphere_grid(scale);
+    let result = run_grid("ablate_sphere", scale, &points)?;
+    let psrs: Vec<f64> = (0..radii.len())
+        .map(|i| arm_percents(&result, i)[0])
+        .collect();
     Ok(ExperimentResult {
         id: "Ablation: sphere radius".into(),
         description: "PSR vs fixed-sphere radius (64-QAM 2/3, ACI, SIR −10 dB)".into(),
@@ -696,31 +958,13 @@ pub fn ablate_sphere_radius(scale: &FigureScale) -> Result<ExperimentResult> {
 
 /// Ablation: product (amplitude, phase) kernel vs amplitude-only kernel.
 pub fn ablate_kernel(scale: &FigureScale) -> Result<ExperimentResult> {
-    let params = params();
-    let mcs = Mcs::new(Modulation::Qam16, CodeRate::Half);
-    let sirs: Vec<f64> = if scale.coarse {
-        vec![-10.0]
-    } else {
-        vec![-20.0, -10.0, 0.0]
-    };
-    // An enormous phase bandwidth makes the phase kernel uninformative, isolating the
-    // contribution of the amplitude axis.
-    let amplitude_only = CpRecycleConfig {
-        bandwidth_phase: Some(1.0e6),
-        ..Default::default()
-    };
-    let receivers = vec![
-        ReceiverKind::CpRecycle(CpRecycleConfig::default()),
-        ReceiverKind::CpRecycle(amplitude_only),
-    ];
+    let sirs = ablate_kernel_sirs(scale);
+    let points = ablate_kernel_grid(scale);
+    let result = run_grid("ablate_kernel", scale, &points)?;
     let mut product = Vec::new();
     let mut amp_only = Vec::new();
-    for sir in &sirs {
-        let scenario = Scenario::Aci(AciScenario {
-            sir_db: *sir,
-            ..Default::default()
-        });
-        let psr = packet_success_rate(&params, mcs, &scenario, &receivers, &scale.monte_carlo())?;
+    for i in 0..sirs.len() {
+        let psr = arm_percents(&result, i);
         product.push(psr[0]);
         amp_only.push(psr[1]);
     }
@@ -757,8 +1001,7 @@ mod tests {
     fn fig4a_oracle_sees_less_interference_than_standard() {
         let r = fig4a(&FigureScale::smoke()).unwrap();
         assert_eq!(r.series.len(), 2);
-        let standard_mean: f64 =
-            r.series[0].y.iter().sum::<f64>() / r.series[0].y.len() as f64;
+        let standard_mean: f64 = r.series[0].y.iter().sum::<f64>() / r.series[0].y.len() as f64;
         let oracle_mean: f64 = r.series[1].y.iter().sum::<f64>() / r.series[1].y.len() as f64;
         assert!(
             standard_mean > oracle_mean + 3.0,
@@ -774,8 +1017,15 @@ mod tests {
             assert_eq!(s.x.len(), 17);
             let max = s.y.iter().cloned().fold(f64::MIN, f64::max);
             let min = s.y.iter().cloned().fold(f64::MAX, f64::min);
-            assert!((max - 0.0).abs() < 1e-9, "normalised maximum should be 0 dB");
-            assert!(max - min > 2.0, "expected per-segment variation, got {} dB", max - min);
+            assert!(
+                (max - 0.0).abs() < 1e-9,
+                "normalised maximum should be 0 dB"
+            );
+            assert!(
+                max - min > 2.0,
+                "expected per-segment variation, got {} dB",
+                max - min
+            );
         }
     }
 
@@ -816,6 +1066,21 @@ mod tests {
             s.x[idx]
         };
         assert!(median(&r.series[1]) <= median(&r.series[0]));
+    }
+
+    #[test]
+    fn figure_grids_are_registered_and_nonempty() {
+        let scale = FigureScale::smoke();
+        for name in CAMPAIGN_FIGURES {
+            let grid = figure_grid(name, &scale).unwrap_or_else(|| panic!("{name} missing"));
+            assert!(!grid.is_empty(), "{name}");
+            // Labels are set and payloads follow the scale.
+            for point in &grid {
+                assert!(!point.label.is_empty());
+                assert_eq!(point.payload_len, scale.payload_len);
+            }
+        }
+        assert!(figure_grid("table1", &scale).is_none());
     }
 
     #[test]

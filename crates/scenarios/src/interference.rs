@@ -138,7 +138,7 @@ pub fn interferer_waveform<R: Rng + ?Sized>(
         let frame = tx.build_frame(&payload, mcs, seed)?;
         wave.extend(frame.samples);
         // Short idle gap (SIFS-like) between back-to-back transmissions.
-        wave.extend(std::iter::repeat(Complex::zero()).take(16));
+        wave.extend(std::iter::repeat_n(Complex::zero(), 16));
     }
     wave.truncate(len);
     Ok(wave)
@@ -259,8 +259,7 @@ impl CciScenario {
                 apply_cfo(&mut wave, self.interferer_cfo_hz, params.sample_rate_hz)
                     .map_err(|e| PhyError::invalid("interferer_cfo_hz", e.to_string()))?;
             }
-            let delay =
-                params.cp_len as f64 + rng.gen::<f64>() * params.symbol_len() as f64;
+            let delay = params.cp_len as f64 + rng.gen::<f64>() * params.symbol_len() as f64;
             let delayed = fractional_delay(&wave, delay, 16)?;
             let p_int = signal_power(&delayed)?;
             if p_int <= 0.0 {
@@ -307,9 +306,13 @@ mod tests {
         let params = OfdmParams::ieee80211ag();
         let tx = Transmitter::new(params);
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        let wave =
-            interferer_waveform(&mut rng, &tx, Mcs::new(Modulation::Qpsk, CodeRate::Half), 5000)
-                .unwrap();
+        let wave = interferer_waveform(
+            &mut rng,
+            &tx,
+            Mcs::new(Modulation::Qpsk, CodeRate::Half),
+            5000,
+        )
+        .unwrap();
         assert_eq!(wave.len(), 5000);
         assert!(signal_power(&wave).unwrap() > 0.0);
     }
@@ -358,13 +361,16 @@ mod tests {
             psdu_len: payload.len() + 4,
         };
         let decoded = rx.decode_frame(&out.received, 0, Some(info)).unwrap();
-        assert!(!decoded.crc_ok, "a -20 dB adjacent interferer with no guard band should kill the packet");
+        assert!(
+            !decoded.crc_ok,
+            "a -20 dB adjacent interferer with no guard band should kill the packet"
+        );
     }
 
     #[test]
     fn aci_in_band_interference_power_grows_as_guard_band_shrinks() {
         let (params, frame, _, _) = victim();
-        let mut measure = |guard: f64| {
+        let measure = |guard: f64| {
             let mut rng = rand::rngs::StdRng::seed_from_u64(4);
             let scenario = AciScenario {
                 oversample: 4,

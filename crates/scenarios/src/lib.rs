@@ -11,12 +11,16 @@
 //!   adjacent-channel energy leaks into a real receiver.
 //! * [`interference`] — scenario builders for adjacent-channel interference (single and
 //!   dual interferer, configurable guard band) and co-channel interference.
-//! * [`link`] — the packet-level Monte-Carlo engine: build a frame, run it through a
-//!   scenario, decode with every receiver under test (Standard, CPRecycle, Naive,
-//!   Oracle), tally packet success rates.
-//! * [`figures`] — one driver per table/figure of the paper, returning serialisable
-//!   result series that the `cprecycle-bench` binaries print and that EXPERIMENTS.md
-//!   records.
+//! * [`link`] — packet-level link trials on top of the `cprecycle-engine` campaign
+//!   engine: a [`link::LinkPoint`] is one operating point (numerology × modulation ×
+//!   scenario × receiver set), one trial builds a frame, renders the scenario and
+//!   decodes with every receiver under test (Standard, CPRecycle, Naive, Oracle), and
+//!   whole grids run as parallel, checkpointable, deterministically replayable
+//!   campaigns.
+//! * [`figures`] — one driver per table/figure of the paper; every Monte-Carlo figure
+//!   submits its full grid to the engine as one campaign (see
+//!   [`figures::figure_grid`]) and returns serialisable result series that the
+//!   `cprecycle-bench` binaries print and that EXPERIMENTS.md records.
 //! * [`neighbors`] — the synthetic office-building model behind Fig. 13.
 //! * [`report`] — plain-text rendering of result series.
 

@@ -10,13 +10,16 @@
 //! structurally similar building: five floors, eight APs per floor laid out on a grid,
 //! log-distance path loss with shadowing and per-floor penetration loss.
 
+use cprecycle_engine::{
+    run_campaign, CampaignConfig, CampaignPoint, CampaignResult, EngineError, PointResult,
+    RunOptions, TrialOutcome, TrialRecord,
+};
 use rand::Rng;
 use rfdsp::stats::EmpiricalCdf;
-use serde::{Deserialize, Serialize};
 use wirelesschan::pathloss::{received_power_dbm, LogDistanceModel, PenetrationLoss};
 
 /// Synthetic office-building deployment.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BuildingModel {
     /// Number of floors (the paper's building has five).
     pub floors: usize,
@@ -48,7 +51,7 @@ impl Default for BuildingModel {
 }
 
 /// Per-receiver neighbor-count distributions.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NeighborCounts {
     /// Number of interfering neighbors per AP with a standard receiver.
     pub standard: Vec<usize>,
@@ -138,6 +141,78 @@ pub fn simulate_neighbors<R: Rng + ?Sized>(rng: &mut R, model: &BuildingModel) -
     }
 }
 
+/// A building model as an engine grid point: each trial is one independent building
+/// realization, and the per-AP neighbor counts flow through the tallies' auxiliary
+/// sample streams (arm 0 = Standard, arm 1 = CPRecycle).
+#[derive(Debug, Clone)]
+pub struct NeighborPoint {
+    /// The synthetic building deployment to realize.
+    pub model: BuildingModel,
+}
+
+impl CampaignPoint for NeighborPoint {
+    fn key(&self) -> String {
+        format!("neighbors;{:?}", self.model)
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "{} floors × {} APs",
+            self.model.floors, self.model.aps_per_floor
+        )
+    }
+
+    fn arm_labels(&self) -> Vec<String> {
+        vec!["Standard".into(), "CPRecycle".into()]
+    }
+}
+
+/// Executes one neighbor-survey trial: realize the building once, count interfering
+/// neighbors under both thresholds.
+pub fn run_neighbor_trial(model: &BuildingModel, rng: &mut rand::rngs::StdRng) -> TrialRecord {
+    let counts = simulate_neighbors(rng, model);
+    let to_outcome = |counts: &[usize]| TrialOutcome {
+        success: true,
+        metric: counts.iter().sum::<usize>() as f64 / counts.len().max(1) as f64,
+        samples: counts.iter().map(|c| *c as f64).collect(),
+    };
+    TrialRecord {
+        arms: vec![to_outcome(&counts.standard), to_outcome(&counts.cprecycle)],
+    }
+}
+
+/// Runs the Fig. 13 survey as an engine campaign: `config.trials_per_point`
+/// independent building realizations, parallelised and checkpointable like any other
+/// campaign.
+pub fn run_neighbor_campaign(
+    config: &CampaignConfig,
+    model: &BuildingModel,
+    options: &RunOptions<'_>,
+) -> Result<CampaignResult, EngineError> {
+    let points = [NeighborPoint {
+        model: model.clone(),
+    }];
+    run_campaign(
+        config,
+        &points,
+        || (),
+        |_state, point, _pi, _ti, rng| -> Result<TrialRecord, EngineError> {
+            Ok(run_neighbor_trial(&point.model, rng))
+        },
+        options,
+    )
+}
+
+/// Rebuilds pooled neighbor-count distributions from a neighbor campaign's point
+/// result (the inverse of [`run_neighbor_trial`]'s sample encoding).
+pub fn counts_from_campaign(point: &PointResult) -> NeighborCounts {
+    let to_counts = |samples: &[f64]| samples.iter().map(|s| *s as usize).collect();
+    NeighborCounts {
+        standard: to_counts(&point.arms[0].samples),
+        cprecycle: to_counts(&point.arms[1].samples),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,6 +259,25 @@ mod tests {
                 assert!(w[1].1 >= w[0].1);
             }
             assert!((curve.last().unwrap().1 - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn neighbor_campaign_pools_realizations_deterministically() {
+        let config = CampaignConfig::new("neighbors-test", 5).trials(3);
+        let model = BuildingModel::default();
+        let serial =
+            run_neighbor_campaign(&config.clone().threads(1), &model, &RunOptions::default())
+                .unwrap();
+        let parallel =
+            run_neighbor_campaign(&config.threads(4), &model, &RunOptions::default()).unwrap();
+        assert_eq!(serial.deterministic_view(), parallel.deterministic_view());
+        let counts = counts_from_campaign(&serial.points[0]);
+        // 3 realizations × 40 APs pooled per arm.
+        assert_eq!(counts.standard.len(), 120);
+        assert_eq!(counts.cprecycle.len(), 120);
+        for (s, c) in counts.standard.iter().zip(&counts.cprecycle) {
+            assert!(c <= s, "threshold shift can only remove neighbors");
         }
     }
 

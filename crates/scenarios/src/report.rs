@@ -4,10 +4,10 @@
 //! series plus metadata — which the `cprecycle-bench` binaries print as aligned text
 //! tables (and optionally dump as JSON for plotting).
 
-use serde::{Deserialize, Serialize};
+use cpjson::{object, FromJson, ToJson, Value};
 
 /// One labelled data series (a curve in a paper figure).
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// Legend label, e.g. "16-QAM 1/2, with CPRecycle".
     pub label: String,
@@ -29,8 +29,28 @@ impl Series {
     }
 }
 
+impl ToJson for Series {
+    fn to_json(&self) -> Value {
+        object(vec![
+            ("label", self.label.to_json()),
+            ("x", self.x.to_json()),
+            ("y", self.y.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Series {
+    fn from_json(value: &Value) -> cpjson::Result<Self> {
+        Ok(Series {
+            label: value.field_as("label")?,
+            x: value.field_as("x")?,
+            y: value.field_as("y")?,
+        })
+    }
+}
+
 /// A complete experiment result (one paper table or figure).
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentResult {
     /// Identifier matching the paper ("Figure 8", "Table 1", …).
     pub id: String,
@@ -73,11 +93,10 @@ impl ExperimentResult {
         for &x in &xs {
             out.push_str(&format!("{x:>14.3}"));
             for s in &self.series {
-                let y = s
-                    .x
-                    .iter()
-                    .position(|v| (*v - x).abs() < 1e-9)
-                    .map(|i| s.y[i]);
+                let y =
+                    s.x.iter()
+                        .position(|v| (*v - x).abs() < 1e-9)
+                        .map(|i| s.y[i]);
                 match y {
                     Some(y) => out.push_str(&format!(" | {y:>28.3}")),
                     None => out.push_str(&format!(" | {:>28}", "-")),
@@ -91,7 +110,36 @@ impl ExperimentResult {
 
     /// Serialises the result as pretty JSON (for downstream plotting).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("ExperimentResult is always serialisable")
+        ToJson::to_json(self).pretty()
+    }
+
+    /// Parses a result previously serialised with [`ExperimentResult::to_json`].
+    pub fn from_json_str(text: &str) -> cpjson::Result<Self> {
+        FromJson::from_json(&Value::parse(text)?)
+    }
+}
+
+impl ToJson for ExperimentResult {
+    fn to_json(&self) -> Value {
+        object(vec![
+            ("id", self.id.to_json()),
+            ("description", self.description.to_json()),
+            ("x_label", self.x_label.to_json()),
+            ("y_label", self.y_label.to_json()),
+            ("series", self.series.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ExperimentResult {
+    fn from_json(value: &Value) -> cpjson::Result<Self> {
+        Ok(ExperimentResult {
+            id: value.field_as("id")?,
+            description: value.field_as("description")?,
+            x_label: value.field_as("x_label")?,
+            y_label: value.field_as("y_label")?,
+            series: value.field_as("series")?,
+        })
     }
 }
 
@@ -129,7 +177,7 @@ mod tests {
     fn json_roundtrip() {
         let r = sample();
         let json = r.to_json();
-        let back: ExperimentResult = serde_json::from_str(&json).unwrap();
+        let back = ExperimentResult::from_json_str(&json).unwrap();
         assert_eq!(back, r);
     }
 

@@ -98,18 +98,29 @@ mod tests {
         let params = OfdmParams::ieee80211ag();
         let tx = Transmitter::new(params);
         let frame = tx
-            .build_frame(&[0xAB; 200], Mcs::new(Modulation::Qpsk, CodeRate::Half), 0x11)
+            .build_frame(
+                &[0xAB; 200],
+                Mcs::new(Modulation::Qpsk, CodeRate::Half),
+                0x11,
+            )
             .unwrap();
         let wide = upsample_interp(&frame.samples, 4).unwrap();
         assert_eq!(wide.len(), frame.samples.len() * 4);
         let p_narrow = signal_power(&frame.samples).unwrap();
         let p_wide = signal_power(&wide).unwrap();
-        assert!((p_wide - p_narrow).abs() / p_narrow < 0.1, "power {p_wide} vs {p_narrow}");
+        assert!(
+            (p_wide - p_narrow).abs() / p_narrow < 0.1,
+            "power {p_wide} vs {p_narrow}"
+        );
         // The oversampled spectrum must be confined to the central quarter of the band.
         let psd = welch_psd(&wide, 256).unwrap();
         let in_band: f64 = psd[..32].iter().sum::<f64>() + psd[224..].iter().sum::<f64>();
         let total: f64 = psd.iter().sum();
-        assert!(in_band / total > 0.98, "in-band fraction {}", in_band / total);
+        assert!(
+            in_band / total > 0.98,
+            "in-band fraction {}",
+            in_band / total
+        );
     }
 
     #[test]
@@ -123,9 +134,13 @@ mod tests {
             .map(|t| Complex::cis(2.0 * std::f64::consts::PI * 20e6 / fs * t as f64))
             .collect();
         let out = channel_select_and_decimate(&tone, factor).unwrap();
-        let attenuation_db =
-            10.0 * (signal_power(&tone).unwrap() / signal_power(&out[100..]).unwrap().max(1e-30)).log10();
-        assert!(attenuation_db > 30.0, "attenuation only {attenuation_db} dB");
+        let attenuation_db = 10.0
+            * (signal_power(&tone).unwrap() / signal_power(&out[100..]).unwrap().max(1e-30))
+                .log10();
+        assert!(
+            attenuation_db > 30.0,
+            "attenuation only {attenuation_db} dB"
+        );
     }
 
     #[test]

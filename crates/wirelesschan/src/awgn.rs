@@ -89,7 +89,10 @@ mod tests {
                 .sum::<f64>()
                 / clean.len() as f64;
             let measured = lin_to_db(signal_power(&clean).unwrap() / noise_power);
-            assert!((measured - snr).abs() < 0.3, "snr {snr} measured {measured}");
+            assert!(
+                (measured - snr).abs() < 0.3,
+                "snr {snr} measured {measured}"
+            );
         }
     }
 

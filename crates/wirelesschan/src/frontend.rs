@@ -159,8 +159,8 @@ impl TxFrontend {
             None => signal.to_vec(),
         };
         if let Some(pa) = &self.pa {
-            let rms = (out.iter().map(|s| s.norm_sqr()).sum::<f64>() / out.len().max(1) as f64)
-                .sqrt();
+            let rms =
+                (out.iter().map(|s| s.norm_sqr()).sum::<f64>() / out.len().max(1) as f64).sqrt();
             if rms > 0.0 {
                 for s in out.iter_mut() {
                     *s = s.scale(1.0 / rms);
@@ -181,9 +181,9 @@ impl TxFrontend {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::SeedableRng;
     use rfdsp::noise::GaussianSource;
     use rfdsp::power::{signal_power, welch_psd};
-    use rand::SeedableRng;
 
     #[test]
     fn rapp_validation() {
@@ -233,7 +233,9 @@ mod tests {
         let lp = FirFilter::lowpass_hamming(63, 0.1).unwrap();
         let band_limited = lp.filter_same(&raw);
         let mut amplified = band_limited.clone();
-        RappPa::with_backoff_db(1.0, 2.0).unwrap().apply(&mut amplified);
+        RappPa::with_backoff_db(1.0, 2.0)
+            .unwrap()
+            .apply(&mut amplified);
 
         let oob_power = |x: &[Complex]| {
             let psd = welch_psd(x, 128).unwrap();
@@ -244,7 +246,10 @@ mod tests {
         };
         let before = oob_power(&band_limited);
         let after = oob_power(&amplified);
-        assert!(after > 3.0 * before, "regrowth: before {before}, after {after}");
+        assert!(
+            after > 3.0 * before,
+            "regrowth: before {before}, after {after}"
+        );
     }
 
     #[test]

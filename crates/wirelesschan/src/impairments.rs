@@ -21,7 +21,7 @@ pub fn apply_cfo(signal: &mut [Complex], cfo_hz: f64, sample_rate_hz: f64) -> Re
     }
     let step = 2.0 * std::f64::consts::PI * cfo_hz / sample_rate_hz;
     for (t, s) in signal.iter_mut().enumerate() {
-        *s = *s * Complex::cis(step * t as f64);
+        *s *= Complex::cis(step * t as f64);
     }
     Ok(())
 }
@@ -42,7 +42,10 @@ impl WienerPhaseNoise {
     /// Creates a phase-noise process with the given linewidth and sample rate.
     pub fn new(linewidth_hz: f64, sample_rate_hz: f64) -> Result<Self> {
         if linewidth_hz < 0.0 {
-            return Err(ChannelError::invalid("linewidth_hz", "must be non-negative"));
+            return Err(ChannelError::invalid(
+                "linewidth_hz",
+                "must be non-negative",
+            ));
         }
         if sample_rate_hz <= 0.0 {
             return Err(ChannelError::invalid("sample_rate_hz", "must be positive"));
@@ -61,7 +64,7 @@ impl WienerPhaseNoise {
         let mut phase = 0.0;
         for s in signal.iter_mut() {
             phase += gauss.sample(rng, 0.0, sigma);
-            *s = *s * Complex::cis(phase);
+            *s *= Complex::cis(phase);
         }
         phase
     }
@@ -73,9 +76,7 @@ impl WienerPhaseNoise {
 pub fn apply_integer_delay(signal: &[Complex], offset: usize) -> Vec<Complex> {
     let n = signal.len();
     let mut out = vec![Complex::zero(); n];
-    for i in offset..n {
-        out[i] = signal[i - offset];
-    }
+    out[offset..n].copy_from_slice(&signal[..n - offset]);
     out
 }
 

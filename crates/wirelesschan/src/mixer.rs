@@ -108,7 +108,11 @@ pub fn render_interferer(
         frequency_shift(&delayed, spec.frequency_offset)
     };
     // Scale to the target SIR relative to the signal of interest.
-    let nonzero: Vec<Complex> = shifted.iter().copied().filter(|s| s.norm_sqr() > 0.0).collect();
+    let nonzero: Vec<Complex> = shifted
+        .iter()
+        .copied()
+        .filter(|s| s.norm_sqr() > 0.0)
+        .collect();
     if nonzero.is_empty() {
         return Err(ChannelError::invalid(
             "waveform",
@@ -129,7 +133,10 @@ pub fn combine(signal: &[Complex], interferers: &[InterfererSpec]) -> Result<Com
         return Err(ChannelError::EmptyInput);
     }
     if signal_power(signal)? == 0.0 {
-        return Err(ChannelError::invalid("signal", "zero-power signal of interest"));
+        return Err(ChannelError::invalid(
+            "signal",
+            "zero-power signal of interest",
+        ));
     }
     let len = signal.len();
     let mut composite = signal.to_vec();
@@ -150,9 +157,9 @@ pub fn combine(signal: &[Complex], interferers: &[InterfererSpec]) -> Result<Com
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::SeedableRng;
     use rfdsp::noise::GaussianSource;
     use rfdsp::power::lin_to_db;
-    use rand::SeedableRng;
 
     fn test_signal(n: usize, seed: u64) -> Vec<Complex> {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -178,7 +185,10 @@ mod tests {
             let ps = signal_power(&sig).unwrap();
             let pi = signal_power(&out.interference[0]).unwrap();
             let measured = lin_to_db(ps / pi);
-            assert!((measured - sir).abs() < 0.3, "target {sir} measured {measured}");
+            assert!(
+                (measured - sir).abs() < 0.3,
+                "target {sir} measured {measured}"
+            );
         }
     }
 
@@ -187,9 +197,9 @@ mod tests {
         let sig = test_signal(512, 4);
         let spec = InterfererSpec::new(test_signal(512, 5), 0.1, 3.0, -5.0);
         let out = combine(&sig, &[spec]).unwrap();
-        for t in 0..512 {
+        for (t, composite) in out.composite.iter().enumerate() {
             let expected = sig[t] + out.interference[0][t];
-            assert!((out.composite[t] - expected).norm() < 1e-9);
+            assert!((*composite - expected).norm() < 1e-9);
         }
     }
 

@@ -51,11 +51,17 @@ impl PowerDelayProfile {
             return Err(ChannelError::EmptyInput);
         }
         if taps.iter().any(|(_, p)| *p < 0.0) {
-            return Err(ChannelError::invalid("taps", "tap powers must be non-negative"));
+            return Err(ChannelError::invalid(
+                "taps",
+                "tap powers must be non-negative",
+            ));
         }
         let total: f64 = taps.iter().map(|(_, p)| p).sum();
         if total <= 0.0 {
-            return Err(ChannelError::invalid("taps", "total tap power must be positive"));
+            return Err(ChannelError::invalid(
+                "taps",
+                "total tap power must be positive",
+            ));
         }
         for t in taps.iter_mut() {
             t.1 /= total;
@@ -140,8 +146,7 @@ impl IndoorProfile {
             IndoorProfile::Office => (6, 2.0),
             IndoorProfile::LargeOpenSpace => (10, 5.0),
         };
-        PowerDelayProfile::exponential(taps, spread)
-            .expect("preset parameters are always valid")
+        PowerDelayProfile::exponential(taps, spread).expect("preset parameters are always valid")
     }
 
     /// Nominal RMS delay spread in nanoseconds.
@@ -355,11 +360,8 @@ mod tests {
         let mut strong_los = 0.0;
         let trials = 1000;
         for _ in 0..trials {
-            let ch = MultipathChannel::realize(
-                &pdp,
-                FadingKind::Rician { k_factor: 20.0 },
-                &mut rng,
-            );
+            let ch =
+                MultipathChannel::realize(&pdp, FadingKind::Rician { k_factor: 20.0 }, &mut rng);
             strong_los += ch.impulse_response()[0].re;
         }
         // With K=20 the LOS component dominates, so the mean real part is clearly positive.
@@ -401,8 +403,8 @@ mod tests {
     #[test]
     fn frequency_response_of_two_tap_channel_has_notches() {
         // h = [1, 1] has nulls at odd multiples of half the sample rate.
-        let ch = MultipathChannel::from_impulse_response(vec![Complex::one(), Complex::one()])
-            .unwrap();
+        let ch =
+            MultipathChannel::from_impulse_response(vec![Complex::one(), Complex::one()]).unwrap();
         let h = ch.frequency_response(64);
         assert!((h[0].norm() - 2.0).abs() < 1e-12);
         assert!(h[32].norm() < 1e-12);

@@ -30,8 +30,14 @@ fn main() {
         payload_len: 200,
         seed: 2024,
     };
-    println!("Adjacent-channel interferer on an overlapping channel (15 MHz away), {}", mcs.label());
-    println!("{:>8} | {:>22} | {:>22}", "SIR(dB)", "PSR without CPRecycle", "PSR with CPRecycle");
+    println!(
+        "Adjacent-channel interferer on an overlapping channel (15 MHz away), {}",
+        mcs.label()
+    );
+    println!(
+        "{:>8} | {:>22} | {:>22}",
+        "SIR(dB)", "PSR without CPRecycle", "PSR with CPRecycle"
+    );
     for sir in [-25.0, -20.0, -15.0, -10.0, -5.0, 0.0] {
         let scenario = Scenario::Aci(AciScenario {
             sir_db: sir,

@@ -36,7 +36,10 @@ fn main() {
     println!("  CPRecycle — mean {cp_avg:.1}, median {cp_median}, 80th percentile {cp_p80}");
 
     println!("\nCDF (number of interfering neighbors -> fraction of APs):");
-    println!("{:>10} | {:>10} | {:>10}", "neighbors", "Standard", "CPRecycle");
+    println!(
+        "{:>10} | {:>10} | {:>10}",
+        "neighbors", "Standard", "CPRecycle"
+    );
     let std_cdf = counts.standard_cdf();
     let cp_cdf = counts.cprecycle_cdf();
     for n in (0..=24).step_by(4) {

@@ -34,7 +34,8 @@ fn main() {
     let mut captured = vec![rfdsp::Complex::zero(); 300];
     captured.extend_from_slice(&frame.samples);
     let mut awgn = AwgnChannel::new();
-    awgn.add_noise_snr(&mut rng, &mut captured, 25.0).expect("noise");
+    awgn.add_noise_snr(&mut rng, &mut captured, 25.0)
+        .expect("noise");
 
     // Detect the frame, then decode with both receivers.
     let sync = Synchronizer::new(params.clone());

@@ -34,8 +34,14 @@ fn main() {
     };
     let sir = -20.0;
     let guards_mhz = [0.0, 2.5, 5.0, 7.5, 10.0, 15.0, 20.0];
-    println!("Incumbent transmitter 20 dB stronger than the secondary link ({})", mcs.label());
-    println!("{:>12} | {:>12} | {:>12}", "Guard (MHz)", "Standard", "CPRecycle");
+    println!(
+        "Incumbent transmitter 20 dB stronger than the secondary link ({})",
+        mcs.label()
+    );
+    println!(
+        "{:>12} | {:>12} | {:>12}",
+        "Guard (MHz)", "Standard", "CPRecycle"
+    );
     let mut needed = [f64::INFINITY, f64::INFINITY];
     for guard in guards_mhz {
         let scenario = Scenario::Aci(AciScenario {

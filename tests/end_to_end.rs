@@ -108,7 +108,11 @@ fn isi_free_detection_feeds_the_receiver_configuration() {
         0.9,
     )
     .unwrap();
-    assert!(estimate.isi_free_samples >= 10, "detected {}", estimate.isi_free_samples);
+    assert!(
+        estimate.isi_free_samples >= 10,
+        "detected {}",
+        estimate.isi_free_samples
+    );
 
     let config = CpRecycleConfig {
         isi_free_samples: Some(estimate.isi_free_samples),

@@ -1,16 +1,16 @@
 //! Integration tests that exercise the figure drivers end to end at smoke scale and
 //! check the qualitative relationships the paper reports.
 
-use cprecycle_repro::scenarios::figures::{self, FigureScale};
-use cprecycle_repro::scenarios::interference::{AciScenario, CciScenario};
-use cprecycle_repro::scenarios::link::{
-    packet_success_rate, MonteCarloConfig, ReceiverKind, Scenario,
-};
 use cprecycle_repro::cprecycle::CpRecycleConfig;
 use cprecycle_repro::ofdmphy::convcode::CodeRate;
 use cprecycle_repro::ofdmphy::frame::Mcs;
 use cprecycle_repro::ofdmphy::modulation::Modulation;
 use cprecycle_repro::ofdmphy::params::OfdmParams;
+use cprecycle_repro::scenarios::figures::{self, FigureScale};
+use cprecycle_repro::scenarios::interference::{AciScenario, CciScenario};
+use cprecycle_repro::scenarios::link::{
+    packet_success_rate, MonteCarloConfig, ReceiverKind, Scenario,
+};
 
 #[test]
 fn table1_reproduces_the_paper_rows() {
@@ -45,10 +45,16 @@ fn oracle_dominates_standard_in_interference_power_terms() {
     let oracle = &r.series[1].y;
     let mut advantage = 0.0;
     for (s, o) in standard.iter().zip(oracle) {
-        assert!(*o <= *s + 1e-6, "oracle must not exceed standard: {o} vs {s}");
+        assert!(
+            *o <= *s + 1e-6,
+            "oracle must not exceed standard: {o} vs {s}"
+        );
         advantage += s - o;
     }
-    assert!(advantage / standard.len() as f64 > 3.0, "mean oracle advantage too small");
+    assert!(
+        advantage / standard.len() as f64 > 3.0,
+        "mean oracle advantage too small"
+    );
 }
 
 #[test]
@@ -105,7 +111,10 @@ fn guard_band_helps_both_receivers_under_aci() {
         wide >= overlapping,
         "a 15 MHz guard band ({wide}%) must not be worse than overlapping channels ({overlapping}%)"
     );
-    assert!(wide >= 50.0, "with a 15 MHz guard band most packets should survive, got {wide}%");
+    assert!(
+        wide >= 50.0,
+        "with a 15 MHz guard band most packets should survive, got {wide}%"
+    );
 }
 
 #[test]
