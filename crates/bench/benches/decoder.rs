@@ -25,7 +25,7 @@ fn trained_model(engine: &OfdmEngine, bin: usize, num_segments: usize) -> Interf
             seg
         })
         .collect();
-    let segments = SymbolSegments { values };
+    let segments = SymbolSegments::from_rows(values);
     InterferenceModel::train(
         engine,
         &[segments],

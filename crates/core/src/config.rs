@@ -1,5 +1,6 @@
 //! Configuration of the CPRecycle receiver.
 
+use crate::segments::SegmentExtraction;
 use rfdsp::kde::BandwidthSelector;
 
 /// Tuning knobs of the CPRecycle receiver (the paper's `B_a`, `B_φ`, `R` and `P`
@@ -38,6 +39,11 @@ pub struct CpRecycleConfig {
     /// vector is numerically meaningless, so an un-floored phase bandwidth is even more
     /// fragile).
     pub min_bandwidth_phase: f64,
+    /// Which kernel extracts the per-symbol FFT segments: the `O(F)`-per-segment
+    /// sliding DFT (default) or the direct per-segment FFT reference implementation.
+    /// The two agree to ≤ 1e-9 (property-tested); the switch exists for validation and
+    /// A/B timing.
+    pub extraction: SegmentExtraction,
 }
 
 impl Default for CpRecycleConfig {
@@ -51,6 +57,7 @@ impl Default for CpRecycleConfig {
             isi_free_samples: None,
             min_bandwidth_amplitude: 0.05,
             min_bandwidth_phase: 0.2,
+            extraction: SegmentExtraction::default(),
         }
     }
 }
@@ -82,6 +89,7 @@ mod tests {
     fn default_uses_whole_cp_and_data_driven_bandwidths() {
         let c = CpRecycleConfig::default();
         assert_eq!(c.num_segments, 16);
+        assert_eq!(c.extraction, SegmentExtraction::Sliding);
         assert!(c.data_driven_bandwidth);
         assert!(c.isi_free_samples.is_none());
         assert_eq!(c.bandwidth_selector(None), BandwidthSelector::LeaveOneOut);

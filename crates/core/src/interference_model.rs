@@ -27,10 +27,20 @@ use rfdsp::Complex;
 
 /// Amplitude/phase deviation of an observation from a reference lattice point
 /// (the paper's `A(·)` and `Φ(·)` of the error vector).
+///
+/// The phase of a numerically-zero error vector (amplitude below `1e-9` on the
+/// unit-power constellation scale) is pure floating-point noise, so it is pinned to
+/// `0` — otherwise a clean-channel model would train on rounding garbage and its
+/// decisions would depend on which extraction kernel produced the rounding.
 #[inline]
 pub fn deviation(observed: Complex, reference: Complex) -> (f64, f64) {
     let err = observed - reference;
-    (err.norm(), err.arg())
+    let amplitude = err.norm();
+    if amplitude < 1e-9 {
+        (amplitude, 0.0)
+    } else {
+        (amplitude, err.arg())
+    }
 }
 
 /// A trained per-subcarrier interference model.
@@ -119,8 +129,10 @@ impl InterferenceModel {
             if reference[bin].norm_sqr() == 0.0 {
                 continue;
             }
-            for seg in &segments.values {
-                let (a, p) = deviation(seg[bin], reference[bin]);
+            // Bin-major storage makes this the contiguous, allocation-free access
+            // pattern: all `P` observations of one bin in a single slice.
+            for obs in segments.bin_observations(bin) {
+                let (a, p) = deviation(*obs, reference[bin]);
                 self.samples[bin].push((a, p));
             }
         }

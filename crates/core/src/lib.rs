@@ -58,6 +58,7 @@ pub mod sphere_ml;
 pub use config::CpRecycleConfig;
 pub use interference_model::InterferenceModel;
 pub use receiver::CpRecycleReceiver;
+pub use segments::{SegmentExtraction, SegmentScratch, SymbolSegments};
 pub use sphere_ml::FixedSphereMlDecoder;
 
 /// Convenience alias: the crate reuses the PHY error type since every failure mode is a

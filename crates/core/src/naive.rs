@@ -13,6 +13,7 @@
 //! and ignoring phase structure); the tests below reproduce the outlier failure mode
 //! that motivates the KDE + ML design.
 
+use crate::segments::SymbolSegments;
 use ofdmphy::modulation::Modulation;
 use rfdsp::Complex;
 
@@ -34,13 +35,17 @@ pub fn decode_subcarrier(observations: &[Complex], modulation: Modulation) -> (C
     (best_point, best_bits)
 }
 
-/// Decodes a whole symbol's worth of subcarriers: `observations[bin_index]` holds the
-/// `P` segment values of one data subcarrier (in increasing bin order). Returns the
-/// decided lattice points, ready for the shared bit pipeline.
-pub fn decode_symbol(observations: &[Vec<Complex>], modulation: Modulation) -> Vec<Complex> {
-    observations
-        .iter()
-        .map(|obs| decode_subcarrier(obs, modulation).0)
+/// Decodes a whole symbol's worth of subcarriers straight from the extracted segments:
+/// every FFT bin in `bins` (increasing order) is decided from its `P` observations —
+/// an allocation-free slice in the bin-major layout. Returns the decided lattice
+/// points, ready for the shared bit pipeline.
+pub fn decode_symbol(
+    segments: &SymbolSegments,
+    bins: &[usize],
+    modulation: Modulation,
+) -> Vec<Complex> {
+    bins.iter()
+        .map(|&bin| decode_subcarrier(segments.bin_observations(bin), modulation).0)
         .collect()
 }
 
@@ -108,8 +113,11 @@ mod tests {
     fn decode_symbol_maps_each_subcarrier() {
         let m = Modulation::Qam16;
         let points = m.points();
-        let per_bin: Vec<Vec<Complex>> = points.iter().take(8).map(|p| vec![*p; 3]).collect();
-        let decided = decode_symbol(&per_bin, m);
+        // Three identical segments over an 8-bin toy FFT, one constellation point per bin.
+        let row: Vec<Complex> = points.iter().take(8).copied().collect();
+        let segments = SymbolSegments::from_rows(vec![row.clone(), row.clone(), row]);
+        let bins: Vec<usize> = (0..8).collect();
+        let decided = decode_symbol(&segments, &bins, m);
         assert_eq!(decided.len(), 8);
         for (d, p) in decided.iter().zip(points.iter().take(8)) {
             assert!((*d - *p).norm() < 1e-12);

@@ -71,7 +71,7 @@ pub fn decode_symbol(
         .iter()
         .map(|&bin| {
             let seg = selection.best_segment[bin].min(segments.num_segments() - 1);
-            let observation = segments.values[seg][bin];
+            let observation = segments.value(seg, bin);
             modulation.nearest_point(observation).0
         })
         .collect()
@@ -133,9 +133,7 @@ mod tests {
             Complex::new(-2.0, 0.0),
             Complex::new(-1.0, 0.0),
         ];
-        let segments = SymbolSegments {
-            values: vec![clean.clone(), corrupted],
-        };
+        let segments = SymbolSegments::from_rows(vec![clean.clone(), corrupted]);
         let selection = OracleSelection {
             best_segment: vec![0, 0, 0, 1],
             min_interference: vec![0.0; 4],

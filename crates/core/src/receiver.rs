@@ -19,7 +19,7 @@
 
 use crate::config::CpRecycleConfig;
 use crate::interference_model::InterferenceModel;
-use crate::segments::{extract_segments, SymbolSegments};
+use crate::segments::{extract_segments_with, SegmentScratch, SymbolSegments};
 use crate::sphere_ml::FixedSphereMlDecoder;
 use crate::Result;
 use ofdmphy::chanest::ChannelEstimate;
@@ -36,6 +36,30 @@ use ofdmphy::PhyError;
 use rfdsp::Complex;
 
 /// The CPRecycle receiver.
+///
+/// The core flow (the `quickstart` example, condensed): build a frame, decode it, read
+/// the payload back.
+///
+/// ```
+/// use cprecycle::{CpRecycleConfig, CpRecycleReceiver};
+/// use ofdmphy::convcode::CodeRate;
+/// use ofdmphy::frame::{Mcs, Transmitter};
+/// use ofdmphy::modulation::Modulation;
+/// use ofdmphy::params::OfdmParams;
+///
+/// let params = OfdmParams::ieee80211ag();
+/// let tx = Transmitter::new(params.clone());
+/// let mcs = Mcs::new(Modulation::Qam16, CodeRate::Half);
+/// let payload = b"CPRecycle quickstart: the cyclic prefix is worth recycling.";
+/// let frame = tx.build_frame(payload, mcs, 0x5D).unwrap();
+///
+/// let rx = CpRecycleReceiver::new(params, CpRecycleConfig::default());
+/// // `None`: decode the SIGNAL field too, exactly like an over-the-air capture.
+/// let decoded = rx.decode_frame(&frame.samples, 0, None).unwrap();
+/// assert!(decoded.crc_ok);
+/// assert_eq!(decoded.info.mcs, mcs);
+/// assert_eq!(decoded.payload.as_deref(), Some(&payload[..]));
+/// ```
 #[derive(Debug, Clone)]
 pub struct CpRecycleReceiver {
     engine: OfdmEngine,
@@ -84,6 +108,23 @@ impl CpRecycleReceiver {
         frame_start: usize,
         info: Option<FrameInfo>,
     ) -> Result<RxFrame> {
+        let mut scratch = SegmentScratch::new();
+        self.decode_frame_scratch(samples, frame_start, info, &mut scratch)
+    }
+
+    /// [`decode_frame`](Self::decode_frame) with caller-owned extraction scratch.
+    ///
+    /// The scratch holds the sliding-DFT plan and the per-symbol working buffers;
+    /// reusing one across frames (the campaign engine keeps one per worker) removes
+    /// all per-frame twiddle construction. `decode_frame` is the convenience wrapper
+    /// that allocates a throwaway scratch.
+    pub fn decode_frame_scratch(
+        &self,
+        samples: &[Complex],
+        frame_start: usize,
+        info: Option<FrameInfo>,
+        scratch: &mut SegmentScratch,
+    ) -> Result<RxFrame> {
         let params = self.engine.params().clone();
         let sym_len = params.symbol_len();
         let preamble_len = preamble::preamble_len(&params);
@@ -100,7 +141,7 @@ impl CpRecycleReceiver {
         // --- Channel estimate and interference model from the LTF -------------------
         let estimate = ChannelEstimate::from_ltf(&self.engine, &samples[ltf_start..signal_start])?;
         let num_segments = self.effective_segments();
-        let model = self.train_model(samples, ltf_start, &estimate, num_segments)?;
+        let model = self.train_model(samples, ltf_start, &estimate, num_segments, scratch)?;
 
         // --- Frame metadata -----------------------------------------------------------
         let info = match info {
@@ -110,6 +151,7 @@ impl CpRecycleReceiver {
                 &estimate,
                 &model,
                 num_segments,
+                scratch,
             )?,
         };
 
@@ -132,17 +174,15 @@ impl CpRecycleReceiver {
         let mut decided_symbols = Vec::with_capacity(num_symbols);
         for s in 0..num_symbols {
             let start = data_start + s * sym_len;
-            let segments = extract_segments(
+            let segments = extract_segments_with(
                 &self.engine,
                 &samples[start..start + sym_len],
                 &estimate,
                 num_segments,
+                self.config.extraction,
+                scratch,
             )?;
-            let per_bin: Vec<(usize, Vec<Complex>)> = data_bins
-                .iter()
-                .map(|&bin| (bin, segments.bin_observations(bin)))
-                .collect();
-            decided_symbols.push(decoder.decode_symbol(&model, &per_bin));
+            decided_symbols.push(decoder.decode_symbol(&model, &segments, &data_bins));
         }
 
         let (psdu, crc_ok) =
@@ -173,6 +213,7 @@ impl CpRecycleReceiver {
         ltf_start: usize,
         estimate: &ChannelEstimate,
         num_segments: usize,
+        scratch: &mut SegmentScratch,
     ) -> Result<InterferenceModel> {
         let params = self.engine.params();
         let f = params.fft_size;
@@ -183,17 +224,21 @@ impl CpRecycleReceiver {
         // Symbol 2: CP = tail of long symbol 1, data = long symbol 2.
         let sym2_start = ltf_start + 2 * c + f - c;
         let sym_len = params.symbol_len();
-        let seg1 = extract_segments(
+        let seg1 = extract_segments_with(
             &self.engine,
             &samples[sym1_start..sym1_start + sym_len],
             estimate,
             num_segments,
+            self.config.extraction,
+            scratch,
         )?;
-        let seg2 = extract_segments(
+        let seg2 = extract_segments_with(
             &self.engine,
             &samples[sym2_start..sym2_start + sym_len],
             estimate,
             num_segments,
+            self.config.extraction,
+            scratch,
         )?;
         InterferenceModel::train(
             &self.engine,
@@ -210,18 +255,21 @@ impl CpRecycleReceiver {
         estimate: &ChannelEstimate,
         model: &InterferenceModel,
         num_segments: usize,
+        scratch: &mut SegmentScratch,
     ) -> Result<FrameInfo> {
         let params = self.engine.params();
-        let segments: SymbolSegments =
-            extract_segments(&self.engine, symbol_samples, estimate, num_segments)?;
+        let segments: SymbolSegments = extract_segments_with(
+            &self.engine,
+            symbol_samples,
+            estimate,
+            num_segments,
+            self.config.extraction,
+            scratch,
+        )?;
         let decoder =
             FixedSphereMlDecoder::new(Modulation::Bpsk, self.config.sphere_radius_min_distances);
         let data_bins = params.data_bins();
-        let per_bin: Vec<(usize, Vec<Complex>)> = data_bins
-            .iter()
-            .map(|&bin| (bin, segments.bin_observations(bin)))
-            .collect();
-        let decided = decoder.decode_symbol(model, &per_bin);
+        let decided = decoder.decode_symbol(model, &segments, &data_bins);
         let bits = Modulation::Bpsk.demap_hard_all(&decided);
         let interleaver = Interleaver::new(params.num_data_subcarriers(), 1)?;
         let deinterleaved = interleaver.deinterleave(&bits)?;
@@ -436,6 +484,54 @@ mod tests {
         let decoded = rx1.decode_frame(&frame.samples, 0, None).unwrap();
         assert!(decoded.crc_ok);
         assert_eq!(decoded.payload.as_deref(), Some(&payload[..]));
+    }
+
+    #[test]
+    fn direct_and_sliding_extraction_decode_identically() {
+        // The config switch selects between the sliding-DFT kernel and the reference
+        // direct-FFT path; on an interfered capture both must reach the same
+        // subcarrier decisions (the kernels agree to ≤ 1e-9, far inside any decision
+        // margin the sphere decoder sees).
+        use crate::segments::SegmentExtraction;
+        let params = OfdmParams::ieee80211ag();
+        let tx = Transmitter::new(params.clone());
+        let rx_sliding = CpRecycleReceiver::new(params.clone(), CpRecycleConfig::default());
+        let rx_direct = CpRecycleReceiver::new(
+            params,
+            CpRecycleConfig {
+                extraction: SegmentExtraction::Direct,
+                ..Default::default()
+            },
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let mut awgn = AwgnChannel::new();
+        let payload = random_payload(80, 9);
+        let mcs = Mcs::paper_set()[1];
+        let info = FrameInfo {
+            mcs,
+            psdu_len: payload.len() + 4,
+        };
+        let frame = tx.build_frame(&payload, mcs, 0x5D).unwrap();
+        let intf = tx
+            .build_frame(&random_payload(200, 10), Mcs::paper_set()[2], 0x2F)
+            .unwrap();
+        let spec = InterfererSpec::new(intf.samples, 0.0017, 31.4, 0.0);
+        let mut received = combine(&frame.samples, &[spec]).unwrap().composite;
+        awgn.add_noise_snr(&mut rng, &mut received, 25.0).unwrap();
+
+        let out_sliding = rx_sliding.decode_frame(&received, 0, Some(info)).unwrap();
+        let out_direct = rx_direct.decode_frame(&received, 0, Some(info)).unwrap();
+        assert_eq!(out_sliding.psdu, out_direct.psdu);
+        assert_eq!(out_sliding.crc_ok, out_direct.crc_ok);
+        for (a, b) in out_sliding
+            .equalized_symbols
+            .iter()
+            .zip(&out_direct.equalized_symbols)
+        {
+            for (x, y) in a.iter().zip(b) {
+                assert!((*x - *y).norm() < 1e-12, "decisions diverged: {x} vs {y}");
+            }
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //!    the maximum.
 
 use crate::interference_model::InterferenceModel;
+use crate::segments::SymbolSegments;
 use ofdmphy::modulation::Modulation;
 use rfdsp::stats::centroid;
 use rfdsp::Complex;
@@ -93,31 +94,36 @@ impl FixedSphereMlDecoder {
         best
     }
 
-    /// Decodes a whole symbol: `per_bin_observations` pairs each data FFT bin with its
-    /// `P` observations, in increasing bin order. Returns the decided lattice points in
-    /// the same order, ready for the shared `ofdmphy` bit pipeline.
+    /// Decodes a whole symbol: for every FFT bin in `bins` (increasing order), the
+    /// decoder reads that bin's `P` observations straight from the extracted
+    /// segments — a contiguous, allocation-free slice in the bin-major layout — and
+    /// returns the decided lattice points in the same order, ready for the shared
+    /// `ofdmphy` bit pipeline.
     pub fn decode_symbol(
         &self,
         model: &InterferenceModel,
-        per_bin_observations: &[(usize, Vec<Complex>)],
+        segments: &SymbolSegments,
+        bins: &[usize],
     ) -> Vec<Complex> {
-        per_bin_observations
-            .iter()
-            .map(|(bin, obs)| self.decode_subcarrier(model, *bin, obs).0)
+        bins.iter()
+            .map(|&bin| {
+                self.decode_subcarrier(model, bin, segments.bin_observations(bin))
+                    .0
+            })
             .collect()
     }
 
-    /// Average number of lattice points inside the sphere over a set of subcarriers — a
-    /// complexity diagnostic (the quantity the fixed sphere is meant to keep small).
-    pub fn mean_search_space(&self, per_bin_observations: &[(usize, Vec<Complex>)]) -> f64 {
-        if per_bin_observations.is_empty() {
+    /// Average number of lattice points inside the sphere over the given subcarriers —
+    /// a complexity diagnostic (the quantity the fixed sphere is meant to keep small).
+    pub fn mean_search_space(&self, segments: &SymbolSegments, bins: &[usize]) -> f64 {
+        if bins.is_empty() {
             return 0.0;
         }
-        let total: usize = per_bin_observations
+        let total: usize = bins
             .iter()
-            .map(|(_, obs)| self.candidates(obs).len())
+            .map(|&bin| self.candidates(segments.bin_observations(bin)).len())
             .sum();
-        total as f64 / per_bin_observations.len() as f64
+        total as f64 / bins.len() as f64
     }
 }
 
@@ -214,7 +220,7 @@ mod tests {
             seg[bin] = reference_value + interference + noise;
             values.push(seg);
         }
-        let segments = SymbolSegments { values };
+        let segments = SymbolSegments::from_rows(values);
         let model = InterferenceModel::train(
             &engine,
             &[segments],
@@ -246,18 +252,29 @@ mod tests {
 
     #[test]
     fn decode_symbol_and_search_space() {
+        use crate::segments::SymbolSegments;
         let model = InterferenceModel::new(64, CpRecycleConfig::default());
         let dec = FixedSphereMlDecoder::new(Modulation::Qam16, 1.0);
         let points = Modulation::Qam16.points();
-        let per_bin: Vec<(usize, Vec<Complex>)> =
-            (0..8).map(|i| (i + 1, vec![points[i]; 3])).collect();
-        let decided = dec.decode_symbol(&model, &per_bin);
+        // Three segments whose bin `i + 1` all observe constellation point `i`.
+        let row: Vec<Complex> = (0..64)
+            .map(|bin| {
+                if (1..=8).contains(&bin) {
+                    points[bin - 1]
+                } else {
+                    Complex::zero()
+                }
+            })
+            .collect();
+        let segments = SymbolSegments::from_rows(vec![row.clone(), row.clone(), row]);
+        let bins: Vec<usize> = (1..=8).collect();
+        let decided = dec.decode_symbol(&model, &segments, &bins);
         assert_eq!(decided.len(), 8);
         for (d, p) in decided.iter().zip(points.iter().take(8)) {
             assert!((*d - *p).norm() < 1e-12);
         }
-        let mean_space = dec.mean_search_space(&per_bin);
+        let mean_space = dec.mean_search_space(&segments, &bins);
         assert!((1.0..16.0).contains(&mean_space));
-        assert_eq!(dec.mean_search_space(&[]), 0.0);
+        assert_eq!(dec.mean_search_space(&segments, &[]), 0.0);
     }
 }

@@ -7,6 +7,14 @@
 //!
 //! Writes are atomic (temp file + rename) so an interrupted write never corrupts an
 //! existing checkpoint.
+//!
+//! Scope of the contract: a checkpoint is resumable by the **same binary version**.
+//! Point keys encode the outcome-relevant parameters the harness chooses to put in
+//! them (receiver configs do include the segment-extraction kernel), but any code
+//! change that alters trial numerics without changing the key — a DSP kernel tweak,
+//! a channel-model fix — makes mixed old/new tallies irreproducible by either
+//! version alone. Cross-version resume is therefore out of contract; rerun the
+//! campaign instead.
 
 use crate::exec::EngineError;
 use crate::tally::CampaignResult;

@@ -14,8 +14,9 @@
 //!
 //! Worker-local state: each worker thread builds one `S` via the caller's factory and
 //! reuses it for every trial it claims. The experiment harness keeps constructed
-//! receivers and FFT plans there, so per-trial allocations happen once per worker
-//! rather than once per trial.
+//! receivers, FFT plans and segment-extraction scratch (the sliding-DFT plan and its
+//! working buffers) there, so per-trial allocations and twiddle-table construction
+//! happen once per worker rather than once per trial.
 
 use crate::seed::trial_rng;
 use crate::spec::{CampaignConfig, CampaignPoint};

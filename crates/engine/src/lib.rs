@@ -13,8 +13,9 @@
 //!   [replayed](seed::trial_rng) in isolation for debugging;
 //! * [`exec`] — the parallel executor: a shared work queue over all `(point, trial)`
 //!   pairs, claimed trial-by-trial by worker threads so imbalanced grids still load
-//!   every core, with **worker-local state** (FFT plans, constructed receivers) built
-//!   once per worker instead of once per trial;
+//!   every core, with **worker-local state** (FFT plans, constructed receivers,
+//!   sliding-DFT segment-extraction scratch) built once per worker instead of once
+//!   per trial;
 //! * [`tally`] — per-point packet-success tallies with Wilson confidence intervals,
 //!   auxiliary metric means and sample streams, plus timing;
 //! * [`checkpoint`] — JSON persistence of a finished or half-finished campaign:

@@ -75,6 +75,21 @@ impl ChannelEstimate {
             .collect())
     }
 
+    /// The multiplicative per-bin equalizer matching [`equalize`](Self::equalize):
+    /// `1/ĥ` where the estimate is usable, `1` where it is degenerate (so degenerate
+    /// bins pass through unchanged, exactly as `equalize` leaves them). Receivers that
+    /// fold equalization into a fused per-bin factor (the sliding-DFT segment kernel)
+    /// use this instead of dividing per observation.
+    #[inline]
+    pub fn inverse_gain(&self, bin: usize) -> Complex {
+        let h = self.h[bin];
+        if h.norm_sqr() < 1e-12 {
+            Complex::one()
+        } else {
+            Complex::one() / h
+        }
+    }
+
     /// Average channel power over the occupied subcarriers of `engine`'s numerology —
     /// a proxy for the per-packet SNR scaling.
     pub fn mean_gain(&self, engine: &OfdmEngine) -> f64 {

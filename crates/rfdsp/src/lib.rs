@@ -8,6 +8,9 @@
 //! * [`fft`] — an iterative radix-2 decimation-in-time FFT with a reusable [`fft::FftPlan`]
 //!   (precomputed twiddles and bit-reversal table) plus a direct DFT fallback for
 //!   non-power-of-two lengths.
+//! * [`sliding`] — a sliding-DFT plan ([`sliding::SlidingDft`]) that advances all `N`
+//!   bins of a window's spectrum in `O(N)` per one-sample shift, the kernel behind
+//!   CPRecycle's segment extraction (`P` windows per symbol that differ by one sample).
 //! * [`window`] — rectangular, Hann, Hamming, Blackman and Kaiser window functions.
 //! * [`filter`] — FIR filter design (windowed-sinc low-pass / band-pass) and streaming
 //!   convolution, used by the channel simulator to model transmit spectral masks.
@@ -58,6 +61,7 @@ pub mod kde;
 pub mod noise;
 pub mod power;
 pub mod resample;
+pub mod sliding;
 pub mod stats;
 pub mod window;
 

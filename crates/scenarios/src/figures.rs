@@ -25,7 +25,10 @@ use crate::report::{ExperimentResult, Series};
 use crate::Result;
 use cprecycle::interference_model::InterferenceModel;
 use cprecycle::oracle;
-use cprecycle::segments::{extract_segments, interference_power_per_segment};
+use cprecycle::segments::{
+    extract_segments, extract_segments_with, interference_power_per_segment,
+    interference_power_per_segment_with, SegmentExtraction, SegmentScratch,
+};
 use cprecycle::CpRecycleConfig;
 use cprecycle_engine::{CampaignConfig, CampaignResult, RunOptions};
 use ofdmphy::chanest::ChannelEstimate;
@@ -488,12 +491,15 @@ pub fn fig4a(scale: &FigureScale) -> Result<ExperimentResult> {
         .min(if scale.coarse { 4 } else { 16 });
     let mut standard_acc = vec![0.0f64; params.fft_size];
     let mut oracle_acc = vec![0.0f64; params.fft_size];
+    let mut scratch = SegmentScratch::new();
     for s in 0..num_symbols {
         let start = data_start + s * sym_len;
-        let powers = interference_power_per_segment(
+        let powers = interference_power_per_segment_with(
             &engine,
             &output.interference_only[start..start + sym_len],
             17,
+            SegmentExtraction::Sliding,
+            &mut scratch,
         )?;
         let selection = oracle::select_best_segments(&powers);
         for bin in 0..params.fft_size {
@@ -682,17 +688,22 @@ pub fn fig6b(scale: &FigureScale) -> Result<ExperimentResult> {
         let ltf_start = preamble::ltf_start_offset(&params);
         let c = params.cp_len;
         let f = params.fft_size;
-        let seg1 = extract_segments(
+        let mut scratch = SegmentScratch::new();
+        let seg1 = extract_segments_with(
             &engine,
             &output.received[ltf_start + c..ltf_start + c + sym_len],
             &estimate,
             16,
+            SegmentExtraction::Sliding,
+            &mut scratch,
         )?;
-        let seg2 = extract_segments(
+        let seg2 = extract_segments_with(
             &engine,
             &output.received[ltf_start + c + f..ltf_start + c + f + sym_len],
             &estimate,
             16,
+            SegmentExtraction::Sliding,
+            &mut scratch,
         )?;
         let model = InterferenceModel::train(
             &engine,
@@ -712,15 +723,17 @@ pub fn fig6b(scale: &FigureScale) -> Result<ExperimentResult> {
             .min(if scale.coarse { 6 } else { 20 });
         for s in 0..symbols {
             let start = data_start + s * sym_len;
-            let segments = extract_segments(
+            let segments = extract_segments_with(
                 &engine,
                 &output.received[start..start + sym_len],
                 &estimate,
                 16,
+                SegmentExtraction::Sliding,
+                &mut scratch,
             )?;
             let tx_value = frame.data_subcarrier_values[s][bin_col];
             for obs in segments.bin_observations(bin) {
-                deviations.push((obs - tx_value).norm());
+                deviations.push((*obs - tx_value).norm());
             }
         }
         let data_cdf = EmpiricalCdf::new(&deviations)?;

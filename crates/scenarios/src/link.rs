@@ -14,7 +14,10 @@
 
 use crate::interference::{AciScenario, CciScenario, ScenarioOutput};
 use crate::Result;
-use cprecycle::segments::{extract_segments, interference_power_per_segment};
+use cprecycle::segments::{
+    extract_segments_with, interference_power_per_segment_with, SegmentExtraction, SegmentScratch,
+    SymbolSegments,
+};
 use cprecycle::{naive, oracle, CpRecycleConfig, CpRecycleReceiver};
 use cprecycle_engine::{
     run_campaign, CampaignConfig, CampaignPoint, CampaignResult, EngineError, RunOptions,
@@ -228,6 +231,10 @@ struct PreparedPoint {
     tx: Transmitter,
     engine: OfdmEngine,
     receivers: Vec<PreparedReceiver>,
+    /// Worker-local segment-extraction scratch: the sliding-DFT plan and working
+    /// buffers, built once and reused by every receiver across every trial this
+    /// worker claims.
+    scratch: SegmentScratch,
 }
 
 impl PreparedPoint {
@@ -240,6 +247,7 @@ impl PreparedPoint {
                 .iter()
                 .map(|kind| PreparedReceiver::build(kind, &point.params))
                 .collect(),
+            scratch: SegmentScratch::new(),
         }
     }
 }
@@ -278,8 +286,14 @@ pub fn run_link_trial(
         .build_frame(&payload, point.mcs, scramble_seed)?;
     let output = point.scenario.render(rng, &point.params, &frame.samples)?;
     let mut arms = Vec::with_capacity(prepared.receivers.len());
-    for receiver in &prepared.receivers {
-        let outcome = decode_prepared(receiver, &prepared.engine, &point.params, &frame, &output)?;
+    let PreparedPoint {
+        ref engine,
+        ref receivers,
+        ref mut scratch,
+        ..
+    } = *prepared;
+    for receiver in receivers {
+        let outcome = decode_prepared(receiver, engine, &point.params, &frame, &output, scratch)?;
         arms.push(TrialOutcome::new(
             outcome.success,
             outcome.symbol_error_rate,
@@ -341,7 +355,8 @@ pub fn decode_packet(
 ) -> Result<PacketOutcome> {
     let prepared = PreparedReceiver::build(kind, params);
     let engine = OfdmEngine::new(params.clone());
-    decode_prepared(&prepared, &engine, params, frame, output)
+    let mut scratch = SegmentScratch::new();
+    decode_prepared(&prepared, &engine, params, frame, output, &mut scratch)
 }
 
 fn decode_prepared(
@@ -350,6 +365,7 @@ fn decode_prepared(
     params: &OfdmParams,
     frame: &TxFrame,
     output: &ScenarioOutput,
+    scratch: &mut SegmentScratch,
 ) -> Result<PacketOutcome> {
     let info = FrameInfo {
         mcs: frame.mcs,
@@ -368,7 +384,7 @@ fn decode_prepared(
             });
         }
         PreparedReceiver::CpRecycle(rx) => {
-            let out = rx.decode_frame(&output.received, 0, Some(info))?;
+            let out = rx.decode_frame_scratch(&output.received, 0, Some(info), scratch)?;
             return Ok(PacketOutcome {
                 success: out.crc_ok,
                 symbol_error_rate: symbol_error_rate(
@@ -378,40 +394,46 @@ fn decode_prepared(
                 ),
             });
         }
-        PreparedReceiver::Naive { num_segments } => decode_multi_segment(
-            engine,
-            params,
-            frame,
-            output,
-            *num_segments,
-            |_, obs_per_bin, _| naive::decode_symbol(obs_per_bin, frame.mcs.modulation),
-        )?,
+        PreparedReceiver::Naive { num_segments } => {
+            let data_bins = params.data_bins();
+            decode_multi_segment(
+                engine,
+                params,
+                frame,
+                output,
+                *num_segments,
+                scratch,
+                |_, segments, _, _| {
+                    naive::decode_symbol(segments, &data_bins, frame.mcs.modulation)
+                },
+            )?
+        }
         PreparedReceiver::Oracle { num_segments } => {
             let num_segments = *num_segments;
+            let data_bins = params.data_bins();
             decode_multi_segment(
                 engine,
                 params,
                 frame,
                 output,
                 num_segments,
-                |engine, obs_per_bin, symbol_index| {
+                scratch,
+                |engine, segments, symbol_index, scratch| {
                     // Interference power per segment from the interference-only capture.
                     let sym_len = engine.params().symbol_len();
                     let data_start = preamble::preamble_len(engine.params()) + sym_len;
                     let start = data_start + symbol_index * sym_len;
                     let intf_symbol = &output.interference_only[start..start + sym_len];
-                    let powers = interference_power_per_segment(engine, intf_symbol, num_segments)
-                        .expect("segment count already validated");
+                    let powers = interference_power_per_segment_with(
+                        engine,
+                        intf_symbol,
+                        num_segments,
+                        SegmentExtraction::Sliding,
+                        scratch,
+                    )
+                    .expect("segment count already validated");
                     let selection = oracle::select_best_segments(&powers);
-                    let data_bins = engine.params().data_bins();
-                    let segments = cprecycle::segments::SymbolSegments {
-                        values: transpose_observations(
-                            obs_per_bin,
-                            &data_bins,
-                            engine.params().fft_size,
-                        ),
-                    };
-                    oracle::decode_symbol(&segments, &selection, &data_bins, frame.mcs.modulation)
+                    oracle::decode_symbol(segments, &selection, &data_bins, frame.mcs.modulation)
                 },
             )?
         }
@@ -425,25 +447,28 @@ fn decode_prepared(
 }
 
 /// Shared plumbing for the Naive and Oracle receivers: channel estimate from the LTF,
-/// per-symbol segment extraction, then a caller-supplied per-symbol decision function
-/// mapping `(engine, per-bin observations, symbol index)` to decided lattice points.
+/// per-symbol segment extraction (sliding kernel, reused scratch), then a
+/// caller-supplied per-symbol decision function mapping
+/// `(engine, segments, symbol index, scratch)` to decided lattice points. The
+/// bin-major [`SymbolSegments`] is handed to the decision function directly, so
+/// per-bin observation access stays allocation-free.
 fn decode_multi_segment<F>(
     engine: &OfdmEngine,
     params: &OfdmParams,
     frame: &TxFrame,
     output: &ScenarioOutput,
     num_segments: usize,
+    scratch: &mut SegmentScratch,
     mut decide: F,
 ) -> Result<Vec<Vec<Complex>>>
 where
-    F: FnMut(&OfdmEngine, &[Vec<Complex>], usize) -> Vec<Complex>,
+    F: FnMut(&OfdmEngine, &SymbolSegments, usize, &mut SegmentScratch) -> Vec<Complex>,
 {
     let sym_len = params.symbol_len();
     let preamble_len = preamble::preamble_len(params);
     let ltf_start = preamble::ltf_start_offset(params);
     let estimate = ChannelEstimate::from_ltf(engine, &output.received[ltf_start..preamble_len])?;
     let data_start = preamble_len + sym_len;
-    let data_bins = params.data_bins();
     let mut decided = Vec::with_capacity(frame.num_data_symbols);
     for s in 0..frame.num_data_symbols {
         let start = data_start + s * sym_len;
@@ -453,36 +478,17 @@ where
                 available: output.received.len(),
             });
         }
-        let segments = extract_segments(
+        let segments = extract_segments_with(
             engine,
             &output.received[start..start + sym_len],
             &estimate,
             num_segments,
+            SegmentExtraction::Sliding,
+            scratch,
         )?;
-        let per_bin: Vec<Vec<Complex>> = data_bins
-            .iter()
-            .map(|&bin| segments.bin_observations(bin))
-            .collect();
-        decided.push(decide(engine, &per_bin, s));
+        decided.push(decide(engine, &segments, s, scratch));
     }
     Ok(decided)
-}
-
-/// Rebuilds full-FFT-sized segment rows from per-data-bin observation columns (helper
-/// for the Oracle path, whose `decode_symbol` indexes by FFT bin).
-fn transpose_observations(
-    per_bin: &[Vec<Complex>],
-    data_bins: &[usize],
-    fft_size: usize,
-) -> Vec<Vec<Complex>> {
-    let num_segments = per_bin.first().map(|o| o.len()).unwrap_or(0);
-    let mut rows = vec![vec![Complex::zero(); fft_size]; num_segments];
-    for (col, &bin) in data_bins.iter().enumerate() {
-        for (j, row) in rows.iter_mut().enumerate() {
-            row[bin] = per_bin[col][j];
-        }
-    }
-    rows
 }
 
 /// Uncoded subcarrier decision error rate against the transmitted ground truth.
