@@ -190,11 +190,24 @@ fn main() {
             for name in CAMPAIGN_FIGURES {
                 let grid = figure_grid(name, &scale).expect("registered grid");
                 let arms: usize = grid.iter().map(|p| p.receivers.len()).sum();
+                // The decoder set of the grid (deduplicated arm labels): the decision
+                // stage is part of every point key, so this names exactly what the
+                // campaign sweeps.
+                let mut decoders: Vec<String> = Vec::new();
+                for point in &grid {
+                    for receiver in &point.receivers {
+                        let label = receiver.label();
+                        if !decoders.contains(&label) {
+                            decoders.push(label);
+                        }
+                    }
+                }
                 println!(
                     "  {name:<14} {:>3} points, {arms:>3} receiver arms, {} trials/point at this scale",
                     grid.len(),
                     scale.packets,
                 );
+                println!("  {:<14} decoders: {}", "", decoders.join(" | "));
             }
             println!(
                 "  {:<14} {:>3} point,    2 receiver arms (trials = building realizations)",

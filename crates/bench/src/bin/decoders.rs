@@ -1,0 +1,7 @@
+//! Regenerates the decoder-comparison sweep: every subcarrier-decision stage
+//! (Standard / Naive / Oracle / Sphere) vs SIR as one engine campaign. Pass `--smoke`
+//! for a fast coarse run, `--json` for JSON output.
+
+fn main() {
+    cprecycle_bench::run_figure(cprecycle_scenarios::figures::decoder_comparison);
+}

@@ -61,6 +61,9 @@ impl Display for BenchmarkId {
 pub struct Bencher {
     iters_per_sample: u64,
     samples: usize,
+    /// Smoke mode (upstream criterion's `--test` flag): run the closure once to prove
+    /// it executes, skip calibration and measurement entirely.
+    test_mode: bool,
     /// Median/min/max nanoseconds per iteration, filled by `iter`.
     result: Option<(f64, f64, f64)>,
 }
@@ -68,6 +71,10 @@ pub struct Bencher {
 impl Bencher {
     /// Runs `f` repeatedly and records per-iteration timing.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
         // Calibration: find an iteration count that makes one sample ~TARGET_SAMPLE_NANOS.
         let mut iters = 1u64;
         let per_iter_estimate = loop {
@@ -122,7 +129,7 @@ fn format_nanos(ns: f64) -> String {
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
 }
 
 impl<'a> BenchmarkGroup<'a> {
@@ -133,12 +140,18 @@ impl<'a> BenchmarkGroup<'a> {
     }
 
     fn run_one(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let test_mode = self.criterion.test_mode;
         let mut bencher = Bencher {
             iters_per_sample: 1,
             samples: self.sample_size,
+            test_mode,
             result: None,
         };
         f(&mut bencher);
+        if test_mode {
+            println!("{}/{}: test passed (1 iteration, --test)", self.name, id);
+            return;
+        }
         match bencher.result {
             Some((median, min, max)) => println!(
                 "{:<40} time: [{} {} {}]  ({} iters/sample)",
@@ -179,8 +192,21 @@ impl<'a> BenchmarkGroup<'a> {
 }
 
 /// The benchmark harness entry point.
-#[derive(Default)]
-pub struct Criterion {}
+///
+/// `Default` reads the process arguments: `--test` (upstream criterion's smoke flag,
+/// `cargo bench -- --test`) switches every benchmark to a single untimed iteration so
+/// CI can prove bench code still runs without paying for measurement.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
 
 impl Criterion {
     /// Opens a named benchmark group.
@@ -188,7 +214,7 @@ impl Criterion {
         BenchmarkGroup {
             name: name.into(),
             sample_size: 10,
-            _criterion: self,
+            criterion: self,
         }
     }
 
@@ -243,5 +269,19 @@ mod tests {
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
         assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn test_mode_runs_each_benchmark_once() {
+        let mut c = Criterion { test_mode: true };
+        let mut calls = 0usize;
+        let mut group = c.benchmark_group("smoke");
+        group.bench_function("counted", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        group.finish();
+        assert_eq!(calls, 1, "--test must run the closure exactly once");
     }
 }

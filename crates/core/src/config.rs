@@ -3,6 +3,94 @@
 use crate::segments::SegmentExtraction;
 use rfdsp::kde::BandwidthSelector;
 
+/// Which decoder runs the subcarrier-decision stage (paper §3–§4): the receiver
+/// pipeline — sync → extract → **decide** → bit pipeline — is identical for every
+/// variant; only the [`SubcarrierDecoder`] dispatched per symbol changes.
+///
+/// Because the stage is part of [`CpRecycleConfig`], it flows into the campaign
+/// engine's point keys: one campaign sweeps decoders alongside SNR and `P`, and
+/// `campaign list`/`replay` print which decoder each arm ran.
+///
+/// ```
+/// use cprecycle::{CpRecycleConfig, CpRecycleReceiver, DecisionStage};
+/// use ofdmphy::params::OfdmParams;
+///
+/// // The default is the paper's fixed-sphere ML decoder at R = 2 minimum distances…
+/// let sphere = CpRecycleConfig::default();
+/// assert!(matches!(
+///     sphere.decision,
+///     DecisionStage::Sphere { radius_min_distances } if radius_min_distances == 2.0
+/// ));
+///
+/// // …and any other stage is one field away: the same receiver, frame layout and bit
+/// // pipeline, with the naive Eq. 3 decoder (or `Oracle`, or `Standard`) slotted into
+/// // the decision stage.
+/// let naive = CpRecycleConfig {
+///     decision: DecisionStage::Naive,
+///     ..Default::default()
+/// };
+/// let rx = CpRecycleReceiver::new(OfdmParams::ieee80211ag(), naive);
+/// assert_eq!(rx.config().decision.label(), "Naive");
+/// ```
+///
+/// [`SubcarrierDecoder`]: crate::decision::SubcarrierDecoder
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DecisionStage {
+    /// Fixed-sphere ML over all `P` observations, scored by the preamble-trained
+    /// interference model (§4.2, Eq. 5) — the paper's receiver and the default.
+    Sphere {
+        /// Sphere radius `R` in units of the constellation's minimum distance.
+        radius_min_distances: f64,
+    },
+    /// Minimum average Euclidean distance over all `P` observations (§3.3, Eq. 3 —
+    /// the ShiftFFT strawman; [`crate::decision::NaiveCentroidDecoder`]).
+    Naive,
+    /// Genie-aided best-segment selection from the interference-only waveform (§3.2;
+    /// [`crate::decision::OracleSegmentDecoder`]). Requires the interference-only
+    /// capture, i.e. [`CpRecycleReceiver::decode_frame_genie`].
+    ///
+    /// [`CpRecycleReceiver::decode_frame_genie`]: crate::receiver::CpRecycleReceiver::decode_frame_genie
+    Oracle,
+    /// Nearest lattice point on the standard FFT window only
+    /// ([`crate::decision::StandardNearestDecoder`]) — the conventional receiver's
+    /// decision, as an explicit arm for decoder sweeps.
+    Standard,
+}
+
+impl Default for DecisionStage {
+    fn default() -> Self {
+        DecisionStage::Sphere {
+            radius_min_distances: 2.0,
+        }
+    }
+}
+
+impl DecisionStage {
+    /// Short human-readable name ("Sphere(R=2)", "Naive", …), used in campaign arm
+    /// labels and reports.
+    pub fn label(&self) -> String {
+        match self {
+            DecisionStage::Sphere {
+                radius_min_distances,
+            } => format!("Sphere(R={radius_min_distances})"),
+            DecisionStage::Naive => "Naive".into(),
+            DecisionStage::Oracle => "Oracle".into(),
+            DecisionStage::Standard => "Standard".into(),
+        }
+    }
+
+    /// Whether this stage scores candidates with the preamble-trained interference
+    /// model (and the receiver therefore needs to train one).
+    pub fn needs_interference_model(&self) -> bool {
+        matches!(self, DecisionStage::Sphere { .. })
+    }
+
+    /// Whether this stage needs the genie interference-only capture.
+    pub fn needs_genie(&self) -> bool {
+        matches!(self, DecisionStage::Oracle)
+    }
+}
+
 /// Tuning knobs of the CPRecycle receiver (the paper's `B_a`, `B_φ`, `R` and `P`
 /// parameters from Algorithm 1, plus the bandwidth-selection strategy of §4.1).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -20,10 +108,10 @@ pub struct CpRecycleConfig {
     /// Use the data-driven (leave-one-out) bandwidth selection the paper recommends when
     /// at least two preambles are available; otherwise Silverman's rule is used.
     pub data_driven_bandwidth: bool,
-    /// Fixed-sphere radius `R` for the ML decoder, in units of the minimum distance of
-    /// the constellation in use (a radius of 2.0 means "lattice points within twice the
-    /// nearest-neighbour spacing of the centroid").
-    pub sphere_radius_min_distances: f64,
+    /// The subcarrier-decision stage the receiver dispatches per symbol: the paper's
+    /// fixed-sphere ML decoder (with its radius `R`), the naive Eq. 3 decoder, the
+    /// genie-aided Oracle or the conventional standard-window decision.
+    pub decision: DecisionStage,
     /// Assumed ISI-free samples in the CP when the receiver is told rather than
     /// detecting it (e.g. from a long-term delay-spread estimate). `None` means "use the
     /// whole CP", the correct choice for the indoor delay spreads the paper targets.
@@ -53,7 +141,7 @@ impl Default for CpRecycleConfig {
             bandwidth_amplitude: None,
             bandwidth_phase: None,
             data_driven_bandwidth: true,
-            sphere_radius_min_distances: 2.0,
+            decision: DecisionStage::default(),
             isi_free_samples: None,
             min_bandwidth_amplitude: 0.05,
             min_bandwidth_phase: 0.2,
@@ -67,6 +155,14 @@ impl CpRecycleConfig {
     pub fn with_segments(num_segments: usize) -> Self {
         CpRecycleConfig {
             num_segments,
+            ..Default::default()
+        }
+    }
+
+    /// A configuration with an explicit decision stage (used by the decoder sweeps).
+    pub fn with_decision(decision: DecisionStage) -> Self {
+        CpRecycleConfig {
+            decision,
             ..Default::default()
         }
     }
@@ -103,10 +199,33 @@ mod tests {
     fn with_segments_overrides_only_p() {
         let c = CpRecycleConfig::with_segments(4);
         assert_eq!(c.num_segments, 4);
+        assert_eq!(c.decision, CpRecycleConfig::default().decision);
+    }
+
+    #[test]
+    fn with_decision_overrides_only_the_stage() {
+        let c = CpRecycleConfig::with_decision(DecisionStage::Oracle);
+        assert_eq!(c.decision, DecisionStage::Oracle);
+        assert_eq!(c.num_segments, CpRecycleConfig::default().num_segments);
+    }
+
+    #[test]
+    fn decision_stage_labels_and_requirements() {
+        assert_eq!(DecisionStage::default().label(), "Sphere(R=2)");
         assert_eq!(
-            c.sphere_radius_min_distances,
-            CpRecycleConfig::default().sphere_radius_min_distances
+            DecisionStage::Sphere {
+                radius_min_distances: 0.5
+            }
+            .label(),
+            "Sphere(R=0.5)"
         );
+        assert_eq!(DecisionStage::Naive.label(), "Naive");
+        assert_eq!(DecisionStage::Oracle.label(), "Oracle");
+        assert_eq!(DecisionStage::Standard.label(), "Standard");
+        assert!(DecisionStage::default().needs_interference_model());
+        assert!(!DecisionStage::Naive.needs_interference_model());
+        assert!(DecisionStage::Oracle.needs_genie());
+        assert!(!DecisionStage::Standard.needs_genie());
     }
 
     #[test]

@@ -16,10 +16,14 @@
 //!    observations, scored by the product of KDE likelihoods across segments
 //!    ([`sphere_ml`], paper Eq. 5).
 //!
-//! The crate also implements the paper's baselines — the naive average-distance decoder
-//! ([`naive`], Eq. 3, the authors' earlier ShiftFFT) and the Oracle segment selector
-//! ([`oracle`]) — plus ISI-free-region detection ([`isi_free`]) and the full
-//! frame-level receiver ([`receiver`]) that plugs into the `ofdmphy` bit pipeline.
+//! The subcarrier-decision stage is a first-class extension point: every decoder —
+//! the sphere ML detector, the naive average-distance baseline (Eq. 3, the authors'
+//! earlier ShiftFFT), the genie-aided Oracle segment selector and the conventional
+//! standard-window decision — implements the [`decision::SubcarrierDecoder`] trait
+//! over the cached lattice-index tables of `ofdmphy::modulation`, and
+//! [`config::DecisionStage`] selects which one the frame-level receiver
+//! ([`receiver`]) dispatches. The crate also provides Oracle selection diagnostics
+//! ([`oracle`]) and ISI-free-region detection ([`isi_free`]).
 //!
 //! ## Quick example
 //!
@@ -47,18 +51,22 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod decision;
 pub mod interference_model;
 pub mod isi_free;
-pub mod naive;
 pub mod oracle;
 pub mod receiver;
 pub mod segments;
 pub mod sphere_ml;
 
-pub use config::CpRecycleConfig;
+pub use config::{CpRecycleConfig, DecisionStage};
+pub use decision::{
+    DecoderScratch, LatticePoint, NaiveCentroidDecoder, OracleSegmentDecoder,
+    StandardNearestDecoder, SubcarrierDecoder,
+};
 pub use interference_model::InterferenceModel;
 pub use receiver::CpRecycleReceiver;
-pub use segments::{SegmentExtraction, SegmentScratch, SymbolSegments};
+pub use segments::{SegmentExtraction, SegmentPowers, SegmentScratch, SymbolSegments};
 pub use sphere_ml::FixedSphereMlDecoder;
 
 /// Convenience alias: the crate reuses the PHY error type since every failure mode is a

@@ -1,16 +1,19 @@
-//! The Oracle segment selector (paper §3.2).
+//! Oracle segment-selection diagnostics (paper §3.2).
 //!
 //! The Oracle assumes perfect knowledge of the interference: for every subcarrier it
 //! inspects the interference-only waveform (obtainable in the paper's testbed by muting
 //! the sender, and in this reproduction directly from the scenario mixer), picks the FFT
 //! segment with the minimum interference power, and decodes that segment's observation
-//! with a plain nearest-lattice-point decision. It is impractical — the whole point of
-//! CPRecycle is to approach it without the genie — but it upper-bounds the achievable
-//! gain and generates Fig. 4a / Fig. 5.
+//! with a plain nearest-lattice-point decision. The decoding half lives in
+//! [`crate::decision::OracleSegmentDecoder`] (a [`SubcarrierDecoder`] dispatched via
+//! [`DecisionStage::Oracle`]); this module holds the selection *diagnostics* — the
+//! per-bin best-segment/power summary behind Fig. 4a and the interference-reduction
+//! curve.
+//!
+//! [`SubcarrierDecoder`]: crate::decision::SubcarrierDecoder
+//! [`DecisionStage::Oracle`]: crate::config::DecisionStage::Oracle
 
-use crate::segments::SymbolSegments;
-use ofdmphy::modulation::Modulation;
-use rfdsp::Complex;
+use crate::segments::SegmentPowers;
 
 /// Per-subcarrier best-segment choice made by the Oracle.
 #[derive(Debug, Clone)]
@@ -24,57 +27,32 @@ pub struct OracleSelection {
     pub standard_interference: Vec<f64>,
 }
 
-/// Selects, per FFT bin, the segment with the lowest interference power.
+/// Summarises, per FFT bin, the segment with the lowest interference power.
 ///
-/// `interference_power[segment][bin]` is produced by
-/// [`crate::segments::interference_power_per_segment`] on the interference-only
-/// waveform.
-pub fn select_best_segments(interference_power: &[Vec<f64>]) -> OracleSelection {
-    assert!(
-        !interference_power.is_empty(),
-        "oracle selection needs at least one segment"
-    );
-    let num_bins = interference_power[0].len();
-    let num_segments = interference_power.len();
+/// `powers` is produced by [`crate::segments::interference_power_per_segment`] on the
+/// interference-only waveform; its bin-major layout makes each bin's scan a contiguous
+/// slice. The first minimum wins on ties (segment order), matching
+/// [`crate::decision::OracleSegmentDecoder::best_segment`].
+pub fn select_best_segments(powers: &SegmentPowers) -> OracleSelection {
+    let num_bins = powers.fft_size();
+    let num_segments = powers.num_segments();
     let mut best_segment = vec![0usize; num_bins];
     let mut min_interference = vec![f64::INFINITY; num_bins];
-    for (j, seg) in interference_power.iter().enumerate() {
-        for (bin, &p) in seg.iter().enumerate() {
+    let mut standard_interference = vec![0.0f64; num_bins];
+    for bin in 0..num_bins {
+        for (j, &p) in powers.bin_powers(bin).iter().enumerate() {
             if p < min_interference[bin] {
                 min_interference[bin] = p;
                 best_segment[bin] = j;
             }
         }
+        standard_interference[bin] = powers.value(num_segments - 1, bin);
     }
-    let standard_interference = interference_power[num_segments - 1].clone();
     OracleSelection {
         best_segment,
         min_interference,
         standard_interference,
     }
-}
-
-/// Decodes one symbol with the Oracle: for each data subcarrier, take the observation
-/// from the genie-selected segment and map it to the nearest lattice point.
-///
-/// * `segments` — the equalised segments of the *composite* (signal + interference)
-///   received symbol.
-/// * `selection` — the per-bin best segments chosen from the interference-only waveform.
-/// * `data_bins` — the FFT bins carrying data, in increasing order.
-pub fn decode_symbol(
-    segments: &SymbolSegments,
-    selection: &OracleSelection,
-    data_bins: &[usize],
-    modulation: Modulation,
-) -> Vec<Complex> {
-    data_bins
-        .iter()
-        .map(|&bin| {
-            let seg = selection.best_segment[bin].min(segments.num_segments() - 1);
-            let observation = segments.value(seg, bin);
-            modulation.nearest_point(observation).0
-        })
-        .collect()
 }
 
 /// The oracle's per-bin interference reduction relative to the standard receiver, in dB
@@ -95,53 +73,26 @@ mod tests {
     #[test]
     fn picks_the_minimum_interference_segment_per_bin() {
         // 3 segments × 4 bins with a known minimum pattern.
-        let power = vec![
+        let powers = SegmentPowers::from_rows(vec![
             vec![1.0, 5.0, 0.1, 2.0],
             vec![0.5, 0.2, 3.0, 2.0],
             vec![2.0, 1.0, 1.0, 0.4],
-        ];
-        let sel = select_best_segments(&power);
+        ]);
+        let sel = select_best_segments(&powers);
         assert_eq!(sel.best_segment, vec![1, 1, 0, 2]);
         assert_eq!(sel.min_interference, vec![0.5, 0.2, 0.1, 0.4]);
         assert_eq!(sel.standard_interference, vec![2.0, 1.0, 1.0, 0.4]);
         let gain = interference_reduction_db(&sel);
         assert!((gain[0] - 10.0 * (2.0f64 / 0.5).log10()).abs() < 1e-9);
         assert!(gain[3].abs() < 1e-9); // standard already optimal on bin 3
-    }
 
-    #[test]
-    #[should_panic(expected = "at least one segment")]
-    fn empty_selection_panics() {
-        select_best_segments(&[]);
-    }
-
-    #[test]
-    fn decode_symbol_uses_selected_segments() {
-        use ofdmphy::modulation::Modulation;
-        let m = Modulation::Bpsk;
-        // Two segments over a 4-bin toy FFT: segment 0 is clean, segment 1 is heavily
-        // corrupted on bins 0..2.
-        let clean = vec![
-            Complex::new(1.0, 0.0),
-            Complex::new(-1.0, 0.0),
-            Complex::new(1.0, 0.0),
-            Complex::new(-1.0, 0.0),
-        ];
-        let corrupted = vec![
-            Complex::new(-2.0, 0.5),
-            Complex::new(2.0, -0.5),
-            Complex::new(-2.0, 0.0),
-            Complex::new(-1.0, 0.0),
-        ];
-        let segments = SymbolSegments::from_rows(vec![clean.clone(), corrupted]);
-        let selection = OracleSelection {
-            best_segment: vec![0, 0, 0, 1],
-            min_interference: vec![0.0; 4],
-            standard_interference: vec![1.0; 4],
-        };
-        let decided = decode_symbol(&segments, &selection, &[0, 1, 2, 3], m);
-        for (d, c) in decided.iter().zip(&clean) {
-            assert!((*d - *c).norm() < 1e-12);
+        // The selection agrees bin-for-bin with the decision-stage decoder.
+        let dec = crate::decision::OracleSegmentDecoder::new(
+            ofdmphy::modulation::Modulation::Bpsk,
+            &powers,
+        );
+        for bin in 0..4 {
+            assert_eq!(dec.best_segment(bin), sel.best_segment[bin], "bin {bin}");
         }
     }
 }

@@ -1,25 +1,35 @@
 //! The frame-level CPRecycle receiver (paper §4.3, Algorithm 1, Fig. 7).
 //!
-//! The receiver mirrors the standard 802.11a/g receive chain but replaces the
-//! subcarrier-decision stage:
+//! The receiver is a staged pipeline — **sync → extract → decide → bit pipeline** —
+//! that mirrors the standard 802.11a/g receive chain but swaps the decision stage:
 //!
-//! 1. estimate the channel from the long training field (shared with the standard
-//!    receiver — Eq. 1 divides every segment by the same `Ĥ`);
-//! 2. extract the ISI-free FFT segments of the two LTF symbols and train the
-//!    per-subcarrier interference model from their deviations (the `N_p = 2` preambles
-//!    of an 802.11 frame);
-//! 3. for every subsequent OFDM symbol, extract the same segments and decide each data
-//!    subcarrier with the fixed-sphere ML decoder;
-//! 4. feed the decided lattice points into the unchanged `ofdmphy` bit pipeline
-//!    (deinterleave → Viterbi → descramble → FCS).
+//! 1. **sync**: locate the LTF/SIGNAL/DATA geometry and estimate the channel from the
+//!    long training field (shared with the standard receiver — Eq. 1 divides every
+//!    segment by the same `Ĥ`); when the configured [`DecisionStage`] scores with the
+//!    interference model, train it from the segments of the two LTF symbols (the
+//!    `N_p = 2` preambles of an 802.11 frame);
+//! 2. **extract**: for every subsequent OFDM symbol, extract the `P` ISI-free FFT
+//!    segments (sliding-DFT kernel by default);
+//! 3. **decide**: dispatch the configured [`SubcarrierDecoder`] — fixed-sphere ML,
+//!    naive average-distance, genie-aided Oracle or the standard-window decision —
+//!    over the bin-major observation slices;
+//! 4. **bit pipeline**: feed the decided lattice points into the unchanged `ofdmphy`
+//!    back end (deinterleave → Viterbi → descramble → FCS).
 //!
 //! With `num_segments = 1` the receiver degrades gracefully to the standard receiver
 //! (one window, centroid = the observation, sphere around it), matching the paper's
 //! computational-scalability claim.
+//!
+//! [`SubcarrierDecoder`]: crate::decision::SubcarrierDecoder
 
-use crate::config::CpRecycleConfig;
+use crate::config::{CpRecycleConfig, DecisionStage};
+use crate::decision::{
+    NaiveCentroidDecoder, OracleSegmentDecoder, StandardNearestDecoder, SubcarrierDecoder,
+};
 use crate::interference_model::InterferenceModel;
-use crate::segments::{extract_segments_with, SegmentScratch, SymbolSegments};
+use crate::segments::{
+    extract_segments_with, interference_power_per_segment_with, SegmentScratch, SymbolSegments,
+};
 use crate::sphere_ml::FixedSphereMlDecoder;
 use crate::Result;
 use ofdmphy::chanest::ChannelEstimate;
@@ -89,7 +99,15 @@ impl CpRecycleReceiver {
 
     /// The number of FFT segments the receiver will use given its configuration and the
     /// (known or assumed) number of ISI-free CP samples.
+    ///
+    /// The standard-window stage reads only the last segment, so it extracts exactly
+    /// one — its decisions are identical for any `P` (segment `P − 1` is always the
+    /// standard window) and extracting more would misstate the conventional
+    /// receiver's cost in decoder-sweep campaigns.
     pub fn effective_segments(&self) -> usize {
+        if matches!(self.config.decision, DecisionStage::Standard) {
+            return 1;
+        }
         let params = self.engine.params();
         let isi_free = self.config.isi_free_samples.unwrap_or(params.cp_len);
         let available = isi_free.min(params.cp_len) + 1;
@@ -109,15 +127,16 @@ impl CpRecycleReceiver {
         info: Option<FrameInfo>,
     ) -> Result<RxFrame> {
         let mut scratch = SegmentScratch::new();
-        self.decode_frame_scratch(samples, frame_start, info, &mut scratch)
+        self.decode_frame_genie(samples, frame_start, info, None, &mut scratch)
     }
 
-    /// [`decode_frame`](Self::decode_frame) with caller-owned extraction scratch.
+    /// [`decode_frame`](Self::decode_frame) with caller-owned scratch.
     ///
-    /// The scratch holds the sliding-DFT plan and the per-symbol working buffers;
-    /// reusing one across frames (the campaign engine keeps one per worker) removes
-    /// all per-frame twiddle construction. `decode_frame` is the convenience wrapper
-    /// that allocates a throwaway scratch.
+    /// The scratch holds the sliding-DFT plan, the per-symbol working buffers and the
+    /// decision-stage candidate/score buffers; reusing one across frames (the campaign
+    /// engine keeps one per worker) removes all per-frame twiddle construction and
+    /// keeps the decision stage allocation-free. `decode_frame` is the convenience
+    /// wrapper that allocates a throwaway scratch.
     pub fn decode_frame_scratch(
         &self,
         samples: &[Complex],
@@ -125,6 +144,41 @@ impl CpRecycleReceiver {
         info: Option<FrameInfo>,
         scratch: &mut SegmentScratch,
     ) -> Result<RxFrame> {
+        self.decode_frame_genie(samples, frame_start, info, None, scratch)
+    }
+
+    /// [`decode_frame_scratch`](Self::decode_frame_scratch) with an optional genie
+    /// interference-only capture, aligned sample-for-sample with `samples`.
+    ///
+    /// Only the [`DecisionStage::Oracle`] stage reads the genie waveform (it measures
+    /// each symbol's per-segment interference power from it); every other stage
+    /// discards it before the pipeline starts, so harnesses that have the capture can
+    /// pass it unconditionally — even one shorter than the composite. Decoding with
+    /// the Oracle stage and no genie capture is an error, as is an Oracle decode
+    /// whose genie capture ends before the frame does.
+    pub fn decode_frame_genie(
+        &self,
+        samples: &[Complex],
+        frame_start: usize,
+        info: Option<FrameInfo>,
+        interference_only: Option<&[Complex]>,
+        scratch: &mut SegmentScratch,
+    ) -> Result<RxFrame> {
+        // Stages that never read the genie waveform drop it here, so a short or
+        // misaligned capture cannot fail a decode that would not have touched it.
+        let interference_only = if self.config.decision.needs_genie() {
+            if interference_only.is_none() {
+                return Err(PhyError::invalid(
+                    "decision",
+                    "the Oracle decision stage needs the interference-only capture \
+                     (use decode_frame_genie)",
+                ));
+            }
+            interference_only
+        } else {
+            None
+        };
+        // --- Stage 1: sync — frame geometry and channel estimate ---------------------
         let params = self.engine.params().clone();
         let sym_len = params.symbol_len();
         let preamble_len = preamble::preamble_len(&params);
@@ -137,25 +191,30 @@ impl CpRecycleReceiver {
                 available: samples.len(),
             });
         }
-
-        // --- Channel estimate and interference model from the LTF -------------------
         let estimate = ChannelEstimate::from_ltf(&self.engine, &samples[ltf_start..signal_start])?;
         let num_segments = self.effective_segments();
-        let model = self.train_model(samples, ltf_start, &estimate, num_segments, scratch)?;
+        // Only the sphere stage scores with the interference model; the other stages
+        // skip the training cost entirely.
+        let model = if self.config.decision.needs_interference_model() {
+            Some(self.train_model(samples, ltf_start, &estimate, num_segments, scratch)?)
+        } else {
+            None
+        };
 
-        // --- Frame metadata -----------------------------------------------------------
+        // --- Frame metadata (SIGNAL decodes through the same decision stage) ---------
         let info = match info {
             Some(i) => i,
             None => self.decode_signal(
                 &samples[signal_start..signal_start + sym_len],
                 &estimate,
-                &model,
+                model.as_ref(),
+                genie_symbol(interference_only, signal_start, sym_len)?,
                 num_segments,
                 scratch,
             )?,
         };
 
-        // --- DATA symbols ---------------------------------------------------------------
+        // --- Stages 2+3: extract segments and decide every DATA symbol ---------------
         let n_dbps = info.mcs.n_dbps(&params);
         let payload_bits =
             ofdmphy::frame::SERVICE_BITS + 8 * info.psdu_len + ofdmphy::frame::TAIL_BITS;
@@ -167,9 +226,6 @@ impl CpRecycleReceiver {
                 available: samples.len(),
             });
         }
-
-        let decoder =
-            FixedSphereMlDecoder::new(info.mcs.modulation, self.config.sphere_radius_min_distances);
         let data_bins = params.data_bins();
         let mut decided_symbols = Vec::with_capacity(num_symbols);
         for s in 0..num_symbols {
@@ -182,9 +238,18 @@ impl CpRecycleReceiver {
                 self.config.extraction,
                 scratch,
             )?;
-            decided_symbols.push(decoder.decode_symbol(&model, &segments, &data_bins));
+            decided_symbols.push(self.run_decision_stage(
+                info.mcs.modulation,
+                model.as_ref(),
+                &segments,
+                &data_bins,
+                genie_symbol(interference_only, start, sym_len)?,
+                num_segments,
+                scratch,
+            )?);
         }
 
+        // --- Stage 4: the shared bit pipeline -----------------------------------------
         let (psdu, crc_ok) =
             decode_psdu_from_symbols(&self.viterbi, &params, &decided_symbols, info)?;
         let payload = if crc_ok {
@@ -199,6 +264,55 @@ impl CpRecycleReceiver {
             payload,
             equalized_symbols: decided_symbols,
         })
+    }
+
+    /// Decides one symbol's data subcarriers with the configured [`DecisionStage`].
+    ///
+    /// Decoder construction is allocation-free (the lattice table is cached
+    /// process-wide, the model is borrowed), so binding a fresh decoder per symbol
+    /// costs a few scalar copies; all working buffers live in `scratch.decision`.
+    #[allow(clippy::too_many_arguments)]
+    fn run_decision_stage(
+        &self,
+        modulation: Modulation,
+        model: Option<&InterferenceModel>,
+        segments: &SymbolSegments,
+        data_bins: &[usize],
+        genie_symbol: Option<&[Complex]>,
+        num_segments: usize,
+        scratch: &mut SegmentScratch,
+    ) -> Result<Vec<Complex>> {
+        match self.config.decision {
+            DecisionStage::Sphere {
+                radius_min_distances,
+            } => {
+                let model = model.expect("sphere stage always trains a model");
+                let decoder = FixedSphereMlDecoder::new(model, modulation, radius_min_distances);
+                Ok(decoder.decide_symbol(segments, data_bins, &mut scratch.decision))
+            }
+            DecisionStage::Naive => Ok(NaiveCentroidDecoder::new(modulation).decide_symbol(
+                segments,
+                data_bins,
+                &mut scratch.decision,
+            )),
+            DecisionStage::Standard => Ok(StandardNearestDecoder::new(modulation).decide_symbol(
+                segments,
+                data_bins,
+                &mut scratch.decision,
+            )),
+            DecisionStage::Oracle => {
+                let genie = genie_symbol.expect("checked before the pipeline started");
+                let powers = interference_power_per_segment_with(
+                    &self.engine,
+                    genie,
+                    num_segments,
+                    self.config.extraction,
+                    scratch,
+                )?;
+                let decoder = OracleSegmentDecoder::new(modulation, &powers);
+                Ok(decoder.decide_symbol(segments, data_bins, &mut scratch.decision))
+            }
+        }
     }
 
     /// Trains the interference model from the two long training symbols.
@@ -248,12 +362,13 @@ impl CpRecycleReceiver {
         )
     }
 
-    /// Decodes the SIGNAL symbol with the CPRecycle decision stage.
+    /// Decodes the SIGNAL symbol with the configured decision stage.
     fn decode_signal(
         &self,
         symbol_samples: &[Complex],
         estimate: &ChannelEstimate,
-        model: &InterferenceModel,
+        model: Option<&InterferenceModel>,
+        genie_symbol: Option<&[Complex]>,
         num_segments: usize,
         scratch: &mut SegmentScratch,
     ) -> Result<FrameInfo> {
@@ -266,10 +381,16 @@ impl CpRecycleReceiver {
             self.config.extraction,
             scratch,
         )?;
-        let decoder =
-            FixedSphereMlDecoder::new(Modulation::Bpsk, self.config.sphere_radius_min_distances);
         let data_bins = params.data_bins();
-        let decided = decoder.decode_symbol(model, &segments, &data_bins);
+        let decided = self.run_decision_stage(
+            Modulation::Bpsk,
+            model,
+            &segments,
+            &data_bins,
+            genie_symbol,
+            num_segments,
+            scratch,
+        )?;
         let bits = Modulation::Bpsk.demap_hard_all(&decided);
         let interleaver = Interleaver::new(params.num_data_subcarriers(), 1)?;
         let deinterleaved = interleaver.deinterleave(&bits)?;
@@ -279,6 +400,27 @@ impl CpRecycleReceiver {
             return Err(PhyError::DecodeFailure("SIGNAL length of zero".into()));
         }
         Ok(FrameInfo { mcs, psdu_len })
+    }
+}
+
+/// The genie slice of one symbol, with a readable error when the interference-only
+/// capture is shorter than the composite one.
+fn genie_symbol(
+    interference_only: Option<&[Complex]>,
+    start: usize,
+    sym_len: usize,
+) -> Result<Option<&[Complex]>> {
+    match interference_only {
+        None => Ok(None),
+        Some(genie) => {
+            genie
+                .get(start..start + sym_len)
+                .map(Some)
+                .ok_or(PhyError::InsufficientSamples {
+                    needed: start + sym_len,
+                    available: genie.len(),
+                })
+        }
     }
 }
 
@@ -315,7 +457,7 @@ mod tests {
         let rx_many = CpRecycleReceiver::new(params.clone(), CpRecycleConfig::with_segments(100));
         assert_eq!(rx_many.effective_segments(), 17);
         let rx_limited = CpRecycleReceiver::new(
-            params,
+            params.clone(),
             CpRecycleConfig {
                 isi_free_samples: Some(6),
                 num_segments: 16,
@@ -323,6 +465,13 @@ mod tests {
             },
         );
         assert_eq!(rx_limited.effective_segments(), 7);
+        // The standard-window stage reads only the last segment, so it extracts one
+        // regardless of the configured P.
+        let rx_standard = CpRecycleReceiver::new(
+            params,
+            CpRecycleConfig::with_decision(crate::config::DecisionStage::Standard),
+        );
+        assert_eq!(rx_standard.effective_segments(), 1);
     }
 
     #[test]
@@ -541,5 +690,119 @@ mod tests {
         let frame = tx.build_frame(&payload, Mcs::paper_set()[0], 0x5D).unwrap();
         assert!(rx.decode_frame(&frame.samples[..300], 0, None).is_err());
         assert!(rx.decode_frame(&frame.samples[..500], 0, None).is_err());
+    }
+
+    #[test]
+    fn every_decision_stage_roundtrips_a_clean_channel() {
+        use crate::config::DecisionStage;
+        let params = OfdmParams::ieee80211ag();
+        let tx = Transmitter::new(params.clone());
+        let payload = random_payload(90, 21);
+        let mcs = Mcs::paper_set()[1];
+        let frame = tx.build_frame(&payload, mcs, 0x5D).unwrap();
+        let genie = vec![Complex::zero(); frame.samples.len()];
+        for decision in [
+            DecisionStage::default(),
+            DecisionStage::Naive,
+            DecisionStage::Oracle,
+            DecisionStage::Standard,
+        ] {
+            let rx =
+                CpRecycleReceiver::new(params.clone(), CpRecycleConfig::with_decision(decision));
+            let mut scratch = SegmentScratch::new();
+            // The Oracle needs the genie capture; the others accept it and ignore it.
+            let decoded = rx
+                .decode_frame_genie(&frame.samples, 0, None, Some(&genie), &mut scratch)
+                .unwrap();
+            assert!(decoded.crc_ok, "{}", decision.label());
+            assert_eq!(
+                decoded.payload.as_deref(),
+                Some(&payload[..]),
+                "{}",
+                decision.label()
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_stage_without_genie_capture_is_an_error() {
+        use crate::config::DecisionStage;
+        let params = OfdmParams::ieee80211ag();
+        let tx = Transmitter::new(params.clone());
+        let rx = CpRecycleReceiver::new(
+            params,
+            CpRecycleConfig::with_decision(DecisionStage::Oracle),
+        );
+        let frame = tx
+            .build_frame(&random_payload(60, 22), Mcs::paper_set()[0], 0x5D)
+            .unwrap();
+        let err = rx.decode_frame(&frame.samples, 0, None).unwrap_err();
+        assert!(
+            err.to_string().contains("Oracle"),
+            "unexpected error: {err}"
+        );
+        // A genie capture shorter than the composite is also rejected, not a panic.
+        let mut scratch = SegmentScratch::new();
+        let short = vec![Complex::zero(); 400];
+        assert!(rx
+            .decode_frame_genie(&frame.samples, 0, None, Some(&short), &mut scratch)
+            .is_err());
+        // …but stages that never read the genie waveform must not trip over it: the
+        // same short capture is ignored by the sphere stage.
+        let sphere_rx =
+            CpRecycleReceiver::new(OfdmParams::ieee80211ag(), CpRecycleConfig::default());
+        let decoded = sphere_rx
+            .decode_frame_genie(&frame.samples, 0, None, Some(&short), &mut scratch)
+            .unwrap();
+        assert!(decoded.crc_ok);
+    }
+
+    #[test]
+    fn oracle_stage_beats_the_standard_stage_under_async_interference() {
+        // The Fig. 5 ordering at subcarrier granularity, now as two decision stages of
+        // the same receiver: with the genie picking the least-interfered segment per
+        // bin, the Oracle stage's decisions are strictly better than the
+        // standard-window stage's on an asynchronously interfered capture.
+        use crate::config::DecisionStage;
+        let params = OfdmParams::ieee80211ag();
+        let tx = Transmitter::new(params.clone());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let mut awgn = AwgnChannel::new();
+        let payload = random_payload(60, 24);
+        let mcs = Mcs::paper_set()[0];
+        let info = FrameInfo {
+            mcs,
+            psdu_len: payload.len() + 4,
+        };
+        let frame = tx.build_frame(&payload, mcs, 0x5D).unwrap();
+        let intf = tx
+            .build_frame(&random_payload(400, 25), Mcs::paper_set()[2], 0x2F)
+            .unwrap();
+        let spec = InterfererSpec::new(intf.samples, 0.3, 23.4, -6.0);
+        let combined = combine(&frame.samples, &[spec]).unwrap();
+        let mut received = combined.composite.clone();
+        awgn.add_noise_snr(&mut rng, &mut received, 30.0).unwrap();
+        let genie = &combined.interference[0];
+
+        let mut sers = Vec::new();
+        for decision in [DecisionStage::Oracle, DecisionStage::Standard] {
+            let rx =
+                CpRecycleReceiver::new(params.clone(), CpRecycleConfig::with_decision(decision));
+            let mut scratch = SegmentScratch::new();
+            let out = rx
+                .decode_frame_genie(&received, 0, Some(info), Some(genie), &mut scratch)
+                .unwrap();
+            sers.push(symbol_error_rate(
+                &out.equalized_symbols,
+                &frame.data_subcarrier_values,
+                mcs.modulation,
+            ));
+        }
+        assert!(
+            sers[0] < sers[1],
+            "Oracle SER {} should beat standard SER {}",
+            sers[0],
+            sers[1]
+        );
     }
 }

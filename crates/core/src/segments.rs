@@ -131,6 +131,73 @@ impl SymbolSegments {
     }
 }
 
+/// Per-segment, per-bin interference power in the same flat **bin-major** layout as
+/// [`SymbolSegments`]: the `P` powers of one FFT bin are contiguous, so
+/// [`bin_powers`](Self::bin_powers) — the Oracle's access pattern — is an
+/// allocation-free slice. Produced by [`interference_power_per_segment`] on an
+/// interference-only waveform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentPowers {
+    num_segments: usize,
+    fft_size: usize,
+    /// `values[bin * num_segments + segment]`; segment `P − 1` is the standard window.
+    values: Vec<f64>,
+}
+
+impl SegmentPowers {
+    /// Builds powers from segment-major rows (`rows[segment][bin]`), transposing into
+    /// the flat bin-major layout. Intended for tests and synthetic inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or the rows have unequal lengths.
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Self {
+        let num_segments = rows.len();
+        assert!(num_segments > 0, "at least one segment row is required");
+        let fft_size = rows[0].len();
+        assert!(
+            rows.iter().all(|r| r.len() == fft_size),
+            "all segment rows must have the same length"
+        );
+        let mut values = vec![0.0; num_segments * fft_size];
+        for (j, row) in rows.iter().enumerate() {
+            for (bin, v) in row.iter().enumerate() {
+                values[bin * num_segments + j] = *v;
+            }
+        }
+        SegmentPowers {
+            num_segments,
+            fft_size,
+            values,
+        }
+    }
+
+    /// Number of segments `P`.
+    #[inline]
+    pub fn num_segments(&self) -> usize {
+        self.num_segments
+    }
+
+    /// Number of FFT bins `F`.
+    #[inline]
+    pub fn fft_size(&self) -> usize {
+        self.fft_size
+    }
+
+    /// The interference powers of one FFT bin across all segments, as an
+    /// allocation-free contiguous slice (segment `P − 1` last).
+    #[inline]
+    pub fn bin_powers(&self, bin: usize) -> &[f64] {
+        &self.values[bin * self.num_segments..(bin + 1) * self.num_segments]
+    }
+
+    /// The power of one `(segment, bin)` pair.
+    #[inline]
+    pub fn value(&self, segment: usize, bin: usize) -> f64 {
+        self.values[bin * self.num_segments + segment]
+    }
+}
+
 /// Reusable scratch state for segment extraction: the [`SlidingDft`] plan and the
 /// per-symbol working buffers.
 ///
@@ -149,6 +216,12 @@ pub struct SegmentScratch {
     spectrum: Vec<Complex>,
     /// Per-bin fused factor `e^{+i2πk·shift/F} / Ĥ[k]` of the current window.
     ramp: Vec<Complex>,
+    /// Decision-stage buffers (candidate indices, per-candidate log-likelihoods),
+    /// threaded by the receiver into [`SubcarrierDecoder::decide_symbol`] so the whole
+    /// extract → decide path is allocation-free after warm-up.
+    ///
+    /// [`SubcarrierDecoder::decide_symbol`]: crate::decision::SubcarrierDecoder::decide_symbol
+    pub decision: crate::decision::DecoderScratch,
 }
 
 impl SegmentScratch {
@@ -344,12 +417,12 @@ fn extract_direct(
 /// *interference-only* waveform with the same segment windows (no equalisation — raw
 /// received interference power). Used by the Oracle receiver and by the Fig. 4a/4b
 /// diagnostics, where the paper obtains the same quantity "by muting the sender".
-/// Returns `powers[segment][bin]`.
+/// Returns the powers in the flat bin-major [`SegmentPowers`] layout.
 pub fn interference_power_per_segment(
     engine: &OfdmEngine,
     interference_symbol: &[Complex],
     num_segments: usize,
-) -> Result<Vec<Vec<f64>>> {
+) -> Result<SegmentPowers> {
     let mut scratch = SegmentScratch::new();
     interference_power_per_segment_with(
         engine,
@@ -368,15 +441,16 @@ pub fn interference_power_per_segment_with(
     num_segments: usize,
     method: SegmentExtraction,
     scratch: &mut SegmentScratch,
-) -> Result<Vec<Vec<f64>>> {
+) -> Result<SegmentPowers> {
     validate_num_segments(engine, num_segments)?;
     let params = engine.params();
+    let f = params.fft_size;
     let c = params.cp_len;
+    let p = num_segments;
+    let mut values = vec![0.0f64; p * f];
     match method {
         SegmentExtraction::Sliding => {
             validate_symbol_len(engine, interference_symbol)?;
-            let f = params.fft_size;
-            let p = num_segments;
             let s0 = c - (p - 1);
             let (sliding, spectrum, _) = scratch.ensure(f);
             // Phase corrections are unit-magnitude, so powers need only the raw
@@ -386,27 +460,34 @@ pub fn interference_power_per_segment_with(
                 .plan()
                 .fft_in_place(spectrum)
                 .expect("scratch buffer sized to plan");
-            let mut out = Vec::with_capacity(p);
-            out.push(spectrum.iter().map(|b| b.norm_sqr()).collect());
+            for (bin, b) in spectrum.iter().enumerate() {
+                values[bin * p] = b.norm_sqr();
+            }
             for j in 1..p {
                 let w = s0 + j - 1;
                 sliding
                     .slide(spectrum, interference_symbol[w], interference_symbol[w + f])
                     .expect("scratch buffer sized to plan");
-                out.push(spectrum.iter().map(|b| b.norm_sqr()).collect());
+                for (bin, b) in spectrum.iter().enumerate() {
+                    values[bin * p + j] = b.norm_sqr();
+                }
             }
-            Ok(out)
         }
         SegmentExtraction::Direct => {
-            let mut out = Vec::with_capacity(num_segments);
-            for j in 0..num_segments {
-                let window_start = c - (num_segments - 1) + j;
+            for j in 0..p {
+                let window_start = c - (p - 1) + j;
                 let bins = engine.demodulate_window(interference_symbol, window_start)?;
-                out.push(bins.iter().map(|b| b.norm_sqr()).collect());
+                for (bin, b) in bins.iter().enumerate() {
+                    values[bin * p + j] = b.norm_sqr();
+                }
             }
-            Ok(out)
         }
     }
+    Ok(SegmentPowers {
+        num_segments: p,
+        fft_size: f,
+        values,
+    })
 }
 
 #[cfg(test)]
@@ -571,6 +652,27 @@ mod tests {
     }
 
     #[test]
+    fn segment_powers_from_rows_round_trips_the_layout() {
+        let rows = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        let powers = SegmentPowers::from_rows(rows.clone());
+        assert_eq!(powers.num_segments(), 3);
+        assert_eq!(powers.fft_size(), 2);
+        for (j, row) in rows.iter().enumerate() {
+            for (bin, v) in row.iter().enumerate() {
+                assert_eq!(powers.value(j, bin), *v);
+            }
+        }
+        assert_eq!(powers.bin_powers(0), &[1.0, 3.0, 5.0]);
+        assert_eq!(powers.bin_powers(1), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn segment_powers_reject_empty_rows() {
+        let _ = SegmentPowers::from_rows(Vec::new());
+    }
+
+    #[test]
     fn multipath_within_isi_free_region_keeps_segments_equal() {
         // With a short multipath channel, only the first few CP samples are corrupted by
         // ISI; segments restricted to the ISI-free region must still agree after
@@ -618,11 +720,13 @@ mod tests {
         let spec = InterfererSpec::new(intf, 0.3, 23.4, -10.0);
         let combined = combine(&time, &[spec]).unwrap();
         let powers = interference_power_per_segment(&e, &combined.interference[0], 17).unwrap();
-        assert_eq!(powers.len(), 17);
+        assert_eq!(powers.num_segments(), 17);
+        assert_eq!(powers.fft_size(), 64);
         // Look at one occupied bin near the band edge and check the spread across
-        // segments is non-trivial.
+        // segments is non-trivial. The bin-major layout hands the per-segment series
+        // of one bin out as a contiguous slice.
         let bin = 20usize;
-        let series: Vec<f64> = powers.iter().map(|seg| seg[bin]).collect();
+        let series = powers.bin_powers(bin);
         let max = series.iter().cloned().fold(f64::MIN, f64::max);
         let min = series.iter().cloned().fold(f64::MAX, f64::min);
         assert!(max > 0.0);
@@ -654,11 +758,16 @@ mod tests {
                 &mut scratch,
             )
             .unwrap();
-            for (j, (a, b)) in sliding.iter().zip(&direct).enumerate() {
-                for (bin, (pa, pb)) in a.iter().zip(b).enumerate() {
+            assert_eq!(sliding.num_segments(), p);
+            for bin in 0..64 {
+                let a = sliding.bin_powers(bin);
+                let b = direct.bin_powers(bin);
+                for j in 0..p {
                     assert!(
-                        (pa - pb).abs() < 1e-9 * (1.0 + pa.max(*pb)),
-                        "P {p}, segment {j}, bin {bin}: {pa} vs {pb}"
+                        (a[j] - b[j]).abs() < 1e-9 * (1.0 + a[j].max(b[j])),
+                        "P {p}, segment {j}, bin {bin}: {} vs {}",
+                        a[j],
+                        b[j]
                     );
                 }
             }

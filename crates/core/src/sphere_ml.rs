@@ -9,39 +9,48 @@
 //! 3. scores every candidate by the sum over segments of the log-likelihood from the
 //!    per-subcarrier interference model (the product of Eq. 5 in log domain) and picks
 //!    the maximum.
+//!
+//! The decoder implements [`SubcarrierDecoder`] over the cached
+//! [`Modulation::lattice`] table: candidates are `u16` lattice indices accumulated in
+//! the shared [`DecoderScratch`], so the whole search — enumeration, scoring, argmax —
+//! performs **zero heap allocations** after the scratch has warmed up (previously
+//! every candidate of every bin of every symbol cloned a `(Complex, Vec<u8>)` pair).
 
+use crate::decision::{DecoderScratch, LatticePoint, SubcarrierDecoder};
 use crate::interference_model::InterferenceModel;
 use crate::segments::SymbolSegments;
-use ofdmphy::modulation::Modulation;
+use ofdmphy::modulation::{Lattice, Modulation};
 use rfdsp::stats::centroid;
 use rfdsp::Complex;
 
-/// The fixed-sphere ML decoder for one modulation order.
-#[derive(Debug, Clone)]
-pub struct FixedSphereMlDecoder {
+/// The fixed-sphere ML decoder for one modulation order, bound to the interference
+/// model trained from the current frame's preamble.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedSphereMlDecoder<'m> {
+    model: &'m InterferenceModel,
     modulation: Modulation,
     /// Sphere radius in absolute constellation units.
     radius: f64,
-    /// The full lattice (cached constellation) searched by the decoder.
-    constellation: Vec<(Complex, Vec<u8>)>,
+    lattice: &'static Lattice,
 }
 
-impl FixedSphereMlDecoder {
+impl<'m> FixedSphereMlDecoder<'m> {
     /// Creates a decoder for `modulation` with sphere radius expressed as a multiple of
     /// the constellation's minimum distance (the paper's `R`, made scale-free so one
-    /// setting works across modulations).
-    pub fn new(modulation: Modulation, radius_min_distances: f64) -> Self {
+    /// setting works across modulations). Construction is cheap — the lattice table is
+    /// process-wide and the model is borrowed — so the receiver builds one per frame.
+    pub fn new(
+        model: &'m InterferenceModel,
+        modulation: Modulation,
+        radius_min_distances: f64,
+    ) -> Self {
         let radius = radius_min_distances.max(0.0) * modulation.min_distance();
         FixedSphereMlDecoder {
+            model,
             modulation,
             radius,
-            constellation: modulation.constellation(),
+            lattice: modulation.lattice(),
         }
-    }
-
-    /// The modulation this decoder searches over.
-    pub fn modulation(&self) -> Modulation {
-        self.modulation
     }
 
     /// The absolute sphere radius in constellation units.
@@ -49,81 +58,89 @@ impl FixedSphereMlDecoder {
         self.radius
     }
 
-    /// The candidate lattice points within the sphere centred at the centroid of
-    /// `observations` (paper Fig. 6c). Falls back to the single nearest lattice point
-    /// when the sphere is empty.
-    pub fn candidates(&self, observations: &[Complex]) -> Vec<(Complex, Vec<u8>)> {
-        let center = centroid(observations).unwrap_or(Complex::zero());
-        let inside: Vec<(Complex, Vec<u8>)> = self
-            .constellation
-            .iter()
-            .filter(|(p, _)| (*p - center).norm() <= self.radius)
-            .cloned()
-            .collect();
-        if inside.is_empty() {
-            let (p, bits) = self.modulation.nearest_point(center);
-            vec![(p, bits)]
-        } else {
-            inside
-        }
+    /// Enumerates the candidate lattice indices within the sphere centred at the
+    /// centroid of `observations` (paper Fig. 6c) into the scratch buffer and returns
+    /// them. Falls back to the single nearest lattice point when the sphere is empty.
+    pub fn candidates<'s>(
+        &self,
+        observations: &[Complex],
+        scratch: &'s mut DecoderScratch,
+    ) -> &'s [u16] {
+        self.enumerate_candidates(observations, scratch);
+        &scratch.candidates
     }
 
-    /// Decodes one subcarrier: returns the ML lattice point and its bits.
-    ///
-    /// * `bin` — the FFT bin index (selects the per-subcarrier interference model).
-    /// * `observations` — the `P` segment values of this subcarrier.
-    pub fn decode_subcarrier(
-        &self,
-        model: &InterferenceModel,
-        bin: usize,
-        observations: &[Complex],
-    ) -> (Complex, Vec<u8>) {
-        let candidates = self.candidates(observations);
-        let mut best = candidates[0].clone();
-        let mut best_score = f64::NEG_INFINITY;
-        for (point, bits) in candidates {
-            let score: f64 = observations
-                .iter()
-                .map(|obs| model.log_likelihood(bin, *obs, point))
-                .sum();
-            if score > best_score {
-                best_score = score;
-                best = (point, bits);
+    fn enumerate_candidates(&self, observations: &[Complex], scratch: &mut DecoderScratch) {
+        scratch.prepare(self.modulation);
+        let center = centroid(observations).unwrap_or(Complex::zero());
+        for (i, point) in self.lattice.points().iter().enumerate() {
+            if (*point - center).norm() <= self.radius {
+                scratch.candidates.push(i as u16);
             }
         }
-        best
-    }
-
-    /// Decodes a whole symbol: for every FFT bin in `bins` (increasing order), the
-    /// decoder reads that bin's `P` observations straight from the extracted
-    /// segments — a contiguous, allocation-free slice in the bin-major layout — and
-    /// returns the decided lattice points in the same order, ready for the shared
-    /// `ofdmphy` bit pipeline.
-    pub fn decode_symbol(
-        &self,
-        model: &InterferenceModel,
-        segments: &SymbolSegments,
-        bins: &[usize],
-    ) -> Vec<Complex> {
-        bins.iter()
-            .map(|&bin| {
-                self.decode_subcarrier(model, bin, segments.bin_observations(bin))
-                    .0
-            })
-            .collect()
+        if scratch.candidates.is_empty() {
+            scratch.candidates.push(self.lattice.nearest_index(center));
+        }
     }
 
     /// Average number of lattice points inside the sphere over the given subcarriers —
     /// a complexity diagnostic (the quantity the fixed sphere is meant to keep small).
-    pub fn mean_search_space(&self, segments: &SymbolSegments, bins: &[usize]) -> f64 {
+    pub fn mean_search_space(
+        &self,
+        segments: &SymbolSegments,
+        bins: &[usize],
+        scratch: &mut DecoderScratch,
+    ) -> f64 {
         if bins.is_empty() {
             return 0.0;
         }
         let total: usize = bins
             .iter()
-            .map(|&bin| self.candidates(segments.bin_observations(bin)).len())
+            .map(|&bin| {
+                self.candidates(segments.bin_observations(bin), scratch)
+                    .len()
+            })
             .sum();
         total as f64 / bins.len() as f64
+    }
+}
+
+impl SubcarrierDecoder for FixedSphereMlDecoder<'_> {
+    fn modulation(&self) -> Modulation {
+        self.modulation
+    }
+
+    fn decide(
+        &self,
+        bin: usize,
+        observations: &[Complex],
+        scratch: &mut DecoderScratch,
+    ) -> LatticePoint {
+        self.enumerate_candidates(observations, scratch);
+        for &index in &scratch.candidates {
+            let point = self.lattice.point(index);
+            let score: f64 = observations
+                .iter()
+                .map(|obs| self.model.log_likelihood(bin, *obs, point))
+                .sum();
+            scratch.scores.push(score);
+        }
+        // First strict maximum wins, so ties keep the earliest (lowest-index)
+        // candidate — the pre-trait decoder's behaviour, pinned bit-for-bit by the
+        // decision_equivalence property tests.
+        let mut best = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
+        for (k, &score) in scratch.scores.iter().enumerate() {
+            if score > best_score {
+                best_score = score;
+                best = k;
+            }
+        }
+        let index = scratch.candidates[best];
+        LatticePoint {
+            index,
+            value: self.lattice.point(index),
+        }
     }
 }
 
@@ -131,19 +148,26 @@ impl FixedSphereMlDecoder {
 mod tests {
     use super::*;
     use crate::config::CpRecycleConfig;
+    use crate::decision::NaiveCentroidDecoder;
     use rand::{Rng, SeedableRng};
+
+    fn scratch() -> DecoderScratch {
+        DecoderScratch::new()
+    }
 
     #[test]
     fn sphere_radius_scales_with_modulation() {
-        let qpsk = FixedSphereMlDecoder::new(Modulation::Qpsk, 1.5);
-        let qam64 = FixedSphereMlDecoder::new(Modulation::Qam64, 1.5);
+        let model = InterferenceModel::new(64, CpRecycleConfig::default());
+        let qpsk = FixedSphereMlDecoder::new(&model, Modulation::Qpsk, 1.5);
+        let qam64 = FixedSphereMlDecoder::new(&model, Modulation::Qam64, 1.5);
         assert!(qpsk.radius() > qam64.radius());
         assert_eq!(qpsk.modulation(), Modulation::Qpsk);
     }
 
     #[test]
     fn candidates_within_sphere_only() {
-        let dec = FixedSphereMlDecoder::new(Modulation::Qam16, 1.0);
+        let model = InterferenceModel::new(64, CpRecycleConfig::default());
+        let dec = FixedSphereMlDecoder::new(&model, Modulation::Qam16, 1.0);
         // Observations clustered near one corner point.
         let corner = Modulation::Qam16
             .points()
@@ -151,25 +175,29 @@ mod tests {
             .max_by(|a, b| a.norm().partial_cmp(&b.norm()).unwrap())
             .unwrap();
         let obs = vec![corner; 4];
-        let cands = dec.candidates(&obs);
+        let mut s = scratch();
+        let cands = dec.candidates(&obs, &mut s);
         // All candidates lie within R of the corner, so the search space is much smaller
         // than the full 16-point constellation.
         assert!(!cands.is_empty());
         assert!(cands.len() <= 4, "sphere too large: {}", cands.len());
-        for (p, _) in &cands {
-            assert!((*p - corner).norm() <= dec.radius() + 1e-12);
+        let lattice = Modulation::Qam16.lattice();
+        for &i in cands {
+            assert!((lattice.point(i) - corner).norm() <= dec.radius() + 1e-12);
         }
     }
 
     #[test]
     fn empty_sphere_falls_back_to_nearest_point() {
-        let dec = FixedSphereMlDecoder::new(Modulation::Qpsk, 0.01);
+        let model = InterferenceModel::new(64, CpRecycleConfig::default());
+        let dec = FixedSphereMlDecoder::new(&model, Modulation::Qpsk, 0.01);
         // Centroid far away from every lattice point.
         let obs = vec![Complex::new(10.0, 10.0); 3];
-        let cands = dec.candidates(&obs);
+        let mut s = scratch();
+        let cands = dec.candidates(&obs, &mut s).to_vec();
         assert_eq!(cands.len(), 1);
         let nearest = Modulation::Qpsk.nearest_point(Complex::new(10.0, 10.0)).0;
-        assert!((cands[0].0 - nearest).norm() < 1e-12);
+        assert!((Modulation::Qpsk.lattice().point(cands[0]) - nearest).norm() < 1e-12);
     }
 
     #[test]
@@ -177,12 +205,13 @@ mod tests {
         // With no trained model the log-likelihood falls back to a distance penalty, so
         // the decoder behaves like a robust nearest-point decision on the centroid.
         let model = InterferenceModel::new(64, CpRecycleConfig::default());
-        let dec = FixedSphereMlDecoder::new(Modulation::Qpsk, 2.0);
+        let dec = FixedSphereMlDecoder::new(&model, Modulation::Qpsk, 2.0);
+        let mut s = scratch();
         for (point, bits) in Modulation::Qpsk.constellation() {
             let obs = vec![point, point, point + Complex::new(0.05, -0.02)];
-            let (decided, decided_bits) = dec.decode_subcarrier(&model, 1, &obs);
-            assert!((decided - point).norm() < 1e-12);
-            assert_eq!(decided_bits, bits);
+            let decided = dec.decide(1, &obs, &mut s);
+            assert!((decided.value - point).norm() < 1e-12);
+            assert_eq!(decided.bits(Modulation::Qpsk), &bits[..]);
         }
     }
 
@@ -238,23 +267,25 @@ mod tests {
             Complex::new(-2.05, -0.1),
             Complex::new(-2.12, 0.05),
         ];
-        let dec = FixedSphereMlDecoder::new(Modulation::Bpsk, 6.0);
-        let (decided, _) = dec.decode_subcarrier(&model, bin, &obs);
+        let dec = FixedSphereMlDecoder::new(&model, Modulation::Bpsk, 6.0);
+        let mut s = scratch();
+        let decided = dec.decide(bin, &obs, &mut s);
         assert!(
-            (decided - Complex::new(1.0, 0.0)).norm() < 1e-9,
-            "ML decoder should resist the corrupted majority, got {decided}"
+            (decided.value - Complex::new(1.0, 0.0)).norm() < 1e-9,
+            "ML decoder should resist the corrupted majority, got {}",
+            decided.value
         );
         // The naive decoder is fooled on the same input (cross-check of the paper's
         // motivating example).
-        let (naive_decision, _) = crate::naive::decode_subcarrier(&obs, Modulation::Bpsk);
-        assert!((naive_decision - Complex::new(-1.0, 0.0)).norm() < 1e-9);
+        let naive = NaiveCentroidDecoder::new(Modulation::Bpsk).decide(bin, &obs, &mut s);
+        assert!((naive.value - Complex::new(-1.0, 0.0)).norm() < 1e-9);
     }
 
     #[test]
     fn decode_symbol_and_search_space() {
         use crate::segments::SymbolSegments;
         let model = InterferenceModel::new(64, CpRecycleConfig::default());
-        let dec = FixedSphereMlDecoder::new(Modulation::Qam16, 1.0);
+        let dec = FixedSphereMlDecoder::new(&model, Modulation::Qam16, 1.0);
         let points = Modulation::Qam16.points();
         // Three segments whose bin `i + 1` all observe constellation point `i`.
         let row: Vec<Complex> = (0..64)
@@ -268,13 +299,14 @@ mod tests {
             .collect();
         let segments = SymbolSegments::from_rows(vec![row.clone(), row.clone(), row]);
         let bins: Vec<usize> = (1..=8).collect();
-        let decided = dec.decode_symbol(&model, &segments, &bins);
+        let mut s = scratch();
+        let decided = dec.decide_symbol(&segments, &bins, &mut s);
         assert_eq!(decided.len(), 8);
         for (d, p) in decided.iter().zip(points.iter().take(8)) {
             assert!((*d - *p).norm() < 1e-12);
         }
-        let mean_space = dec.mean_search_space(&segments, &bins);
+        let mean_space = dec.mean_search_space(&segments, &bins, &mut s);
         assert!((1.0..16.0).contains(&mean_space));
-        assert_eq!(dec.mean_search_space(&segments, &[]), 0.0);
+        assert_eq!(dec.mean_search_space(&segments, &[], &mut s), 0.0);
     }
 }

@@ -8,6 +8,92 @@
 
 use crate::{PhyError, Result};
 use rfdsp::Complex;
+use std::sync::OnceLock;
+
+/// The cached, index-based view of one constellation: a flat point table plus the bit
+/// labels, shared process-wide so decoders can work with `u16` lattice indices instead
+/// of cloning `(Complex, Vec<u8>)` pairs.
+///
+/// Obtained from [`Modulation::lattice`]; index order is the enumeration order of
+/// [`Modulation::constellation`] (the bits of index `i` are `i` itself, MSB first), so
+/// indices are stable identifiers of lattice points.
+#[derive(Debug)]
+pub struct Lattice {
+    points: Vec<Complex>,
+    /// Flattened bit labels: `num_points × bits_per_symbol`, MSB first per point.
+    bits: Vec<u8>,
+    bits_per_symbol: usize,
+}
+
+impl Lattice {
+    fn build(modulation: Modulation) -> Self {
+        let n = modulation.bits_per_symbol();
+        let mut points = Vec::with_capacity(modulation.num_points());
+        let mut bits = Vec::with_capacity(modulation.num_points() * n);
+        for idx in 0..modulation.num_points() {
+            let point_bits: Vec<u8> = (0..n).map(|b| ((idx >> (n - 1 - b)) & 1) as u8).collect();
+            points.push(
+                modulation
+                    .map(&point_bits)
+                    .expect("enumerated bits are always valid"),
+            );
+            bits.extend(point_bits);
+        }
+        Lattice {
+            points,
+            bits,
+            bits_per_symbol: n,
+        }
+    }
+
+    /// Number of lattice points (the size of the decoder's search space).
+    #[inline]
+    pub fn num_points(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Bits carried per lattice point.
+    #[inline]
+    pub fn bits_per_symbol(&self) -> usize {
+        self.bits_per_symbol
+    }
+
+    /// All lattice points, in index order — the table sphere-style decoders scan.
+    #[inline]
+    pub fn points(&self) -> &[Complex] {
+        &self.points
+    }
+
+    /// The constellation value of one lattice index.
+    #[inline]
+    pub fn point(&self, index: u16) -> Complex {
+        self.points[index as usize]
+    }
+
+    /// The bits encoded by one lattice index (MSB first), as a borrowed slice — the
+    /// allocation-free replacement for cloning the `Vec<u8>` of a constellation pair.
+    #[inline]
+    pub fn bits_of(&self, index: u16) -> &[u8] {
+        let n = self.bits_per_symbol;
+        &self.bits[index as usize * n..(index as usize + 1) * n]
+    }
+
+    /// The index of the lattice point nearest to `symbol` (first wins on exact ties,
+    /// matching [`Modulation::nearest_point`]).
+    #[inline]
+    pub fn nearest_index(&self, symbol: Complex) -> u16 {
+        let mut best = 0u16;
+        let mut best_dist = f64::INFINITY;
+        for (i, point) in self.points.iter().enumerate() {
+            let d = (symbol - *point).norm_sqr();
+            if d < best_dist {
+                best_dist = d;
+                best = i as u16;
+            }
+        }
+        best
+    }
+}
 
 /// Supported modulation orders.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -98,53 +184,65 @@ impl Modulation {
         bits.chunks(n).map(|c| self.map(c)).collect()
     }
 
+    /// The process-wide cached [`Lattice`] of this modulation: the flat point table and
+    /// bit labels that index-based decoders (`u16` lattice indices) work with. Built
+    /// once per modulation on first use.
+    pub fn lattice(self) -> &'static Lattice {
+        static LATTICES: [OnceLock<Lattice>; 5] = [
+            OnceLock::new(),
+            OnceLock::new(),
+            OnceLock::new(),
+            OnceLock::new(),
+            OnceLock::new(),
+        ];
+        let slot = match self {
+            Modulation::Bpsk => 0,
+            Modulation::Qpsk => 1,
+            Modulation::Qam16 => 2,
+            Modulation::Qam64 => 3,
+            Modulation::Qam256 => 4,
+        };
+        LATTICES[slot].get_or_init(|| Lattice::build(self))
+    }
+
     /// Hard-demaps one received point to the bits of the nearest constellation point.
     pub fn demap_hard(self, symbol: Complex) -> Vec<u8> {
-        let (_, bits) = self.nearest_point(symbol);
-        bits
+        let lattice = self.lattice();
+        lattice.bits_of(lattice.nearest_index(symbol)).to_vec()
     }
 
     /// Hard-demaps a slice of received points to a bit stream.
     pub fn demap_hard_all(self, symbols: &[Complex]) -> Vec<u8> {
+        let lattice = self.lattice();
         let mut out = Vec::with_capacity(symbols.len() * self.bits_per_symbol());
         for s in symbols {
-            out.extend(self.demap_hard(*s));
+            out.extend_from_slice(lattice.bits_of(lattice.nearest_index(*s)));
         }
         out
     }
 
     /// Returns the nearest constellation point to `symbol` and the bits it encodes.
     pub fn nearest_point(self, symbol: Complex) -> (Complex, Vec<u8>) {
-        let mut best = (Complex::zero(), Vec::new());
-        let mut best_dist = f64::INFINITY;
-        for (point, bits) in self.constellation() {
-            let d = (symbol - point).norm_sqr();
-            if d < best_dist {
-                best_dist = d;
-                best = (point, bits);
-            }
-        }
-        best
+        let lattice = self.lattice();
+        let index = lattice.nearest_index(symbol);
+        (lattice.point(index), lattice.bits_of(index).to_vec())
     }
 
     /// The full constellation: every `(point, bits)` pair. Points are normalised to
     /// unit average power. This is the lattice `L` over which the sphere decoder
-    /// searches.
+    /// searches — kept as a thin (allocating) shim over [`Modulation::lattice`] for
+    /// callers that want owned pairs; hot paths should use the lattice directly.
     pub fn constellation(self) -> Vec<(Complex, Vec<u8>)> {
-        let n = self.bits_per_symbol();
-        (0..self.num_points())
-            .map(|idx| {
-                let bits: Vec<u8> = (0..n).map(|b| ((idx >> (n - 1 - b)) & 1) as u8).collect();
-                let point = self.map(&bits).expect("enumerated bits are always valid");
-                (point, bits)
-            })
+        let lattice = self.lattice();
+        (0..lattice.num_points() as u16)
+            .map(|i| (lattice.point(i), lattice.bits_of(i).to_vec()))
             .collect()
     }
 
     /// Just the constellation points (without bit labels), for decoders that only need
     /// the lattice geometry.
     pub fn points(self) -> Vec<Complex> {
-        self.constellation().into_iter().map(|(p, _)| p).collect()
+        self.lattice().points().to_vec()
     }
 
     /// Minimum Euclidean distance between distinct constellation points — the decision
@@ -311,6 +409,59 @@ mod tests {
                 }
             }
             assert!((min - m.min_distance()).abs() < 1e-9, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn lattice_index_packing_matches_the_map() {
+        // Independent reference: the bits of index `i` are `i` itself (MSB first) and
+        // the point is what `map` produces for them — derived here from scratch, not
+        // through the lattice's own packing (nearest_point / constellation are shims
+        // over the lattice now, so comparing against them would be circular).
+        for m in ALL {
+            let lattice = m.lattice();
+            let n = m.bits_per_symbol();
+            assert_eq!(lattice.num_points(), m.num_points());
+            assert_eq!(lattice.bits_per_symbol(), n);
+            assert_eq!(lattice.points().len(), m.num_points());
+            for i in 0..m.num_points() {
+                let expected_bits: Vec<u8> =
+                    (0..n).map(|b| ((i >> (n - 1 - b)) & 1) as u8).collect();
+                assert_eq!(lattice.bits_of(i as u16), &expected_bits[..], "{m:?} {i}");
+                let expected_point = m.map(&expected_bits).unwrap();
+                assert_eq!(lattice.point(i as u16), expected_point, "{m:?} {i}");
+                assert_eq!(lattice.points()[i], expected_point, "{m:?} {i}");
+            }
+            // The cache hands out the same table on every call.
+            assert!(std::ptr::eq(lattice, m.lattice()));
+        }
+    }
+
+    #[test]
+    fn nearest_index_is_the_brute_force_argmin() {
+        // Independent reference: an argmin computed here over the point table, with
+        // the same first-wins tie rule, including probes equidistant from two points
+        // (on the decision boundary) and far outside the constellation.
+        for m in ALL {
+            let lattice = m.lattice();
+            let points = lattice.points();
+            let boundary = (points[0] + points[points.len() - 1]).scale(0.5);
+            let mut probes = vec![boundary, Complex::new(25.0, -25.0), Complex::zero()];
+            for p in points {
+                probes.push(*p + Complex::new(0.3, -0.2).scale(m.min_distance()));
+            }
+            for probe in probes {
+                let mut expected = 0u16;
+                let mut best = f64::INFINITY;
+                for (i, point) in points.iter().enumerate() {
+                    let d = (probe - *point).norm_sqr();
+                    if d < best {
+                        best = d;
+                        expected = i as u16;
+                    }
+                }
+                assert_eq!(lattice.nearest_index(probe), expected, "{m:?} at {probe}");
+            }
         }
     }
 

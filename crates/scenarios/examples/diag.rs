@@ -43,17 +43,18 @@ fn main() {
             17,
         )
         .unwrap();
-        let std_seg = &powers[16];
-        let min_seg: Vec<f64> = (0..64)
-            .map(|b| powers.iter().map(|s| s[b]).fold(f64::MAX, f64::min))
-            .collect();
         let sig_p = vic_bins[10].norm_sqr();
         println!("guard {guard} sir {sir}: victim bin10 pwr {:.3e}", sig_p);
         for bin in [26usize, 20, 10, 2, 38, 50] {
+            let std_p = powers.value(16, bin);
+            let min_p = powers
+                .bin_powers(bin)
+                .iter()
+                .fold(f64::MAX, |acc, p| acc.min(*p));
             println!(
                 "  bin {bin}: I_std {:.1} dB  I_min {:.1} dB (rel to sig)",
-                10.0 * (std_seg[bin] / sig_p).log10(),
-                10.0 * (min_seg[bin] / sig_p).log10()
+                10.0 * (std_p / sig_p).log10(),
+                10.0 * (min_p / sig_p).log10()
             );
         }
     }

@@ -29,7 +29,7 @@ use cprecycle::segments::{
     extract_segments, extract_segments_with, interference_power_per_segment,
     interference_power_per_segment_with, SegmentExtraction, SegmentScratch,
 };
-use cprecycle::CpRecycleConfig;
+use cprecycle::{CpRecycleConfig, DecisionStage};
 use cprecycle_engine::{CampaignConfig, CampaignResult, RunOptions};
 use ofdmphy::chanest::ChannelEstimate;
 use ofdmphy::convcode::CodeRate;
@@ -171,8 +171,8 @@ fn fig5_grid(scale: &FigureScale) -> Vec<LinkPoint> {
     let mcs = Mcs::new(Modulation::Qpsk, CodeRate::ThreeQuarters);
     let receivers = vec![
         ReceiverKind::Standard,
-        ReceiverKind::Naive { num_segments: 16 },
-        ReceiverKind::Oracle { num_segments: 16 },
+        ReceiverKind::with_decision(DecisionStage::Naive),
+        ReceiverKind::with_decision(DecisionStage::Oracle),
     ];
     let mut points = Vec::new();
     for sir in fig5_sirs() {
@@ -335,9 +335,41 @@ fn ablate_sphere_grid(scale: &FigureScale) -> Vec<LinkPoint> {
                     ..Default::default()
                 }),
                 vec![ReceiverKind::CpRecycle(CpRecycleConfig {
-                    sphere_radius_min_distances: *r,
+                    decision: DecisionStage::Sphere {
+                        radius_min_distances: *r,
+                    },
                     ..Default::default()
                 })],
+            )
+            .payload(scale.payload_len)
+        })
+        .collect()
+}
+
+/// The decoder-comparison sweep: every decision stage as an arm of the same ACI grid,
+/// so a fig. 8/9-style "which decoder wins where" comparison is **one** engine run —
+/// the decoder is part of the campaign point key like SIR or `P`.
+fn decoder_sweep_grid(scale: &FigureScale) -> Vec<LinkPoint> {
+    let mcs = Mcs::new(Modulation::Qpsk, CodeRate::Half);
+    let receivers = vec![
+        ReceiverKind::Standard,
+        ReceiverKind::with_decision(DecisionStage::Standard),
+        ReceiverKind::with_decision(DecisionStage::Naive),
+        ReceiverKind::with_decision(DecisionStage::Oracle),
+        ReceiverKind::with_decision(DecisionStage::default()),
+    ];
+    fig8_sirs(scale)
+        .iter()
+        .map(|sir| {
+            LinkPoint::new(
+                format!("SIR {sir} dB"),
+                mcs,
+                Scenario::Aci(AciScenario {
+                    sir_db: *sir,
+                    channel_offset_hz: Some(15e6),
+                    ..Default::default()
+                }),
+                receivers.clone(),
             )
             .payload(scale.payload_len)
         })
@@ -391,6 +423,7 @@ pub fn figure_grid(name: &str, scale: &FigureScale) -> Option<Vec<LinkPoint>> {
         "fig11" => Some(fig11_grid(scale)),
         "fig12" => Some(fig12_grid(scale)),
         "fig14" => Some(fig14_grid(scale)),
+        "decoders" => Some(decoder_sweep_grid(scale)),
         "ablate_sphere" => Some(ablate_sphere_grid(scale)),
         "ablate_kernel" => Some(ablate_kernel_grid(scale)),
         _ => None,
@@ -406,6 +439,7 @@ pub const CAMPAIGN_FIGURES: &[&str] = &[
     "fig11",
     "fig12",
     "fig14",
+    "decoders",
     "ablate_sphere",
     "ablate_kernel",
 ];
@@ -543,17 +577,19 @@ pub fn fig4b(scale: &FigureScale) -> Result<ExperimentResult> {
         )?;
         // A data subcarrier a few bins inside the band edge facing the interferer: the
         // outermost bin is saturated by direct leakage in every window, the variation
-        // the paper highlights shows up a little further in.
+        // the paper highlights shows up a little further in. The bin-major layout
+        // hands the per-segment series of that bin out as one contiguous slice.
         let bin = 22usize;
-        let max_p = powers
+        let bin_series = powers.bin_powers(bin);
+        let max_p = bin_series
             .iter()
-            .map(|seg| seg[bin])
+            .cloned()
             .fold(f64::MIN, f64::max)
             .max(1e-30);
-        let x: Vec<f64> = (1..=powers.len()).map(|j| j as f64).collect();
-        let y: Vec<f64> = powers
+        let x: Vec<f64> = (1..=powers.num_segments()).map(|j| j as f64).collect();
+        let y: Vec<f64> = bin_series
             .iter()
-            .map(|seg| lin_to_db(seg[bin].max(1e-30) / max_p))
+            .map(|p| lin_to_db(p.max(1e-30) / max_p))
             .collect();
         series.push(Series::new(format!("SIR {sir} dB"), x, y));
     }
@@ -952,6 +988,40 @@ pub fn fig14(scale: &FigureScale) -> Result<ExperimentResult> {
     })
 }
 
+/// Decoder comparison: packet success rate of every decision stage — conventional
+/// receiver, standard-window stage, naive Eq. 3, genie Oracle and the sphere ML
+/// decoder — versus SIR under single-interferer ACI, as one engine campaign.
+pub fn decoder_comparison(scale: &FigureScale) -> Result<ExperimentResult> {
+    let sirs = fig8_sirs(scale);
+    let points = decoder_sweep_grid(scale);
+    let result = run_grid("decoders", scale, &points)?;
+    let arm_labels: Vec<String> = result.points[0]
+        .arms
+        .iter()
+        .map(|a| a.label.clone())
+        .collect();
+    let mut per_receiver: Vec<Vec<f64>> = vec![Vec::new(); arm_labels.len()];
+    for si in 0..sirs.len() {
+        let psr = arm_percents(&result, si);
+        for (dst, v) in per_receiver.iter_mut().zip(&psr) {
+            dst.push(*v);
+        }
+    }
+    Ok(ExperimentResult {
+        id: "Decoder comparison".into(),
+        description:
+            "PSR vs SIR for every subcarrier-decision stage (QPSK 1/2, single ACI interferer)"
+                .into(),
+        x_label: "Signal to interference ratio (dB)".into(),
+        y_label: "Packet success rate (%)".into(),
+        series: arm_labels
+            .into_iter()
+            .zip(per_receiver)
+            .map(|(label, ys)| Series::new(label, sirs.clone(), ys))
+            .collect(),
+    })
+}
+
 /// Ablation: sphere radius vs PSR and mean search-space size (design choice of §4.2).
 pub fn ablate_sphere_radius(scale: &FigureScale) -> Result<ExperimentResult> {
     let radii = ablate_sphere_radii();
@@ -1079,6 +1149,23 @@ mod tests {
             s.x[idx]
         };
         assert!(median(&r.series[1]) <= median(&r.series[0]));
+    }
+
+    #[test]
+    fn decoder_comparison_sweeps_all_stages_in_one_campaign() {
+        let r = decoder_comparison(&FigureScale::smoke()).unwrap();
+        assert_eq!(r.series.len(), 5, "one series per decision-stage arm");
+        let labels: Vec<&str> = r.series.iter().map(|s| s.label.as_str()).collect();
+        for needle in ["Standard", "Naive", "Oracle", "Sphere"] {
+            assert!(
+                labels.iter().any(|l| l.contains(needle)),
+                "missing {needle} arm in {labels:?}"
+            );
+        }
+        // Every series covers the whole SIR sweep.
+        for s in &r.series {
+            assert_eq!(s.x.len(), fig8_sirs(&FigureScale::smoke()).len());
+        }
     }
 
     #[test]

@@ -14,54 +14,50 @@
 
 use crate::interference::{AciScenario, CciScenario, ScenarioOutput};
 use crate::Result;
-use cprecycle::segments::{
-    extract_segments_with, interference_power_per_segment_with, SegmentExtraction, SegmentScratch,
-    SymbolSegments,
-};
-use cprecycle::{naive, oracle, CpRecycleConfig, CpRecycleReceiver};
+use cprecycle::segments::SegmentScratch;
+use cprecycle::{CpRecycleConfig, CpRecycleReceiver, DecisionStage};
 use cprecycle_engine::{
     run_campaign, CampaignConfig, CampaignPoint, CampaignResult, EngineError, RunOptions,
     TrialOutcome, TrialRecord,
 };
-use ofdmphy::chanest::ChannelEstimate;
 use ofdmphy::frame::{Mcs, Transmitter, TxFrame};
-use ofdmphy::ofdm::OfdmEngine;
 use ofdmphy::params::OfdmParams;
-use ofdmphy::preamble;
-use ofdmphy::rx::{decode_psdu_from_symbols, FrameInfo, StandardReceiver};
-use ofdmphy::viterbi::ViterbiDecoder;
+use ofdmphy::rx::{FrameInfo, StandardReceiver};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rfdsp::Complex;
 use std::collections::HashMap;
 
 /// The receivers the experiments compare.
+///
+/// The decoder is part of the CPRecycle configuration
+/// ([`CpRecycleConfig::decision`]): the naive Eq. 3 decoder, the genie-aided Oracle
+/// and the standard-window decision are [`DecisionStage`]s of the same receiver, so a
+/// single campaign sweeps decoders alongside SNR and `P`, and the decoder lands in
+/// the engine's point keys and arm labels.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ReceiverKind {
     /// The conventional CP-discarding receiver ("Without CPRecycle").
     Standard,
-    /// The CPRecycle receiver ("With CPRecycle").
+    /// The CPRecycle receiver with its configured decision stage.
     CpRecycle(CpRecycleConfig),
-    /// The naive average-distance multi-segment decoder (paper Eq. 3 / ShiftFFT).
-    Naive {
-        /// Number of FFT segments to use.
-        num_segments: usize,
-    },
-    /// The Oracle best-segment selector (perfect interference knowledge).
-    Oracle {
-        /// Number of FFT segments to use.
-        num_segments: usize,
-    },
 }
 
 impl ReceiverKind {
-    /// Short label used in result series.
+    /// A CPRecycle receiver with the default configuration but the given decoder —
+    /// the arm constructor decoder-sweep grids use.
+    pub fn with_decision(decision: DecisionStage) -> Self {
+        ReceiverKind::CpRecycle(CpRecycleConfig::with_decision(decision))
+    }
+
+    /// Short label used in result series; names the decoder so reports and `campaign
+    /// list`/`replay` show which decision stage each arm ran.
     pub fn label(&self) -> String {
         match self {
             ReceiverKind::Standard => "Standard".into(),
-            ReceiverKind::CpRecycle(c) => format!("CPRecycle(P={})", c.num_segments),
-            ReceiverKind::Naive { num_segments } => format!("Naive(P={num_segments})"),
-            ReceiverKind::Oracle { num_segments } => format!("Oracle(P={num_segments})"),
+            ReceiverKind::CpRecycle(c) => {
+                format!("CPRecycle({}, P={})", c.decision.label(), c.num_segments)
+            }
         }
     }
 }
@@ -203,8 +199,6 @@ impl CampaignPoint for LinkPoint {
 enum PreparedReceiver {
     Standard(StandardReceiver),
     CpRecycle(CpRecycleReceiver),
-    Naive { num_segments: usize },
-    Oracle { num_segments: usize },
 }
 
 impl PreparedReceiver {
@@ -216,12 +210,6 @@ impl PreparedReceiver {
             ReceiverKind::CpRecycle(config) => {
                 PreparedReceiver::CpRecycle(CpRecycleReceiver::new(params.clone(), *config))
             }
-            ReceiverKind::Naive { num_segments } => PreparedReceiver::Naive {
-                num_segments: *num_segments,
-            },
-            ReceiverKind::Oracle { num_segments } => PreparedReceiver::Oracle {
-                num_segments: *num_segments,
-            },
         }
     }
 }
@@ -229,11 +217,10 @@ impl PreparedReceiver {
 /// Everything a worker needs to execute trials of one grid point.
 struct PreparedPoint {
     tx: Transmitter,
-    engine: OfdmEngine,
     receivers: Vec<PreparedReceiver>,
-    /// Worker-local segment-extraction scratch: the sliding-DFT plan and working
-    /// buffers, built once and reused by every receiver across every trial this
-    /// worker claims.
+    /// Worker-local receiver scratch: the sliding-DFT plan, extraction buffers and
+    /// decision-stage candidate/score buffers, built once and reused by every
+    /// receiver across every trial this worker claims.
     scratch: SegmentScratch,
 }
 
@@ -241,7 +228,6 @@ impl PreparedPoint {
     fn build(point: &LinkPoint) -> Self {
         PreparedPoint {
             tx: Transmitter::new(point.params.clone()),
-            engine: OfdmEngine::new(point.params.clone()),
             receivers: point
                 .receivers
                 .iter()
@@ -287,13 +273,12 @@ pub fn run_link_trial(
     let output = point.scenario.render(rng, &point.params, &frame.samples)?;
     let mut arms = Vec::with_capacity(prepared.receivers.len());
     let PreparedPoint {
-        ref engine,
         ref receivers,
         ref mut scratch,
         ..
     } = *prepared;
     for receiver in receivers {
-        let outcome = decode_prepared(receiver, engine, &point.params, &frame, &output, scratch)?;
+        let outcome = decode_prepared(receiver, &frame, &output, scratch)?;
         arms.push(TrialOutcome::new(
             outcome.success,
             outcome.symbol_error_rate,
@@ -344,9 +329,9 @@ pub struct PacketOutcome {
 
 /// Decodes one captured packet with the given receiver kind.
 ///
-/// `output.interference_only` is used only by the Oracle; other receivers ignore it.
-/// The campaign path keeps receivers constructed per worker; this standalone helper
-/// builds one on the fly for diagnostics and tests.
+/// `output.interference_only` is read only by the [`DecisionStage::Oracle`] stage;
+/// other receivers ignore it. The campaign path keeps receivers constructed per
+/// worker; this standalone helper builds one on the fly for diagnostics and tests.
 pub fn decode_packet(
     kind: &ReceiverKind,
     params: &OfdmParams,
@@ -354,15 +339,12 @@ pub fn decode_packet(
     output: &ScenarioOutput,
 ) -> Result<PacketOutcome> {
     let prepared = PreparedReceiver::build(kind, params);
-    let engine = OfdmEngine::new(params.clone());
     let mut scratch = SegmentScratch::new();
-    decode_prepared(&prepared, &engine, params, frame, output, &mut scratch)
+    decode_prepared(&prepared, frame, output, &mut scratch)
 }
 
 fn decode_prepared(
     receiver: &PreparedReceiver,
-    engine: &OfdmEngine,
-    params: &OfdmParams,
     frame: &TxFrame,
     output: &ScenarioOutput,
     scratch: &mut SegmentScratch,
@@ -371,124 +353,24 @@ fn decode_prepared(
         mcs: frame.mcs,
         psdu_len: frame.psdu.len(),
     };
-    let decided = match receiver {
-        PreparedReceiver::Standard(rx) => {
-            let out = rx.decode_frame(&output.received, 0, Some(info))?;
-            return Ok(PacketOutcome {
-                success: out.crc_ok,
-                symbol_error_rate: symbol_error_rate(
-                    &out.equalized_symbols,
-                    &frame.data_subcarrier_values,
-                    frame.mcs,
-                ),
-            });
-        }
-        PreparedReceiver::CpRecycle(rx) => {
-            let out = rx.decode_frame_scratch(&output.received, 0, Some(info), scratch)?;
-            return Ok(PacketOutcome {
-                success: out.crc_ok,
-                symbol_error_rate: symbol_error_rate(
-                    &out.equalized_symbols,
-                    &frame.data_subcarrier_values,
-                    frame.mcs,
-                ),
-            });
-        }
-        PreparedReceiver::Naive { num_segments } => {
-            let data_bins = params.data_bins();
-            decode_multi_segment(
-                engine,
-                params,
-                frame,
-                output,
-                *num_segments,
-                scratch,
-                |_, segments, _, _| {
-                    naive::decode_symbol(segments, &data_bins, frame.mcs.modulation)
-                },
-            )?
-        }
-        PreparedReceiver::Oracle { num_segments } => {
-            let num_segments = *num_segments;
-            let data_bins = params.data_bins();
-            decode_multi_segment(
-                engine,
-                params,
-                frame,
-                output,
-                num_segments,
-                scratch,
-                |engine, segments, symbol_index, scratch| {
-                    // Interference power per segment from the interference-only capture.
-                    let sym_len = engine.params().symbol_len();
-                    let data_start = preamble::preamble_len(engine.params()) + sym_len;
-                    let start = data_start + symbol_index * sym_len;
-                    let intf_symbol = &output.interference_only[start..start + sym_len];
-                    let powers = interference_power_per_segment_with(
-                        engine,
-                        intf_symbol,
-                        num_segments,
-                        SegmentExtraction::Sliding,
-                        scratch,
-                    )
-                    .expect("segment count already validated");
-                    let selection = oracle::select_best_segments(&powers);
-                    oracle::decode_symbol(segments, &selection, &data_bins, frame.mcs.modulation)
-                },
-            )?
-        }
-    };
-    let viterbi = ViterbiDecoder::new();
-    let (_, crc_ok) = decode_psdu_from_symbols(&viterbi, params, &decided, info)?;
-    Ok(PacketOutcome {
-        success: crc_ok,
-        symbol_error_rate: symbol_error_rate(&decided, &frame.data_subcarrier_values, frame.mcs),
-    })
-}
-
-/// Shared plumbing for the Naive and Oracle receivers: channel estimate from the LTF,
-/// per-symbol segment extraction (sliding kernel, reused scratch), then a
-/// caller-supplied per-symbol decision function mapping
-/// `(engine, segments, symbol index, scratch)` to decided lattice points. The
-/// bin-major [`SymbolSegments`] is handed to the decision function directly, so
-/// per-bin observation access stays allocation-free.
-fn decode_multi_segment<F>(
-    engine: &OfdmEngine,
-    params: &OfdmParams,
-    frame: &TxFrame,
-    output: &ScenarioOutput,
-    num_segments: usize,
-    scratch: &mut SegmentScratch,
-    mut decide: F,
-) -> Result<Vec<Vec<Complex>>>
-where
-    F: FnMut(&OfdmEngine, &SymbolSegments, usize, &mut SegmentScratch) -> Vec<Complex>,
-{
-    let sym_len = params.symbol_len();
-    let preamble_len = preamble::preamble_len(params);
-    let ltf_start = preamble::ltf_start_offset(params);
-    let estimate = ChannelEstimate::from_ltf(engine, &output.received[ltf_start..preamble_len])?;
-    let data_start = preamble_len + sym_len;
-    let mut decided = Vec::with_capacity(frame.num_data_symbols);
-    for s in 0..frame.num_data_symbols {
-        let start = data_start + s * sym_len;
-        if output.received.len() < start + sym_len {
-            return Err(ofdmphy::PhyError::InsufficientSamples {
-                needed: start + sym_len,
-                available: output.received.len(),
-            });
-        }
-        let segments = extract_segments_with(
-            engine,
-            &output.received[start..start + sym_len],
-            &estimate,
-            num_segments,
-            SegmentExtraction::Sliding,
+    let out = match receiver {
+        PreparedReceiver::Standard(rx) => rx.decode_frame(&output.received, 0, Some(info))?,
+        PreparedReceiver::CpRecycle(rx) => rx.decode_frame_genie(
+            &output.received,
+            0,
+            Some(info),
+            Some(&output.interference_only),
             scratch,
-        )?;
-        decided.push(decide(engine, &segments, s, scratch));
-    }
-    Ok(decided)
+        )?,
+    };
+    Ok(PacketOutcome {
+        success: out.crc_ok,
+        symbol_error_rate: symbol_error_rate(
+            &out.equalized_symbols,
+            &frame.data_subcarrier_values,
+            frame.mcs,
+        ),
+    })
 }
 
 /// Uncoded subcarrier decision error rate against the transmitted ground truth.
@@ -563,17 +445,44 @@ mod tests {
     }
 
     #[test]
-    fn receiver_labels_are_descriptive() {
+    fn receiver_labels_name_the_decoder() {
         assert_eq!(ReceiverKind::Standard.label(), "Standard");
-        assert!(ReceiverKind::CpRecycle(CpRecycleConfig::default())
-            .label()
-            .contains("P=16"));
-        assert!(ReceiverKind::Naive { num_segments: 5 }
+        let sphere = ReceiverKind::CpRecycle(CpRecycleConfig::default()).label();
+        assert!(sphere.contains("P=16"), "{sphere}");
+        assert!(sphere.contains("Sphere"), "{sphere}");
+        assert!(ReceiverKind::with_decision(DecisionStage::Naive)
             .label()
             .contains("Naive"));
-        assert!(ReceiverKind::Oracle { num_segments: 9 }
+        assert!(ReceiverKind::with_decision(DecisionStage::Oracle)
             .label()
             .contains("Oracle"));
+        assert!(ReceiverKind::with_decision(DecisionStage::Standard)
+            .label()
+            .contains("CPRecycle(Standard"));
+    }
+
+    #[test]
+    fn decoder_choice_is_part_of_the_point_key() {
+        // Two points differing only in the decision stage must be distinct
+        // experiments: the decoder is swept through the engine like any other
+        // parameter.
+        let a = LinkPoint::new(
+            "decoders",
+            mcs(),
+            Scenario::Clean { snr_db: 30.0 },
+            vec![ReceiverKind::with_decision(DecisionStage::Naive)],
+        );
+        let b = LinkPoint::new(
+            "decoders",
+            mcs(),
+            Scenario::Clean { snr_db: 30.0 },
+            vec![ReceiverKind::with_decision(DecisionStage::Oracle)],
+        );
+        assert_ne!(
+            a.key(),
+            b.key(),
+            "decision stage must affect point identity"
+        );
     }
 
     #[test]
@@ -611,8 +520,16 @@ mod tests {
         let receivers = vec![
             ReceiverKind::Standard,
             ReceiverKind::CpRecycle(CpRecycleConfig::default()),
-            ReceiverKind::Naive { num_segments: 8 },
-            ReceiverKind::Oracle { num_segments: 8 },
+            ReceiverKind::CpRecycle(CpRecycleConfig {
+                num_segments: 8,
+                decision: DecisionStage::Naive,
+                ..Default::default()
+            }),
+            ReceiverKind::CpRecycle(CpRecycleConfig {
+                num_segments: 8,
+                decision: DecisionStage::Oracle,
+                ..Default::default()
+            }),
         ];
         let psr = packet_success_rate(
             &params,
@@ -689,8 +606,8 @@ mod tests {
             ..Default::default()
         });
         let receivers = vec![
-            ReceiverKind::Naive { num_segments: 16 },
-            ReceiverKind::Oracle { num_segments: 16 },
+            ReceiverKind::with_decision(DecisionStage::Naive),
+            ReceiverKind::with_decision(DecisionStage::Oracle),
         ];
         let config = MonteCarloConfig {
             packets: 6,

@@ -9,7 +9,7 @@
 //! cargo run --release --example cochannel_hidden_node
 //! ```
 
-use cprecycle_repro::cprecycle::CpRecycleConfig;
+use cprecycle_repro::cprecycle::{CpRecycleConfig, DecisionStage};
 use cprecycle_repro::ofdmphy::convcode::CodeRate;
 use cprecycle_repro::ofdmphy::frame::Mcs;
 use cprecycle_repro::ofdmphy::modulation::Modulation;
@@ -24,7 +24,7 @@ fn main() {
     let mcs = Mcs::new(Modulation::Qpsk, CodeRate::Half);
     let receivers = vec![
         ReceiverKind::Standard,
-        ReceiverKind::Naive { num_segments: 16 },
+        ReceiverKind::CpRecycle(CpRecycleConfig::with_decision(DecisionStage::Naive)),
         ReceiverKind::CpRecycle(CpRecycleConfig::default()),
     ];
     let config = MonteCarloConfig {

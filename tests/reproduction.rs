@@ -120,15 +120,17 @@ fn guard_band_helps_both_receivers_under_aci() {
 #[test]
 fn more_segments_do_not_hurt_packet_success() {
     // Fig. 14's qualitative claim: using more of the CP only helps (and saturates).
+    // QPSK 1/2 at SIR −14 dB sits in the transition region where the extra segments
+    // make a decisive difference, so the ordering is robust at a small trial count.
     let params = OfdmParams::ieee80211ag();
-    let mcs = Mcs::new(Modulation::Qam16, CodeRate::Half);
+    let mcs = Mcs::new(Modulation::Qpsk, CodeRate::Half);
     let config = MonteCarloConfig {
-        packets: 6,
+        packets: 10,
         payload_len: 80,
         seed: 23,
     };
     let scenario = Scenario::Aci(AciScenario {
-        sir_db: -12.0,
+        sir_db: -14.0,
         channel_offset_hz: Some(15e6),
         ..Default::default()
     });
@@ -141,6 +143,10 @@ fn more_segments_do_not_hurt_packet_success() {
     assert!(
         sixteen >= one,
         "16 segments ({sixteen}%) must not be worse than 1 segment ({one}%)"
+    );
+    assert!(
+        sixteen >= 80.0,
+        "the full CP should recover most packets here, got {sixteen}%"
     );
 }
 
