@@ -1,5 +1,6 @@
 //! Configuration of the CPRecycle receiver.
 
+use crate::estimator::ModelBackend;
 use crate::segments::SegmentExtraction;
 use rfdsp::kde::BandwidthSelector;
 
@@ -132,6 +133,12 @@ pub struct CpRecycleConfig {
     /// The two agree to ≤ 1e-9 (property-tested); the switch exists for validation and
     /// A/B timing.
     pub extraction: SegmentExtraction,
+    /// Which interference-estimator backend the receiver fits from the preamble
+    /// ([`crate::estimator`]): the paper's exact per-sample kernel sum (default, the
+    /// reference), the precomputed log-likelihood grid with O(1) lookups, or the cheap
+    /// parametric Gaussian fit. Like the decision stage, the backend is part of every
+    /// campaign point key, so estimator sweeps are ordinary grid dimensions.
+    pub model: ModelBackend,
 }
 
 impl Default for CpRecycleConfig {
@@ -146,6 +153,7 @@ impl Default for CpRecycleConfig {
             min_bandwidth_amplitude: 0.05,
             min_bandwidth_phase: 0.2,
             extraction: SegmentExtraction::default(),
+            model: ModelBackend::default(),
         }
     }
 }
@@ -163,6 +171,15 @@ impl CpRecycleConfig {
     pub fn with_decision(decision: DecisionStage) -> Self {
         CpRecycleConfig {
             decision,
+            ..Default::default()
+        }
+    }
+
+    /// A configuration with an explicit interference-estimator backend (used by the
+    /// `models` campaign sweep).
+    pub fn with_model(model: ModelBackend) -> Self {
+        CpRecycleConfig {
+            model,
             ..Default::default()
         }
     }
@@ -206,6 +223,15 @@ mod tests {
     fn with_decision_overrides_only_the_stage() {
         let c = CpRecycleConfig::with_decision(DecisionStage::Oracle);
         assert_eq!(c.decision, DecisionStage::Oracle);
+        assert_eq!(c.num_segments, CpRecycleConfig::default().num_segments);
+    }
+
+    #[test]
+    fn with_model_overrides_only_the_backend() {
+        assert_eq!(CpRecycleConfig::default().model, ModelBackend::ExactKde);
+        let c = CpRecycleConfig::with_model(ModelBackend::GridKde);
+        assert_eq!(c.model, ModelBackend::GridKde);
+        assert_eq!(c.decision, CpRecycleConfig::default().decision);
         assert_eq!(c.num_segments, CpRecycleConfig::default().num_segments);
     }
 

@@ -18,6 +18,7 @@
 //! interference.
 
 use crate::config::CpRecycleConfig;
+use crate::estimator::{BinSamples, EstimatorState, InterferenceEstimator, ModelBackend};
 use crate::segments::SymbolSegments;
 use crate::Result;
 use ofdmphy::ofdm::OfdmEngine;
@@ -44,14 +45,24 @@ pub fn deviation(observed: Complex, reference: Complex) -> (f64, f64) {
 }
 
 /// A trained per-subcarrier interference model.
+///
+/// The model owns the deviation-sample bookkeeping (per-bin [`BinSamples`], dirty-bin
+/// tracking, the preamble count) and delegates density fitting and scoring to the
+/// configured [`InterferenceEstimator`] backend ([`CpRecycleConfig::model`]): the
+/// exact Eq. 4 kernel sum, the precomputed log-likelihood grid, or the parametric
+/// Gaussian fit — see [`crate::estimator`].
 #[derive(Debug, Clone)]
 pub struct InterferenceModel {
-    /// One KDE per FFT bin (only occupied bins are populated).
-    kdes: Vec<Option<ProductKde2d>>,
+    /// The fitted per-bin densities, behind the configured backend.
+    estimator: EstimatorState,
     /// Raw deviation samples per bin, kept so the model can be updated when further
     /// preambles arrive and so diagnostics (paper Fig. 6b) can compare samples against
     /// the fitted density.
-    samples: Vec<Vec<(f64, f64)>>,
+    samples: Vec<BinSamples>,
+    /// Which bins received samples since the last refit (flags + the dense list the
+    /// incremental `update` hands to the estimator).
+    dirty: Vec<bool>,
+    dirty_bins: Vec<usize>,
     config: CpRecycleConfig,
     /// Number of preamble symbols absorbed so far (`N_p`).
     num_preambles: usize,
@@ -61,8 +72,10 @@ impl InterferenceModel {
     /// Creates an empty (untrained) model for an FFT of `fft_size` bins.
     pub fn new(fft_size: usize, config: CpRecycleConfig) -> Self {
         InterferenceModel {
-            kdes: vec![None; fft_size],
-            samples: vec![Vec::new(); fft_size],
+            estimator: EstimatorState::new(config.model, fft_size),
+            samples: vec![BinSamples::default(); fft_size],
+            dirty: vec![false; fft_size],
+            dirty_bins: Vec::new(),
             config,
             num_preambles: 0,
         }
@@ -95,13 +108,19 @@ impl InterferenceModel {
         for (segments, reference) in preamble_segments.iter().zip(references) {
             model.absorb_preamble(engine, segments, reference)?;
         }
-        model.refit()?;
+        model.refit_dirty()?;
         Ok(model)
     }
 
     /// Adds the deviation samples of one more known preamble (or pilot-bearing) symbol
     /// and refits the per-subcarrier densities — the "constantly updated when subsequent
     /// preambles are received" behaviour of §4.3.
+    ///
+    /// The refit is **incremental**: only the bins that actually received samples from
+    /// this preamble (the dirty bins) are refitted; every other bin's density is left
+    /// untouched. Because a refit always uses a bin's full sample set, the result is
+    /// identical to batch-training on all preambles (property-tested in
+    /// `estimator_equivalence`).
     pub fn update(
         &mut self,
         engine: &OfdmEngine,
@@ -109,7 +128,7 @@ impl InterferenceModel {
         reference: &[Complex],
     ) -> Result<()> {
         self.absorb_preamble(engine, segments, reference)?;
-        self.refit()
+        self.refit_dirty()
     }
 
     fn absorb_preamble(
@@ -133,36 +152,27 @@ impl InterferenceModel {
             // pattern: all `P` observations of one bin in a single slice.
             for obs in segments.bin_observations(bin) {
                 let (a, p) = deviation(*obs, reference[bin]);
-                self.samples[bin].push((a, p));
+                self.samples[bin].push(a, p);
+            }
+            if !self.dirty[bin] {
+                self.dirty[bin] = true;
+                self.dirty_bins.push(bin);
             }
         }
         self.num_preambles += 1;
         Ok(())
     }
 
-    fn refit(&mut self) -> Result<()> {
-        for bin in 0..self.kdes.len() {
-            if self.samples[bin].is_empty() {
-                continue;
-            }
-            let kde = {
-                // Per-axis selection honours whichever axis has a fixed bandwidth, then
-                // both axes are floored so a (nearly) interference-free preamble cannot
-                // collapse the density into an unusable spike.
-                let selector_a = self
-                    .config
-                    .bandwidth_selector(self.config.bandwidth_amplitude);
-                let selector_p = self.config.bandwidth_selector(self.config.bandwidth_phase);
-                let a_samples: Vec<f64> = self.samples[bin].iter().map(|s| s.0).collect();
-                let p_samples: Vec<f64> = self.samples[bin].iter().map(|s| s.1).collect();
-                let ba = rfdsp::kde::select_bandwidth(&a_samples, selector_a)?
-                    .max(self.config.min_bandwidth_amplitude);
-                let bp = rfdsp::kde::select_bandwidth(&p_samples, selector_p)?
-                    .max(self.config.min_bandwidth_phase);
-                ProductKde2d::with_bandwidths(&self.samples[bin], ba, bp)?
-            };
-            self.kdes[bin] = Some(kde);
+    /// Refits exactly the bins that received samples since the last refit, then
+    /// clears the dirty set. Bandwidth selection (per-axis, honouring fixed
+    /// bandwidths, floored against degenerate preambles) lives in the backends.
+    fn refit_dirty(&mut self) -> Result<()> {
+        self.estimator
+            .update(&self.samples, &self.dirty_bins, &self.config)?;
+        for &bin in &self.dirty_bins {
+            self.dirty[bin] = false;
         }
+        self.dirty_bins.clear();
         Ok(())
     }
 
@@ -171,19 +181,43 @@ impl InterferenceModel {
         self.num_preambles
     }
 
+    /// The estimator backend this model was configured with.
+    pub fn backend(&self) -> ModelBackend {
+        self.estimator.backend()
+    }
+
+    /// The fitted estimator (for diagnostics and direct backend access).
+    pub fn estimator(&self) -> &EstimatorState {
+        &self.estimator
+    }
+
     /// Whether a model exists for the given bin.
     pub fn has_model(&self, bin: usize) -> bool {
-        self.kdes.get(bin).map(|k| k.is_some()).unwrap_or(false)
+        self.estimator.has_model(bin)
     }
 
-    /// The raw deviation samples collected for a bin (used by the Fig. 6b diagnostic).
-    pub fn samples(&self, bin: usize) -> &[(f64, f64)] {
-        &self.samples[bin]
+    /// Number of deviation samples collected for a bin.
+    pub fn num_samples(&self, bin: usize) -> usize {
+        self.samples[bin].len()
     }
 
-    /// The fitted KDE for a bin, if any.
+    /// The amplitude deviations collected for a bin (used by the Fig. 6b diagnostic).
+    pub fn samples_amplitude(&self, bin: usize) -> &[f64] {
+        self.samples[bin].amplitudes()
+    }
+
+    /// The phase deviations collected for a bin.
+    pub fn samples_phase(&self, bin: usize) -> &[f64] {
+        self.samples[bin].phases()
+    }
+
+    /// The fitted KDE for a bin — `Some` only under the [`ModelBackend::ExactKde`]
+    /// backend (the grid and Gaussian backends do not materialise per-sample KDEs).
     pub fn kde(&self, bin: usize) -> Option<&ProductKde2d> {
-        self.kdes.get(bin).and_then(|k| k.as_ref())
+        match &self.estimator {
+            EstimatorState::Exact(e) => e.kde(bin),
+            _ => None,
+        }
     }
 
     /// Log-likelihood of observing `observed` on `bin` given that lattice point
@@ -193,11 +227,10 @@ impl InterferenceModel {
     /// (e.g. a bin that carried nothing during the preamble), so the ML decoder always
     /// has a usable metric.
     pub fn log_likelihood(&self, bin: usize, observed: Complex, candidate: Complex) -> f64 {
-        let (a, p) = deviation(observed, candidate);
-        match self.kde(bin) {
-            Some(kde) => kde.log_eval(a, p),
-            None => -0.5 * a * a,
-        }
+        // The unfitted-bin fallback lives in the backends (shared
+        // `estimator::fallback_log_likelihood`), so delegation is unconditional — no
+        // extra `has_model` lookup on the hottest query path.
+        self.estimator.log_likelihood(bin, observed, candidate)
     }
 }
 
@@ -258,7 +291,7 @@ mod tests {
         // Every occupied non-DC bin has a model with 2 × 17 samples.
         for bin in e.params().occupied_bins() {
             assert!(model.has_model(bin), "bin {bin}");
-            assert_eq!(model.samples(bin).len(), 34);
+            assert_eq!(model.num_samples(bin), 34);
         }
         // With no interference the deviations are ~0, so an observation right on the
         // lattice point is far more likely than one a full symbol away.
@@ -313,9 +346,9 @@ mod tests {
         // The interfered model must have learned larger amplitude deviations.
         let bin = e.params().data_bins()[5];
         let clean_mean: f64 =
-            clean.samples(bin).iter().map(|s| s.0).sum::<f64>() / clean.samples(bin).len() as f64;
-        let intf_mean: f64 = interfered.samples(bin).iter().map(|s| s.0).sum::<f64>()
-            / interfered.samples(bin).len() as f64;
+            clean.samples_amplitude(bin).iter().sum::<f64>() / clean.num_samples(bin) as f64;
+        let intf_mean: f64 = interfered.samples_amplitude(bin).iter().sum::<f64>()
+            / interfered.num_samples(bin) as f64;
         assert!(
             intf_mean > 3.0 * clean_mean,
             "clean {clean_mean}, interfered {intf_mean}"
@@ -344,7 +377,7 @@ mod tests {
         model.update(&e, &segs[1], &reference).unwrap();
         assert_eq!(model.num_preambles(), 2);
         let bin = e.params().data_bins()[0];
-        assert_eq!(model.samples(bin).len(), 18);
+        assert_eq!(model.num_samples(bin), 18);
     }
 
     #[test]

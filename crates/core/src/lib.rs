@@ -22,8 +22,11 @@
 //! standard-window decision — implements the [`decision::SubcarrierDecoder`] trait
 //! over the cached lattice-index tables of `ofdmphy::modulation`, and
 //! [`config::DecisionStage`] selects which one the frame-level receiver
-//! ([`receiver`]) dispatches. The crate also provides Oracle selection diagnostics
-//! ([`oracle`]) and ISI-free-region detection ([`isi_free`]).
+//! ([`receiver`]) dispatches. The interference estimator behind the sphere decoder
+//! is equally pluggable ([`estimator`]): the exact Eq. 4 kernel sum, a precomputed
+//! per-bin log-likelihood grid with O(1) lookups, or a parametric Gaussian fit,
+//! selected by [`config::CpRecycleConfig::model`]. The crate also provides Oracle
+//! selection diagnostics ([`oracle`]) and ISI-free-region detection ([`isi_free`]).
 //!
 //! ## Quick example
 //!
@@ -52,6 +55,7 @@
 
 pub mod config;
 pub mod decision;
+pub mod estimator;
 pub mod interference_model;
 pub mod isi_free;
 pub mod oracle;
@@ -63,6 +67,10 @@ pub use config::{CpRecycleConfig, DecisionStage};
 pub use decision::{
     DecoderScratch, LatticePoint, NaiveCentroidDecoder, OracleSegmentDecoder,
     StandardNearestDecoder, SubcarrierDecoder,
+};
+pub use estimator::{
+    EstimatorState, ExactKdeEstimator, GaussianEstimator, GridKdeEstimator, InterferenceEstimator,
+    ModelBackend,
 };
 pub use interference_model::InterferenceModel;
 pub use receiver::CpRecycleReceiver;

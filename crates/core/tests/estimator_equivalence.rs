@@ -1,0 +1,265 @@
+//! Property tests for the pluggable interference-estimator subsystem (the tentpole
+//! invariants of the estimator refactor):
+//!
+//! * `GridKde` tracks `ExactKde`: over random sample sets, bandwidths and query
+//!   points inside the grid, the precomputed log-likelihood agrees with the exact
+//!   kernel sum to a tolerance that scales with how deep into the tails the query
+//!   sits (the decisive region near the density peak is tight; valleys between
+//!   well-separated modes — where curvature can exceed the grid resolution — are
+//!   proportionally looser, exactly the regions the ML argmax never hinges on);
+//! * the far tail is finite and **strictly ordered** for both backends, so distant
+//!   lattice candidates never tie (the old linear-domain floor collapsed them);
+//! * incremental `update()` (dirty-bin refit after each preamble) produces a model
+//!   **bit-for-bit identical** to batch `train()` on the same preambles, for every
+//!   backend.
+
+use cprecycle::estimator::{
+    EstimatorState, ExactKdeEstimator, GridKdeEstimator, InterferenceEstimator, ModelBackend,
+};
+use cprecycle::segments::{extract_segments, SymbolSegments};
+use cprecycle::{CpRecycleConfig, InterferenceModel};
+use ofdmphy::ofdm::OfdmEngine;
+use ofdmphy::params::OfdmParams;
+use ofdmphy::preamble;
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rfdsp::kde::{GridKde2d, GridSpec, ProductKde2d};
+use rfdsp::Complex;
+
+fn engine() -> OfdmEngine {
+    OfdmEngine::new(OfdmParams::ieee80211ag())
+}
+
+/// Synthetic preamble segment sets with per-bin interference of varying strength.
+fn synthetic_preambles(seed: u64, num_preambles: usize, p: usize) -> Vec<SymbolSegments> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let e = engine();
+    let reference = preamble::ltf_bins(e.params());
+    (0..num_preambles)
+        .map(|_| {
+            let rows: Vec<Vec<Complex>> = (0..p)
+                .map(|_| {
+                    reference
+                        .iter()
+                        .map(|r| {
+                            if r.norm_sqr() == 0.0 {
+                                Complex::zero()
+                            } else {
+                                *r + Complex::from_polar(
+                                    rng.gen_range(0.0..1.5),
+                                    rng.gen_range(-3.1..3.1),
+                                )
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            SymbolSegments::from_rows(rows)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Grid-vs-exact agreement over random samples, bandwidths and query points.
+    #[test]
+    fn grid_matches_exact_within_tolerance(
+        seed in any::<u64>(),
+        n in 4usize..48,
+        bw_a in 0.05f64..0.4,
+        bw_p in 0.2f64..1.0,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let samples: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.gen_range(0.0..2.0), rng.gen_range(-3.1f64..3.1)))
+            .collect();
+        let kde = ProductKde2d::with_bandwidths(&samples, bw_a, bw_p).unwrap();
+        let spec = GridSpec {
+            points_per_bandwidth: 6.0,
+            max_points_per_axis: 512,
+            margin_bandwidths: 4.0,
+        };
+        let grid = GridKde2d::build(&kde, &spec).unwrap();
+        // The decisive region: the exact log density at the best-covered sample.
+        let peak = samples
+            .iter()
+            .map(|(a, p)| kde.log_eval(*a, *p))
+            .fold(f64::NEG_INFINITY, f64::max);
+        for _ in 0..32 {
+            let a = rng.gen_range(0.0..2.0);
+            let p = rng.gen_range(-3.1f64..3.1);
+            let exact = kde.log_eval(a, p);
+            let approx = grid.log_eval(a, p);
+            // Tight near the peak, proportionally looser deep in the tails where the
+            // log density is dominated by a single distant kernel and the argmax
+            // never looks.
+            let tol = 0.05 + 0.05 * (peak - exact).max(0.0);
+            prop_assert!(
+                (exact - approx).abs() <= tol,
+                "query ({a}, {p}): exact {exact}, grid {approx}, tol {tol}"
+            );
+        }
+    }
+
+    /// Far-tail queries stay finite and strictly ordered for both backends.
+    #[test]
+    fn far_tails_stay_strictly_ordered(seed in any::<u64>(), n in 1usize..24) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let samples: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.gen_range(0.0..1.0), rng.gen_range(-3.0f64..3.0)))
+            .collect();
+        let kde = ProductKde2d::with_bandwidths(&samples, 0.05, 0.2).unwrap();
+        let grid = GridKde2d::build(&kde, &GridSpec::default()).unwrap();
+        let mut prev_exact = f64::INFINITY;
+        let mut prev_grid = f64::INFINITY;
+        for k in 0..20 {
+            let a = 2.0 + k as f64 * 1.5;
+            let exact = kde.log_eval(a, 0.5);
+            let approx = grid.log_eval(a, 0.5);
+            prop_assert!(exact.is_finite() && approx.is_finite());
+            prop_assert!(exact < prev_exact, "exact tail must strictly decrease");
+            prop_assert!(approx < prev_grid, "grid tail must strictly decrease");
+            prev_exact = exact;
+            prev_grid = approx;
+        }
+    }
+
+    /// Incremental dirty-bin updates reproduce batch training bit-for-bit.
+    #[test]
+    fn incremental_update_equals_batch_training(
+        seed in any::<u64>(),
+        num_preambles in 2usize..5,
+        p in 2usize..17,
+    ) {
+        let e = engine();
+        let reference = preamble::ltf_bins(e.params());
+        let preambles = synthetic_preambles(seed, num_preambles, p);
+        let references = vec![reference.clone(); num_preambles];
+        for backend in [
+            ModelBackend::ExactKde,
+            ModelBackend::GridKde,
+            ModelBackend::Gaussian,
+        ] {
+            let config = CpRecycleConfig::with_model(backend);
+            let batch = InterferenceModel::train(&e, &preambles, &references, config).unwrap();
+            let mut incremental =
+                InterferenceModel::train(&e, &preambles[..1], &references[..1], config).unwrap();
+            for pre in &preambles[1..] {
+                incremental.update(&e, pre, &reference).unwrap();
+            }
+            prop_assert_eq!(batch.num_preambles(), incremental.num_preambles());
+            // Every occupied bin scores identically, bit for bit, across a spread of
+            // (observation, candidate) queries.
+            for bin in e.params().data_bins() {
+                prop_assert_eq!(batch.num_samples(bin), incremental.num_samples(bin));
+                for k in 0..6 {
+                    let obs = Complex::new(1.0 + 0.4 * k as f64, 0.2 * k as f64 - 0.5);
+                    let cand = Complex::new(if k % 2 == 0 { 1.0 } else { -1.0 }, 0.0);
+                    let b = batch.log_likelihood(bin, obs, cand);
+                    let i = incremental.log_likelihood(bin, obs, cand);
+                    prop_assert_eq!(
+                        b.to_bits(),
+                        i.to_bits(),
+                        "backend {:?} bin {} query {}: batch {} vs incremental {}",
+                        backend, bin, k, b, i
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Dirty-bin tracking at the estimator level: updating with a preamble that only
+/// covers some bins refits exactly those bins.
+#[test]
+fn update_refits_only_bins_that_received_samples() {
+    let e = engine();
+    let mut reference = preamble::ltf_bins(e.params());
+    let preambles = synthetic_preambles(7, 1, 9);
+    let refs = vec![reference.clone()];
+    let config = CpRecycleConfig::default();
+    let mut model = InterferenceModel::train(&e, &preambles[..1], &refs, config).unwrap();
+
+    // Second preamble carries nothing on half the data bins (reference zeroed), so
+    // those bins must keep their exact pre-update densities.
+    let data_bins = e.params().data_bins();
+    let (covered, skipped) = data_bins.split_at(data_bins.len() / 2);
+    for &bin in skipped {
+        reference[bin] = Complex::zero();
+    }
+    let before: Vec<f64> = skipped
+        .iter()
+        .map(|&bin| model.log_likelihood(bin, Complex::new(1.3, 0.2), Complex::one()))
+        .collect();
+    let next = synthetic_preambles(8, 1, 9);
+    model.update(&e, &next[0], &reference).unwrap();
+    for (&bin, &b) in skipped.iter().zip(&before) {
+        assert_eq!(
+            model.num_samples(bin),
+            9,
+            "skipped bin {bin} absorbed samples"
+        );
+        let after = model.log_likelihood(bin, Complex::new(1.3, 0.2), Complex::one());
+        assert_eq!(b.to_bits(), after.to_bits(), "skipped bin {bin} was refit");
+    }
+    for &bin in covered {
+        assert_eq!(
+            model.num_samples(bin),
+            18,
+            "covered bin {bin} missed samples"
+        );
+    }
+}
+
+/// The trait's default `train` and the backends' direct use agree with the model path
+/// on real extracted segments (the receiver's LTF framing).
+#[test]
+fn backends_agree_with_model_dispatch_on_real_segments() {
+    use ofdmphy::chanest::ChannelEstimate;
+    let e = engine();
+    let ltf = preamble::generate_ltf(e.params());
+    let est = ChannelEstimate::from_ltf(&e, &ltf).unwrap();
+    let reference = preamble::ltf_bins(e.params());
+    let segs = extract_segments(&e, &ltf[16..96], &est, 9).unwrap();
+    let config = CpRecycleConfig::default();
+    let model = InterferenceModel::train(
+        &e,
+        std::slice::from_ref(&segs),
+        std::slice::from_ref(&reference),
+        config,
+    )
+    .unwrap();
+    assert_eq!(model.backend(), ModelBackend::ExactKde);
+
+    // Rebuild the same fit through the standalone backends.
+    let mut exact = ExactKdeEstimator::new(64);
+    let mut grid = GridKdeEstimator::new(64);
+    let mut samples = vec![cprecycle::estimator::BinSamples::default(); 64];
+    for bin in e.params().occupied_bins() {
+        if reference[bin].norm_sqr() == 0.0 {
+            continue;
+        }
+        for obs in segs.bin_observations(bin) {
+            let (a, p) = cprecycle::interference_model::deviation(*obs, reference[bin]);
+            samples[bin].push(a, p);
+        }
+    }
+    exact.train(&samples, &config).unwrap();
+    grid.train(&samples, &config).unwrap();
+    let bin = e.params().data_bins()[7];
+    let obs = Complex::new(0.9, 0.1);
+    let cand = Complex::one();
+    assert_eq!(
+        model.log_likelihood(bin, obs, cand).to_bits(),
+        exact.log_likelihood(bin, obs, cand).to_bits(),
+        "standalone exact backend must match the model dispatch"
+    );
+    let g = grid.log_likelihood(bin, obs, cand);
+    assert!((g - exact.log_likelihood(bin, obs, cand)).abs() < 0.1);
+    // EstimatorState::new builds the same backends the enum dispatch uses.
+    assert!(matches!(
+        EstimatorState::new(ModelBackend::GridKde, 64),
+        EstimatorState::Grid(_)
+    ));
+}

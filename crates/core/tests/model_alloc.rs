@@ -1,0 +1,131 @@
+//! Allocation regression pins for the interference-model refit path (the PR 3
+//! candidate-buffer pin, applied to the estimator refactor).
+//!
+//! Before the refactor, every `InterferenceModel` refit collected two temporary
+//! axis `Vec<f64>`s per bin for bandwidth selection and rebuilt each bin's KDE from
+//! a fresh sample copy, and `ProductKde2d::update` collected two more — hundreds of
+//! `O(P·N_p)`-sized allocations per preamble update. The split-axis sample store
+//! selects bandwidths straight from the stored slices (with one reusable sort
+//! scratch), so the counts pinned here would jump by at least two per occupied bin
+//! if the temporaries ever came back.
+//!
+//! The test binary installs a counting global allocator; the counts are process-wide,
+//! so each measurement runs the workload after a warm-up of the same shape.
+
+use cprecycle::segments::SymbolSegments;
+use cprecycle::{CpRecycleConfig, InterferenceModel};
+use ofdmphy::ofdm::OfdmEngine;
+use ofdmphy::params::OfdmParams;
+use ofdmphy::preamble;
+use rand::{Rng, SeedableRng};
+use rfdsp::kde::{BandwidthSelector, ProductKde2d};
+use rfdsp::Complex;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+// The test binary only counts; all real work is delegated to the system allocator.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn kde_update_is_allocation_free_after_reserve() {
+    // The satellite pin: `ProductKde2d::update` used to collect both axes into fresh
+    // vectors to reselect bandwidths on every call. With split-axis storage, the
+    // internal sort scratch and a `reserve`, an update allocates nothing at all.
+    let samples: Vec<(f64, f64)> = (0..64)
+        .map(|i| (0.1 + 0.01 * (i % 13) as f64, -1.0 + 0.07 * (i % 29) as f64))
+        .collect();
+    let mut kde = ProductKde2d::new(&samples, BandwidthSelector::LeaveOneOut).unwrap();
+    let new: Vec<(f64, f64)> = (0..16).map(|i| (0.3 + 0.01 * i as f64, 0.5)).collect();
+    kde.reserve(new.len());
+    let before = allocations();
+    kde.update(&new, BandwidthSelector::LeaveOneOut).unwrap();
+    let during = allocations() - before;
+    assert_eq!(
+        during, 0,
+        "ProductKde2d::update allocated {during} times after reserve"
+    );
+    assert_eq!(kde.len(), 80);
+}
+
+#[test]
+fn model_update_does_not_collect_per_bin_temporaries() {
+    // A preamble update refits every occupied bin (52 at 802.11a/g). The dominant
+    // legitimate allocations left are the amortised growth of the per-bin sample
+    // stores and KDE buffers — a handful of reallocs, not O(bins) temporaries. The
+    // pre-refactor path allocated ≥ 4 temporaries per bin per refit (two axis
+    // collects for selection plus a fresh sample copy per KDE, and two more inside
+    // `ProductKde2d::update`), i.e. > 200 allocations per update; the bound here
+    // fails if even half of that comes back.
+    let e = OfdmEngine::new(OfdmParams::ieee80211ag());
+    let reference = preamble::ltf_bins(e.params());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let mut preamble_segments = |p: usize| -> SymbolSegments {
+        let rows: Vec<Vec<Complex>> = (0..p)
+            .map(|_| {
+                reference
+                    .iter()
+                    .map(|r| {
+                        if r.norm_sqr() == 0.0 {
+                            Complex::zero()
+                        } else {
+                            *r + Complex::from_polar(
+                                rng.gen_range(0.0..0.6),
+                                rng.gen_range(-3.1..3.1),
+                            )
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        SymbolSegments::from_rows(rows)
+    };
+    let first = preamble_segments(9);
+    let mut model = InterferenceModel::train(
+        &e,
+        std::slice::from_ref(&first),
+        std::slice::from_ref(&reference),
+        CpRecycleConfig::default(),
+    )
+    .unwrap();
+    // Warm-up update: grows sample stores, KDE buffers and the shared sort scratch.
+    model.update(&e, &preamble_segments(9), &reference).unwrap();
+
+    let next = preamble_segments(9);
+    let before = allocations();
+    model.update(&e, &next, &reference).unwrap();
+    let during = allocations() - before;
+    assert!(
+        during <= 110,
+        "model update allocated {during} times — per-bin temporaries are back?"
+    );
+}

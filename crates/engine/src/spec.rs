@@ -59,10 +59,10 @@ pub trait CampaignPoint: Sync {
     ///
     /// The key feeds both the seed tree and checkpoint resume, so it must encode every
     /// parameter that affects the trial's outcome distribution (scenario parameters,
-    /// modulation, receiver configuration — including the subcarrier-decision stage,
-    /// so decoder sweeps are ordinary grid dimensions — payload length, …). Position
-    /// in the grid must *not* be encoded, so grids can be appended to without
-    /// invalidating recorded points.
+    /// modulation, receiver configuration — including the subcarrier-decision stage
+    /// and the interference-estimator backend, so decoder and estimator sweeps are
+    /// ordinary grid dimensions — payload length, …). Position in the grid must *not*
+    /// be encoded, so grids can be appended to without invalidating recorded points.
     fn key(&self) -> String;
 
     /// Display label for reports; defaults to the key.

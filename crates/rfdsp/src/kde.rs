@@ -47,6 +47,14 @@ pub fn gaussian_kernel(u: f64) -> f64 {
 /// Returns a small positive floor when the sample is degenerate (all values equal),
 /// so that the resulting KDE is still evaluable.
 pub fn silverman_bandwidth(samples: &[f64]) -> Result<f64> {
+    let mut scratch = Vec::new();
+    silverman_bandwidth_scratch(samples, &mut scratch)
+}
+
+/// [`silverman_bandwidth`] with a caller-owned sort scratch, so repeated selection
+/// (one call per subcarrier per refit) performs no allocation once the scratch has
+/// grown to the largest sample count.
+pub fn silverman_bandwidth_scratch(samples: &[f64], scratch: &mut Vec<f64>) -> Result<f64> {
     if samples.is_empty() {
         return Err(DspError::EmptyInput);
     }
@@ -54,7 +62,12 @@ pub fn silverman_bandwidth(samples: &[f64]) -> Result<f64> {
         return Ok(1.0);
     }
     let sigma = stats::sample_std_dev(samples)?;
-    let iqr = stats::iqr(samples)?;
+    scratch.clear();
+    scratch.extend_from_slice(samples);
+    // Unstable sort: in-place (a stable sort allocates a merge buffer, which would
+    // defeat the scratch), and equal keys are interchangeable for percentiles.
+    scratch.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN in bandwidth input"));
+    let iqr = stats::iqr_of_sorted(scratch)?;
     let spread = if iqr > 0.0 {
         sigma.min(iqr / 1.34)
     } else {
@@ -85,6 +98,18 @@ fn loo_log_likelihood(samples: &[f64], bw: f64) -> f64 {
 
 /// Selects a bandwidth for `samples` according to `selector`.
 pub fn select_bandwidth(samples: &[f64], selector: BandwidthSelector) -> Result<f64> {
+    let mut scratch = Vec::new();
+    select_bandwidth_scratch(samples, selector, &mut scratch)
+}
+
+/// [`select_bandwidth`] with a caller-owned sort scratch (see
+/// [`silverman_bandwidth_scratch`]): the allocation-free variant the per-subcarrier
+/// refit loop of the interference model uses.
+pub fn select_bandwidth_scratch(
+    samples: &[f64],
+    selector: BandwidthSelector,
+    scratch: &mut Vec<f64>,
+) -> Result<f64> {
     match selector {
         BandwidthSelector::Fixed(bw) => {
             if bw > 0.0 {
@@ -93,9 +118,9 @@ pub fn select_bandwidth(samples: &[f64], selector: BandwidthSelector) -> Result<
                 Err(DspError::invalid("bandwidth", "must be positive"))
             }
         }
-        BandwidthSelector::Silverman => silverman_bandwidth(samples),
+        BandwidthSelector::Silverman => silverman_bandwidth_scratch(samples, scratch),
         BandwidthSelector::LeaveOneOut => {
-            let base = silverman_bandwidth(samples)?;
+            let base = silverman_bandwidth_scratch(samples, scratch)?;
             if samples.len() < 3 {
                 return Ok(base);
             }
@@ -187,11 +212,18 @@ impl KernelDensity1d {
 /// in the paper's Eq. 4: each sample contributes `K_a(Δa/B_a)·K_φ(Δφ/B_φ)` and the two
 /// bandwidths are selected independently, which is what lets CPRecycle weight amplitude
 /// and phase errors separately.
+///
+/// Samples are stored as two parallel axis vectors, so bandwidth reselection (which
+/// operates per axis) reads the stored slices directly instead of collecting
+/// temporary axis vectors on every refit.
 #[derive(Debug, Clone)]
 pub struct ProductKde2d {
-    samples: Vec<(f64, f64)>,
+    amps: Vec<f64>,
+    phases: Vec<f64>,
     bw_a: f64,
     bw_p: f64,
+    /// Sort scratch reused by bandwidth reselection in [`ProductKde2d::update`].
+    scratch: Vec<f64>,
 }
 
 impl ProductKde2d {
@@ -201,22 +233,51 @@ impl ProductKde2d {
         if samples.is_empty() {
             return Err(DspError::EmptyInput);
         }
-        let a: Vec<f64> = samples.iter().map(|s| s.0).collect();
-        let p: Vec<f64> = samples.iter().map(|s| s.1).collect();
-        let bw_a = select_bandwidth(&a, selector)?;
-        let bw_p = select_bandwidth(&p, selector)?;
+        let amps: Vec<f64> = samples.iter().map(|s| s.0).collect();
+        let phases: Vec<f64> = samples.iter().map(|s| s.1).collect();
+        let mut scratch = Vec::with_capacity(samples.len());
+        let bw_a = select_bandwidth_scratch(&amps, selector, &mut scratch)?;
+        let bw_p = select_bandwidth_scratch(&phases, selector, &mut scratch)?;
         Ok(ProductKde2d {
-            samples: samples.to_vec(),
+            amps,
+            phases,
             bw_a,
             bw_p,
+            scratch,
         })
     }
 
     /// Builds a product KDE with explicit per-axis bandwidths (the paper's `B_a`, `B_φ`
     /// tuning knobs).
     pub fn with_bandwidths(samples: &[(f64, f64)], bw_a: f64, bw_p: f64) -> Result<Self> {
-        if samples.is_empty() {
+        let amps: Vec<f64> = samples.iter().map(|s| s.0).collect();
+        let phases: Vec<f64> = samples.iter().map(|s| s.1).collect();
+        Self::from_axes(&amps, &phases, bw_a, bw_p)
+    }
+
+    /// Builds a product KDE from per-axis sample slices with explicit bandwidths — the
+    /// constructor the interference model's split-axis sample store uses.
+    pub fn from_axes(amps: &[f64], phases: &[f64], bw_a: f64, bw_p: f64) -> Result<Self> {
+        let mut kde = ProductKde2d {
+            amps: Vec::new(),
+            phases: Vec::new(),
+            bw_a: 1.0,
+            bw_p: 1.0,
+            scratch: Vec::new(),
+        };
+        kde.refit_axes(amps, phases, bw_a, bw_p)?;
+        Ok(kde)
+    }
+
+    /// Replaces the sample set and bandwidths in place, reusing the existing buffers —
+    /// the per-bin refit path, allocation-free once the buffers have grown to the
+    /// largest sample count seen.
+    pub fn refit_axes(&mut self, amps: &[f64], phases: &[f64], bw_a: f64, bw_p: f64) -> Result<()> {
+        if amps.is_empty() {
             return Err(DspError::EmptyInput);
+        }
+        if amps.len() != phases.len() {
+            return Err(DspError::invalid("phases", "axis sample counts must match"));
         }
         if bw_a <= 0.0 || bw_p <= 0.0 {
             return Err(DspError::invalid(
@@ -224,11 +285,13 @@ impl ProductKde2d {
                 "bandwidths must be positive",
             ));
         }
-        Ok(ProductKde2d {
-            samples: samples.to_vec(),
-            bw_a,
-            bw_p,
-        })
+        self.amps.clear();
+        self.amps.extend_from_slice(amps);
+        self.phases.clear();
+        self.phases.extend_from_slice(phases);
+        self.bw_a = bw_a;
+        self.bw_p = bw_p;
+        Ok(())
     }
 
     /// Amplitude-axis bandwidth `B_a`.
@@ -243,33 +306,96 @@ impl ProductKde2d {
 
     /// Number of samples backing the estimate.
     pub fn len(&self) -> usize {
-        self.samples.len()
+        self.amps.len()
     }
 
     /// Whether the KDE holds no samples (never true after construction).
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.amps.is_empty()
+    }
+
+    /// The amplitude coordinates of the backing samples.
+    pub fn amplitudes(&self) -> &[f64] {
+        &self.amps
+    }
+
+    /// The phase coordinates of the backing samples.
+    pub fn phases(&self) -> &[f64] {
+        &self.phases
+    }
+
+    /// Pre-grows the sample and scratch buffers for `additional` further samples, so a
+    /// subsequent [`ProductKde2d::update`] of at most that many samples allocates
+    /// nothing (pinned by the `model_alloc` regression test).
+    pub fn reserve(&mut self, additional: usize) {
+        self.amps.reserve(additional);
+        self.phases.reserve(additional);
+        // `Vec::reserve(n)` guarantees capacity ≥ len + n, so size the request off
+        // the scratch's *length* — subtracting its capacity would under-reserve
+        // whenever capacity already exceeds length.
+        let total = self.amps.len() + additional;
+        self.scratch
+            .reserve(total.saturating_sub(self.scratch.len()));
     }
 
     /// Evaluates the joint density at `(amplitude, phase)` (Eq. 4 of the paper).
     pub fn eval(&self, amplitude: f64, phase: f64) -> f64 {
         let mut sum = 0.0;
-        for (sa, sp) in &self.samples {
+        for (sa, sp) in self.amps.iter().zip(&self.phases) {
             sum += gaussian_kernel((amplitude - sa) / self.bw_a)
                 * gaussian_kernel((phase - sp) / self.bw_p);
         }
-        sum / (self.samples.len() as f64 * self.bw_a * self.bw_p)
+        sum / (self.amps.len() as f64 * self.bw_a * self.bw_p)
     }
 
-    /// Natural logarithm of [`ProductKde2d::eval`], floored to avoid `-inf` so that the
-    /// per-segment log-likelihood sums in the ML decoder stay finite.
+    /// Natural logarithm of [`ProductKde2d::eval`] with exact, **strictly ordered**
+    /// far tails: a linear-domain sum underflows to the same hard floor for every
+    /// candidate more than ~38 bandwidths from the data, which erases the ML ordering
+    /// between distant lattice points.
+    ///
+    /// In-support queries (the overwhelming majority of sphere-decoder calls) take a
+    /// single linear-domain pass; only when that sum underflows does the evaluation
+    /// fall back to a two-pass log-sum-exp, which keeps the Gaussian tail exact down
+    /// to exponents of about `−1e308`.
     pub fn log_eval(&self, amplitude: f64, phase: f64) -> f64 {
-        self.eval(amplitude, phase).max(1e-300).ln()
+        let inv_a = 1.0 / self.bw_a;
+        let inv_p = 1.0 / self.bw_p;
+        let norm = self.amps.len() as f64 * self.bw_a * self.bw_p * TWO_PI_SQ;
+        let mut sum = 0.0;
+        for (sa, sp) in self.amps.iter().zip(&self.phases) {
+            let ua = (amplitude - sa) * inv_a;
+            let up = (phase - sp) * inv_p;
+            sum += (-0.5 * (ua * ua + up * up)).exp();
+        }
+        if sum > 1e-290 {
+            return sum.ln() - norm.ln();
+        }
+        // Tail fallback: log-sum-exp over the kernel exponents.
+        let mut max_e = f64::NEG_INFINITY;
+        for (sa, sp) in self.amps.iter().zip(&self.phases) {
+            let ua = (amplitude - sa) * inv_a;
+            let up = (phase - sp) * inv_p;
+            let e = -0.5 * (ua * ua + up * up);
+            if e > max_e {
+                max_e = e;
+            }
+        }
+        let mut scaled = 0.0;
+        for (sa, sp) in self.amps.iter().zip(&self.phases) {
+            let ua = (amplitude - sa) * inv_a;
+            let up = (phase - sp) * inv_p;
+            scaled += (-0.5 * (ua * ua + up * up) - max_e).exp();
+        }
+        max_e + scaled.ln() - norm.ln()
     }
 
     /// Merges additional samples into the estimate and reselects bandwidths with the
     /// given strategy — used when a new preamble arrives (paper §4.3: "probability
     /// density functions are constantly updated when subsequent preambles are received").
+    ///
+    /// Bandwidth reselection reads the stored axis vectors directly (with an internal
+    /// reusable sort scratch), so the call performs no allocation when the buffers
+    /// have spare capacity (see [`ProductKde2d::reserve`]).
     pub fn update(
         &mut self,
         new_samples: &[(f64, f64)],
@@ -278,12 +404,279 @@ impl ProductKde2d {
         if new_samples.is_empty() {
             return Ok(());
         }
-        self.samples.extend_from_slice(new_samples);
-        let a: Vec<f64> = self.samples.iter().map(|s| s.0).collect();
-        let p: Vec<f64> = self.samples.iter().map(|s| s.1).collect();
-        self.bw_a = select_bandwidth(&a, selector)?;
-        self.bw_p = select_bandwidth(&p, selector)?;
+        self.amps.extend(new_samples.iter().map(|s| s.0));
+        self.phases.extend(new_samples.iter().map(|s| s.1));
+        self.bw_a = select_bandwidth_scratch(&self.amps, selector, &mut self.scratch)?;
+        self.bw_p = select_bandwidth_scratch(&self.phases, selector, &mut self.scratch)?;
         Ok(())
+    }
+}
+
+/// `4π²`, the product-kernel normalisation (`1/2π` per axis).
+const TWO_PI_SQ: f64 = 4.0 * std::f64::consts::PI * std::f64::consts::PI;
+
+/// Resolution and extent policy for building a [`GridKde2d`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridSpec {
+    /// Grid nodes per kernel bandwidth. Higher is more accurate; the bilinear
+    /// interpolation error in the log domain shrinks quadratically with this.
+    pub points_per_bandwidth: f64,
+    /// Upper bound on nodes per axis, capping build time and memory for very small
+    /// bandwidths relative to the sample spread.
+    pub max_points_per_axis: usize,
+    /// How many bandwidths beyond the extreme samples the grid extends before the
+    /// analytic tail extrapolation takes over.
+    pub margin_bandwidths: f64,
+}
+
+impl Default for GridSpec {
+    fn default() -> Self {
+        GridSpec {
+            points_per_bandwidth: 4.0,
+            max_points_per_axis: 128,
+            margin_bandwidths: 3.0,
+        }
+    }
+}
+
+/// A precomputed log-likelihood lookup table over a [`ProductKde2d`]: the `GridKde`
+/// interference-estimator backend.
+///
+/// At build time the exact product-KDE log density is evaluated on a regular
+/// (amplitude, phase) grid spanning the samples plus a margin; queries then cost an
+/// **O(1) bilinear interpolation in the log domain** instead of the exact backend's
+/// `O(P·N_p)` kernel sum. Because the log density of a Gaussian mixture is locally
+/// near-quadratic, bilinear interpolation of the *log* values is far more accurate
+/// than interpolating densities and can never produce `−inf`.
+///
+/// Queries outside the grid (far-tail candidates) clamp to the nearest edge and
+/// subtract the analytic Gaussian tail continuation
+/// `½·d² + margin·d` (with `d` the overshoot in bandwidth units), which keeps
+/// far-tail log-likelihoods finite, continuous at the edge and **strictly decreasing
+/// with distance** — the ordering property the ML decoder needs.
+#[derive(Debug, Clone)]
+pub struct GridKde2d {
+    a_lo: f64,
+    a_step: f64,
+    n_a: usize,
+    p_lo: f64,
+    p_step: f64,
+    n_p: usize,
+    /// Log densities, row-major: `values[ia * n_p + ip]`.
+    values: Vec<f64>,
+    bw_a: f64,
+    bw_p: f64,
+    margin: f64,
+}
+
+impl GridKde2d {
+    /// Precomputes the log-likelihood grid of `kde` under `spec`.
+    pub fn build(kde: &ProductKde2d, spec: &GridSpec) -> Result<Self> {
+        Self::from_axes(
+            kde.amplitudes(),
+            kde.phases(),
+            kde.bandwidth_amplitude(),
+            kde.bandwidth_phase(),
+            spec,
+        )
+    }
+
+    /// Builds the grid directly from per-axis samples and bandwidths (the refit path
+    /// of the `GridKde` backend, which never materialises a `ProductKde2d`).
+    pub fn from_axes(
+        amps: &[f64],
+        phases: &[f64],
+        bw_a: f64,
+        bw_p: f64,
+        spec: &GridSpec,
+    ) -> Result<Self> {
+        if amps.is_empty() {
+            return Err(DspError::EmptyInput);
+        }
+        if amps.len() != phases.len() {
+            return Err(DspError::invalid("phases", "axis sample counts must match"));
+        }
+        if bw_a <= 0.0 || bw_p <= 0.0 {
+            return Err(DspError::invalid(
+                "bandwidth",
+                "bandwidths must be positive",
+            ));
+        }
+        if !spec.points_per_bandwidth.is_finite()
+            || spec.points_per_bandwidth <= 0.0
+            || spec.max_points_per_axis < 2
+        {
+            return Err(DspError::invalid(
+                "spec",
+                "points_per_bandwidth must be positive and max_points_per_axis ≥ 2",
+            ));
+        }
+        let margin = spec.margin_bandwidths.max(1.0);
+        // Amplitude deviations are magnitudes, so the axis never extends below zero;
+        // phases are error-vector angles in (−π, π], so the grid never needs to
+        // extend beyond that.
+        let (a_lo, a_hi) = axis_extent(amps, bw_a, margin, Some(0.0), None);
+        let (p_lo, p_hi) = axis_extent(
+            phases,
+            bw_p,
+            margin,
+            Some(-std::f64::consts::PI),
+            Some(std::f64::consts::PI),
+        );
+        let (n_a, a_step) = axis_nodes(a_lo, a_hi, bw_a, spec);
+        let (n_p, p_step) = axis_nodes(p_lo, p_hi, bw_p, spec);
+
+        // Per-node kernel exponents, factored per axis: node i against sample j.
+        let n = amps.len();
+        let exp_a = axis_exponents(a_lo, a_step, n_a, amps, bw_a);
+        let exp_p = axis_exponents(p_lo, p_step, n_p, phases, bw_p);
+        // Fast path: sum the exponentials in the linear domain (one multiply-add per
+        // sample per node); nodes whose sum underflows fall back to a per-node
+        // log-sum-exp so tails stay finite and ordered.
+        let w_a: Vec<f64> = exp_a.iter().map(|e| e.exp()).collect();
+        let w_p: Vec<f64> = exp_p.iter().map(|e| e.exp()).collect();
+        let log_norm = -((n as f64) * bw_a * bw_p * TWO_PI_SQ).ln();
+        let mut values = vec![0.0f64; n_a * n_p];
+        for ia in 0..n_a {
+            let wa = &w_a[ia * n..(ia + 1) * n];
+            let ea = &exp_a[ia * n..(ia + 1) * n];
+            for ip in 0..n_p {
+                let wp = &w_p[ip * n..(ip + 1) * n];
+                let mut sum = 0.0;
+                for j in 0..n {
+                    sum += wa[j] * wp[j];
+                }
+                values[ia * n_p + ip] = if sum > 1e-290 {
+                    sum.ln() + log_norm
+                } else {
+                    let ep = &exp_p[ip * n..(ip + 1) * n];
+                    let mut max_e = f64::NEG_INFINITY;
+                    for j in 0..n {
+                        max_e = max_e.max(ea[j] + ep[j]);
+                    }
+                    let mut s = 0.0;
+                    for j in 0..n {
+                        s += (ea[j] + ep[j] - max_e).exp();
+                    }
+                    max_e + s.ln() + log_norm
+                };
+            }
+        }
+        Ok(GridKde2d {
+            a_lo,
+            a_step,
+            n_a,
+            p_lo,
+            p_step,
+            n_p,
+            values,
+            bw_a,
+            bw_p,
+            margin,
+        })
+    }
+
+    /// Nodes along the amplitude axis.
+    pub fn num_points_amplitude(&self) -> usize {
+        self.n_a
+    }
+
+    /// Nodes along the phase axis.
+    pub fn num_points_phase(&self) -> usize {
+        self.n_p
+    }
+
+    /// O(1) log-density lookup at `(amplitude, phase)`: bilinear interpolation of the
+    /// precomputed log grid, with the analytic tail continuation outside it.
+    pub fn log_eval(&self, amplitude: f64, phase: f64) -> f64 {
+        let a_hi = self.a_lo + self.a_step * (self.n_a - 1) as f64;
+        let p_hi = self.p_lo + self.p_step * (self.n_p - 1) as f64;
+        let (ca, da) = clamp_axis(amplitude, self.a_lo, a_hi, self.bw_a);
+        let (cp, dp) = clamp_axis(phase, self.p_lo, p_hi, self.bw_p);
+
+        let ta = (ca - self.a_lo) / self.a_step;
+        let tp = (cp - self.p_lo) / self.p_step;
+        let ia = (ta as usize).min(self.n_a - 2);
+        let ip = (tp as usize).min(self.n_p - 2);
+        let fa = (ta - ia as f64).clamp(0.0, 1.0);
+        let fp = (tp - ip as f64).clamp(0.0, 1.0);
+        let v00 = self.values[ia * self.n_p + ip];
+        let v01 = self.values[ia * self.n_p + ip + 1];
+        let v10 = self.values[(ia + 1) * self.n_p + ip];
+        let v11 = self.values[(ia + 1) * self.n_p + ip + 1];
+        let v0 = v00 + (v01 - v00) * fp;
+        let v1 = v10 + (v11 - v10) * fp;
+        let interior = v0 + (v1 - v0) * fa;
+        // Gaussian tail continuation: at the edge the log density falls off with
+        // slope ≈ −margin (in bandwidth units, the distance to the nearest extreme
+        // sample) and curvature −1, so −(½d² + margin·d) per axis continues it.
+        interior - (0.5 * da * da + self.margin * da) - (0.5 * dp * dp + self.margin * dp)
+    }
+}
+
+/// Grid extent of one axis: the sample range padded by `margin` bandwidths, clamped
+/// to the physically meaningful range of the coordinate.
+fn axis_extent(
+    samples: &[f64],
+    bw: f64,
+    margin: f64,
+    floor: Option<f64>,
+    ceil: Option<f64>,
+) -> (f64, f64) {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &s in samples {
+        min = min.min(s);
+        max = max.max(s);
+    }
+    let mut lo = min - margin * bw;
+    let mut hi = max + margin * bw;
+    if let Some(f) = floor {
+        lo = lo.max(f);
+    }
+    if let Some(c) = ceil {
+        hi = hi.min(c);
+    }
+    if hi <= lo {
+        hi = lo + bw;
+    }
+    (lo, hi)
+}
+
+/// Node count and exact step spanning `[lo, hi]` at the spec's resolution.
+fn axis_nodes(lo: f64, hi: f64, bw: f64, spec: &GridSpec) -> (usize, f64) {
+    // Clamp in the float domain: a pathologically small bandwidth makes the ideal
+    // node count overflow `usize` (a debug-build panic) if cast first.
+    let ideal = ((hi - lo) / (bw / spec.points_per_bandwidth))
+        .ceil()
+        .min(spec.max_points_per_axis as f64);
+    let n = (ideal as usize + 1).clamp(2, spec.max_points_per_axis);
+    (n, (hi - lo) / (n - 1) as f64)
+}
+
+/// Kernel exponents of every (node, sample) pair along one axis, row-major by node.
+fn axis_exponents(lo: f64, step: f64, n_nodes: usize, samples: &[f64], bw: f64) -> Vec<f64> {
+    let inv = 1.0 / bw;
+    let mut out = Vec::with_capacity(n_nodes * samples.len());
+    for i in 0..n_nodes {
+        let x = lo + step * i as f64;
+        for &s in samples {
+            let u = (x - s) * inv;
+            out.push(-0.5 * u * u);
+        }
+    }
+    out
+}
+
+/// Clamps `x` into `[lo, hi]`, returning the clamped coordinate and the overshoot in
+/// bandwidth units (0 when inside).
+fn clamp_axis(x: f64, lo: f64, hi: f64, bw: f64) -> (f64, f64) {
+    if x < lo {
+        (lo, (lo - x) / bw)
+    } else if x > hi {
+        (hi, (x - hi) / bw)
+    } else {
+        (x, 0.0)
     }
 }
 
@@ -411,6 +804,138 @@ mod tests {
         let ll = kde.log_eval(100.0, 100.0);
         assert!(ll.is_finite());
         assert!(ll < kde.log_eval(0.0, 0.0));
+    }
+
+    #[test]
+    fn log_eval_keeps_far_tails_strictly_ordered() {
+        // Regression for the old `max(1e-300).ln()` clamp: every candidate more than
+        // ~38 bandwidths out used to collapse to the same −690.78 floor, erasing the
+        // ML ordering between distant lattice points. The log-sum-exp form keeps the
+        // Gaussian tail strictly decreasing.
+        let kde = ProductKde2d::with_bandwidths(&[(0.0, 0.0), (0.1, 0.2)], 0.05, 0.05).unwrap();
+        let near = kde.log_eval(5.0, 0.0);
+        let far = kde.log_eval(10.0, 0.0);
+        let farther = kde.log_eval(20.0, 0.0);
+        assert!(near > far, "near {near} far {far}");
+        assert!(far > farther, "far {far} farther {farther}");
+        assert!(farther.is_finite());
+        // All three are deep below the old clamp.
+        assert!(near < -690.0);
+        // Within the support, log-sum-exp agrees with the linear-domain log.
+        let ll = kde.log_eval(0.07, 0.1);
+        assert!((ll - kde.eval(0.07, 0.1).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_kde_update_after_reserve_keeps_capacity() {
+        let mut kde = ProductKde2d::new(
+            &[(0.0, 0.0), (0.1, 0.1), (0.2, -0.1)],
+            BandwidthSelector::Silverman,
+        )
+        .unwrap();
+        kde.reserve(8);
+        // Buffer-pointer stability across the update proves no reallocation took
+        // place (the allocation-count pin lives in core's `model_alloc` test; this
+        // is the dependency-free version).
+        let amp_ptr = kde.amplitudes().as_ptr();
+        let phase_ptr = kde.phases().as_ptr();
+        let new: Vec<(f64, f64)> = (0..8).map(|i| (i as f64 * 0.01, 0.0)).collect();
+        kde.update(&new, BandwidthSelector::LeaveOneOut).unwrap();
+        assert_eq!(kde.len(), 11);
+        assert_eq!(
+            kde.amplitudes().as_ptr(),
+            amp_ptr,
+            "amplitude buffer reallocated despite reserve"
+        );
+        assert_eq!(
+            kde.phases().as_ptr(),
+            phase_ptr,
+            "phase buffer reallocated despite reserve"
+        );
+    }
+
+    #[test]
+    fn grid_kde_matches_exact_inside_the_sample_region() {
+        let samples: Vec<(f64, f64)> = (0..30)
+            .map(|i| {
+                let x = i as f64 / 30.0;
+                (0.2 + 0.6 * (x * 9.7).sin().abs(), 1.5 * (x * 4.3).cos())
+            })
+            .collect();
+        let kde = ProductKde2d::with_bandwidths(&samples, 0.15, 0.4).unwrap();
+        let spec = GridSpec {
+            points_per_bandwidth: 8.0,
+            max_points_per_axis: 512,
+            margin_bandwidths: 4.0,
+        };
+        let grid = GridKde2d::build(&kde, &spec).unwrap();
+        for i in 0..40 {
+            let a = 0.05 + 0.9 * i as f64 / 40.0;
+            let p = -2.0 + 4.0 * ((i * 7) % 40) as f64 / 40.0;
+            let exact = kde.log_eval(a, p);
+            let approx = grid.log_eval(a, p);
+            assert!(
+                (exact - approx).abs() < 0.05,
+                "({a}, {p}): exact {exact}, grid {approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn grid_kde_far_tails_are_finite_and_strictly_ordered() {
+        let grid = GridKde2d::from_axes(
+            &[0.1, 0.3, 0.2],
+            &[0.0, 0.4, -0.3],
+            0.08,
+            0.25,
+            &GridSpec::default(),
+        )
+        .unwrap();
+        let mut prev = f64::INFINITY;
+        for k in 1..30 {
+            let ll = grid.log_eval(0.3 + k as f64 * 0.5, 0.1);
+            assert!(ll.is_finite());
+            assert!(ll < prev, "tail must strictly decrease: {ll} !< {prev}");
+            prev = ll;
+        }
+        // The low-amplitude side also extrapolates monotonically toward the data.
+        assert!(grid.log_eval(0.0, 0.0) < grid.log_eval(0.1, 0.0));
+    }
+
+    #[test]
+    fn grid_kde_respects_spec_caps_and_validates() {
+        let amps = [0.0, 1.0];
+        let phases = [0.0, 0.5];
+        let spec = GridSpec {
+            points_per_bandwidth: 100.0,
+            max_points_per_axis: 16,
+            margin_bandwidths: 3.0,
+        };
+        let g = GridKde2d::from_axes(&amps, &phases, 0.05, 0.05, &spec).unwrap();
+        assert_eq!(g.num_points_amplitude(), 16);
+        assert_eq!(g.num_points_phase(), 16);
+        assert!(GridKde2d::from_axes(&[], &[], 0.1, 0.1, &GridSpec::default()).is_err());
+        assert!(GridKde2d::from_axes(&[0.0], &[], 0.1, 0.1, &GridSpec::default()).is_err());
+        assert!(GridKde2d::from_axes(&[0.0], &[0.0], 0.0, 0.1, &GridSpec::default()).is_err());
+        let bad = GridSpec {
+            points_per_bandwidth: 0.0,
+            ..Default::default()
+        };
+        assert!(GridKde2d::from_axes(&[0.0], &[0.0], 0.1, 0.1, &bad).is_err());
+        // A huge bandwidth (the kernel-ablation configuration) still builds: the
+        // phase extent clamps to (−π, π] and the node count floors at 2.
+        let wide = GridKde2d::from_axes(&[0.0], &[0.0], 0.1, 1.0e6, &GridSpec::default()).unwrap();
+        assert!(wide.num_points_phase() >= 2);
+        assert!(wide.log_eval(0.0, 3.0).is_finite());
+        // …and a pathologically small one must not overflow the node count (the
+        // float-domain clamp in `axis_nodes`; previously a debug-build panic).
+        let tiny =
+            GridKde2d::from_axes(&[0.0, 1.0], &[0.0, 0.1], 1e-300, 0.1, &GridSpec::default())
+                .unwrap();
+        assert_eq!(
+            tiny.num_points_amplitude(),
+            GridSpec::default().max_points_per_axis
+        );
     }
 
     #[test]

@@ -56,14 +56,20 @@ pub fn median(xs: &[f64]) -> Result<f64> {
 
 /// Linear-interpolation percentile, `p` in `[0, 100]`.
 pub fn percentile(xs: &[f64], p: f64) -> Result<f64> {
-    if xs.is_empty() {
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    percentile_of_sorted(&sorted, p)
+}
+
+/// [`percentile`] over **already-sorted** input — the allocation-free variant hot
+/// paths use with a caller-owned sort scratch (see `kde::select_bandwidth_scratch`).
+pub fn percentile_of_sorted(sorted: &[f64], p: f64) -> Result<f64> {
+    if sorted.is_empty() {
         return Err(DspError::EmptyInput);
     }
     if !(0.0..=100.0).contains(&p) {
         return Err(DspError::invalid("p", "percentile must be in [0, 100]"));
     }
-    let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -78,6 +84,11 @@ pub fn percentile(xs: &[f64], p: f64) -> Result<f64> {
 /// Interquartile range (75th − 25th percentile), used by robust bandwidth selection.
 pub fn iqr(xs: &[f64]) -> Result<f64> {
     Ok(percentile(xs, 75.0)? - percentile(xs, 25.0)?)
+}
+
+/// [`iqr`] over **already-sorted** input (allocation-free).
+pub fn iqr_of_sorted(sorted: &[f64]) -> Result<f64> {
+    Ok(percentile_of_sorted(sorted, 75.0)? - percentile_of_sorted(sorted, 25.0)?)
 }
 
 /// Minimum of a slice. Errors on empty input.
@@ -316,6 +327,81 @@ pub fn centroid(xs: &[Complex]) -> Result<Complex> {
     Ok(xs.iter().copied().sum::<Complex>() / xs.len() as f64)
 }
 
+/// A bivariate Gaussian fit `N(μ, Σ)` with a full 2×2 covariance — the cheap
+/// parametric alternative to the product KDE in the interference-estimator sweep
+/// (the `Gaussian` model backend): two means, two variances and one correlation
+/// instead of `P·N_p` kernel samples per subcarrier.
+///
+/// The fit is regularised for the degenerate inputs a nearly interference-free
+/// preamble produces: per-axis standard deviations are floored (`min_std_x/y`, the
+/// same role as the KDE bandwidth floors) and the correlation is clamped to ±0.99 so
+/// the covariance stays invertible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BivariateGaussian {
+    mean_x: f64,
+    mean_y: f64,
+    /// Inverse-covariance entries (symmetric): `[xx, xy, yy]`.
+    inv: [f64; 3],
+    /// `−ln(2π√|Σ|)`, the log-pdf normalisation constant.
+    log_norm: f64,
+}
+
+impl BivariateGaussian {
+    /// Fits the Gaussian to paired samples, flooring the per-axis standard
+    /// deviations at `min_std_x` / `min_std_y` (both must be positive).
+    pub fn fit(xs: &[f64], ys: &[f64], min_std_x: f64, min_std_y: f64) -> Result<Self> {
+        if xs.is_empty() {
+            return Err(DspError::EmptyInput);
+        }
+        if xs.len() != ys.len() {
+            return Err(DspError::invalid("ys", "axis sample counts must match"));
+        }
+        if min_std_x <= 0.0 || min_std_y <= 0.0 {
+            return Err(DspError::invalid("min_std", "floors must be positive"));
+        }
+        let n = xs.len() as f64;
+        let mean_x = xs.iter().sum::<f64>() / n;
+        let mean_y = ys.iter().sum::<f64>() / n;
+        let mut var_x = 0.0;
+        let mut var_y = 0.0;
+        let mut cov = 0.0;
+        for (x, y) in xs.iter().zip(ys) {
+            let dx = x - mean_x;
+            let dy = y - mean_y;
+            var_x += dx * dx;
+            var_y += dy * dy;
+            cov += dx * dy;
+        }
+        var_x = (var_x / n).max(min_std_x * min_std_x);
+        var_y = (var_y / n).max(min_std_y * min_std_y);
+        cov /= n;
+        // Clamp the correlation so |Σ| stays safely positive.
+        let max_cov = 0.99 * (var_x * var_y).sqrt();
+        cov = cov.clamp(-max_cov, max_cov);
+        let det = var_x * var_y - cov * cov;
+        let inv_det = 1.0 / det;
+        Ok(BivariateGaussian {
+            mean_x,
+            mean_y,
+            inv: [var_y * inv_det, -cov * inv_det, var_x * inv_det],
+            log_norm: -(2.0 * std::f64::consts::PI).ln() - 0.5 * det.ln(),
+        })
+    }
+
+    /// The fitted mean vector `(μ_x, μ_y)`.
+    pub fn mean(&self) -> (f64, f64) {
+        (self.mean_x, self.mean_y)
+    }
+
+    /// Log of the true (normalised) probability density at `(x, y)`.
+    pub fn log_pdf(&self, x: f64, y: f64) -> f64 {
+        let dx = x - self.mean_x;
+        let dy = y - self.mean_y;
+        let quad = self.inv[0] * dx * dx + 2.0 * self.inv[1] * dx * dy + self.inv[2] * dy * dy;
+        self.log_norm - 0.5 * quad
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -355,6 +441,62 @@ mod tests {
     fn iqr_of_uniform_grid() {
         let xs: Vec<f64> = (0..101).map(|i| i as f64).collect();
         assert!((iqr(&xs).unwrap() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sorted_variants_match_the_allocating_ones() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for p in [0.0, 17.0, 50.0, 75.0, 100.0] {
+            assert_eq!(
+                percentile(&xs, p).unwrap(),
+                percentile_of_sorted(&sorted, p).unwrap()
+            );
+        }
+        assert_eq!(iqr(&xs).unwrap(), iqr_of_sorted(&sorted).unwrap());
+        assert!(percentile_of_sorted(&[], 50.0).is_err());
+        assert!(percentile_of_sorted(&sorted, -1.0).is_err());
+    }
+
+    #[test]
+    fn bivariate_gaussian_fit_recovers_moments() {
+        // A tilted cloud: y correlated with x.
+        let xs: Vec<f64> = (0..200).map(|i| (i as f64 / 200.0) * 4.0 - 2.0).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 0.5 * x + (x * 37.0).sin() * 0.3)
+            .collect();
+        let g = BivariateGaussian::fit(&xs, &ys, 1e-3, 1e-3).unwrap();
+        let (mx, my) = g.mean();
+        assert!(mx.abs() < 0.05, "mean_x {mx}");
+        assert!(my.abs() < 0.05, "mean_y {my}");
+        // Density peaks at the mean and follows the correlation ridge: a point on the
+        // ridge (y = x/2) is more likely than one the same distance off it.
+        assert!(g.log_pdf(mx, my) > g.log_pdf(1.0, 0.5));
+        assert!(g.log_pdf(1.0, 0.5) > g.log_pdf(1.0, -0.5));
+    }
+
+    #[test]
+    fn bivariate_gaussian_handles_degenerate_samples() {
+        // All samples identical: variances collapse to the floors, the density stays
+        // finite and decreasing with distance.
+        let xs = [0.2; 8];
+        let ys = [-0.1; 8];
+        let g = BivariateGaussian::fit(&xs, &ys, 0.05, 0.2).unwrap();
+        let near = g.log_pdf(0.2, -0.1);
+        let far = g.log_pdf(2.0, 1.0);
+        assert!(near.is_finite() && far.is_finite());
+        assert!(near > far);
+        // Perfectly correlated samples: the clamp keeps Σ invertible.
+        let xs2: Vec<f64> = (0..16).map(|i| i as f64 * 0.1).collect();
+        let ys2: Vec<f64> = xs2.iter().map(|x| 2.0 * x).collect();
+        let g2 = BivariateGaussian::fit(&xs2, &ys2, 1e-6, 1e-6).unwrap();
+        assert!(g2.log_pdf(0.5, 1.0).is_finite());
+        // Validation.
+        assert!(BivariateGaussian::fit(&[], &[], 0.1, 0.1).is_err());
+        assert!(BivariateGaussian::fit(&[1.0], &[], 0.1, 0.1).is_err());
+        assert!(BivariateGaussian::fit(&[1.0], &[1.0], 0.0, 0.1).is_err());
     }
 
     #[test]

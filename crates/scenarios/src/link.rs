@@ -15,7 +15,7 @@
 use crate::interference::{AciScenario, CciScenario, ScenarioOutput};
 use crate::Result;
 use cprecycle::segments::SegmentScratch;
-use cprecycle::{CpRecycleConfig, CpRecycleReceiver, DecisionStage};
+use cprecycle::{CpRecycleConfig, CpRecycleReceiver, DecisionStage, ModelBackend};
 use cprecycle_engine::{
     run_campaign, CampaignConfig, CampaignPoint, CampaignResult, EngineError, RunOptions,
     TrialOutcome, TrialRecord,
@@ -50,13 +50,29 @@ impl ReceiverKind {
         ReceiverKind::CpRecycle(CpRecycleConfig::with_decision(decision))
     }
 
-    /// Short label used in result series; names the decoder so reports and `campaign
-    /// list`/`replay` show which decision stage each arm ran.
+    /// A CPRecycle receiver with the default configuration but the given
+    /// interference-estimator backend — the arm constructor the `models` sweep uses.
+    pub fn with_model(model: ModelBackend) -> Self {
+        ReceiverKind::CpRecycle(CpRecycleConfig::with_model(model))
+    }
+
+    /// Short label used in result series; names the decoder — and, when the decision
+    /// stage scores with the interference model, the estimator backend — so reports
+    /// and `campaign list`/`replay` show exactly what each arm ran.
     pub fn label(&self) -> String {
         match self {
             ReceiverKind::Standard => "Standard".into(),
             ReceiverKind::CpRecycle(c) => {
-                format!("CPRecycle({}, P={})", c.decision.label(), c.num_segments)
+                if c.decision.needs_interference_model() {
+                    format!(
+                        "CPRecycle({}, P={}, {})",
+                        c.decision.label(),
+                        c.num_segments,
+                        c.model.label()
+                    )
+                } else {
+                    format!("CPRecycle({}, P={})", c.decision.label(), c.num_segments)
+                }
             }
         }
     }
@@ -459,6 +475,41 @@ mod tests {
         assert!(ReceiverKind::with_decision(DecisionStage::Standard)
             .label()
             .contains("CPRecycle(Standard"));
+    }
+
+    #[test]
+    fn receiver_labels_name_the_estimator_backend() {
+        // Model-scoring arms name their backend…
+        assert!(ReceiverKind::CpRecycle(CpRecycleConfig::default())
+            .label()
+            .contains("ExactKde"));
+        assert!(ReceiverKind::with_model(ModelBackend::GridKde)
+            .label()
+            .contains("GridKde"));
+        assert!(ReceiverKind::with_model(ModelBackend::Gaussian)
+            .label()
+            .contains("Gaussian"));
+        // …while stages that never train a model do not advertise one.
+        assert!(!ReceiverKind::with_decision(DecisionStage::Naive)
+            .label()
+            .contains("Kde"));
+    }
+
+    #[test]
+    fn estimator_backend_is_part_of_the_point_key() {
+        let a = LinkPoint::new(
+            "models",
+            mcs(),
+            Scenario::Clean { snr_db: 30.0 },
+            vec![ReceiverKind::with_model(ModelBackend::ExactKde)],
+        );
+        let b = LinkPoint::new(
+            "models",
+            mcs(),
+            Scenario::Clean { snr_db: 30.0 },
+            vec![ReceiverKind::with_model(ModelBackend::GridKde)],
+        );
+        assert_ne!(a.key(), b.key(), "backend must affect point identity");
     }
 
     #[test]

@@ -9,8 +9,10 @@
 //!   PA nonlinearity, path loss).
 //! * [`ofdmphy`] — the IEEE 802.11a/g OFDM PHY (transmitter, standard receiver).
 //! * [`cprecycle`] — the paper's contribution: the CPRecycle receiver, its
-//!   per-subcarrier kernel-density interference model and fixed-sphere ML decoder,
-//!   plus the Naive and Oracle baselines.
+//!   per-subcarrier kernel-density interference model (behind the pluggable
+//!   estimator backends) and fixed-sphere ML decoder, plus the Naive and Oracle
+//!   baselines.
+//! * [`engine`] — the deterministic parallel Monte-Carlo campaign engine.
 //! * [`scenarios`] — the experiment harness reproducing every table and figure.
 //!
 //! See the repository README for a walk-through and `DESIGN.md` / `EXPERIMENTS.md` for
@@ -20,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub use cprecycle;
+pub use cprecycle_engine as engine;
 pub use cprecycle_scenarios as scenarios;
 pub use ofdmphy;
 pub use rfdsp;
