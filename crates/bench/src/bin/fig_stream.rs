@@ -1,0 +1,7 @@
+//! Regenerates the streaming-sessions comparison (per-frame and aggregate PSR vs SIR
+//! for bursty traffic through `RxSession`s). Pass `--smoke` for a fast coarse run,
+//! `--json` for JSON output.
+
+fn main() {
+    cprecycle_bench::run_figure(cprecycle_scenarios::stream::fig_stream);
+}

@@ -23,13 +23,12 @@ use rfdsp::kde::BandwidthSelector;
 ///     DecisionStage::Sphere { radius_min_distances } if radius_min_distances == 2.0
 /// ));
 ///
-/// // …and any other stage is one field away: the same receiver, frame layout and bit
-/// // pipeline, with the naive Eq. 3 decoder (or `Oracle`, or `Standard`) slotted into
-/// // the decision stage.
-/// let naive = CpRecycleConfig {
-///     decision: DecisionStage::Naive,
-///     ..Default::default()
-/// };
+/// // …and any other stage is one builder call away: the same receiver, frame layout
+/// // and bit pipeline, with the naive Eq. 3 decoder (or `Oracle`, or `Standard`)
+/// // slotted into the decision stage.
+/// let naive = CpRecycleConfig::builder()
+///     .decision(DecisionStage::Naive)
+///     .build();
 /// let rx = CpRecycleReceiver::new(OfdmParams::ieee80211ag(), naive);
 /// assert_eq!(rx.config().decision.label(), "Naive");
 /// ```
@@ -94,7 +93,28 @@ impl DecisionStage {
 
 /// Tuning knobs of the CPRecycle receiver (the paper's `B_a`, `B_φ`, `R` and `P`
 /// parameters from Algorithm 1, plus the bandwidth-selection strategy of §4.1).
+///
+/// The struct is `#[non_exhaustive]`: fields keep being added as the receiver grows
+/// (the extraction kernel in PR 2, the decision stage in PR 3, the estimator backend
+/// in PR 4), and every addition used to break every external struct-literal
+/// construction site. Downstream crates construct configurations through
+/// [`CpRecycleConfig::builder`] (or the `with_*` one-field conveniences), which stay
+/// source-compatible across field additions:
+///
+/// ```
+/// use cprecycle::{CpRecycleConfig, DecisionStage};
+///
+/// let config = CpRecycleConfig::builder()
+///     .num_segments(8)
+///     .decision(DecisionStage::Naive)
+///     .build();
+/// assert_eq!(config.num_segments, 8);
+/// assert_eq!(config.decision, DecisionStage::Naive);
+/// // Untouched knobs keep their defaults.
+/// assert_eq!(config.model, CpRecycleConfig::default().model);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct CpRecycleConfig {
     /// Maximum number of FFT segments `P` to use per symbol. The effective number is
     /// `min(num_segments, ISI-free samples + 1)`; tuning this down trades interference
@@ -159,6 +179,13 @@ impl Default for CpRecycleConfig {
 }
 
 impl CpRecycleConfig {
+    /// A builder starting from the default configuration — the construction path for
+    /// code outside this crate (the struct is `#[non_exhaustive]`, so struct literals
+    /// don't compose across field additions).
+    pub fn builder() -> CpRecycleConfigBuilder {
+        CpRecycleConfigBuilder::new()
+    }
+
     /// A configuration with a fixed number of segments (used by the Fig. 14 sweep).
     pub fn with_segments(num_segments: usize) -> Self {
         CpRecycleConfig {
@@ -191,6 +218,88 @@ impl CpRecycleConfig {
             None if self.data_driven_bandwidth => BandwidthSelector::LeaveOneOut,
             None => BandwidthSelector::Silverman,
         }
+    }
+}
+
+/// Builder for [`CpRecycleConfig`]: each method overrides one knob, everything else
+/// keeps its default. Unlike struct literals with functional update, the builder keeps
+/// compiling (and keeps meaning the same thing) when new fields are added to the
+/// config — see the PR 3/PR 4 churn the `#[non_exhaustive]` note on the struct
+/// describes.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CpRecycleConfigBuilder {
+    config: CpRecycleConfig,
+}
+
+impl CpRecycleConfigBuilder {
+    /// A builder holding the default configuration.
+    pub fn new() -> Self {
+        CpRecycleConfigBuilder::default()
+    }
+
+    /// Sets the maximum number of FFT segments `P`.
+    pub fn num_segments(mut self, num_segments: usize) -> Self {
+        self.config.num_segments = num_segments;
+        self
+    }
+
+    /// Fixes the amplitude-axis kernel bandwidth `B_a` (`None` = select from data).
+    pub fn bandwidth_amplitude(mut self, bandwidth: Option<f64>) -> Self {
+        self.config.bandwidth_amplitude = bandwidth;
+        self
+    }
+
+    /// Fixes the phase-axis kernel bandwidth `B_φ` (`None` = select from data).
+    pub fn bandwidth_phase(mut self, bandwidth: Option<f64>) -> Self {
+        self.config.bandwidth_phase = bandwidth;
+        self
+    }
+
+    /// Enables/disables data-driven (leave-one-out) bandwidth selection.
+    pub fn data_driven_bandwidth(mut self, data_driven: bool) -> Self {
+        self.config.data_driven_bandwidth = data_driven;
+        self
+    }
+
+    /// Sets the subcarrier-decision stage.
+    pub fn decision(mut self, decision: DecisionStage) -> Self {
+        self.config.decision = decision;
+        self
+    }
+
+    /// Tells the receiver how many ISI-free CP samples to assume (`None` = whole CP).
+    pub fn isi_free_samples(mut self, isi_free_samples: Option<usize>) -> Self {
+        self.config.isi_free_samples = isi_free_samples;
+        self
+    }
+
+    /// Sets the amplitude-axis bandwidth floor.
+    pub fn min_bandwidth_amplitude(mut self, floor: f64) -> Self {
+        self.config.min_bandwidth_amplitude = floor;
+        self
+    }
+
+    /// Sets the phase-axis bandwidth floor (radians).
+    pub fn min_bandwidth_phase(mut self, floor: f64) -> Self {
+        self.config.min_bandwidth_phase = floor;
+        self
+    }
+
+    /// Selects the segment-extraction kernel.
+    pub fn extraction(mut self, extraction: SegmentExtraction) -> Self {
+        self.config.extraction = extraction;
+        self
+    }
+
+    /// Selects the interference-estimator backend.
+    pub fn model(mut self, model: ModelBackend) -> Self {
+        self.config.model = model;
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> CpRecycleConfig {
+        self.config
     }
 }
 
@@ -252,6 +361,47 @@ mod tests {
         assert!(!DecisionStage::Naive.needs_interference_model());
         assert!(DecisionStage::Oracle.needs_genie());
         assert!(!DecisionStage::Standard.needs_genie());
+    }
+
+    #[test]
+    fn builder_overrides_compose_and_default_to_default() {
+        assert_eq!(
+            CpRecycleConfig::builder().build(),
+            CpRecycleConfig::default()
+        );
+        let c = CpRecycleConfig::builder()
+            .num_segments(4)
+            .bandwidth_amplitude(Some(0.3))
+            .bandwidth_phase(Some(0.7))
+            .data_driven_bandwidth(false)
+            .decision(DecisionStage::Oracle)
+            .isi_free_samples(Some(9))
+            .min_bandwidth_amplitude(0.01)
+            .min_bandwidth_phase(0.02)
+            .extraction(SegmentExtraction::Direct)
+            .model(crate::estimator::ModelBackend::Gaussian)
+            .build();
+        assert_eq!(c.num_segments, 4);
+        assert_eq!(c.bandwidth_amplitude, Some(0.3));
+        assert_eq!(c.bandwidth_phase, Some(0.7));
+        assert!(!c.data_driven_bandwidth);
+        assert_eq!(c.decision, DecisionStage::Oracle);
+        assert_eq!(c.isi_free_samples, Some(9));
+        assert_eq!(c.min_bandwidth_amplitude, 0.01);
+        assert_eq!(c.min_bandwidth_phase, 0.02);
+        assert_eq!(c.extraction, SegmentExtraction::Direct);
+        assert_eq!(c.model, crate::estimator::ModelBackend::Gaussian);
+        // The builder agrees with the one-field conveniences.
+        assert_eq!(
+            CpRecycleConfig::builder().num_segments(7).build(),
+            CpRecycleConfig::with_segments(7)
+        );
+        assert_eq!(
+            CpRecycleConfig::builder()
+                .decision(DecisionStage::Naive)
+                .build(),
+            CpRecycleConfig::with_decision(DecisionStage::Naive)
+        );
     }
 
     #[test]

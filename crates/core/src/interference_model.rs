@@ -131,6 +131,24 @@ impl InterferenceModel {
         self.refit_dirty()
     }
 
+    /// [`update`](Self::update) for several preamble symbols at once (all sharing one
+    /// reference): absorbs every segment set, then refits the dirty bins **once**.
+    /// The streaming receiver's rolling persistence feeds both LTF symbols of each
+    /// frame through this — two separate `update` calls would re-fit the same dirty
+    /// bins twice for an identical result (a refit always uses a bin's full sample
+    /// set, so batching changes cost, not output).
+    pub fn update_preambles(
+        &mut self,
+        engine: &OfdmEngine,
+        preamble_segments: &[SymbolSegments],
+        reference: &[Complex],
+    ) -> Result<()> {
+        for segments in preamble_segments {
+            self.absorb_preamble(engine, segments, reference)?;
+        }
+        self.refit_dirty()
+    }
+
     fn absorb_preamble(
         &mut self,
         engine: &OfdmEngine,

@@ -28,6 +28,11 @@
 //! selected by [`config::CpRecycleConfig::model`]. The crate also provides Oracle
 //! selection diagnostics ([`oracle`]) and ISI-free-region detection ([`isi_free`]).
 //!
+//! For continuous reception, [`session::RxSession`] wraps any
+//! [`FrameReceiver`] — push arbitrary-length sample chunks, drain decoded-frame
+//! events; detection resumes across chunk boundaries and the interference model can
+//! persist across frames ([`ModelPersistence`]).
+//!
 //! ## Quick example
 //!
 //! ```
@@ -61,9 +66,10 @@ pub mod isi_free;
 pub mod oracle;
 pub mod receiver;
 pub mod segments;
+pub mod session;
 pub mod sphere_ml;
 
-pub use config::{CpRecycleConfig, DecisionStage};
+pub use config::{CpRecycleConfig, CpRecycleConfigBuilder, DecisionStage};
 pub use decision::{
     DecoderScratch, LatticePoint, NaiveCentroidDecoder, OracleSegmentDecoder,
     StandardNearestDecoder, SubcarrierDecoder,
@@ -73,8 +79,12 @@ pub use estimator::{
     ModelBackend,
 };
 pub use interference_model::InterferenceModel;
-pub use receiver::CpRecycleReceiver;
+pub use receiver::{CpRecycleReceiver, RxStream};
 pub use segments::{SegmentExtraction, SegmentPowers, SegmentScratch, SymbolSegments};
+pub use session::{RxEvent, RxSession, SessionConfig};
+// The streaming-receiver contract lives next to `StandardReceiver` in `ofdmphy`;
+// re-exported here because sessions are this crate's API surface.
+pub use ofdmphy::rx::{FrameReceiver, ModelPersistence};
 pub use sphere_ml::FixedSphereMlDecoder;
 
 /// Convenience alias: the crate reuses the PHY error type since every failure mode is a

@@ -41,7 +41,7 @@ use ofdmphy::modulation::Modulation;
 use ofdmphy::ofdm::OfdmEngine;
 use ofdmphy::params::OfdmParams;
 use ofdmphy::preamble;
-use ofdmphy::rx::{decode_psdu_from_symbols, FrameInfo, RxFrame};
+use ofdmphy::rx::{decode_psdu_from_symbols, FrameInfo, FrameReceiver, ModelPersistence, RxFrame};
 use ofdmphy::viterbi::ViterbiDecoder;
 use ofdmphy::PhyError;
 use rfdsp::Complex;
@@ -76,6 +76,77 @@ pub struct CpRecycleReceiver {
     engine: OfdmEngine,
     viterbi: ViterbiDecoder,
     config: CpRecycleConfig,
+}
+
+/// Per-stream receiver state threaded across the frames of one sample stream: the
+/// extraction/decision scratch plus the cross-frame interference model.
+///
+/// Under [`ModelPersistence::PerFrame`] every frame retrains the model from its own
+/// preamble, exactly like the batch [`CpRecycleReceiver::decode_frame`] — streamed
+/// and batch decodes are bit-for-bit identical. Under [`ModelPersistence::Rolling`]
+/// the model persists and each new frame's two LTF segment sets feed
+/// [`InterferenceModel::update`], the incremental dirty-bin refit: `N_p` grows by 2
+/// per frame and the per-subcarrier densities sharpen instead of resetting (§4.3's
+/// "constantly updated when subsequent preambles are received").
+///
+/// Callers driving this directly (outside [`RxSession`]) must call
+/// [`begin_frame`](RxStream::begin_frame) once per *new* frame: decode retries of the
+/// same frame (a partial buffer raising `InsufficientSamples`) must not absorb the
+/// frame's preamble into the rolling model twice.
+///
+/// [`RxSession`]: crate::session::RxSession
+#[derive(Debug, Clone, Default)]
+pub struct RxStream {
+    /// Extraction + decision scratch, reused across frames.
+    pub scratch: SegmentScratch,
+    persistence: ModelPersistence,
+    model: Option<InterferenceModel>,
+    /// Monotone frame counter bumped by [`begin_frame`](Self::begin_frame).
+    frame_seq: u64,
+    /// `frame_seq` value whose preamble the model last absorbed.
+    model_frame: u64,
+}
+
+impl RxStream {
+    /// Fresh stream state with the given persistence policy.
+    pub fn new(persistence: ModelPersistence) -> Self {
+        RxStream {
+            persistence,
+            ..Default::default()
+        }
+    }
+
+    /// The persistence policy of this stream.
+    pub fn persistence(&self) -> ModelPersistence {
+        self.persistence
+    }
+
+    /// The current cross-frame interference model, if one has been trained.
+    pub fn model(&self) -> Option<&InterferenceModel> {
+        self.model.as_ref()
+    }
+
+    /// Marks the start of a new frame; the next decode may absorb its preamble into
+    /// the rolling model (idempotently — repeated decodes of the same frame do not).
+    pub fn begin_frame(&mut self) {
+        self.frame_seq += 1;
+    }
+
+    /// Drops the accumulated model (e.g. after a long gap or a channel change); the
+    /// next frame retrains from scratch.
+    pub fn reset_model(&mut self) {
+        self.model = None;
+        self.model_frame = 0;
+    }
+}
+
+/// The cross-frame model slot `decode_inner` threads when a decode runs against an
+/// [`RxStream`] instead of a throwaway per-frame model.
+struct PersistentModel<'a> {
+    model: &'a mut Option<InterferenceModel>,
+    persistence: ModelPersistence,
+    frame_seq: u64,
+    model_frame: &'a mut u64,
 }
 
 impl CpRecycleReceiver {
@@ -165,6 +236,59 @@ impl CpRecycleReceiver {
         interference_only: Option<&[Complex]>,
         scratch: &mut SegmentScratch,
     ) -> Result<RxFrame> {
+        self.decode_inner(samples, frame_start, info, interference_only, scratch, None)
+    }
+
+    /// Decodes one frame of a sample stream, threading the cross-frame [`RxStream`]
+    /// state — the receiver half of the streaming API ([`crate::session::RxSession`]
+    /// drives it through the [`FrameReceiver`] trait; genie-timed harnesses like the
+    /// link campaigns call it directly).
+    ///
+    /// Under [`ModelPersistence::PerFrame`] this is bit-for-bit
+    /// [`decode_frame_scratch`](Self::decode_frame_scratch); under
+    /// [`ModelPersistence::Rolling`] the stream's interference model persists and
+    /// absorbs this frame's two LTF segment sets through the incremental
+    /// [`InterferenceModel::update`] (once per [`RxStream::begin_frame`], so decode
+    /// retries on a growing buffer stay idempotent).
+    pub fn decode_frame_session(
+        &self,
+        samples: &[Complex],
+        frame_start: usize,
+        info: Option<FrameInfo>,
+        interference_only: Option<&[Complex]>,
+        stream: &mut RxStream,
+    ) -> Result<RxFrame> {
+        let RxStream {
+            scratch,
+            persistence,
+            model,
+            frame_seq,
+            model_frame,
+        } = stream;
+        self.decode_inner(
+            samples,
+            frame_start,
+            info,
+            interference_only,
+            scratch,
+            Some(PersistentModel {
+                model,
+                persistence: *persistence,
+                frame_seq: *frame_seq,
+                model_frame,
+            }),
+        )
+    }
+
+    fn decode_inner(
+        &self,
+        samples: &[Complex],
+        frame_start: usize,
+        info: Option<FrameInfo>,
+        interference_only: Option<&[Complex]>,
+        scratch: &mut SegmentScratch,
+        persistent: Option<PersistentModel<'_>>,
+    ) -> Result<RxFrame> {
         // Stages that never read the genie waveform drop it here, so a short or
         // misaligned capture cannot fail a decode that would not have touched it.
         let interference_only = if self.config.decision.needs_genie() {
@@ -195,31 +319,81 @@ impl CpRecycleReceiver {
         let estimate = ChannelEstimate::from_ltf(&self.engine, &samples[ltf_start..signal_start])?;
         let num_segments = self.effective_segments();
         // Only the sphere stage scores with the interference model; the other stages
-        // skip the training cost entirely.
-        let model = if self.config.decision.needs_interference_model() {
-            Some(self.train_model(samples, ltf_start, &estimate, num_segments, scratch)?)
-        } else {
-            None
-        };
+        // skip the training cost entirely. A throwaway decode trains per frame; a
+        // stream decode consults the persistence policy. A *rolling* model defers
+        // absorbing this frame's preamble until the SIGNAL field has validated (or
+        // the caller vouched for the frame via genie `info`): streaming sessions
+        // decode every detection, and absorbing the "preamble" of a false detection
+        // — an interferer's leaked frame, a noise fluke — would poison the model for
+        // every later frame of the stream.
+        let mut persistent = persistent;
+        let mut throwaway: Option<InterferenceModel> = None;
+        let needs_model = self.config.decision.needs_interference_model();
+        let mut absorb_pending = false;
+        let mut commit_pending = false;
+        if needs_model {
+            match &mut persistent {
+                None => {
+                    throwaway = Some(self.train_model(
+                        samples,
+                        ltf_start,
+                        &estimate,
+                        num_segments,
+                        scratch,
+                    )?);
+                }
+                Some(p) => match p.persistence {
+                    ModelPersistence::PerFrame => {
+                        // Retrained and replaced every frame, so a false detection's
+                        // garbage model never outlives its own (failing) decode.
+                        *p.model = Some(self.train_model(
+                            samples,
+                            ltf_start,
+                            &estimate,
+                            num_segments,
+                            scratch,
+                        )?);
+                        *p.model_frame = p.frame_seq;
+                    }
+                    ModelPersistence::Rolling if p.model.is_none() => {
+                        // First frame of a rolling stream: train into the throwaway
+                        // and only commit once the frame is trusted — a false
+                        // detection must not seed the stream's model.
+                        throwaway = Some(self.train_model(
+                            samples,
+                            ltf_start,
+                            &estimate,
+                            num_segments,
+                            scratch,
+                        )?);
+                        commit_pending = true;
+                    }
+                    ModelPersistence::Rolling => {
+                        absorb_pending = *p.model_frame != p.frame_seq;
+                    }
+                },
+            }
+        }
 
-        // --- Frame metadata (SIGNAL decodes through the same decision stage) ---------
+        // --- Frame metadata (SIGNAL decodes through the same decision stage; a
+        //     rolling stream scores it with the pre-frame model) -----------------------
         let info = match info {
             Some(i) => i,
-            None => self.decode_signal(
-                &samples[signal_start..signal_start + sym_len],
-                &estimate,
-                model.as_ref(),
-                genie_symbol(interference_only, signal_start, sym_len)?,
-                num_segments,
-                scratch,
-            )?,
+            None => {
+                let model = model_in_use(needs_model, &throwaway, &persistent);
+                self.decode_signal(
+                    &samples[signal_start..signal_start + sym_len],
+                    &estimate,
+                    model,
+                    genie_symbol(interference_only, signal_start, sym_len)?,
+                    num_segments,
+                    scratch,
+                )?
+            }
         };
 
         // --- Stages 2+3: extract segments and decide every DATA symbol ---------------
-        let n_dbps = info.mcs.n_dbps(&params);
-        let payload_bits =
-            ofdmphy::frame::SERVICE_BITS + 8 * info.psdu_len + ofdmphy::frame::TAIL_BITS;
-        let num_symbols = payload_bits.div_ceil(n_dbps);
+        let num_symbols = info.num_data_symbols(&params);
         let needed = data_start + num_symbols * sym_len;
         if samples.len() < needed {
             return Err(PhyError::InsufficientSamples {
@@ -227,6 +401,8 @@ impl CpRecycleReceiver {
                 available: samples.len(),
             });
         }
+
+        let model = model_in_use(needs_model, &throwaway, &persistent);
         let data_bins = params.data_bins();
         let mut decided_symbols = Vec::with_capacity(num_symbols);
         for s in 0..num_symbols {
@@ -241,7 +417,7 @@ impl CpRecycleReceiver {
             )?;
             decided_symbols.push(self.run_decision_stage(
                 info.mcs.modulation,
-                model.as_ref(),
+                model,
                 &segments,
                 &data_bins,
                 genie_symbol(interference_only, start, sym_len)?,
@@ -258,6 +434,36 @@ impl CpRecycleReceiver {
         } else {
             None
         };
+
+        // Cross-frame model maintenance, gated on the FCS verdict: only a frame whose
+        // CRC passed feeds the rolling model. Streaming sessions decode every
+        // detection, and a *phantom* — a false detection whose SIGNAL field happened
+        // to pass parity with a plausible length — reaches this point as a
+        // CRC-failed "frame"; absorbing its garbage "preamble" would poison the
+        // model for the rest of the stream (measured: a single phantom absorption
+        // costs more frames than skipping the preambles of genuinely corrupt own
+        // frames ever recovers). Decisions above always use the model as of the
+        // *previous* trusted frame; this frame's preamble sharpens the next one.
+        if crc_ok {
+            if commit_pending {
+                let p = persistent.as_mut().expect("commit implies a stream slot");
+                *p.model = throwaway.take();
+                *p.model_frame = p.frame_seq;
+            } else if absorb_pending {
+                let p = persistent.as_mut().expect("absorb implies a stream slot");
+                let (seg1, seg2) = self.ltf_training_segments(
+                    samples,
+                    ltf_start,
+                    &estimate,
+                    num_segments,
+                    scratch,
+                )?;
+                let reference = preamble::ltf_bins(&params);
+                let m = p.model.as_mut().expect("absorb implies an existing model");
+                m.update_preambles(&self.engine, &[seg1, seg2], &reference)?;
+                *p.model_frame = p.frame_seq;
+            }
+        }
         Ok(RxFrame {
             info,
             psdu,
@@ -316,24 +522,24 @@ impl CpRecycleReceiver {
         }
     }
 
-    /// Trains the interference model from the two long training symbols.
+    /// Extracts the segment sets of the two long training symbols — the `N_p = 2`
+    /// preamble observations every interference-model fit or update consumes.
     ///
     /// The LTF is re-framed as two 80-sample "symbols" whose cyclic prefixes are
     /// genuinely cyclic: the first uses the tail of the double guard interval, the
     /// second uses the tail of the first long symbol (the two long symbols are
     /// identical, so the prefix property holds exactly).
-    fn train_model(
+    fn ltf_training_segments(
         &self,
         samples: &[Complex],
         ltf_start: usize,
         estimate: &ChannelEstimate,
         num_segments: usize,
         scratch: &mut SegmentScratch,
-    ) -> Result<InterferenceModel> {
+    ) -> Result<(SymbolSegments, SymbolSegments)> {
         let params = self.engine.params();
         let f = params.fft_size;
         let c = params.cp_len;
-        let reference = preamble::ltf_bins(params);
         // Symbol 1: CP = last `c` samples of the GI2, data = first long symbol.
         let sym1_start = ltf_start + 2 * c - c;
         // Symbol 2: CP = tail of long symbol 1, data = long symbol 2.
@@ -355,6 +561,21 @@ impl CpRecycleReceiver {
             self.config.extraction,
             scratch,
         )?;
+        Ok((seg1, seg2))
+    }
+
+    /// Trains a fresh interference model from the two long training symbols.
+    fn train_model(
+        &self,
+        samples: &[Complex],
+        ltf_start: usize,
+        estimate: &ChannelEstimate,
+        num_segments: usize,
+        scratch: &mut SegmentScratch,
+    ) -> Result<InterferenceModel> {
+        let (seg1, seg2) =
+            self.ltf_training_segments(samples, ltf_start, estimate, num_segments, scratch)?;
+        let reference = preamble::ltf_bins(self.engine.params());
         InterferenceModel::train(
             &self.engine,
             &[seg1, seg2],
@@ -401,6 +622,53 @@ impl CpRecycleReceiver {
             return Err(PhyError::DecodeFailure("SIGNAL length of zero".into()));
         }
         Ok(FrameInfo { mcs, psdu_len })
+    }
+}
+
+impl FrameReceiver for CpRecycleReceiver {
+    type Stream = RxStream;
+
+    fn params(&self) -> &OfdmParams {
+        self.engine.params()
+    }
+
+    fn new_stream(&self, persistence: ModelPersistence) -> RxStream {
+        RxStream::new(persistence)
+    }
+
+    fn begin_frame(&self, stream: &mut RxStream) {
+        stream.begin_frame();
+    }
+
+    /// Streamed decode without a genie waveform: sessions run over-the-air-style, so
+    /// the [`DecisionStage::Oracle`] stage (which needs the interference-only
+    /// capture) is rejected here exactly as in [`CpRecycleReceiver::decode_frame`].
+    fn decode_stream(
+        &self,
+        stream: &mut RxStream,
+        samples: &[Complex],
+        frame_start: usize,
+        info: Option<FrameInfo>,
+    ) -> Result<RxFrame> {
+        self.decode_frame_session(samples, frame_start, info, None, stream)
+    }
+}
+
+/// The interference model a decode phase should score with: the throwaway per-frame
+/// model, or the stream slot's persistent one.
+fn model_in_use<'a>(
+    needs_model: bool,
+    throwaway: &'a Option<InterferenceModel>,
+    persistent: &'a Option<PersistentModel<'_>>,
+) -> Option<&'a InterferenceModel> {
+    if !needs_model {
+        return None;
+    }
+    match persistent {
+        None => throwaway.as_ref(),
+        // A rolling stream's first frame scores with the not-yet-committed
+        // throwaway model until the frame is trusted.
+        Some(p) => p.model.as_ref().or(throwaway.as_ref()),
     }
 }
 
@@ -828,6 +1096,102 @@ mod tests {
             .decode_frame_genie(&frame.samples, 0, None, Some(&short), &mut scratch)
             .unwrap();
         assert!(decoded.crc_ok);
+    }
+
+    #[test]
+    fn rolling_persistence_accumulates_preambles_idempotently() {
+        // Two frames through one Rolling stream: the model keeps its samples across
+        // frames (N_p grows by 2 per frame), decode retries of the same frame do not
+        // double-absorb, and a PerFrame stream resets to N_p = 2 every frame.
+        let params = OfdmParams::ieee80211ag();
+        let tx = Transmitter::new(params.clone());
+        let rx = CpRecycleReceiver::new(params.clone(), CpRecycleConfig::default());
+        let mcs = Mcs::paper_set()[0];
+        let frame1 = tx.build_frame(&random_payload(60, 31), mcs, 0x5D).unwrap();
+        let frame2 = tx.build_frame(&random_payload(60, 32), mcs, 0x2B).unwrap();
+
+        let mut rolling = rx.new_stream(ModelPersistence::Rolling);
+        rx.begin_frame(&mut rolling);
+        let out1 = rx
+            .decode_frame_session(&frame1.samples, 0, None, None, &mut rolling)
+            .unwrap();
+        assert!(out1.crc_ok);
+        assert_eq!(rolling.model().unwrap().num_preambles(), 2);
+        // A retry of the same frame (the session's growing-buffer pattern) is
+        // idempotent: the model does not absorb the preamble twice.
+        let retry = rx
+            .decode_frame_session(&frame1.samples, 0, None, None, &mut rolling)
+            .unwrap();
+        assert_eq!(retry.psdu, out1.psdu);
+        assert_eq!(rolling.model().unwrap().num_preambles(), 2);
+        // The next frame updates incrementally instead of retraining.
+        rx.begin_frame(&mut rolling);
+        let out2 = rx
+            .decode_frame_session(&frame2.samples, 0, None, None, &mut rolling)
+            .unwrap();
+        assert!(out2.crc_ok);
+        assert_eq!(out2.payload.as_deref(), Some(&random_payload(60, 32)[..]));
+        assert_eq!(rolling.model().unwrap().num_preambles(), 4);
+        assert_eq!(rolling.persistence(), ModelPersistence::Rolling);
+        // reset_model drops the accumulated density; the next frame retrains.
+        rolling.reset_model();
+        assert!(rolling.model().is_none());
+        rx.begin_frame(&mut rolling);
+        rx.decode_frame_session(&frame1.samples, 0, None, None, &mut rolling)
+            .unwrap();
+        assert_eq!(rolling.model().unwrap().num_preambles(), 2);
+
+        // PerFrame: the model is retrained for every frame.
+        let mut per_frame = rx.new_stream(ModelPersistence::PerFrame);
+        for frame in [&frame1, &frame2] {
+            rx.begin_frame(&mut per_frame);
+            let out = rx
+                .decode_frame_session(&frame.samples, 0, None, None, &mut per_frame)
+                .unwrap();
+            assert!(out.crc_ok);
+            assert_eq!(per_frame.model().unwrap().num_preambles(), 2);
+        }
+    }
+
+    #[test]
+    fn perframe_session_decode_is_bit_identical_to_batch() {
+        // The streamed PerFrame path and the batch path must agree bit-for-bit on an
+        // interfered capture — the receiver half of the session≡batch property (the
+        // full chunked-session property lives in tests/session_equivalence.rs).
+        let params = OfdmParams::ieee80211ag();
+        let tx = Transmitter::new(params.clone());
+        let rx = CpRecycleReceiver::new(params, CpRecycleConfig::default());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(44);
+        let mut awgn = AwgnChannel::new();
+        let payload = random_payload(80, 45);
+        let mcs = Mcs::paper_set()[1];
+        let frame = tx.build_frame(&payload, mcs, 0x5D).unwrap();
+        let intf = tx
+            .build_frame(&random_payload(200, 46), Mcs::paper_set()[2], 0x2F)
+            .unwrap();
+        let spec = InterfererSpec::new(intf.samples, 0.0017, 19.3, 2.0);
+        let mut received = combine(&frame.samples, &[spec]).unwrap().composite;
+        awgn.add_noise_snr(&mut rng, &mut received, 25.0).unwrap();
+
+        let batch = rx.decode_frame(&received, 0, None).unwrap();
+        let mut stream = rx.new_stream(ModelPersistence::PerFrame);
+        rx.begin_frame(&mut stream);
+        let streamed = rx
+            .decode_frame_session(&received, 0, None, None, &mut stream)
+            .unwrap();
+        assert_eq!(streamed.psdu, batch.psdu);
+        assert_eq!(streamed.crc_ok, batch.crc_ok);
+        assert_eq!(streamed.info, batch.info);
+        for (a, b) in streamed
+            .equalized_symbols
+            .iter()
+            .zip(&batch.equalized_symbols)
+        {
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.re.to_bits(), y.re.to_bits());
+                assert_eq!(x.im.to_bits(), y.im.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -281,13 +281,8 @@ fn standard_stage_matches_single_segment_sphere_decode() {
         params.clone(),
         CpRecycleConfig::with_decision(DecisionStage::Standard),
     );
-    let sphere_p1_rx = CpRecycleReceiver::new(
-        params,
-        CpRecycleConfig {
-            num_segments: 1,
-            ..Default::default()
-        },
-    );
+    let sphere_p1_rx =
+        CpRecycleReceiver::new(params, CpRecycleConfig::builder().num_segments(1).build());
     let mut rng = rand::rngs::StdRng::seed_from_u64(0xFACE);
     let mut awgn = AwgnChannel::new();
     let mut scratch = SegmentScratch::new();

@@ -135,11 +135,10 @@ fn single_segment_degrades_to_standard_receiver_bit_for_bit() {
     let sliding_rx = CpRecycleReceiver::new(params.clone(), CpRecycleConfig::with_segments(1));
     let direct_rx = CpRecycleReceiver::new(
         params,
-        CpRecycleConfig {
-            num_segments: 1,
-            extraction: SegmentExtraction::Direct,
-            ..Default::default()
-        },
+        CpRecycleConfig::builder()
+            .num_segments(1)
+            .extraction(SegmentExtraction::Direct)
+            .build(),
     );
     let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0DE);
     let mut awgn = AwgnChannel::new();

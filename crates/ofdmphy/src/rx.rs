@@ -34,6 +34,92 @@ pub struct FrameInfo {
     pub psdu_len: usize,
 }
 
+impl FrameInfo {
+    /// Number of DATA OFDM symbols this frame carries.
+    pub fn num_data_symbols(&self, params: &OfdmParams) -> usize {
+        let payload_bits = SERVICE_BITS + 8 * self.psdu_len + TAIL_BITS;
+        payload_bits.div_ceil(self.mcs.n_dbps(params))
+    }
+
+    /// Total frame length in samples: preamble + SIGNAL + DATA symbols. Streaming
+    /// sessions use this to know where a decoded frame ends and detection of the next
+    /// one should resume.
+    pub fn frame_sample_len(&self, params: &OfdmParams) -> usize {
+        preamble::preamble_len(params) + (1 + self.num_data_symbols(params)) * params.symbol_len()
+    }
+}
+
+/// How a streaming receiver session treats its interference model across frames
+/// (paper §4.3: "the interference model is constantly updated when subsequent
+/// preambles are received").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ModelPersistence {
+    /// Retrain the model from scratch on every frame's preamble — each decode is
+    /// bit-for-bit identical to a batch
+    /// [`decode_frame`](StandardReceiver::decode_frame)-style call, the mode the
+    /// equivalence properties pin.
+    #[default]
+    PerFrame,
+    /// Keep the model across frames and feed each new frame's LTF segments through the
+    /// incremental dirty-bin `InterferenceModel::update()`: the density sharpens as
+    /// preambles accumulate (`N_p` grows by 2 per frame) instead of resetting.
+    /// Receivers without an interference model ignore this knob.
+    Rolling,
+}
+
+impl ModelPersistence {
+    /// Short label used in campaign arm labels and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ModelPersistence::PerFrame => "PerFrame",
+            ModelPersistence::Rolling => "Rolling",
+        }
+    }
+}
+
+/// A frame-level receiver that can decode frames out of a sample stream while
+/// carrying per-stream state across frames.
+///
+/// Both [`StandardReceiver`] and `cprecycle::CpRecycleReceiver` implement this trait;
+/// `cprecycle::session::RxSession` is generic over it, so one streaming session type
+/// serves the whole receiver family. The per-stream state ([`FrameReceiver::Stream`])
+/// holds whatever the receiver wants to persist between frames of one stream —
+/// scratch buffers, and for CPRecycle the interference model under
+/// [`ModelPersistence::Rolling`].
+pub trait FrameReceiver {
+    /// Per-stream state threaded through every decode of one session (constructed
+    /// via [`new_stream`](Self::new_stream), so it may need receiver context).
+    type Stream;
+
+    /// The numerology this receiver was built for.
+    fn params(&self) -> &OfdmParams;
+
+    /// Fresh per-stream state honouring the session's persistence policy.
+    fn new_stream(&self, persistence: ModelPersistence) -> Self::Stream;
+
+    /// Marks the start of a newly detected frame, before the first decode attempt.
+    ///
+    /// Sessions call this exactly once per detection; receivers with cross-frame
+    /// model state use it to make a retried decode of the *same* frame idempotent
+    /// (a partial buffer raises `InsufficientSamples` and the session retries with
+    /// more samples — the rolling model must absorb the frame's preamble once, not
+    /// once per retry).
+    fn begin_frame(&self, _stream: &mut Self::Stream) {}
+
+    /// Decodes a frame starting at `frame_start` of `samples`, threading the stream
+    /// state. `info: None` decodes the SIGNAL field (the over-the-air mode sessions
+    /// use); an insufficient buffer must surface as
+    /// [`PhyError::InsufficientSamples`] with an accurate `needed`, which is the
+    /// contract sessions use to wait for exactly the right amount of further samples.
+    fn decode_stream(
+        &self,
+        stream: &mut Self::Stream,
+        samples: &[Complex],
+        frame_start: usize,
+        info: Option<FrameInfo>,
+    ) -> Result<RxFrame>;
+}
+
 /// Result of decoding one frame.
 #[derive(Debug, Clone)]
 pub struct RxFrame {
@@ -108,9 +194,7 @@ impl StandardReceiver {
         };
 
         // DATA symbols.
-        let n_dbps = info.mcs.n_dbps(params);
-        let payload_bits = SERVICE_BITS + 8 * info.psdu_len + TAIL_BITS;
-        let num_symbols = payload_bits.div_ceil(n_dbps);
+        let num_symbols = info.num_data_symbols(params);
         let needed = data_start + num_symbols * sym_len;
         if samples.len() < needed {
             return Err(PhyError::InsufficientSamples {
@@ -173,6 +257,27 @@ impl StandardReceiver {
     }
 }
 
+impl FrameReceiver for StandardReceiver {
+    /// The standard receiver keeps no cross-frame state.
+    type Stream = ();
+
+    fn params(&self) -> &OfdmParams {
+        self.engine.params()
+    }
+
+    fn new_stream(&self, _persistence: ModelPersistence) -> Self::Stream {}
+
+    fn decode_stream(
+        &self,
+        _stream: &mut Self::Stream,
+        samples: &[Complex],
+        frame_start: usize,
+        info: Option<FrameInfo>,
+    ) -> Result<RxFrame> {
+        self.decode_frame(samples, frame_start, info)
+    }
+}
+
 /// Decodes the PSDU from per-symbol subcarrier decisions.
 ///
 /// `symbols` holds, per DATA OFDM symbol, the 48 (equalised) data-subcarrier values in
@@ -189,9 +294,7 @@ pub fn decode_psdu_from_symbols(
     info: FrameInfo,
 ) -> Result<(Vec<u8>, bool)> {
     let n_cbps = info.mcs.n_cbps(params);
-    let n_dbps = info.mcs.n_dbps(params);
-    let payload_bits = SERVICE_BITS + 8 * info.psdu_len + TAIL_BITS;
-    let num_symbols = payload_bits.div_ceil(n_dbps);
+    let num_symbols = info.num_data_symbols(params);
     if symbols.len() < num_symbols {
         return Err(PhyError::InsufficientSamples {
             needed: num_symbols,
@@ -238,20 +341,26 @@ pub fn decode_psdu_from_symbols(
 /// Error-vector-magnitude (RMS, in dB relative to unit signal power) of equalised
 /// subcarrier decisions against the nearest constellation points — a handy diagnostic
 /// for comparing receivers below the packet-error cliff.
-pub fn evm_db(symbols: &[Vec<Complex>], modulation: Modulation) -> f64 {
-    let mut acc = 0.0;
-    let mut count = 0usize;
-    for sym in symbols {
-        for v in sym {
-            let (nearest, _) = modulation.nearest_point(*v);
-            acc += (*v - nearest).norm_sqr();
-            count += 1;
-        }
-    }
-    if count == 0 {
+///
+/// Takes one flat slice of decisions (EVM is layout-independent), matching the flat
+/// bin-major storage the rest of the pipeline uses; callers with per-symbol rows
+/// flatten with [`flatten_symbols`] or score symbol-by-symbol.
+pub fn evm_db(decisions: &[Complex], modulation: Modulation) -> f64 {
+    if decisions.is_empty() {
         return f64::NEG_INFINITY;
     }
-    10.0 * (acc / count as f64).max(1e-30).log10()
+    let mut acc = 0.0;
+    for v in decisions {
+        let (nearest, _) = modulation.nearest_point(*v);
+        acc += (*v - nearest).norm_sqr();
+    }
+    10.0 * (acc / decisions.len() as f64).max(1e-30).log10()
+}
+
+/// Flattens per-symbol decision rows (e.g. [`RxFrame::equalized_symbols`]) into the
+/// single contiguous slice [`evm_db`] consumes.
+pub fn flatten_symbols(symbols: &[Vec<Complex>]) -> Vec<Complex> {
+    symbols.iter().flatten().copied().collect()
 }
 
 #[cfg(test)]
@@ -411,10 +520,58 @@ mod tests {
         chan.add_noise_snr(&mut rng, &mut high_noise, 10.0).unwrap();
         let a = rx.decode_frame(&low_noise, 0, Some(info)).unwrap();
         let b = rx.decode_frame(&high_noise, 0, Some(info)).unwrap();
-        let evm_low = evm_db(&a.equalized_symbols, mcs.modulation);
-        let evm_high = evm_db(&b.equalized_symbols, mcs.modulation);
+        let evm_low = evm_db(&flatten_symbols(&a.equalized_symbols), mcs.modulation);
+        let evm_high = evm_db(&flatten_symbols(&b.equalized_symbols), mcs.modulation);
         assert!(evm_low < evm_high - 5.0, "low {evm_low} high {evm_high}");
         assert_eq!(evm_db(&[], Modulation::Qpsk), f64::NEG_INFINITY);
+        // Flattening preserves per-value order within and across symbols.
+        let rows = vec![vec![Complex::one()], vec![Complex::zero(), Complex::one()]];
+        assert_eq!(
+            flatten_symbols(&rows),
+            vec![Complex::one(), Complex::zero(), Complex::one()]
+        );
+    }
+
+    #[test]
+    fn frame_info_length_matches_built_frames() {
+        let params = OfdmParams::ieee80211ag();
+        let tx = Transmitter::new(params.clone());
+        for (len, mcs) in [
+            (60usize, Mcs::new(Modulation::Qpsk, CodeRate::Half)),
+            (400, Mcs::new(Modulation::Qam16, CodeRate::Half)),
+            (123, Mcs::new(Modulation::Qam64, CodeRate::TwoThirds)),
+        ] {
+            let payload = random_payload(len, len as u64);
+            let frame = tx.build_frame(&payload, mcs, 0x5D).unwrap();
+            let info = FrameInfo {
+                mcs,
+                psdu_len: payload.len() + 4,
+            };
+            assert_eq!(info.frame_sample_len(&params), frame.samples.len(), "{len}");
+            assert_eq!(info.num_data_symbols(&params), frame.num_data_symbols);
+        }
+    }
+
+    #[test]
+    // The standard receiver's stream state is deliberately `()` — the binding is the
+    // point of the test.
+    #[allow(clippy::let_unit_value)]
+    fn standard_receiver_implements_frame_receiver() {
+        let (tx, rx) = setup();
+        let payload = random_payload(80, 21);
+        let mcs = Mcs::new(Modulation::Qpsk, CodeRate::Half);
+        let frame = tx.build_frame(&payload, mcs, 0x5D).unwrap();
+        let mut stream = rx.new_stream(ModelPersistence::Rolling);
+        rx.begin_frame(&mut stream);
+        let via_trait =
+            FrameReceiver::decode_stream(&rx, &mut stream, &frame.samples, 0, None).unwrap();
+        let direct = rx.decode_frame(&frame.samples, 0, None).unwrap();
+        assert_eq!(via_trait.psdu, direct.psdu);
+        assert!(via_trait.crc_ok);
+        assert_eq!(FrameReceiver::params(&rx).fft_size, 64);
+        assert_eq!(ModelPersistence::PerFrame.label(), "PerFrame");
+        assert_eq!(ModelPersistence::Rolling.label(), "Rolling");
+        assert_eq!(ModelPersistence::default(), ModelPersistence::PerFrame);
     }
 
     #[test]

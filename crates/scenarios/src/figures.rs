@@ -334,12 +334,13 @@ fn ablate_sphere_grid(scale: &FigureScale) -> Vec<LinkPoint> {
                     sir_db: -10.0,
                     ..Default::default()
                 }),
-                vec![ReceiverKind::CpRecycle(CpRecycleConfig {
-                    decision: DecisionStage::Sphere {
-                        radius_min_distances: *r,
-                    },
-                    ..Default::default()
-                })],
+                vec![ReceiverKind::CpRecycle(
+                    CpRecycleConfig::builder()
+                        .decision(DecisionStage::Sphere {
+                            radius_min_distances: *r,
+                        })
+                        .build(),
+                )],
             )
             .payload(scale.payload_len)
         })
@@ -428,10 +429,9 @@ fn ablate_kernel_grid(scale: &FigureScale) -> Vec<LinkPoint> {
     let mcs = Mcs::new(Modulation::Qam16, CodeRate::Half);
     // An enormous phase bandwidth makes the phase kernel uninformative, isolating the
     // contribution of the amplitude axis.
-    let amplitude_only = CpRecycleConfig {
-        bandwidth_phase: Some(1.0e6),
-        ..Default::default()
-    };
+    let amplitude_only = CpRecycleConfig::builder()
+        .bandwidth_phase(Some(1.0e6))
+        .build();
     ablate_kernel_sirs(scale)
         .iter()
         .map(|sir| {

@@ -21,6 +21,10 @@
 //!   submits its full grid to the engine as one campaign (see
 //!   [`figures::figure_grid`]) and returns serialisable result series that the
 //!   `cprecycle-bench` binaries print and that EXPERIMENTS.md records.
+//! * [`stream`] — bursty-traffic streaming campaigns: back-to-back frames at random
+//!   gaps decoded through `cprecycle::session::RxSession` (incremental sync,
+//!   over-the-air SIGNAL decode, cross-frame model persistence), with per-frame and
+//!   aggregate packet success rates.
 //! * [`neighbors`] — the synthetic office-building model behind Fig. 13.
 //! * [`report`] — plain-text rendering of result series.
 
@@ -32,6 +36,7 @@ pub mod interference;
 pub mod link;
 pub mod neighbors;
 pub mod report;
+pub mod stream;
 pub mod wideband;
 
 /// Convenience alias reusing the PHY error type.

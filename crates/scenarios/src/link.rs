@@ -14,8 +14,9 @@
 
 use crate::interference::{AciScenario, CciScenario, ScenarioOutput};
 use crate::Result;
-use cprecycle::segments::SegmentScratch;
-use cprecycle::{CpRecycleConfig, CpRecycleReceiver, DecisionStage, ModelBackend};
+use cprecycle::{
+    CpRecycleConfig, CpRecycleReceiver, DecisionStage, ModelBackend, ModelPersistence, RxStream,
+};
 use cprecycle_engine::{
     run_campaign, CampaignConfig, CampaignPoint, CampaignResult, EngineError, RunOptions,
     TrialOutcome, TrialRecord,
@@ -93,7 +94,7 @@ pub enum Scenario {
 }
 
 impl Scenario {
-    fn render<R: Rng + ?Sized>(
+    pub(crate) fn render<R: Rng + ?Sized>(
         &self,
         rng: &mut R,
         params: &OfdmParams,
@@ -210,11 +211,13 @@ impl CampaignPoint for LinkPoint {
 }
 
 /// A receiver constructed once per worker and reused across every trial that worker
-/// claims — the hot-path caches (FFT plans, Viterbi tables, interference-model
-/// scratch) live inside the constructed receivers.
+/// claims, together with its per-arm stream state. The stream carries the hot-path
+/// caches (sliding-DFT plan, decision scratch) *and* the cross-frame model slot of
+/// the streaming API — link trials run with [`ModelPersistence::PerFrame`], which
+/// retrains per frame and is bit-for-bit the old per-trial behaviour.
 enum PreparedReceiver {
     Standard(StandardReceiver),
-    CpRecycle(CpRecycleReceiver),
+    CpRecycle(Box<(CpRecycleReceiver, RxStream)>),
 }
 
 impl PreparedReceiver {
@@ -223,9 +226,10 @@ impl PreparedReceiver {
             ReceiverKind::Standard => {
                 PreparedReceiver::Standard(StandardReceiver::new(params.clone()))
             }
-            ReceiverKind::CpRecycle(config) => {
-                PreparedReceiver::CpRecycle(CpRecycleReceiver::new(params.clone(), *config))
-            }
+            ReceiverKind::CpRecycle(config) => PreparedReceiver::CpRecycle(Box::new((
+                CpRecycleReceiver::new(params.clone(), *config),
+                RxStream::new(ModelPersistence::PerFrame),
+            ))),
         }
     }
 }
@@ -234,10 +238,6 @@ impl PreparedReceiver {
 struct PreparedPoint {
     tx: Transmitter,
     receivers: Vec<PreparedReceiver>,
-    /// Worker-local receiver scratch: the sliding-DFT plan, extraction buffers and
-    /// decision-stage candidate/score buffers, built once and reused by every
-    /// receiver across every trial this worker claims.
-    scratch: SegmentScratch,
 }
 
 impl PreparedPoint {
@@ -249,7 +249,6 @@ impl PreparedPoint {
                 .iter()
                 .map(|kind| PreparedReceiver::build(kind, &point.params))
                 .collect(),
-            scratch: SegmentScratch::new(),
         }
     }
 }
@@ -288,13 +287,8 @@ pub fn run_link_trial(
         .build_frame(&payload, point.mcs, scramble_seed)?;
     let output = point.scenario.render(rng, &point.params, &frame.samples)?;
     let mut arms = Vec::with_capacity(prepared.receivers.len());
-    let PreparedPoint {
-        ref receivers,
-        ref mut scratch,
-        ..
-    } = *prepared;
-    for receiver in receivers {
-        let outcome = decode_prepared(receiver, &frame, &output, scratch)?;
+    for receiver in prepared.receivers.iter_mut() {
+        let outcome = decode_prepared(receiver, &frame, &output)?;
         arms.push(TrialOutcome::new(
             outcome.success,
             outcome.symbol_error_rate,
@@ -354,16 +348,14 @@ pub fn decode_packet(
     frame: &TxFrame,
     output: &ScenarioOutput,
 ) -> Result<PacketOutcome> {
-    let prepared = PreparedReceiver::build(kind, params);
-    let mut scratch = SegmentScratch::new();
-    decode_prepared(&prepared, frame, output, &mut scratch)
+    let mut prepared = PreparedReceiver::build(kind, params);
+    decode_prepared(&mut prepared, frame, output)
 }
 
 fn decode_prepared(
-    receiver: &PreparedReceiver,
+    receiver: &mut PreparedReceiver,
     frame: &TxFrame,
     output: &ScenarioOutput,
-    scratch: &mut SegmentScratch,
 ) -> Result<PacketOutcome> {
     let info = FrameInfo {
         mcs: frame.mcs,
@@ -371,13 +363,17 @@ fn decode_prepared(
     };
     let out = match receiver {
         PreparedReceiver::Standard(rx) => rx.decode_frame(&output.received, 0, Some(info))?,
-        PreparedReceiver::CpRecycle(rx) => rx.decode_frame_genie(
-            &output.received,
-            0,
-            Some(info),
-            Some(&output.interference_only),
-            scratch,
-        )?,
+        PreparedReceiver::CpRecycle(boxed) => {
+            let (rx, stream) = boxed.as_mut();
+            stream.begin_frame();
+            rx.decode_frame_session(
+                &output.received,
+                0,
+                Some(info),
+                Some(&output.interference_only),
+                stream,
+            )?
+        }
     };
     Ok(PacketOutcome {
         success: out.crc_ok,
@@ -571,16 +567,18 @@ mod tests {
         let receivers = vec![
             ReceiverKind::Standard,
             ReceiverKind::CpRecycle(CpRecycleConfig::default()),
-            ReceiverKind::CpRecycle(CpRecycleConfig {
-                num_segments: 8,
-                decision: DecisionStage::Naive,
-                ..Default::default()
-            }),
-            ReceiverKind::CpRecycle(CpRecycleConfig {
-                num_segments: 8,
-                decision: DecisionStage::Oracle,
-                ..Default::default()
-            }),
+            ReceiverKind::CpRecycle(
+                CpRecycleConfig::builder()
+                    .num_segments(8)
+                    .decision(DecisionStage::Naive)
+                    .build(),
+            ),
+            ReceiverKind::CpRecycle(
+                CpRecycleConfig::builder()
+                    .num_segments(8)
+                    .decision(DecisionStage::Oracle)
+                    .build(),
+            ),
         ];
         let psr = packet_success_rate(
             &params,

@@ -114,10 +114,9 @@ fn isi_free_detection_feeds_the_receiver_configuration() {
         estimate.isi_free_samples
     );
 
-    let config = CpRecycleConfig {
-        isi_free_samples: Some(estimate.isi_free_samples),
-        ..Default::default()
-    };
+    let config = CpRecycleConfig::builder()
+        .isi_free_samples(Some(estimate.isi_free_samples))
+        .build();
     let rx = CpRecycleReceiver::new(params, config);
     assert!(rx.effective_segments() <= estimate.num_segments());
     let decoded = rx
