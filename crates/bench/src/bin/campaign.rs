@@ -15,20 +15,24 @@
 //! tree makes the result bit-identical to an uninterrupted run) and rewrites the file.
 
 use cprecycle_engine::{
-    load_campaign, report, save_campaign, CampaignConfig, CampaignPoint, RunOptions,
+    campaign_snapshot, load_campaign, report, save_campaign, CampaignConfig, CampaignPoint,
+    ProgressOptions, RunOptions,
 };
 use cprecycle_scenarios::figures::{figure_grid, FigureScale, CAMPAIGN_FIGURES};
 use cprecycle_scenarios::link::{replay_link_trial, run_link_trial, LinkWorker};
+use obs::{InMemoryRecorder, Recorder};
 use std::path::PathBuf;
 use std::process::exit;
 
 struct Options {
     smoke: bool,
     json: bool,
+    quiet: bool,
     trials: Option<usize>,
     threads: Option<usize>,
     seed: Option<u64>,
     out: Option<PathBuf>,
+    metrics: Option<PathBuf>,
     positional: Vec<String>,
 }
 
@@ -36,10 +40,12 @@ fn parse_args() -> Options {
     let mut options = Options {
         smoke: false,
         json: false,
+        quiet: false,
         trials: None,
         threads: None,
         seed: None,
         out: None,
+        metrics: None,
         positional: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -53,10 +59,12 @@ fn parse_args() -> Options {
         match arg.as_str() {
             "--smoke" => options.smoke = true,
             "--json" => options.json = true,
+            "--quiet" => options.quiet = true,
             "--trials" => options.trials = Some(parse_num(&take("--trials"))),
             "--threads" => options.threads = Some(parse_num(&take("--threads"))),
             "--seed" => options.seed = Some(parse_num(&take("--seed")) as u64),
             "--out" => options.out = Some(PathBuf::from(take("--out"))),
+            "--metrics" => options.metrics = Some(PathBuf::from(take("--metrics"))),
             "--help" | "-h" => {
                 usage();
                 exit(0);
@@ -88,10 +96,13 @@ fn usage() {
          options:\n\
          \x20 --smoke          coarse grid + small trial count (default: paper scale)\n\
          \x20 --json           JSON output instead of a text table\n\
+         \x20 --quiet          suppress the periodic progress line on stderr\n\
          \x20 --trials N       trials per grid point (default: figure scale)\n\
          \x20 --threads N      worker threads (default: all cores)\n\
          \x20 --seed S         master seed (default: the figure seed)\n\
-         \x20 --out FILE       checkpoint file (default: campaign-<grid>.json for run)"
+         \x20 --out FILE       checkpoint file (default: campaign-<grid>.json for run)\n\
+         \x20 --metrics FILE   also write a metrics snapshot (stage timing, trial\n\
+         \x20                  throughput, worker gauges) as cpjson"
     );
 }
 
@@ -146,9 +157,17 @@ fn run_with_checkpoints(
             eprintln!("warning: checkpoint write failed: {e}");
         }
     };
+    // One recorder feeds the whole run: the executor's per-trial spans and worker
+    // gauges plus (for link grids) the receive chain's per-stage decode timing.
+    let recorder = options
+        .metrics
+        .as_ref()
+        .map(|_| InMemoryRecorder::default());
     let run_options = RunOptions {
         resume_from: resume_from.as_ref(),
         on_point_complete: Some(&sink),
+        progress: (!options.quiet).then(ProgressOptions::default),
+        recorder: recorder.as_ref().map(|r| r as &(dyn Recorder + Sync)),
     };
     // fig13 is a neighbor-survey campaign (trials = building realizations) rather than
     // a packet-level link grid; every other name resolves through `figure_grid`.
@@ -169,6 +188,14 @@ fn run_with_checkpoints(
             }
             emit(&result, options.json);
             eprintln!("checkpoint written to {}", out.display());
+            if let Some(path) = &options.metrics {
+                let snapshot =
+                    campaign_snapshot(&result, recorder.as_ref().map(|r| r as &dyn Recorder));
+                match std::fs::write(path, snapshot.to_json_string()) {
+                    Ok(()) => eprintln!("metrics snapshot written to {}", path.display()),
+                    Err(e) => eprintln!("warning: metrics write failed: {e}"),
+                }
+            }
         }
         Err(e) => {
             eprintln!("campaign failed: {e}");

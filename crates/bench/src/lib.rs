@@ -8,14 +8,19 @@
 
 use cprecycle_scenarios::figures::FigureScale;
 use cprecycle_scenarios::report::ExperimentResult;
+use cprecycle_scenarios::telemetry;
+use std::path::PathBuf;
 
 /// Command-line options shared by all figure binaries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct FigureCli {
     /// Run the coarse/fast version of the experiment.
     pub smoke: bool,
     /// Emit JSON instead of a text table.
     pub json: bool,
+    /// Also write a metrics snapshot (campaign stage timing, trial throughput) to
+    /// this path as cpjson.
+    pub metrics: Option<PathBuf>,
 }
 
 impl FigureCli {
@@ -23,9 +28,15 @@ impl FigureCli {
     /// binaries stay forgiving when driven from scripts).
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().collect();
+        let metrics = args
+            .iter()
+            .position(|a| a == "--metrics")
+            .and_then(|i| args.get(i + 1))
+            .map(PathBuf::from);
         FigureCli {
             smoke: args.iter().any(|a| a == "--smoke"),
             json: args.iter().any(|a| a == "--json"),
+            metrics,
         }
     }
 
@@ -46,17 +57,37 @@ impl FigureCli {
             print!("{}", result.to_table());
         }
     }
+
+    /// Writes the process-wide telemetry snapshot to the `--metrics` path, when one
+    /// was requested and `telemetry::install` ran before the driver.
+    pub fn emit_metrics(&self) {
+        let Some(path) = &self.metrics else { return };
+        let Some(snapshot) = telemetry::snapshot() else {
+            return;
+        };
+        match std::fs::write(path, snapshot.to_json_string()) {
+            Ok(()) => eprintln!("metrics snapshot written to {}", path.display()),
+            Err(e) => eprintln!("warning: metrics write failed: {e}"),
+        }
+    }
 }
 
 /// Runs one figure driver and prints it, converting errors into a readable message and
-/// a non-zero exit code.
+/// a non-zero exit code. With `--metrics FILE` the driver's campaigns report into the
+/// process-wide telemetry recorder and the snapshot lands in FILE as cpjson.
 pub fn run_figure<F>(f: F)
 where
     F: FnOnce(&FigureScale) -> cprecycle_scenarios::Result<ExperimentResult>,
 {
     let cli = FigureCli::from_args();
+    if cli.metrics.is_some() {
+        telemetry::install();
+    }
     match f(&cli.scale()) {
-        Ok(result) => cli.emit(&result),
+        Ok(result) => {
+            cli.emit(&result);
+            cli.emit_metrics();
+        }
         Err(e) => {
             eprintln!("experiment failed: {e}");
             std::process::exit(1);
@@ -70,14 +101,12 @@ mod tests {
 
     #[test]
     fn default_cli_is_full_scale_table_output() {
-        let cli = FigureCli {
-            smoke: false,
-            json: false,
-        };
+        let cli = FigureCli::default();
         assert_eq!(cli.scale().packets, FigureScale::full().packets);
         let cli = FigureCli {
             smoke: true,
             json: true,
+            ..Default::default()
         };
         assert_eq!(cli.scale().packets, FigureScale::smoke().packets);
     }
@@ -88,11 +117,13 @@ mod tests {
         FigureCli {
             smoke: true,
             json: false,
+            ..Default::default()
         }
         .emit(&result);
         FigureCli {
             smoke: true,
             json: true,
+            ..Default::default()
         }
         .emit(&result);
     }

@@ -79,6 +79,18 @@ impl DecisionStage {
         }
     }
 
+    /// Static stage-family name ("Sphere", "Naive", …) without the tuning
+    /// parameters [`label`](Self::label) appends — the allocation-free key the
+    /// observability layer uses for its stage spans.
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            DecisionStage::Sphere { .. } => "Sphere",
+            DecisionStage::Naive => "Naive",
+            DecisionStage::Oracle => "Oracle",
+            DecisionStage::Standard => "Standard",
+        }
+    }
+
     /// Whether this stage scores candidates with the preamble-trained interference
     /// model (and the receiver therefore needs to train one).
     pub fn needs_interference_model(&self) -> bool {
@@ -357,6 +369,10 @@ mod tests {
         assert_eq!(DecisionStage::Naive.label(), "Naive");
         assert_eq!(DecisionStage::Oracle.label(), "Oracle");
         assert_eq!(DecisionStage::Standard.label(), "Standard");
+        assert_eq!(DecisionStage::default().kind_label(), "Sphere");
+        assert_eq!(DecisionStage::Naive.kind_label(), "Naive");
+        assert_eq!(DecisionStage::Oracle.kind_label(), "Oracle");
+        assert_eq!(DecisionStage::Standard.kind_label(), "Standard");
         assert!(DecisionStage::default().needs_interference_model());
         assert!(!DecisionStage::Naive.needs_interference_model());
         assert!(DecisionStage::Oracle.needs_genie());

@@ -81,7 +81,7 @@ pub use estimator::{
 pub use interference_model::InterferenceModel;
 pub use receiver::{CpRecycleReceiver, RxStream};
 pub use segments::{SegmentExtraction, SegmentPowers, SegmentScratch, SymbolSegments};
-pub use session::{RxEvent, RxSession, SessionConfig};
+pub use session::{RxEvent, RxSession, SessionConfig, SessionCounters};
 // The streaming-receiver contract lives next to `StandardReceiver` in `ofdmphy`;
 // re-exported here because sessions are this crate's API surface.
 pub use ofdmphy::rx::{FrameReceiver, ModelPersistence};

@@ -33,6 +33,7 @@ use crate::segments::{
 };
 use crate::sphere_ml::FixedSphereMlDecoder;
 use crate::Result;
+use obs::{NoopRecorder, Recorder, Span, StageTimer};
 use ofdmphy::chanest::ChannelEstimate;
 use ofdmphy::convcode::CodeRate;
 use ofdmphy::frame::parse_signal_bits;
@@ -202,6 +203,27 @@ impl CpRecycleReceiver {
         self.decode_frame_genie(samples, frame_start, info, None, &mut scratch)
     }
 
+    /// [`decode_frame`](Self::decode_frame) with stage timings emitted into `obs`.
+    ///
+    /// Spans are keyed by the decision-stage family
+    /// ([`DecisionStage::kind_label`]) and, for model stages, the estimator
+    /// backend label: `("sync", kind)`, `("model_train", backend)`,
+    /// `("extract", kind)` and `("decide", kind)` per OFDM symbol,
+    /// `("bits", kind)`, and `("model_update", backend)` when a rolling model
+    /// absorbs a preamble. With a no-op recorder this monomorphises to exactly
+    /// the uninstrumented pipeline — decodes are bit-for-bit identical either
+    /// way (pinned by the `obs_equivalence` integration test).
+    pub fn decode_frame_observed<O: Recorder>(
+        &self,
+        samples: &[Complex],
+        frame_start: usize,
+        info: Option<FrameInfo>,
+        obs: &O,
+    ) -> Result<RxFrame> {
+        let mut scratch = SegmentScratch::new();
+        self.decode_inner(samples, frame_start, info, None, &mut scratch, None, obs)
+    }
+
     /// [`decode_frame`](Self::decode_frame) with caller-owned scratch.
     ///
     /// The scratch holds the sliding-DFT plan, the per-symbol working buffers and the
@@ -236,7 +258,15 @@ impl CpRecycleReceiver {
         interference_only: Option<&[Complex]>,
         scratch: &mut SegmentScratch,
     ) -> Result<RxFrame> {
-        self.decode_inner(samples, frame_start, info, interference_only, scratch, None)
+        self.decode_inner(
+            samples,
+            frame_start,
+            info,
+            interference_only,
+            scratch,
+            None,
+            &NoopRecorder,
+        )
     }
 
     /// Decodes one frame of a sample stream, threading the cross-frame [`RxStream`]
@@ -258,6 +288,28 @@ impl CpRecycleReceiver {
         interference_only: Option<&[Complex]>,
         stream: &mut RxStream,
     ) -> Result<RxFrame> {
+        self.decode_frame_session_observed(
+            samples,
+            frame_start,
+            info,
+            interference_only,
+            stream,
+            &NoopRecorder,
+        )
+    }
+
+    /// [`decode_frame_session`](Self::decode_frame_session) with stage timings
+    /// emitted into `obs` (same span map as
+    /// [`decode_frame_observed`](Self::decode_frame_observed)).
+    pub fn decode_frame_session_observed<O: Recorder>(
+        &self,
+        samples: &[Complex],
+        frame_start: usize,
+        info: Option<FrameInfo>,
+        interference_only: Option<&[Complex]>,
+        stream: &mut RxStream,
+        obs: &O,
+    ) -> Result<RxFrame> {
         let RxStream {
             scratch,
             persistence,
@@ -277,10 +329,12 @@ impl CpRecycleReceiver {
                 frame_seq: *frame_seq,
                 model_frame,
             }),
+            obs,
         )
     }
 
-    fn decode_inner(
+    #[allow(clippy::too_many_arguments)]
+    fn decode_inner<O: Recorder>(
         &self,
         samples: &[Complex],
         frame_start: usize,
@@ -288,6 +342,7 @@ impl CpRecycleReceiver {
         interference_only: Option<&[Complex]>,
         scratch: &mut SegmentScratch,
         persistent: Option<PersistentModel<'_>>,
+        obs: &O,
     ) -> Result<RxFrame> {
         // Stages that never read the genie waveform drop it here, so a short or
         // misaligned capture cannot fail a decode that would not have touched it.
@@ -304,6 +359,8 @@ impl CpRecycleReceiver {
             None
         };
         // --- Stage 1: sync — frame geometry and channel estimate ---------------------
+        let kind = self.config.decision.kind_label();
+        let backend = self.config.model.label();
         let params = self.engine.params().clone();
         let sym_len = params.symbol_len();
         let preamble_len = preamble::preamble_len(&params);
@@ -316,7 +373,9 @@ impl CpRecycleReceiver {
                 available: samples.len(),
             });
         }
+        let timer = StageTimer::start(obs, Span::new("sync", kind));
         let estimate = ChannelEstimate::from_ltf(&self.engine, &samples[ltf_start..signal_start])?;
+        timer.finish(obs);
         let num_segments = self.effective_segments();
         // Only the sphere stage scores with the interference model; the other stages
         // skip the training cost entirely. A throwaway decode trains per frame; a
@@ -332,6 +391,8 @@ impl CpRecycleReceiver {
         let mut absorb_pending = false;
         let mut commit_pending = false;
         if needs_model {
+            let timer = StageTimer::start(obs, Span::new("model_train", backend));
+            let mut trained = true;
             match &mut persistent {
                 None => {
                     throwaway = Some(self.train_model(
@@ -370,8 +431,12 @@ impl CpRecycleReceiver {
                     }
                     ModelPersistence::Rolling => {
                         absorb_pending = *p.model_frame != p.frame_seq;
+                        trained = false;
                     }
                 },
+            }
+            if trained {
+                timer.finish(obs);
             }
         }
 
@@ -407,6 +472,7 @@ impl CpRecycleReceiver {
         let mut decided_symbols = Vec::with_capacity(num_symbols);
         for s in 0..num_symbols {
             let start = data_start + s * sym_len;
+            let timer = StageTimer::start(obs, Span::new("extract", kind));
             let segments = extract_segments_with(
                 &self.engine,
                 &samples[start..start + sym_len],
@@ -415,6 +481,8 @@ impl CpRecycleReceiver {
                 self.config.extraction,
                 scratch,
             )?;
+            timer.finish(obs);
+            let timer = StageTimer::start(obs, Span::new("decide", kind));
             decided_symbols.push(self.run_decision_stage(
                 info.mcs.modulation,
                 model,
@@ -424,11 +492,14 @@ impl CpRecycleReceiver {
                 num_segments,
                 scratch,
             )?);
+            timer.finish(obs);
         }
 
         // --- Stage 4: the shared bit pipeline -----------------------------------------
+        let timer = StageTimer::start(obs, Span::new("bits", kind));
         let (psdu, crc_ok) =
             decode_psdu_from_symbols(&self.viterbi, &params, &decided_symbols, info)?;
+        timer.finish(obs);
         let payload = if crc_ok {
             Some(psdu[..psdu.len() - 4].to_vec())
         } else {
@@ -449,7 +520,9 @@ impl CpRecycleReceiver {
                 let p = persistent.as_mut().expect("commit implies a stream slot");
                 *p.model = throwaway.take();
                 *p.model_frame = p.frame_seq;
+                obs.counter("model_commits", 1);
             } else if absorb_pending {
+                let timer = StageTimer::start(obs, Span::new("model_update", backend));
                 let p = persistent.as_mut().expect("absorb implies a stream slot");
                 let (seg1, seg2) = self.ltf_training_segments(
                     samples,
@@ -462,6 +535,8 @@ impl CpRecycleReceiver {
                 let m = p.model.as_mut().expect("absorb implies an existing model");
                 m.update_preambles(&self.engine, &[seg1, seg2], &reference)?;
                 *p.model_frame = p.frame_seq;
+                timer.finish(obs);
+                obs.counter("model_absorbs", 1);
             }
         }
         Ok(RxFrame {
@@ -651,6 +726,17 @@ impl FrameReceiver for CpRecycleReceiver {
         info: Option<FrameInfo>,
     ) -> Result<RxFrame> {
         self.decode_frame_session(samples, frame_start, info, None, stream)
+    }
+
+    fn decode_stream_observed<O: Recorder>(
+        &self,
+        stream: &mut RxStream,
+        samples: &[Complex],
+        frame_start: usize,
+        info: Option<FrameInfo>,
+        obs: &O,
+    ) -> Result<RxFrame> {
+        self.decode_frame_session_observed(samples, frame_start, info, None, stream, obs)
     }
 }
 

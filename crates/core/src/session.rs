@@ -40,6 +40,7 @@
 //!   the batch result, for every chunk size.
 
 use crate::Result;
+use obs::{MetricsSnapshot, NoopRecorder, Recorder, TraceEvent};
 use ofdmphy::preamble;
 use ofdmphy::rx::{FrameReceiver, ModelPersistence, RxFrame};
 use ofdmphy::sync::{CoarseDetection, CoarseDetector, SyncResult, Synchronizer};
@@ -120,6 +121,33 @@ pub enum RxEvent {
     },
 }
 
+/// Health counters an [`RxSession`] maintains as events flow, so callers can
+/// read stream health without draining (or retaining) the event queue. Each
+/// counter is incremented exactly when the corresponding [`RxEvent`] is
+/// queued, so the tallies always agree with the drained event stream (a
+/// property `tests/obs_equivalence.rs` pins).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionCounters {
+    /// Preamble detections that reached fine sync ([`RxEvent::FrameDetected`]).
+    pub frames_detected: usize,
+    /// Frames fully decoded, FCS pass or fail ([`RxEvent::FrameDecoded`]).
+    pub frames_decoded: usize,
+    /// Decoded frames whose FCS checked out.
+    pub fcs_passes: usize,
+    /// Decoded frames whose FCS failed (corrupt frames and phantoms).
+    pub fcs_failures: usize,
+    /// Detections abandoned without a decodable frame ([`RxEvent::FalseAlarm`]).
+    pub false_alarms: usize,
+    /// Frames lost to a stream flush mid-decode ([`RxEvent::SyncLost`]).
+    pub sync_losses: usize,
+    /// Decoded frames whose preamble the rolling interference model absorbed
+    /// (FCS-passing frames of a [`ModelPersistence::Rolling`] session).
+    pub model_absorbs: usize,
+    /// Decoded frames the rolling model refused to learn from (FCS failures —
+    /// the phantom-poisoning guard). Zero under [`ModelPersistence::PerFrame`].
+    pub model_rejects: usize,
+}
+
 /// Where the session is in its per-frame state machine.
 #[derive(Debug, Clone)]
 enum State {
@@ -182,7 +210,7 @@ enum State {
 /// assert_eq!(payloads, vec![b"first frame".to_vec(), b"second frame".to_vec()]);
 /// ```
 #[derive(Debug)]
-pub struct RxSession<R: FrameReceiver> {
+pub struct RxSession<R: FrameReceiver, O: Recorder = NoopRecorder> {
     receiver: R,
     sync: Synchronizer,
     config: SessionConfig,
@@ -196,18 +224,28 @@ pub struct RxSession<R: FrameReceiver> {
     detector: CoarseDetector,
     state: State,
     events: VecDeque<RxEvent>,
-    /// Frames decoded so far (FCS pass or fail).
-    frames: usize,
+    counters: SessionCounters,
+    obs: O,
 }
 
 impl<R: FrameReceiver> RxSession<R> {
-    /// A session with the default [`SessionConfig`].
+    /// A session with the default [`SessionConfig`] and no instrumentation.
     pub fn new(receiver: R) -> Self {
         Self::with_config(receiver, SessionConfig::default())
     }
 
-    /// A session with an explicit configuration.
+    /// A session with an explicit configuration and no instrumentation.
     pub fn with_config(receiver: R, config: SessionConfig) -> Self {
+        Self::with_recorder(receiver, config, NoopRecorder)
+    }
+}
+
+impl<R: FrameReceiver, O: Recorder> RxSession<R, O> {
+    /// A session whose receive chain emits stage timings into `obs` and whose
+    /// [`RxEvent`] flow is mirrored into the recorder's trace ring. Pass a
+    /// [`NoopRecorder`] (or use [`RxSession::new`]) for the uninstrumented
+    /// pipeline — decodes are bit-for-bit identical either way.
+    pub fn with_recorder(receiver: R, config: SessionConfig, obs: O) -> Self {
         let params = receiver.params().clone();
         let sync = Synchronizer::with_threshold(params, config.detection_threshold);
         let stream = receiver.new_stream(config.persistence);
@@ -223,8 +261,14 @@ impl<R: FrameReceiver> RxSession<R> {
             detector,
             state: State::Hunting,
             events: VecDeque::new(),
-            frames: 0,
+            counters: SessionCounters::default(),
+            obs,
         }
+    }
+
+    /// The recorder this session reports into.
+    pub fn recorder(&self) -> &O {
+        &self.obs
     }
 
     /// The receiver driving this session.
@@ -250,7 +294,95 @@ impl<R: FrameReceiver> RxSession<R> {
 
     /// Number of frames decoded so far (counting FCS failures).
     pub fn frames_decoded(&self) -> usize {
-        self.frames
+        self.counters.frames_decoded
+    }
+
+    /// Number of preamble detections that reached fine sync so far.
+    pub fn frames_detected(&self) -> usize {
+        self.counters.frames_detected
+    }
+
+    /// Number of detections abandoned as false alarms so far.
+    pub fn false_alarms(&self) -> usize {
+        self.counters.false_alarms
+    }
+
+    /// Number of frames lost to a mid-decode flush so far.
+    pub fn sync_losses(&self) -> usize {
+        self.counters.sync_losses
+    }
+
+    /// Number of decoded frames whose FCS failed so far.
+    pub fn fcs_failures(&self) -> usize {
+        self.counters.fcs_failures
+    }
+
+    /// All health counters at once.
+    pub fn counters(&self) -> SessionCounters {
+        self.counters
+    }
+
+    /// Freezes this session's health into a [`MetricsSnapshot`]: the recorder's
+    /// stage timings and trace (when one is attached) overlaid with the session
+    /// counters. With a [`NoopRecorder`] the snapshot carries the counters only.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.obs.snapshot().unwrap_or_default();
+        snap.add_counter("samples_pushed", self.end as u64);
+        let c = &self.counters;
+        snap.add_counter("frames_detected", c.frames_detected as u64);
+        snap.add_counter("frames_decoded", c.frames_decoded as u64);
+        snap.add_counter("fcs_passes", c.fcs_passes as u64);
+        snap.add_counter("fcs_failures", c.fcs_failures as u64);
+        snap.add_counter("false_alarms", c.false_alarms as u64);
+        snap.add_counter("sync_losses", c.sync_losses as u64);
+        snap.add_counter("session_model_absorbs", c.model_absorbs as u64);
+        snap.add_counter("session_model_rejects", c.model_rejects as u64);
+        snap
+    }
+
+    /// Queues an event for the caller, keeping the health counters in lockstep
+    /// and mirroring the event into the recorder's structured trace.
+    fn queue_event(&mut self, event: RxEvent) {
+        match &event {
+            RxEvent::FrameDetected { sync } => {
+                self.counters.frames_detected += 1;
+                self.obs.trace(TraceEvent::new(
+                    "frame_detected",
+                    sync.frame_start as u64,
+                    0,
+                ));
+            }
+            RxEvent::FrameDecoded { frame, frame_start } => {
+                self.counters.frames_decoded += 1;
+                let rolling = self.config.persistence == ModelPersistence::Rolling;
+                if frame.crc_ok {
+                    self.counters.fcs_passes += 1;
+                    if rolling {
+                        self.counters.model_absorbs += 1;
+                    }
+                } else {
+                    self.counters.fcs_failures += 1;
+                    if rolling {
+                        self.counters.model_rejects += 1;
+                    }
+                }
+                self.obs.trace(TraceEvent::new(
+                    "frame_decoded",
+                    *frame_start as u64,
+                    frame.crc_ok as i64,
+                ));
+            }
+            RxEvent::FalseAlarm { at } => {
+                self.counters.false_alarms += 1;
+                self.obs
+                    .trace(TraceEvent::new("false_alarm", *at as u64, 0));
+            }
+            RxEvent::SyncLost { at } => {
+                self.counters.sync_losses += 1;
+                self.obs.trace(TraceEvent::new("sync_lost", *at as u64, 0));
+            }
+        }
+        self.events.push_back(event);
     }
 
     /// Next queued event, if any.
@@ -285,11 +417,11 @@ impl<R: FrameReceiver> RxSession<R> {
             State::Hunting => {}
             State::Refining(d) => {
                 let at = d.start;
-                self.events.push_back(RxEvent::SyncLost { at });
+                self.queue_event(RxEvent::SyncLost { at });
             }
             State::Decoding { sync, .. } => {
                 let at = sync.frame_start;
-                self.events.push_back(RxEvent::SyncLost { at });
+                self.queue_event(RxEvent::SyncLost { at });
             }
         }
         self.resume_hunting_at(self.end);
@@ -366,7 +498,7 @@ impl<R: FrameReceiver> RxSession<R> {
                         frame_start: refined.frame_start + self.base,
                         ..refined
                     };
-                    self.events.push_back(RxEvent::FrameDetected { sync });
+                    self.queue_event(RxEvent::FrameDetected { sync });
                     self.receiver.begin_frame(&mut self.stream);
                     self.state = State::Decoding {
                         sync,
@@ -387,8 +519,7 @@ impl<R: FrameReceiver> RxSession<R> {
                             let params = self.receiver.params();
                             let frame_len = frame.info.frame_sample_len(params);
                             let crc_ok = frame.crc_ok;
-                            self.frames += 1;
-                            self.events.push_back(RxEvent::FrameDecoded {
+                            self.queue_event(RxEvent::FrameDecoded {
                                 frame: Box::new(frame),
                                 frame_start: sync.frame_start,
                             });
@@ -418,7 +549,7 @@ impl<R: FrameReceiver> RxSession<R> {
                                 // (a parity fluke on a foreign/corrupt preamble):
                                 // treat as a false alarm instead of head-of-line
                                 // blocking the stream on samples that never come.
-                                self.events.push_back(RxEvent::FalseAlarm { at: coarse });
+                                self.queue_event(RxEvent::FalseAlarm { at: coarse });
                                 let resume = self.resume_past_stf(coarse);
                                 self.resume_hunting_at(resume);
                                 continue;
@@ -446,7 +577,7 @@ impl<R: FrameReceiver> RxSession<R> {
                             // The SIGNAL field did not parse: a false plateau or a
                             // colliding transmission. Resume scanning past this
                             // detection's plateau.
-                            self.events.push_back(RxEvent::FalseAlarm { at: coarse });
+                            self.queue_event(RxEvent::FalseAlarm { at: coarse });
                             let resume = self.resume_past_stf(coarse);
                             self.resume_hunting_at(resume);
                         }
@@ -483,7 +614,7 @@ impl<R: FrameReceiver> RxSession<R> {
             let mut corrected = self.buffer[rel_start..].to_vec();
             self.sync.correct_cfo(&mut corrected, sync.cfo_hz);
             self.receiver
-                .decode_stream(&mut self.stream, &corrected, 0, None)
+                .decode_stream_observed(&mut self.stream, &corrected, 0, None, &self.obs)
                 .map_err(|e| match e {
                     PhyError::InsufficientSamples { needed, available } => {
                         PhyError::InsufficientSamples {
@@ -494,8 +625,13 @@ impl<R: FrameReceiver> RxSession<R> {
                     other => other,
                 })
         } else {
-            self.receiver
-                .decode_stream(&mut self.stream, &self.buffer, rel_start, None)
+            self.receiver.decode_stream_observed(
+                &mut self.stream,
+                &self.buffer,
+                rel_start,
+                None,
+                &self.obs,
+            )
         }
     }
 }

@@ -78,8 +78,8 @@ mod tests {
                 })
             },
             &RunOptions {
-                resume_from: None,
                 on_point_complete: sink,
+                ..Default::default()
             },
         )
         .unwrap()
@@ -129,7 +129,7 @@ mod tests {
             },
             &RunOptions {
                 resume_from: Some(&partial),
-                on_point_complete: None,
+                ..Default::default()
             },
         )
         .unwrap();

@@ -21,6 +21,7 @@
 use crate::seed::trial_rng;
 use crate::spec::{CampaignConfig, CampaignPoint};
 use crate::tally::{ArmTally, CampaignResult, PointResult, TrialRecord};
+use obs::{Recorder, Span};
 use rand::rngs::StdRng;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -67,6 +68,20 @@ impl fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
+/// Periodic progress reporting on stderr while a campaign runs.
+#[derive(Debug, Clone, Copy)]
+pub struct ProgressOptions {
+    /// Minimum seconds between progress lines (a line is always printed when the
+    /// last trial lands).
+    pub interval_secs: f64,
+}
+
+impl Default for ProgressOptions {
+    fn default() -> Self {
+        ProgressOptions { interval_secs: 1.0 }
+    }
+}
+
 /// Options of one engine run.
 #[derive(Default)]
 pub struct RunOptions<'a> {
@@ -78,6 +93,14 @@ pub struct RunOptions<'a> {
     /// to write the checkpoint file incrementally.
     #[allow(clippy::type_complexity)]
     pub on_point_complete: Option<&'a (dyn Fn(&CampaignResult) + Sync)>,
+    /// When set, periodic `completed/total trials, trials/sec, ETA` lines go to
+    /// stderr (`campaign run` enables this unless `--quiet`).
+    pub progress: Option<ProgressOptions>,
+    /// When set, the executor reports per-trial timing (span `("trial", "")`),
+    /// the `trials_completed`/`trials_failed` counters and per-worker
+    /// throughput gauges into this recorder. `None` keeps the hot loop free of
+    /// any instrumentation work.
+    pub recorder: Option<&'a (dyn Recorder + Sync)>,
 }
 
 /// Per-point mutable state while a run is in flight.
@@ -96,6 +119,25 @@ struct Collector {
     finished: Vec<Option<PointResult>>,
     /// First trial error in flat-index order.
     first_error: Option<(usize, EngineError)>,
+    /// Trials landed so far, across all points.
+    completed: usize,
+    /// When the last progress line was printed.
+    last_print: Instant,
+}
+
+/// Renders a second count as a compact ETA (`"42s"`, `"3m07s"`, `"1h02m"`).
+fn format_eta(secs: f64) -> String {
+    if !secs.is_finite() {
+        return "?".into();
+    }
+    let secs = secs.round().max(0.0) as u64;
+    if secs < 60 {
+        format!("{secs}s")
+    } else if secs < 3600 {
+        format!("{}m{:02}s", secs / 60, secs % 60)
+    } else {
+        format!("{}h{:02}m", secs / 3600, (secs % 3600) / 60)
+    }
 }
 
 /// Runs a campaign: every point of `points` measured by
@@ -151,6 +193,8 @@ where
             .collect(),
         finished: points.iter().map(|_| None).collect(),
         first_error: None,
+        completed: 0,
+        last_print: start,
     });
 
     let cursor = AtomicUsize::new(0);
@@ -195,9 +239,20 @@ where
     };
 
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
+        for w in 0..workers {
+            let collector = &collector;
+            let cursor = &cursor;
+            let abort = &abort;
+            let pending = &pending;
+            let keys = &keys;
+            let arm_labels = &arm_labels;
+            let new_worker = &new_worker;
+            let trial = &trial;
+            let assemble_snapshot = &assemble_snapshot;
+            scope.spawn(move || {
                 let mut state: Option<S> = None;
+                let mut local_trials = 0u64;
+                let mut busy_secs = 0.0f64;
                 loop {
                     if abort.load(Ordering::Relaxed) {
                         break;
@@ -210,15 +265,59 @@ where
                     let trial_idx = flat % trials;
                     let point_idx = pending[pending_idx];
                     let point = &points[point_idx];
-                    let state = state.get_or_insert_with(&new_worker);
+                    let state = state.get_or_insert_with(new_worker);
                     let mut rng = trial_rng(config.master_seed, &keys[point_idx], trial_idx as u64);
                     let trial_start = Instant::now();
                     let outcome = trial(state, point, point_idx, trial_idx, &mut rng);
-                    let duration = trial_start.elapsed().as_secs_f64();
+                    let spent = trial_start.elapsed();
+                    let duration = spent.as_secs_f64();
+                    local_trials += 1;
+                    busy_secs += duration;
+                    if let Some(rec) = options.recorder {
+                        rec.stage_nanos(
+                            Span::new("trial", ""),
+                            spent.as_nanos().min(u64::MAX as u128) as u64,
+                        );
+                        rec.counter(
+                            if outcome.is_ok() {
+                                "trials_completed"
+                            } else {
+                                "trials_failed"
+                            },
+                            1,
+                        );
+                    }
 
                     let mut guard = collector.lock().expect("collector poisoned");
                     match outcome {
                         Ok(record) => {
+                            guard.completed += 1;
+                            if let Some(p) = &options.progress {
+                                let done = guard.completed;
+                                let now = Instant::now();
+                                let due = now.duration_since(guard.last_print).as_secs_f64()
+                                    >= p.interval_secs;
+                                if due || done == total_work {
+                                    guard.last_print = now;
+                                    let elapsed = start.elapsed().as_secs_f64();
+                                    let rate = if elapsed > 0.0 {
+                                        done as f64 / elapsed
+                                    } else {
+                                        0.0
+                                    };
+                                    let eta = if rate > 0.0 {
+                                        format_eta((total_work - done) as f64 / rate)
+                                    } else {
+                                        "?".into()
+                                    };
+                                    let pct = 100.0 * done as f64 / total_work.max(1) as f64;
+                                    eprintln!(
+                                        "[{}] {done}/{total_work} trials ({pct:.1}%), \
+                                         {rate:.1} trials/sec, ETA {eta}",
+                                        config.name
+                                    );
+                                }
+                            }
                             let progress = &mut guard.progress[pending_idx];
                             progress.records[trial_idx] = Some(record);
                             progress.done += 1;
@@ -251,6 +350,10 @@ where
                             abort.store(true, Ordering::Relaxed);
                         }
                     }
+                }
+                if let Some(rec) = options.recorder {
+                    rec.gauge(&format!("worker.{w}.trials"), local_trials as f64);
+                    rec.gauge(&format!("worker.{w}.busy_secs"), busy_secs);
                 }
             });
         }
@@ -469,7 +572,7 @@ mod tests {
             },
             &RunOptions {
                 resume_from: Some(&first),
-                on_point_complete: None,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -498,7 +601,7 @@ mod tests {
             },
             &RunOptions {
                 resume_from: Some(&first),
-                on_point_complete: None,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -580,8 +683,8 @@ mod tests {
                 test_trial(&mut c, point, pi, ti, rng)
             },
             &RunOptions {
-                resume_from: None,
                 on_point_complete: Some(&sink),
+                ..Default::default()
             },
         )
         .unwrap();
@@ -614,5 +717,53 @@ mod tests {
         // trials executed by that single worker: 3 points × 8 trials.
         let last = result.points.last().unwrap();
         assert!((last.arms[0].metric_sum - (17..=24).sum::<usize>() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recorder_sees_trial_counters_timings_and_worker_gauges() {
+        let rec = obs::InMemoryRecorder::new(16);
+        let config = CampaignConfig::new("exec-test", 1).trials(4).threads(2);
+        run_campaign(
+            &config,
+            &test_points(),
+            || 0usize,
+            test_trial,
+            &RunOptions {
+                recorder: Some(&rec),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let snap = rec.snapshot().unwrap();
+        assert_eq!(snap.counter("trials_completed"), 12);
+        assert_eq!(snap.counter("trials_failed"), 0);
+        let hist = snap.stage("trial", "").expect("trial span recorded");
+        assert_eq!(hist.count(), 12);
+        // Every worker reports its share; the shares cover the whole queue.
+        let claimed: f64 = (0..2)
+            .map(|w| snap.gauge(&format!("worker.{w}.trials")).unwrap_or(0.0))
+            .sum();
+        assert_eq!(claimed as usize, 12);
+    }
+
+    #[test]
+    fn instrumented_run_is_bit_identical_to_plain_run() {
+        let plain = run(3, 80);
+        let rec = obs::InMemoryRecorder::new(0);
+        let config = CampaignConfig::new("exec-test", 0xDECAF)
+            .trials(80)
+            .threads(3);
+        let observed = run_campaign(
+            &config,
+            &test_points(),
+            || 0usize,
+            test_trial,
+            &RunOptions {
+                recorder: Some(&rec),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(plain.deterministic_view(), observed.deterministic_view());
     }
 }

@@ -40,13 +40,15 @@
 
 pub mod checkpoint;
 pub mod exec;
+pub mod metrics;
 pub mod report;
 pub mod seed;
 pub mod spec;
 pub mod tally;
 
 pub use checkpoint::{load_campaign, save_campaign};
-pub use exec::{run_campaign, EngineError, RunOptions};
+pub use exec::{run_campaign, EngineError, ProgressOptions, RunOptions};
+pub use metrics::campaign_snapshot;
 pub use seed::trial_rng;
 pub use spec::{CampaignConfig, CampaignPoint};
 pub use tally::{ArmTally, CampaignResult, PointResult, TrialOutcome, TrialRecord};

@@ -1,0 +1,113 @@
+//! Campaign-level metrics snapshots.
+//!
+//! [`campaign_snapshot`] folds the summary of a finished (or half-finished)
+//! [`CampaignResult`] into an [`obs::MetricsSnapshot`], optionally seeded from the
+//! recorder the executor reported into (see
+//! [`RunOptions::recorder`](crate::exec::RunOptions::recorder)). The `campaign` CLI
+//! serializes the result behind `campaign run --metrics <path>`, so the telemetry of a
+//! run lands next to its checkpoint in the same machine-readable `cpjson` format.
+
+use crate::tally::CampaignResult;
+use obs::{MetricsSnapshot, Recorder};
+
+/// Builds a [`MetricsSnapshot`] describing a campaign run.
+///
+/// Starts from `recorder`'s snapshot when one is given (per-trial timing histogram,
+/// `trials_completed`/`trials_failed` counters, per-worker gauges — everything the
+/// executor reported), then folds in the result's own summary:
+///
+/// * counters `campaign_points`, `campaign_points_complete` and `campaign_trials`;
+/// * gauges `campaign_wall_secs`, `campaign_threads` and `campaign_trials_per_sec`;
+/// * one `point.<label>.trials_per_sec` gauge per measured point (display label, not
+///   the long stable key), using the point's summed trial durations (worker-CPU
+///   seconds, not wall time) as the denominator.
+pub fn campaign_snapshot(
+    result: &CampaignResult,
+    recorder: Option<&dyn Recorder>,
+) -> MetricsSnapshot {
+    let mut snap = recorder.and_then(|r| r.snapshot()).unwrap_or_default();
+    snap.add_counter("campaign_points", result.points.len() as u64);
+    snap.add_counter(
+        "campaign_points_complete",
+        result.points.iter().filter(|p| p.complete).count() as u64,
+    );
+    let total = result.total_trials();
+    snap.add_counter("campaign_trials", total as u64);
+    snap.set_gauge("campaign_wall_secs", result.total_elapsed_secs);
+    snap.set_gauge("campaign_threads", result.threads as f64);
+    if result.total_elapsed_secs > 0.0 {
+        snap.set_gauge(
+            "campaign_trials_per_sec",
+            total as f64 / result.total_elapsed_secs,
+        );
+    }
+    for point in &result.points {
+        if point.elapsed_secs > 0.0 && point.trials > 0 {
+            snap.set_gauge(
+                &format!("point.{}.trials_per_sec", point.label),
+                point.trials as f64 / point.elapsed_secs,
+            );
+        }
+    }
+    snap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tally::{ArmTally, PointResult};
+    use obs::InMemoryRecorder;
+
+    fn sample() -> CampaignResult {
+        CampaignResult {
+            name: "m".into(),
+            master_seed: 1,
+            trials_per_point: 10,
+            points: vec![PointResult {
+                key: "sir=0".into(),
+                label: "SIR 0 dB".into(),
+                complete: true,
+                trials: 10,
+                arms: vec![ArmTally {
+                    label: "Standard".into(),
+                    trials: 10,
+                    successes: 7,
+                    metric_sum: 0.0,
+                    samples: vec![],
+                }],
+                elapsed_secs: 2.0,
+            }],
+            total_elapsed_secs: 4.0,
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn snapshot_summarizes_result_without_a_recorder() {
+        let snap = campaign_snapshot(&sample(), None);
+        assert_eq!(snap.counter("campaign_points"), 1);
+        assert_eq!(snap.counter("campaign_points_complete"), 1);
+        assert_eq!(snap.counter("campaign_trials"), 10);
+        assert_eq!(snap.gauge("campaign_wall_secs"), Some(4.0));
+        assert_eq!(snap.gauge("point.SIR 0 dB.trials_per_sec"), Some(5.0));
+    }
+
+    #[test]
+    fn snapshot_keeps_recorder_contents() {
+        let rec = InMemoryRecorder::new(8);
+        use obs::Recorder as _;
+        rec.counter("trials_completed", 10);
+        let snap = campaign_snapshot(&sample(), Some(&rec));
+        assert_eq!(snap.counter("trials_completed"), 10);
+        assert_eq!(snap.counter("campaign_trials"), 10);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_cpjson() {
+        let snap = campaign_snapshot(&sample(), None);
+        let text = snap.to_json_string();
+        let back = MetricsSnapshot::from_json_str(&text).unwrap();
+        assert_eq!(back.counter("campaign_trials"), 10);
+        assert_eq!(back.gauge("campaign_threads"), Some(2.0));
+    }
+}

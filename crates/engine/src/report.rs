@@ -61,7 +61,15 @@ pub fn render_text(result: &CampaignResult) -> String {
             }
         }
         if point.complete {
-            out.push_str(&format!(" | done ({:.2}s)\n", point.elapsed_secs));
+            if point.elapsed_secs > 0.0 && point.trials > 0 {
+                out.push_str(&format!(
+                    " | done ({:.2}s, {:.1} trials/sec)\n",
+                    point.elapsed_secs,
+                    point.trials as f64 / point.elapsed_secs
+                ));
+            } else {
+                out.push_str(&format!(" | done ({:.2}s)\n", point.elapsed_secs));
+            }
         } else {
             out.push_str(&format!(
                 " | {}/{} trials\n",

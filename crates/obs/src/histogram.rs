@@ -1,0 +1,233 @@
+//! Fixed-bucket base-2 logarithmic histogram.
+
+use cpjson::{object, FromJson, ToJson, Value};
+
+/// Number of buckets: one for zero plus one per bit position of a `u64`.
+pub const NUM_BUCKETS: usize = 65;
+
+/// A log2 histogram over `u64` observations (typically nanoseconds).
+///
+/// Bucket 0 holds the value 0; bucket `b ≥ 1` holds values whose highest set
+/// bit is `b - 1`, i.e. the half-open range `[2^(b-1), 2^b)`. `u64::MAX`
+/// lands in bucket 64. Recording is a single index increment — O(1), no
+/// allocation — so it is safe on per-symbol hot paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Histogram {
+    buckets: [u64; NUM_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Log2Histogram {
+    /// Creates an empty histogram.
+    pub const fn new() -> Self {
+        Log2Histogram {
+            buckets: [0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Maps a value to its bucket index: 0 → 0, else `64 - leading_zeros`.
+    #[inline]
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            (64 - value.leading_zeros()) as usize
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean observation, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Count in bucket `index` (panics if `index >= NUM_BUCKETS`).
+    pub fn bucket(&self, index: usize) -> u64 {
+        self.buckets[index]
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(index, count)` pairs, for compact export.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect()
+    }
+}
+
+impl ToJson for Log2Histogram {
+    fn to_json(&self) -> Value {
+        // Sparse encoding: only non-empty buckets, as [index, count] pairs.
+        let buckets: Vec<Value> = self
+            .nonzero_buckets()
+            .into_iter()
+            .map(|(i, c)| Value::Array(vec![(i as u64).to_json(), c.to_json()]))
+            .collect();
+        object(vec![
+            ("count", self.count.to_json()),
+            ("sum", self.sum.to_json()),
+            ("min", self.min().to_json()),
+            ("max", self.max().to_json()),
+            ("buckets", Value::Array(buckets)),
+        ])
+    }
+}
+
+impl FromJson for Log2Histogram {
+    fn from_json(value: &Value) -> cpjson::Result<Self> {
+        let mut h = Log2Histogram::new();
+        h.count = value.field_as("count")?;
+        h.sum = value.field_as("sum")?;
+        h.min = value.field_as::<Option<u64>>("min")?.unwrap_or(u64::MAX);
+        h.max = value.field_as::<Option<u64>>("max")?.unwrap_or(0);
+        let buckets: Vec<Vec<u64>> = value.field_as("buckets")?;
+        for pair in buckets {
+            if pair.len() == 2 && (pair[0] as usize) < NUM_BUCKETS {
+                h.buckets[pair[0] as usize] = pair[1];
+            }
+        }
+        Ok(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_goes_to_bucket_zero() {
+        assert_eq!(Log2Histogram::bucket_index(0), 0);
+        let mut h = Log2Histogram::new();
+        h.record(0);
+        assert_eq!(h.bucket(0), 1);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(0));
+        assert_eq!(h.mean(), Some(0.0));
+    }
+
+    #[test]
+    fn u64_max_goes_to_last_bucket() {
+        assert_eq!(Log2Histogram::bucket_index(u64::MAX), 64);
+        let mut h = Log2Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.bucket(64), 1);
+        assert_eq!(h.max(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        // Powers of two start a new bucket; the value just below stays in
+        // the previous one.
+        assert_eq!(Log2Histogram::bucket_index(1), 1);
+        assert_eq!(Log2Histogram::bucket_index(2), 2);
+        assert_eq!(Log2Histogram::bucket_index(3), 2);
+        assert_eq!(Log2Histogram::bucket_index(4), 3);
+        assert_eq!(Log2Histogram::bucket_index(7), 2 + 1);
+        assert_eq!(Log2Histogram::bucket_index(8), 4);
+        for b in 1..64 {
+            let lo = 1u64 << (b - 1);
+            assert_eq!(Log2Histogram::bucket_index(lo), b, "low edge of {b}");
+            let hi = if b == 64 { u64::MAX } else { (1u64 << b) - 1 };
+            assert_eq!(Log2Histogram::bucket_index(hi), b, "high edge of {b}");
+        }
+        assert_eq!(Log2Histogram::bucket_index(1u64 << 63), 64);
+    }
+
+    #[test]
+    fn stats_and_merge() {
+        let mut a = Log2Histogram::new();
+        a.record(1);
+        a.record(100);
+        let mut b = Log2Histogram::new();
+        b.record(50);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 151);
+        assert_eq!(a.min(), Some(1));
+        assert_eq!(a.max(), Some(100));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_extrema() {
+        let h = Log2Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+    }
+
+    #[test]
+    fn sum_saturates_instead_of_overflowing() {
+        let mut h = Log2Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut h = Log2Histogram::new();
+        h.record(0);
+        h.record(5);
+        h.record(u64::MAX);
+        let text = h.to_json().pretty();
+        let back = Log2Histogram::from_json(&Value::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, h);
+    }
+}

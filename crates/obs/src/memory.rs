@@ -1,0 +1,177 @@
+//! The live recorder: thread-safe in-memory aggregation.
+
+use crate::histogram::Log2Histogram;
+use crate::recorder::{Recorder, Span};
+use crate::snapshot::{MetricsSnapshot, StageSnapshot};
+use crate::trace::{TraceEvent, TraceRing};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+#[derive(Debug)]
+struct Inner {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<String, f64>,
+    stages: BTreeMap<Span, Log2Histogram>,
+    trace: TraceRing,
+}
+
+/// A [`Recorder`] that aggregates everything into in-process maps behind a
+/// mutex.
+///
+/// One instance can be shared (by reference or `Arc`) across campaign worker
+/// threads; contention is modest because the hot path records pre-aggregated
+/// scalars (one counter bump or one histogram increment per call). Snapshot
+/// extraction clones the state without resetting it.
+#[derive(Debug)]
+pub struct InMemoryRecorder {
+    inner: Mutex<Inner>,
+}
+
+impl InMemoryRecorder {
+    /// Default trace-ring capacity used by [`InMemoryRecorder::default`].
+    pub const DEFAULT_TRACE_CAPACITY: usize = 1024;
+
+    /// Creates a recorder whose trace ring holds `trace_capacity` events.
+    pub fn new(trace_capacity: usize) -> Self {
+        InMemoryRecorder {
+            inner: Mutex::new(Inner {
+                counters: BTreeMap::new(),
+                gauges: BTreeMap::new(),
+                stages: BTreeMap::new(),
+                trace: TraceRing::new(trace_capacity),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A poisoned lock only means another thread panicked mid-update;
+        // metrics are best-effort, so keep going with whatever state exists.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The current aggregate state, directly (an in-memory recorder always has
+    /// one — this is [`Recorder::snapshot`] without the `Option` and without
+    /// needing the trait in scope).
+    pub fn snapshot_now(&self) -> MetricsSnapshot {
+        self.snapshot()
+            .expect("in-memory recorder always snapshots")
+    }
+}
+
+impl Default for InMemoryRecorder {
+    fn default() -> Self {
+        Self::new(Self::DEFAULT_TRACE_CAPACITY)
+    }
+}
+
+impl Recorder for InMemoryRecorder {
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn counter(&self, name: &'static str, delta: u64) {
+        *self.lock().counters.entry(name).or_insert(0) += delta;
+    }
+
+    fn gauge(&self, name: &str, value: f64) {
+        let mut inner = self.lock();
+        match inner.gauges.get_mut(name) {
+            Some(slot) => *slot = value,
+            None => {
+                inner.gauges.insert(name.to_string(), value);
+            }
+        }
+    }
+
+    fn stage_nanos(&self, span: Span, nanos: u64) {
+        self.lock().stages.entry(span).or_default().record(nanos);
+    }
+
+    fn trace(&self, event: TraceEvent) {
+        self.lock().trace.push(event);
+    }
+
+    fn snapshot(&self) -> Option<MetricsSnapshot> {
+        let inner = self.lock();
+        Some(MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+            gauges: inner.gauges.clone(),
+            stages: inner
+                .stages
+                .iter()
+                .map(|(span, h)| StageSnapshot {
+                    stage: span.stage.to_string(),
+                    key: span.key.to_string(),
+                    histogram: h.clone(),
+                })
+                .collect(),
+            trace: inner.trace.events(),
+            trace_dropped: inner.trace.dropped(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_counters_gauges_stages_and_trace() {
+        let rec = InMemoryRecorder::new(2);
+        rec.counter("frames", 1);
+        rec.counter("frames", 4);
+        rec.gauge("psr", 0.25);
+        rec.gauge("psr", 0.75);
+        rec.stage_nanos(Span::new("decide", "Naive"), 10);
+        rec.stage_nanos(Span::new("decide", "Naive"), 20);
+        rec.trace(TraceEvent::new("a", 0, 0));
+        rec.trace(TraceEvent::new("b", 1, 0));
+        rec.trace(TraceEvent::new("c", 2, 0));
+
+        let snap = rec.snapshot().unwrap();
+        assert_eq!(snap.counter("frames"), 5);
+        assert_eq!(snap.gauge("psr"), Some(0.75));
+        let h = snap.stage("decide", "Naive").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 30);
+        assert_eq!(snap.trace.len(), 2);
+        assert_eq!(snap.trace_dropped, 1);
+        assert_eq!(snap.trace[0].kind, "b");
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let rec = std::sync::Arc::new(InMemoryRecorder::default());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let rec = rec.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        rec.counter("ticks", 1);
+                        rec.stage_nanos(Span::new("work", ""), 7);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = rec.snapshot().unwrap();
+        assert_eq!(snap.counter("ticks"), 4000);
+        assert_eq!(snap.stage("work", "").unwrap().count(), 4000);
+    }
+
+    #[test]
+    fn snapshot_does_not_reset() {
+        let rec = InMemoryRecorder::default();
+        rec.counter("x", 1);
+        let _ = rec.snapshot();
+        rec.counter("x", 1);
+        assert_eq!(rec.snapshot().unwrap().counter("x"), 2);
+    }
+}

@@ -1,0 +1,225 @@
+//! The [`Recorder`] trait, its no-op implementation and the stage timer.
+
+use crate::snapshot::MetricsSnapshot;
+use crate::trace::TraceEvent;
+use std::time::Instant;
+
+/// A named timing span: a pipeline stage plus a static key qualifying it
+/// (the decision stage or model backend the receiver is running with).
+///
+/// Both halves are `&'static str` so constructing and hashing a span never
+/// allocates — spans sit on the per-symbol hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Span {
+    /// Pipeline stage name, e.g. `"sync"`, `"decide"`, `"model_train"`.
+    pub stage: &'static str,
+    /// Qualifier, e.g. `"Sphere"` or `"ExactKde"`; `""` when not applicable.
+    pub key: &'static str,
+}
+
+impl Span {
+    /// Creates a span from a stage name and qualifier.
+    #[inline]
+    pub const fn new(stage: &'static str, key: &'static str) -> Self {
+        Span { stage, key }
+    }
+}
+
+/// Sink for instrumentation emitted by the receive chain, sessions and the
+/// campaign engine.
+///
+/// Every method has an empty default body, so implementations override only
+/// what they care about and [`NoopRecorder`] overrides nothing. Instrumented
+/// code must consult [`Recorder::enabled`] before doing *any* work whose only
+/// purpose is producing a metric (reading the clock, formatting a label):
+/// that is the zero-overhead contract.
+pub trait Recorder {
+    /// Whether this recorder wants data at all. Hot paths gate clock reads
+    /// and other metric-only work on this.
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Adds `delta` to the named monotonic counter.
+    #[inline]
+    fn counter(&self, name: &'static str, delta: u64) {
+        let _ = (name, delta);
+    }
+
+    /// Sets the named gauge to `value` (last write wins).
+    #[inline]
+    fn gauge(&self, name: &str, value: f64) {
+        let _ = (name, value);
+    }
+
+    /// Records one elapsed-time observation, in nanoseconds, for `span`.
+    #[inline]
+    fn stage_nanos(&self, span: Span, nanos: u64) {
+        let _ = (span, nanos);
+    }
+
+    /// Appends a structured event to the trace ring.
+    #[inline]
+    fn trace(&self, event: TraceEvent) {
+        let _ = event;
+    }
+
+    /// Freezes the recorder state into a snapshot. Cold path; `None` for
+    /// recorders that keep no state.
+    fn snapshot(&self) -> Option<MetricsSnapshot> {
+        None
+    }
+}
+
+/// The do-nothing recorder: all trait defaults, `enabled()` is `false`.
+///
+/// Code monomorphised against `NoopRecorder` contains no instrumentation —
+/// the empty inline bodies vanish at compile time, which is what the
+/// `obs` Criterion bench and the decode-equivalence test pin down.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+impl<R: Recorder + ?Sized> Recorder for &R {
+    #[inline]
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+    #[inline]
+    fn counter(&self, name: &'static str, delta: u64) {
+        (**self).counter(name, delta)
+    }
+    #[inline]
+    fn gauge(&self, name: &str, value: f64) {
+        (**self).gauge(name, value)
+    }
+    #[inline]
+    fn stage_nanos(&self, span: Span, nanos: u64) {
+        (**self).stage_nanos(span, nanos)
+    }
+    #[inline]
+    fn trace(&self, event: TraceEvent) {
+        (**self).trace(event)
+    }
+    fn snapshot(&self) -> Option<MetricsSnapshot> {
+        (**self).snapshot()
+    }
+}
+
+impl<R: Recorder + ?Sized> Recorder for std::sync::Arc<R> {
+    #[inline]
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+    #[inline]
+    fn counter(&self, name: &'static str, delta: u64) {
+        (**self).counter(name, delta)
+    }
+    #[inline]
+    fn gauge(&self, name: &str, value: f64) {
+        (**self).gauge(name, value)
+    }
+    #[inline]
+    fn stage_nanos(&self, span: Span, nanos: u64) {
+        (**self).stage_nanos(span, nanos)
+    }
+    #[inline]
+    fn trace(&self, event: TraceEvent) {
+        (**self).trace(event)
+    }
+    fn snapshot(&self) -> Option<MetricsSnapshot> {
+        (**self).snapshot()
+    }
+}
+
+/// Measures the wall-clock duration of one stage execution.
+///
+/// `start` reads the monotonic clock only when the recorder is enabled;
+/// `finish` records the elapsed nanoseconds under the span. With a
+/// [`NoopRecorder`] both calls compile to nothing.
+#[derive(Debug)]
+#[must_use = "a StageTimer records nothing unless finish() is called"]
+pub struct StageTimer {
+    span: Span,
+    started: Option<Instant>,
+}
+
+impl StageTimer {
+    /// Starts timing `span`, touching the clock only if `rec` is enabled.
+    #[inline]
+    pub fn start<R: Recorder + ?Sized>(rec: &R, span: Span) -> Self {
+        StageTimer {
+            span,
+            started: if rec.enabled() {
+                Some(Instant::now())
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Stops the timer and records the elapsed time with `rec`.
+    #[inline]
+    pub fn finish<R: Recorder + ?Sized>(self, rec: &R) {
+        if let Some(started) = self.started {
+            let nanos = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            rec.stage_nanos(self.span, nanos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InMemoryRecorder;
+
+    #[test]
+    fn noop_recorder_is_disabled_and_snapshotless() {
+        let rec = NoopRecorder;
+        assert!(!rec.enabled());
+        rec.counter("x", 1);
+        rec.gauge("y", 2.0);
+        rec.stage_nanos(Span::new("a", "b"), 3);
+        rec.trace(TraceEvent::new("e", 0, 0));
+        assert!(rec.snapshot().is_none());
+    }
+
+    #[test]
+    fn stage_timer_skips_clock_when_disabled() {
+        let t = StageTimer::start(&NoopRecorder, Span::new("s", ""));
+        assert!(t.started.is_none());
+        t.finish(&NoopRecorder);
+    }
+
+    #[test]
+    fn stage_timer_records_when_enabled() {
+        let rec = InMemoryRecorder::new(8);
+        let t = StageTimer::start(&rec, Span::new("s", "k"));
+        assert!(t.started.is_some());
+        t.finish(&rec);
+        let snap = rec.snapshot().unwrap();
+        let stage = snap
+            .stages
+            .iter()
+            .find(|s| s.stage == "s" && s.key == "k")
+            .unwrap();
+        assert_eq!(stage.histogram.count(), 1);
+    }
+
+    #[test]
+    fn reference_and_arc_forward() {
+        let rec = InMemoryRecorder::new(8);
+        {
+            let by_ref: &dyn Recorder = &rec;
+            assert!(by_ref.enabled());
+            by_ref.counter("c", 2);
+        }
+        let arc = std::sync::Arc::new(InMemoryRecorder::new(8));
+        arc.counter("c", 3);
+        assert!(arc.enabled());
+        assert_eq!(rec.snapshot().unwrap().counter("c"), 2);
+        assert_eq!(arc.snapshot().unwrap().counter("c"), 3);
+    }
+}

@@ -1,0 +1,217 @@
+//! Frozen, serialisable view of a recorder's state.
+
+use crate::histogram::Log2Histogram;
+use crate::trace::NumberedEvent;
+use cpjson::{object, FromJson, ToJson, Value};
+use std::collections::BTreeMap;
+
+/// One stage's aggregated timing distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageSnapshot {
+    /// Pipeline stage name (`"sync"`, `"decide"`, …).
+    pub stage: String,
+    /// Qualifier (decision stage / model backend label), possibly empty.
+    pub key: String,
+    /// Elapsed-nanosecond distribution for this span.
+    pub histogram: Log2Histogram,
+}
+
+impl ToJson for StageSnapshot {
+    fn to_json(&self) -> Value {
+        object(vec![
+            ("stage", self.stage.to_json()),
+            ("key", self.key.to_json()),
+            ("nanos", self.histogram.to_json()),
+        ])
+    }
+}
+
+impl FromJson for StageSnapshot {
+    fn from_json(value: &Value) -> cpjson::Result<Self> {
+        Ok(StageSnapshot {
+            stage: value.field_as("stage")?,
+            key: value.field_as("key")?,
+            histogram: value.field_as("nanos")?,
+        })
+    }
+}
+
+/// A point-in-time copy of everything a recorder has aggregated, decoupled
+/// from the recorder itself so it can be merged, serialised and shipped.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges by name (last write wins).
+    pub gauges: BTreeMap<String, f64>,
+    /// Per-span timing distributions, sorted by (stage, key).
+    pub stages: Vec<StageSnapshot>,
+    /// Retained tail of the structured event trace, oldest first.
+    pub trace: Vec<NumberedEvent>,
+    /// Trace events lost to the ring-buffer capacity bound.
+    pub trace_dropped: u64,
+}
+
+impl MetricsSnapshot {
+    /// Creates an empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Value of a counter, 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Value of a gauge, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The timing distribution for `(stage, key)`, if any was recorded.
+    pub fn stage(&self, stage: &str, key: &str) -> Option<&Log2Histogram> {
+        self.stages
+            .iter()
+            .find(|s| s.stage == stage && s.key == key)
+            .map(|s| &s.histogram)
+    }
+
+    /// Adds a counter in place (used when layering session counters onto a
+    /// recorder snapshot).
+    pub fn add_counter(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets a gauge in place.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Folds `other` into `self`: counters add, gauges take `other`'s value,
+    /// stage histograms merge, traces concatenate (sequence numbers are
+    /// per-source and left untouched).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, delta) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += delta;
+        }
+        for (name, value) in &other.gauges {
+            self.gauges.insert(name.clone(), *value);
+        }
+        for stage in &other.stages {
+            match self
+                .stages
+                .iter_mut()
+                .find(|s| s.stage == stage.stage && s.key == stage.key)
+            {
+                Some(existing) => existing.histogram.merge(&stage.histogram),
+                None => self.stages.push(stage.clone()),
+            }
+        }
+        self.stages
+            .sort_by(|a, b| (&a.stage, &a.key).cmp(&(&b.stage, &b.key)));
+        self.trace.extend(other.trace.iter().cloned());
+        self.trace_dropped += other.trace_dropped;
+    }
+
+    /// Serialises the snapshot as pretty JSON.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().pretty()
+    }
+
+    /// Parses a snapshot previously produced by [`Self::to_json_string`].
+    pub fn from_json_str(text: &str) -> cpjson::Result<Self> {
+        Self::from_json(&Value::parse(text)?)
+    }
+}
+
+impl ToJson for MetricsSnapshot {
+    fn to_json(&self) -> Value {
+        object(vec![
+            ("counters", self.counters.to_json()),
+            (
+                "gauges",
+                Value::Object(
+                    self.gauges
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_json()))
+                        .collect(),
+                ),
+            ),
+            ("stages", self.stages.to_json()),
+            ("trace", self.trace.to_json()),
+            ("trace_dropped", self.trace_dropped.to_json()),
+        ])
+    }
+}
+
+impl FromJson for MetricsSnapshot {
+    fn from_json(value: &Value) -> cpjson::Result<Self> {
+        let mut counters = BTreeMap::new();
+        if let Value::Object(fields) = value.field("counters")? {
+            for (k, v) in fields {
+                counters.insert(k.clone(), u64::from_json(v)?);
+            }
+        }
+        let mut gauges = BTreeMap::new();
+        if let Value::Object(fields) = value.field("gauges")? {
+            for (k, v) in fields {
+                gauges.insert(k.clone(), f64::from_json(v)?);
+            }
+        }
+        Ok(MetricsSnapshot {
+            counters,
+            gauges,
+            stages: value.field_as("stages")?,
+            trace: value.field_as("trace")?,
+            trace_dropped: value.field_as("trace_dropped")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InMemoryRecorder, Recorder, Span, TraceEvent};
+
+    #[test]
+    fn accessors_default_sensibly() {
+        let snap = MetricsSnapshot::new();
+        assert_eq!(snap.counter("missing"), 0);
+        assert_eq!(snap.gauge("missing"), None);
+        assert!(snap.stage("a", "b").is_none());
+    }
+
+    #[test]
+    fn merge_adds_counters_and_merges_histograms() {
+        let rec = InMemoryRecorder::new(8);
+        rec.counter("frames", 2);
+        rec.stage_nanos(Span::new("decide", "Sphere"), 100);
+        let mut a = rec.snapshot().unwrap();
+
+        let rec2 = InMemoryRecorder::new(8);
+        rec2.counter("frames", 3);
+        rec2.stage_nanos(Span::new("decide", "Sphere"), 200);
+        rec2.stage_nanos(Span::new("sync", ""), 50);
+        rec2.gauge("psr", 0.5);
+        let b = rec2.snapshot().unwrap();
+
+        a.merge(&b);
+        assert_eq!(a.counter("frames"), 5);
+        assert_eq!(a.gauge("psr"), Some(0.5));
+        assert_eq!(a.stage("decide", "Sphere").unwrap().count(), 2);
+        assert_eq!(a.stage("sync", "").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn json_roundtrip_with_trace() {
+        let rec = InMemoryRecorder::new(4);
+        rec.counter("frames_decoded", 7);
+        rec.gauge("trials_per_sec", 123.5);
+        rec.stage_nanos(Span::new("sync", "CPRecycle"), 1_000);
+        rec.trace(TraceEvent::new("frame_detected", 160, 1));
+        let snap = rec.snapshot().unwrap();
+        let text = snap.to_json_string();
+        let back = MetricsSnapshot::from_json_str(&text).unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -1,0 +1,166 @@
+//! Bounded structured event trace.
+
+use cpjson::{object, FromJson, ToJson, Value};
+use std::collections::VecDeque;
+
+/// One structured trace entry.
+///
+/// `kind` is a static label (`"frame_detected"`, `"sync_lost"`, …) so that
+/// emitting an event never allocates; `at` and `value` carry event-specific
+/// context (typically a sample index and an auxiliary quantity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Static event label.
+    pub kind: &'static str,
+    /// Position of the event, usually an absolute sample index.
+    pub at: u64,
+    /// Event-specific payload (frame length, CRC flag, …); 0 when unused.
+    pub value: i64,
+}
+
+impl TraceEvent {
+    /// Creates a trace event.
+    #[inline]
+    pub const fn new(kind: &'static str, at: u64, value: i64) -> Self {
+        TraceEvent { kind, at, value }
+    }
+}
+
+/// A numbered event as exported in snapshots: the ring assigns each accepted
+/// event a monotonically increasing sequence number so consumers can tell
+/// where the retained window sits in the full stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NumberedEvent {
+    /// 0-based position of the event in the full (pre-drop) stream.
+    pub seq: u64,
+    /// Event label.
+    pub kind: String,
+    /// Position of the event.
+    pub at: u64,
+    /// Event-specific payload.
+    pub value: i64,
+}
+
+impl ToJson for NumberedEvent {
+    fn to_json(&self) -> Value {
+        object(vec![
+            ("seq", self.seq.to_json()),
+            ("kind", self.kind.to_json()),
+            ("at", self.at.to_json()),
+            ("value", self.value.to_json()),
+        ])
+    }
+}
+
+impl FromJson for NumberedEvent {
+    fn from_json(value: &Value) -> cpjson::Result<Self> {
+        Ok(NumberedEvent {
+            seq: value.field_as("seq")?,
+            kind: value.field_as("kind")?,
+            at: value.field_as("at")?,
+            value: value.field_as("value")?,
+        })
+    }
+}
+
+/// Fixed-capacity ring buffer of [`TraceEvent`]s.
+///
+/// When full, pushing overwrites the oldest entry and increments the dropped
+/// counter — the trace is a recent-history window, not a complete log.
+#[derive(Debug, Clone)]
+pub struct TraceRing {
+    events: VecDeque<(u64, TraceEvent)>,
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+}
+
+impl TraceRing {
+    /// Creates a ring holding at most `capacity` events (0 disables tracing).
+    pub fn new(capacity: usize) -> Self {
+        TraceRing {
+            events: VecDeque::with_capacity(capacity),
+            capacity,
+            next_seq: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest when at capacity.
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            self.next_seq += 1;
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back((self.next_seq, event));
+        self.next_seq += 1;
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total events ever pushed (retained + dropped).
+    pub fn total(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Events evicted or refused because of the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Retained events, oldest first, with their stream sequence numbers.
+    pub fn events(&self) -> Vec<NumberedEvent> {
+        self.events
+            .iter()
+            .map(|(seq, e)| NumberedEvent {
+                seq: *seq,
+                kind: e.kind.to_string(),
+                at: e.at,
+                value: e.value,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retains_most_recent_and_counts_drops() {
+        let mut ring = TraceRing::new(2);
+        ring.push(TraceEvent::new("a", 1, 0));
+        ring.push(TraceEvent::new("b", 2, 0));
+        ring.push(TraceEvent::new("c", 3, 0));
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.total(), 3);
+        assert_eq!(ring.dropped(), 1);
+        let events = ring.events();
+        assert_eq!(events[0].kind, "b");
+        assert_eq!(events[0].seq, 1);
+        assert_eq!(events[1].kind, "c");
+        assert_eq!(events[1].seq, 2);
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let mut ring = TraceRing::new(0);
+        ring.push(TraceEvent::new("a", 0, 0));
+        assert!(ring.is_empty());
+        assert_eq!(ring.total(), 1);
+        assert_eq!(ring.dropped(), 1);
+    }
+}

@@ -21,6 +21,7 @@ use crate::preamble;
 use crate::scrambler::Scrambler;
 use crate::viterbi::ViterbiDecoder;
 use crate::{PhyError, Result};
+use obs::{NoopRecorder, Recorder, Span, StageTimer};
 use rfdsp::Complex;
 
 /// Frame metadata either decoded from the SIGNAL field or supplied by the caller
@@ -118,6 +119,24 @@ pub trait FrameReceiver {
         frame_start: usize,
         info: Option<FrameInfo>,
     ) -> Result<RxFrame>;
+
+    /// Like [`decode_stream`](Self::decode_stream), but emitting stage timings
+    /// into `obs`. The default forwards to the unobserved path, so existing
+    /// implementations stay valid; both in-tree receivers override it with a
+    /// fully instrumented pipeline. Implementations must guarantee the decode
+    /// result is bit-for-bit independent of the recorder (the observability
+    /// layer's core invariant, pinned by the `obs_equivalence` tests).
+    fn decode_stream_observed<O: Recorder>(
+        &self,
+        stream: &mut Self::Stream,
+        samples: &[Complex],
+        frame_start: usize,
+        info: Option<FrameInfo>,
+        obs: &O,
+    ) -> Result<RxFrame> {
+        let _ = obs;
+        self.decode_stream(stream, samples, frame_start, info)
+    }
 }
 
 /// Result of decoding one frame.
@@ -168,6 +187,21 @@ impl StandardReceiver {
         frame_start: usize,
         info: Option<FrameInfo>,
     ) -> Result<RxFrame> {
+        self.decode_frame_observed(samples, frame_start, info, &NoopRecorder)
+    }
+
+    /// [`decode_frame`](Self::decode_frame) with stage timings emitted into
+    /// `obs` under the spans `("sync", "Standard")`, `("decide", "Standard")`
+    /// (the per-symbol demodulate/equalise/CPE chain — the standard receiver's
+    /// whole subcarrier-decision stage) and `("bits", "Standard")`. With a
+    /// [`NoopRecorder`] this monomorphises to exactly the uninstrumented code.
+    pub fn decode_frame_observed<O: Recorder>(
+        &self,
+        samples: &[Complex],
+        frame_start: usize,
+        info: Option<FrameInfo>,
+        obs: &O,
+    ) -> Result<RxFrame> {
         let params = self.engine.params();
         let preamble_len = preamble::preamble_len(params);
         let sym_len = params.symbol_len();
@@ -181,7 +215,9 @@ impl StandardReceiver {
             });
         }
 
-        // Channel estimation from the LTF.
+        // Channel estimation from the LTF, plus SIGNAL decoding when the
+        // caller supplied no metadata — together the frame-acquisition stage.
+        let timer = StageTimer::start(obs, Span::new("sync", "Standard"));
         let estimate = ChannelEstimate::from_ltf(&self.engine, &samples[ltf_start..signal_start])?;
         let polarity = pilot_polarity_sequence();
 
@@ -192,6 +228,7 @@ impl StandardReceiver {
                 self.decode_signal(&samples[signal_start..signal_start + sym_len], &estimate)?
             }
         };
+        timer.finish(obs);
 
         // DATA symbols.
         let num_symbols = info.num_data_symbols(params);
@@ -205,6 +242,7 @@ impl StandardReceiver {
 
         let mut equalized_symbols = Vec::with_capacity(num_symbols);
         for s in 0..num_symbols {
+            let timer = StageTimer::start(obs, Span::new("decide", "Standard"));
             let start = data_start + s * sym_len;
             let bins = self
                 .engine
@@ -214,10 +252,13 @@ impl StandardReceiver {
             let cpe = common_phase_correction(&self.engine, &eq, p)?;
             let corrected: Vec<Complex> = eq.iter().map(|v| *v * cpe).collect();
             equalized_symbols.push(self.engine.extract_data(&corrected)?);
+            timer.finish(obs);
         }
 
+        let timer = StageTimer::start(obs, Span::new("bits", "Standard"));
         let (psdu, crc_ok) =
             decode_psdu_from_symbols(&self.viterbi, params, &equalized_symbols, info)?;
+        timer.finish(obs);
         let payload = if crc_ok {
             Some(psdu[..psdu.len() - 4].to_vec())
         } else {
@@ -275,6 +316,17 @@ impl FrameReceiver for StandardReceiver {
         info: Option<FrameInfo>,
     ) -> Result<RxFrame> {
         self.decode_frame(samples, frame_start, info)
+    }
+
+    fn decode_stream_observed<O: Recorder>(
+        &self,
+        _stream: &mut Self::Stream,
+        samples: &[Complex],
+        frame_start: usize,
+        info: Option<FrameInfo>,
+        obs: &O,
+    ) -> Result<RxFrame> {
+        self.decode_frame_observed(samples, frame_start, info, obs)
     }
 }
 

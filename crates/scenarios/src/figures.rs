@@ -30,7 +30,7 @@ use cprecycle::segments::{
     interference_power_per_segment_with, SegmentExtraction, SegmentScratch,
 };
 use cprecycle::{CpRecycleConfig, DecisionStage, ModelBackend};
-use cprecycle_engine::{CampaignConfig, CampaignResult, RunOptions};
+use cprecycle_engine::{CampaignConfig, CampaignResult};
 use ofdmphy::chanest::ChannelEstimate;
 use ofdmphy::convcode::CodeRate;
 use ofdmphy::frame::{Mcs, Transmitter};
@@ -113,7 +113,12 @@ fn engine_error(e: cprecycle_engine::EngineError) -> ofdmphy::PhyError {
 
 /// Runs a figure's grid as one engine campaign.
 fn run_grid(name: &str, scale: &FigureScale, points: &[LinkPoint]) -> Result<CampaignResult> {
-    run_link_campaign(&scale.campaign(name), points, &RunOptions::default()).map_err(engine_error)
+    run_link_campaign(
+        &scale.campaign(name),
+        points,
+        &crate::telemetry::run_options(),
+    )
+    .map_err(engine_error)
 }
 
 /// Success rates (in percent) of every arm of grid point `idx`.
@@ -974,8 +979,12 @@ pub fn fig12(scale: &FigureScale) -> Result<ExperimentResult> {
 pub fn fig13(scale: &FigureScale) -> ExperimentResult {
     let realizations = if scale.coarse { 2 } else { 16 };
     let config = CampaignConfig::new("fig13", scale.seed).trials(realizations);
-    let result = run_neighbor_campaign(&config, &BuildingModel::default(), &RunOptions::default())
-        .expect("neighbor trials are infallible");
+    let result = run_neighbor_campaign(
+        &config,
+        &BuildingModel::default(),
+        &crate::telemetry::run_options(),
+    )
+    .expect("neighbor trials are infallible");
     let counts = crate::neighbors::counts_from_campaign(&result.points[0]);
     let std_curve = counts.standard_cdf();
     let cp_curve = counts.cprecycle_cdf();

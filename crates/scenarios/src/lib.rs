@@ -27,6 +27,9 @@
 //!   aggregate packet success rates.
 //! * [`neighbors`] — the synthetic office-building model behind Fig. 13.
 //! * [`report`] — plain-text rendering of result series.
+//! * [`telemetry`] — an opt-in process-wide recorder the figure campaigns report
+//!   into, so the `cprecycle-bench` binaries can dump metrics snapshots without
+//!   changing any driver signature.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,6 +40,7 @@ pub mod link;
 pub mod neighbors;
 pub mod report;
 pub mod stream;
+pub mod telemetry;
 pub mod wideband;
 
 /// Convenience alias reusing the PHY error type.

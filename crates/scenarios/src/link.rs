@@ -21,6 +21,7 @@ use cprecycle_engine::{
     run_campaign, CampaignConfig, CampaignPoint, CampaignResult, EngineError, RunOptions,
     TrialOutcome, TrialRecord,
 };
+use obs::{NoopRecorder, Recorder};
 use ofdmphy::frame::{Mcs, Transmitter, TxFrame};
 use ofdmphy::params::OfdmParams;
 use ofdmphy::rx::{FrameInfo, StandardReceiver};
@@ -276,6 +277,19 @@ pub fn run_link_trial(
     point: &LinkPoint,
     rng: &mut StdRng,
 ) -> Result<TrialRecord> {
+    run_link_trial_observed(worker, point, rng, &NoopRecorder)
+}
+
+/// [`run_link_trial`] with stage timing reported into `obs`: the receive chain's
+/// per-stage spans (`sync`, `model_train`, `extract`, `decide`, `bits`, keyed by
+/// decision stage / estimator backend) land in the recorder while the decode stays
+/// bit-identical to the unobserved path.
+pub fn run_link_trial_observed<O: Recorder>(
+    worker: &mut LinkWorker,
+    point: &LinkPoint,
+    rng: &mut StdRng,
+    obs: &O,
+) -> Result<TrialRecord> {
     let prepared = worker
         .prepared
         .entry(point.key())
@@ -288,7 +302,7 @@ pub fn run_link_trial(
     let output = point.scenario.render(rng, &point.params, &frame.samples)?;
     let mut arms = Vec::with_capacity(prepared.receivers.len());
     for receiver in prepared.receivers.iter_mut() {
-        let outcome = decode_prepared(receiver, &frame, &output)?;
+        let outcome = decode_prepared_observed(receiver, &frame, &output, obs)?;
         arms.push(TrialOutcome::new(
             outcome.success,
             outcome.symbol_error_rate,
@@ -298,6 +312,10 @@ pub fn run_link_trial(
 }
 
 /// Runs a link campaign over `points` with the engine.
+///
+/// When [`RunOptions::recorder`] is set it is threaded through to the receive chain,
+/// so the campaign's metrics snapshot carries per-stage decode timing alongside the
+/// executor's per-trial spans and worker gauges.
 pub fn run_link_campaign(
     config: &CampaignConfig,
     points: &[LinkPoint],
@@ -307,7 +325,10 @@ pub fn run_link_campaign(
         config,
         points,
         LinkWorker::new,
-        |worker, point, _point_idx, _trial_idx, rng| run_link_trial(worker, point, rng),
+        |worker, point, _point_idx, _trial_idx, rng| match options.recorder {
+            Some(rec) => run_link_trial_observed(worker, point, rng, &rec),
+            None => run_link_trial(worker, point, rng),
+        },
         options,
     )
 }
@@ -349,29 +370,33 @@ pub fn decode_packet(
     output: &ScenarioOutput,
 ) -> Result<PacketOutcome> {
     let mut prepared = PreparedReceiver::build(kind, params);
-    decode_prepared(&mut prepared, frame, output)
+    decode_prepared_observed(&mut prepared, frame, output, &NoopRecorder)
 }
 
-fn decode_prepared(
+fn decode_prepared_observed<O: Recorder>(
     receiver: &mut PreparedReceiver,
     frame: &TxFrame,
     output: &ScenarioOutput,
+    obs: &O,
 ) -> Result<PacketOutcome> {
     let info = FrameInfo {
         mcs: frame.mcs,
         psdu_len: frame.psdu.len(),
     };
     let out = match receiver {
-        PreparedReceiver::Standard(rx) => rx.decode_frame(&output.received, 0, Some(info))?,
+        PreparedReceiver::Standard(rx) => {
+            rx.decode_frame_observed(&output.received, 0, Some(info), obs)?
+        }
         PreparedReceiver::CpRecycle(boxed) => {
             let (rx, stream) = boxed.as_mut();
             stream.begin_frame();
-            rx.decode_frame_session(
+            rx.decode_frame_session_observed(
                 &output.received,
                 0,
                 Some(info),
                 Some(&output.interference_only),
                 stream,
+                obs,
             )?
         }
     };
@@ -420,6 +445,31 @@ pub fn packet_success_rate(
     receivers: &[ReceiverKind],
     config: &MonteCarloConfig,
 ) -> Result<Vec<f64>> {
+    packet_success_rate_inner(params, mcs, scenario, receivers, config, None)
+}
+
+/// [`packet_success_rate`] with telemetry: the engine's per-trial spans and the
+/// receive chain's per-stage decode timing are reported into `recorder`, without
+/// changing any measured rate (instrumentation never touches the seed tree).
+pub fn packet_success_rate_observed(
+    params: &OfdmParams,
+    mcs: Mcs,
+    scenario: &Scenario,
+    receivers: &[ReceiverKind],
+    config: &MonteCarloConfig,
+    recorder: &(dyn Recorder + Sync),
+) -> Result<Vec<f64>> {
+    packet_success_rate_inner(params, mcs, scenario, receivers, config, Some(recorder))
+}
+
+fn packet_success_rate_inner(
+    params: &OfdmParams,
+    mcs: Mcs,
+    scenario: &Scenario,
+    receivers: &[ReceiverKind],
+    config: &MonteCarloConfig,
+    recorder: Option<&(dyn Recorder + Sync)>,
+) -> Result<Vec<f64>> {
     let point = LinkPoint {
         label: "packet_success_rate".into(),
         params: params.clone(),
@@ -429,8 +479,11 @@ pub fn packet_success_rate(
         payload_len: config.payload_len,
     };
     let campaign = CampaignConfig::new("packet_success_rate", config.seed).trials(config.packets);
-    let result = run_link_campaign(&campaign, &[point], &RunOptions::default())
-        .map_err(engine_error_to_phy)?;
+    let options = RunOptions {
+        recorder,
+        ..Default::default()
+    };
+    let result = run_link_campaign(&campaign, &[point], &options).map_err(engine_error_to_phy)?;
     Ok(result.points[0]
         .arms
         .iter()
@@ -722,6 +775,33 @@ mod tests {
         assert_eq!(serial.deterministic_view(), parallel.deterministic_view());
         // And a meaningful result came out: the clean point decodes everything.
         assert_eq!(serial.points[0].arms[0].successes, 4);
+    }
+
+    #[test]
+    fn observed_campaign_matches_plain_and_records_stage_timing() {
+        use obs::Recorder as _;
+        let params = OfdmParams::ieee80211ag();
+        let receivers = vec![
+            ReceiverKind::Standard,
+            ReceiverKind::CpRecycle(CpRecycleConfig::default()),
+        ];
+        let config = small_config();
+        let scenario = Scenario::Clean { snr_db: 30.0 };
+        let plain = packet_success_rate(&params, mcs(), &scenario, &receivers, &config).unwrap();
+        let rec = obs::InMemoryRecorder::new(64);
+        let observed =
+            packet_success_rate_observed(&params, mcs(), &scenario, &receivers, &config, &rec)
+                .unwrap();
+        assert_eq!(plain, observed, "instrumentation must not change outcomes");
+        let snap = rec.snapshot().unwrap();
+        assert_eq!(snap.counter("trials_completed"), config.packets as u64);
+        // The executor's per-trial span and the receive chain's per-stage spans,
+        // keyed by decision stage, all landed in one recorder.
+        assert!(snap.stage("trial", "").is_some());
+        assert!(snap.stage("sync", "Standard").is_some());
+        assert!(snap.stage("sync", "Sphere").is_some());
+        assert!(snap.stage("decide", "Sphere").is_some());
+        assert!(snap.stage("model_train", "ExactKde").is_some());
     }
 
     #[test]

@@ -2,9 +2,12 @@
 //!
 //! Every figure driver returns an [`ExperimentResult`] — a set of labelled `(x, y)`
 //! series plus metadata — which the `cprecycle-bench` binaries print as aligned text
-//! tables (and optionally dump as JSON for plotting).
+//! tables (and optionally dump as JSON for plotting). The `examples/` binaries route
+//! their output through the same machinery via [`ExampleReport`], which can also dump
+//! an [`obs::MetricsSnapshot`] when `CPRECYCLE_METRICS` points at a file.
 
 use cpjson::{object, FromJson, ToJson, Value};
+use obs::MetricsSnapshot;
 
 /// One labelled data series (a curve in a paper figure).
 #[derive(Debug, Clone, PartialEq)]
@@ -143,6 +146,86 @@ impl FromJson for ExperimentResult {
     }
 }
 
+/// Shared result reporting for the `examples/` binaries.
+///
+/// An example builds one report — a titled [`ExperimentResult`] table plus free-form
+/// note lines — and calls [`ExampleReport::emit`] once at the end. That keeps every
+/// example's output shape consistent and gives each one metrics export for free: when
+/// the `CPRECYCLE_METRICS` environment variable names a path, the snapshot passed to
+/// `emit` is written there as pretty `cpjson` (the same [`MetricsSnapshot`] format
+/// `campaign run --metrics` produces).
+#[derive(Debug, Clone)]
+pub struct ExampleReport {
+    /// The tabular part of the report; examples without a sweep leave `series` empty
+    /// and the table is skipped.
+    pub result: ExperimentResult,
+    /// Free-form summary lines printed after the table.
+    pub notes: Vec<String>,
+}
+
+impl ExampleReport {
+    /// A new report with no series and no notes yet.
+    pub fn new(
+        id: impl Into<String>,
+        description: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        ExampleReport {
+            result: ExperimentResult {
+                id: id.into(),
+                description: description.into(),
+                x_label: x_label.into(),
+                y_label: y_label.into(),
+                series: Vec::new(),
+            },
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a measured series (one table column).
+    pub fn push_series(&mut self, series: Series) {
+        self.result.series.push(series);
+    }
+
+    /// Appends a free-form summary line.
+    pub fn note(&mut self, line: impl Into<String>) {
+        self.notes.push(line.into());
+    }
+
+    /// Renders the report: the experiment table (when any series exist, otherwise
+    /// just the heading) followed by the note lines.
+    pub fn to_text(&self) -> String {
+        let mut out = if self.result.series.is_empty() {
+            format!("# {} — {}\n", self.result.id, self.result.description)
+        } else {
+            self.result.to_table()
+        };
+        for note in &self.notes {
+            out.push_str(note);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the report to stdout and, when the `CPRECYCLE_METRICS` environment
+    /// variable names a path, writes `metrics` there as pretty `cpjson`.
+    pub fn emit(&self, metrics: Option<&MetricsSnapshot>) {
+        print!("{}", self.to_text());
+        if let Some(snapshot) = metrics {
+            if let Some(path) = std::env::var_os("CPRECYCLE_METRICS") {
+                match std::fs::write(&path, snapshot.to_json_string()) {
+                    Ok(()) => println!("(metrics snapshot written to {})", path.to_string_lossy()),
+                    Err(e) => eprintln!(
+                        "failed to write metrics snapshot to {}: {e}",
+                        path.to_string_lossy()
+                    ),
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,5 +280,26 @@ mod tests {
     #[should_panic(expected = "equal lengths")]
     fn mismatched_series_lengths_panic() {
         let _ = Series::new("bad", vec![1.0], vec![]);
+    }
+
+    #[test]
+    fn example_report_renders_table_and_notes() {
+        let mut report = ExampleReport::new("Fig. 8", "PSR vs SIR", "SIR (dB)", "PSR (%)");
+        report.push_series(Series::new("Standard", vec![-10.0, 0.0], vec![5.0, 60.0]));
+        report.note("Standard collapses below -10 dB");
+        let text = report.to_text();
+        assert!(text.contains("Fig. 8"));
+        assert!(text.contains("Standard"));
+        assert!(text.ends_with("Standard collapses below -10 dB\n"));
+    }
+
+    #[test]
+    fn example_report_without_series_prints_heading_only() {
+        let mut report = ExampleReport::new("Quickstart", "one frame, two receivers", "", "");
+        report.note("CRC OK");
+        let text = report.to_text();
+        assert!(text.starts_with("# Quickstart"));
+        assert!(!text.contains("no data"));
+        assert!(text.contains("CRC OK"));
     }
 }

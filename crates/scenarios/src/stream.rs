@@ -391,8 +391,12 @@ pub fn stream_grid(scale: &FigureScale) -> Vec<StreamPoint> {
 pub fn fig_stream(scale: &FigureScale) -> Result<ExperimentResult> {
     let sirs = stream_sirs(scale);
     let points = stream_grid(scale);
-    let result = run_stream_campaign(&scale.campaign("stream"), &points, &RunOptions::default())
-        .map_err(|e| ofdmphy::PhyError::DecodeFailure(e.to_string()))?;
+    let result = run_stream_campaign(
+        &scale.campaign("stream"),
+        &points,
+        &crate::telemetry::run_options(),
+    )
+    .map_err(|e| ofdmphy::PhyError::DecodeFailure(e.to_string()))?;
     let arm_labels: Vec<String> = result.points[0]
         .arms
         .iter()

@@ -1,0 +1,62 @@
+//! Process-wide telemetry for the figure drivers.
+//!
+//! The figure functions in [`crate::figures`] deliberately keep their signatures to
+//! `(scale) -> result`; threading a recorder through every one of them (and through
+//! `FigureScale`) would churn the whole driver surface for an optional concern. The
+//! compromise is one process-global recorder slot: a binary that wants telemetry calls
+//! [`install`] before running drivers, every campaign launched without an explicit
+//! [`RunOptions::recorder`](cprecycle_engine::RunOptions) reports into it, and the
+//! binary reads [`snapshot`] at the end. Binaries that never install pay nothing — the
+//! slot stays empty and campaigns run with recording fully compiled out of the hot
+//! path.
+
+use obs::{InMemoryRecorder, MetricsSnapshot, Recorder};
+use std::sync::OnceLock;
+
+static GLOBAL: OnceLock<InMemoryRecorder> = OnceLock::new();
+
+/// Installs the process-wide recorder (idempotent — the first call wins) and returns
+/// it. Campaigns started after this report their executor spans, worker gauges and
+/// receive-chain stage timing into it unless given an explicit recorder.
+pub fn install() -> &'static InMemoryRecorder {
+    GLOBAL.get_or_init(InMemoryRecorder::default)
+}
+
+/// The installed recorder, or `None` when [`install`] has never been called.
+pub fn installed() -> Option<&'static InMemoryRecorder> {
+    GLOBAL.get()
+}
+
+/// A snapshot of the installed recorder's state, or `None` when telemetry was never
+/// installed.
+pub fn snapshot() -> Option<MetricsSnapshot> {
+    GLOBAL.get().and_then(|r| r.snapshot())
+}
+
+/// Engine run options wired to the installed recorder (every other field default).
+/// The figure drivers use this instead of `RunOptions::default()` so an installed
+/// telemetry recorder sees their campaigns.
+pub fn run_options() -> cprecycle_engine::RunOptions<'static> {
+    cprecycle_engine::RunOptions {
+        recorder: installed().map(|r| r as &(dyn Recorder + Sync)),
+        ..Default::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_is_idempotent_and_snapshot_reads_it() {
+        // `installed()` may already be set by another test in this process; either
+        // way the same instance must come back every time.
+        let a = install() as *const InMemoryRecorder;
+        let b = install() as *const InMemoryRecorder;
+        assert_eq!(a, b);
+        install().counter("telemetry_test_ticks", 2);
+        let snap = snapshot().expect("installed");
+        assert!(snap.counter("telemetry_test_ticks") >= 2);
+        assert!(installed().is_some());
+    }
+}

@@ -7,16 +7,21 @@
 //! ```text
 //! cargo run --release --example adjacent_channel
 //! ```
+//!
+//! Set `CPRECYCLE_METRICS=/path/to/metrics.json` to also dump the run's telemetry
+//! (per-trial timing, per-stage decode spans, worker throughput) as cpjson.
 
 use cprecycle_repro::cprecycle::CpRecycleConfig;
+use cprecycle_repro::obs::InMemoryRecorder;
 use cprecycle_repro::ofdmphy::convcode::CodeRate;
 use cprecycle_repro::ofdmphy::frame::Mcs;
 use cprecycle_repro::ofdmphy::modulation::Modulation;
 use cprecycle_repro::ofdmphy::params::OfdmParams;
 use cprecycle_repro::scenarios::interference::AciScenario;
 use cprecycle_repro::scenarios::link::{
-    packet_success_rate, MonteCarloConfig, ReceiverKind, Scenario,
+    packet_success_rate_observed, MonteCarloConfig, ReceiverKind, Scenario,
 };
+use cprecycle_repro::scenarios::report::{ExampleReport, Series};
 
 fn main() {
     let params = OfdmParams::ieee80211ag();
@@ -30,22 +35,35 @@ fn main() {
         payload_len: 200,
         seed: 2024,
     };
-    println!(
-        "Adjacent-channel interferer on an overlapping channel (15 MHz away), {}",
-        mcs.label()
-    );
-    println!(
-        "{:>8} | {:>22} | {:>22}",
-        "SIR(dB)", "PSR without CPRecycle", "PSR with CPRecycle"
-    );
-    for sir in [-25.0, -20.0, -15.0, -10.0, -5.0, 0.0] {
+    let recorder = InMemoryRecorder::new(256);
+
+    let sirs = [-25.0, -20.0, -15.0, -10.0, -5.0, 0.0];
+    let mut curves: Vec<Vec<f64>> = vec![Vec::new(); receivers.len()];
+    for &sir in &sirs {
         let scenario = Scenario::Aci(AciScenario {
             sir_db: sir,
             channel_offset_hz: Some(15e6),
             ..Default::default()
         });
-        let psr = packet_success_rate(&params, mcs, &scenario, &receivers, &config)
-            .expect("simulation runs");
-        println!("{sir:>8.0} | {:>21.1}% | {:>21.1}%", psr[0], psr[1]);
+        let psr =
+            packet_success_rate_observed(&params, mcs, &scenario, &receivers, &config, &recorder)
+                .expect("simulation runs");
+        for (curve, value) in curves.iter_mut().zip(&psr) {
+            curve.push(*value);
+        }
     }
+
+    let mut report = ExampleReport::new(
+        "Adjacent-channel interference",
+        format!(
+            "overlapping-channel interferer 15 MHz away, {}",
+            mcs.label()
+        ),
+        "SIR (dB)",
+        "Packet success rate (%)",
+    );
+    for (kind, curve) in receivers.iter().zip(curves) {
+        report.push_series(Series::new(kind.label(), sirs.to_vec(), curve));
+    }
+    report.emit(Some(&recorder.snapshot_now()));
 }

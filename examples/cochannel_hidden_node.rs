@@ -8,16 +8,21 @@
 //! ```text
 //! cargo run --release --example cochannel_hidden_node
 //! ```
+//!
+//! Set `CPRECYCLE_METRICS=/path/to/metrics.json` to also dump the run's telemetry
+//! (per-trial timing, per-stage decode spans, worker throughput) as cpjson.
 
 use cprecycle_repro::cprecycle::{CpRecycleConfig, DecisionStage};
+use cprecycle_repro::obs::InMemoryRecorder;
 use cprecycle_repro::ofdmphy::convcode::CodeRate;
 use cprecycle_repro::ofdmphy::frame::Mcs;
 use cprecycle_repro::ofdmphy::modulation::Modulation;
 use cprecycle_repro::ofdmphy::params::OfdmParams;
 use cprecycle_repro::scenarios::interference::CciScenario;
 use cprecycle_repro::scenarios::link::{
-    packet_success_rate, MonteCarloConfig, ReceiverKind, Scenario,
+    packet_success_rate_observed, MonteCarloConfig, ReceiverKind, Scenario,
 };
+use cprecycle_repro::scenarios::report::{ExampleReport, Series};
 
 fn main() {
     let params = OfdmParams::ieee80211ag();
@@ -32,21 +37,31 @@ fn main() {
         payload_len: 200,
         seed: 99,
     };
-    println!("Hidden-node co-channel interferer, {}", mcs.label());
-    println!(
-        "{:>8} | {:>12} | {:>12} | {:>12}",
-        "SIR(dB)", "Standard", "Naive", "CPRecycle"
-    );
-    for sir in [0.0, 3.0, 6.0, 9.0, 12.0, 18.0] {
+    let recorder = InMemoryRecorder::new(256);
+
+    let sirs = [0.0, 3.0, 6.0, 9.0, 12.0, 18.0];
+    let mut curves: Vec<Vec<f64>> = vec![Vec::new(); receivers.len()];
+    for &sir in &sirs {
         let scenario = Scenario::Cci(CciScenario {
             sir_db: sir,
             ..Default::default()
         });
-        let psr = packet_success_rate(&params, mcs, &scenario, &receivers, &config)
-            .expect("simulation runs");
-        println!(
-            "{sir:>8.0} | {:>11.1}% | {:>11.1}% | {:>11.1}%",
-            psr[0], psr[1], psr[2]
-        );
+        let psr =
+            packet_success_rate_observed(&params, mcs, &scenario, &receivers, &config, &recorder)
+                .expect("simulation runs");
+        for (curve, value) in curves.iter_mut().zip(&psr) {
+            curve.push(*value);
+        }
     }
+
+    let mut report = ExampleReport::new(
+        "Co-channel hidden node",
+        format!("hidden-node co-channel interferer, {}", mcs.label()),
+        "SIR (dB)",
+        "Packet success rate (%)",
+    );
+    for (kind, curve) in receivers.iter().zip(curves) {
+        report.push_series(Series::new(kind.label(), sirs.to_vec(), curve));
+    }
+    report.emit(Some(&recorder.snapshot_now()));
 }

@@ -5,8 +5,13 @@
 //! ```text
 //! cargo run --example network_planning
 //! ```
+//!
+//! Set `CPRECYCLE_METRICS=/path/to/metrics.json` to also dump the summary statistics
+//! as a cpjson metrics snapshot.
 
+use cprecycle_repro::obs::MetricsSnapshot;
 use cprecycle_repro::scenarios::neighbors::{simulate_neighbors, BuildingModel};
+use cprecycle_repro::scenarios::report::{ExampleReport, Series};
 use rand::SeedableRng;
 
 fn main() {
@@ -23,38 +28,54 @@ fn main() {
     let (std_avg, std_median, std_p80) = stats(&counts.standard);
     let (cp_avg, cp_median, cp_p80) = stats(&counts.cprecycle);
 
-    println!(
-        "Synthetic office: {} floors, {} APs, {} dBm APs, standard threshold {} dBm, CPRecycle gain {} dB",
-        model.floors,
-        model.floors * model.aps_per_floor,
-        model.tx_power_dbm,
-        model.standard_threshold_dbm,
-        model.cprecycle_gain_db
-    );
-    println!("Interfering neighbors per AP:");
-    println!("  Standard  — mean {std_avg:.1}, median {std_median}, 80th percentile {std_p80}");
-    println!("  CPRecycle — mean {cp_avg:.1}, median {cp_median}, 80th percentile {cp_p80}");
-
-    println!("\nCDF (number of interfering neighbors -> fraction of APs):");
-    println!(
-        "{:>10} | {:>10} | {:>10}",
-        "neighbors", "Standard", "CPRecycle"
-    );
+    // Sample both CDFs on a shared neighbor-count axis for the table.
+    let ns: Vec<f64> = (0..=24).step_by(4).map(|n| n as f64).collect();
+    let eval = |curve: &[(f64, f64)], n: f64| {
+        curve
+            .iter()
+            .take_while(|(x, _)| *x <= n)
+            .last()
+            .map(|(_, y)| *y)
+            .unwrap_or(0.0)
+    };
     let std_cdf = counts.standard_cdf();
     let cp_cdf = counts.cprecycle_cdf();
-    for n in (0..=24).step_by(4) {
-        let eval = |curve: &[(f64, f64)]| {
-            curve
-                .iter()
-                .take_while(|(x, _)| *x <= n as f64)
-                .last()
-                .map(|(_, y)| *y)
-                .unwrap_or(0.0)
-        };
-        println!(
-            "{n:>10} | {:>10.2} | {:>10.2}",
-            eval(&std_cdf),
-            eval(&cp_cdf)
-        );
-    }
+
+    let mut report = ExampleReport::new(
+        "Network planning",
+        format!(
+            "synthetic office: {} floors, {} APs, {} dBm APs, standard threshold {} dBm, CPRecycle gain {} dB",
+            model.floors,
+            model.floors * model.aps_per_floor,
+            model.tx_power_dbm,
+            model.standard_threshold_dbm,
+            model.cprecycle_gain_db
+        ),
+        "neighbors",
+        "fraction of APs (CDF)",
+    );
+    report.push_series(Series::new(
+        "Standard",
+        ns.clone(),
+        ns.iter().map(|&n| eval(&std_cdf, n)).collect(),
+    ));
+    report.push_series(Series::new(
+        "CPRecycle",
+        ns.clone(),
+        ns.iter().map(|&n| eval(&cp_cdf, n)).collect(),
+    ));
+    report.note(format!(
+        "Standard  — mean {std_avg:.1}, median {std_median}, 80th percentile {std_p80}"
+    ));
+    report.note(format!(
+        "CPRecycle — mean {cp_avg:.1}, median {cp_median}, 80th percentile {cp_p80}"
+    ));
+
+    let mut metrics = MetricsSnapshot::default();
+    metrics.add_counter("aps", (model.floors * model.aps_per_floor) as u64);
+    metrics.set_gauge("standard.mean_neighbors", std_avg);
+    metrics.set_gauge("standard.p80_neighbors", std_p80 as f64);
+    metrics.set_gauge("cprecycle.mean_neighbors", cp_avg);
+    metrics.set_gauge("cprecycle.p80_neighbors", cp_p80 as f64);
+    report.emit(Some(&metrics));
 }

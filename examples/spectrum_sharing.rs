@@ -9,16 +9,21 @@
 //! ```text
 //! cargo run --release --example spectrum_sharing
 //! ```
+//!
+//! Set `CPRECYCLE_METRICS=/path/to/metrics.json` to also dump the run's telemetry
+//! (per-trial timing, per-stage decode spans, worker throughput) as cpjson.
 
 use cprecycle_repro::cprecycle::CpRecycleConfig;
+use cprecycle_repro::obs::InMemoryRecorder;
 use cprecycle_repro::ofdmphy::convcode::CodeRate;
 use cprecycle_repro::ofdmphy::frame::Mcs;
 use cprecycle_repro::ofdmphy::modulation::Modulation;
 use cprecycle_repro::ofdmphy::params::OfdmParams;
 use cprecycle_repro::scenarios::interference::AciScenario;
 use cprecycle_repro::scenarios::link::{
-    packet_success_rate, MonteCarloConfig, ReceiverKind, Scenario,
+    packet_success_rate_observed, MonteCarloConfig, ReceiverKind, Scenario,
 };
+use cprecycle_repro::scenarios::report::{ExampleReport, Series};
 
 fn main() {
     let params = OfdmParams::ieee80211ag();
@@ -32,37 +37,53 @@ fn main() {
         payload_len: 200,
         seed: 7,
     };
+    let recorder = InMemoryRecorder::new(256);
     let sir = -20.0;
     let guards_mhz = [0.0, 2.5, 5.0, 7.5, 10.0, 15.0, 20.0];
-    println!(
-        "Incumbent transmitter 20 dB stronger than the secondary link ({})",
-        mcs.label()
-    );
-    println!(
-        "{:>12} | {:>12} | {:>12}",
-        "Guard (MHz)", "Standard", "CPRecycle"
-    );
+
+    let mut curves: Vec<Vec<f64>> = vec![Vec::new(); receivers.len()];
     let mut needed = [f64::INFINITY, f64::INFINITY];
-    for guard in guards_mhz {
+    for &guard in &guards_mhz {
         let scenario = Scenario::Aci(AciScenario {
             sir_db: sir,
             guard_band_hz: guard * 1e6,
             oversample: if guard > 18.0 { 8 } else { 4 },
             ..Default::default()
         });
-        let psr = packet_success_rate(&params, mcs, &scenario, &receivers, &config)
-            .expect("simulation runs");
-        for (slot, value) in needed.iter_mut().zip(&psr) {
+        let psr =
+            packet_success_rate_observed(&params, mcs, &scenario, &receivers, &config, &recorder)
+                .expect("simulation runs");
+        for ((curve, slot), value) in curves.iter_mut().zip(needed.iter_mut()).zip(&psr) {
+            curve.push(*value);
             if *value >= 90.0 && guard < *slot {
                 *slot = guard;
             }
         }
-        println!("{guard:>12.1} | {:>11.1}% | {:>11.1}%", psr[0], psr[1]);
     }
-    for (name, g) in ["Standard", "CPRecycle"].iter().zip(needed) {
+
+    let mut report = ExampleReport::new(
+        "Spectrum sharing",
+        format!(
+            "incumbent 20 dB stronger than the secondary link, {}",
+            mcs.label()
+        ),
+        "Guard (MHz)",
+        "Packet success rate (%)",
+    );
+    for (kind, curve) in receivers.iter().zip(curves) {
+        report.push_series(Series::new(kind.label(), guards_mhz.to_vec(), curve));
+    }
+    for (kind, g) in receivers.iter().zip(needed) {
         match g.is_finite() {
-            true => println!("{name}: reaches 90% PSR with a {g:.1} MHz guard band"),
-            false => println!("{name}: never reaches 90% PSR in this sweep"),
+            true => report.note(format!(
+                "{}: reaches 90% PSR with a {g:.1} MHz guard band",
+                kind.label()
+            )),
+            false => report.note(format!(
+                "{}: never reaches 90% PSR in this sweep",
+                kind.label()
+            )),
         }
     }
+    report.emit(Some(&recorder.snapshot_now()));
 }

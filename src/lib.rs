@@ -14,6 +14,9 @@
 //!   baselines.
 //! * [`engine`] — the deterministic parallel Monte-Carlo campaign engine.
 //! * [`scenarios`] — the experiment harness reproducing every table and figure.
+//! * [`obs`] — zero-overhead instrumentation: stage timers, counters, metrics
+//!   snapshots and a bounded event trace, wired through receivers, sessions and the
+//!   campaign engine.
 //!
 //! See the repository README for a walk-through and `DESIGN.md` / `EXPERIMENTS.md` for
 //! the system inventory and the per-figure reproduction record.
@@ -24,6 +27,7 @@
 pub use cprecycle;
 pub use cprecycle_engine as engine;
 pub use cprecycle_scenarios as scenarios;
+pub use obs;
 pub use ofdmphy;
 pub use rfdsp;
 pub use wirelesschan;
