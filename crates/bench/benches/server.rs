@@ -1,0 +1,163 @@
+//! Multi-session server throughput: one bursty capture per session, pushed through
+//! [`RxServer`] across a sessions × worker-threads × chunk-size grid.
+//!
+//! The quantity of interest is *aggregate* ingested samples/s: every iteration
+//! pushes the whole capture into every session (round-robin chunk interleaving, the
+//! access-point shape the `scenarios::stations` driver models), so
+//!
+//! ```text
+//! aggregate Msps = sessions × capture_len / median_ns × 1000
+//! ```
+//!
+//! with `capture_len` printed at startup (the README "Performance" table records
+//! the derived figures). The scaling story CI's `BENCH_server.json` tracks: at a
+//! fixed session count, `t4` over `t1` shows how much of the per-session decode
+//! work the pool actually parallelises; along the session axis it shows aggregate
+//! throughput holding as streams multiply. The standard receiver sweeps the full
+//! grid (its decode is cheap enough that scheduling overhead is visible); one
+//! CPRecycle cell pins the decode-bound regime where the pool pays off most.
+
+use cprecycle::{CpRecycleConfig, CpRecycleReceiver, RxServer, ServerConfig, SessionConfig};
+use cprecycle_scenarios::stream::build_burst;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ofdmphy::convcode::CodeRate;
+use ofdmphy::frame::{Mcs, Transmitter};
+use ofdmphy::modulation::Modulation;
+use ofdmphy::params::OfdmParams;
+use ofdmphy::rx::{FrameReceiver, StandardReceiver};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rfdsp::Complex;
+
+/// A bursty two-frame capture at 28 dB SNR (the equivalence suites' operating
+/// point: clean enough that every frame decodes, noisy enough that detection is
+/// honest work).
+fn station_capture(seed: u64, frames: usize, payload_len: usize) -> Vec<Complex> {
+    let params = OfdmParams::ieee80211ag();
+    let tx = Transmitter::new(params);
+    let mcs = Mcs::new(Modulation::Qpsk, CodeRate::Half);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (_payloads, victim) =
+        build_burst(&tx, mcs, payload_len, frames, (120, 400), &mut rng).unwrap();
+    let power = rfdsp::power::signal_power(&victim).unwrap();
+    let noise_var = power / rfdsp::power::db_to_lin(28.0);
+    let mut g = rfdsp::noise::GaussianSource::new();
+    let noise = g.complex_vector(&mut rng, victim.len(), noise_var);
+    victim
+        .iter()
+        .zip(noise)
+        .map(|(v, n)| Complex::new(v.re + n.re, v.im + n.im))
+        .collect()
+}
+
+/// Pushes the capture into every session round-robin in `chunk`-sample pieces,
+/// barriers on the pool, and drains. Returns the total event count (kept live so
+/// the decode work cannot be optimised away).
+fn feed_all<R>(
+    server: &RxServer<R>,
+    handles: &[cprecycle::SessionHandle<R>],
+    capture: &[Complex],
+    chunk: usize,
+) -> usize
+where
+    R: FrameReceiver + Send + 'static,
+    R::Stream: Send,
+{
+    let mut start = 0;
+    while start < capture.len() {
+        let end = (start + chunk).min(capture.len());
+        for handle in handles {
+            handle.push(&capture[start..end]).unwrap();
+        }
+        start = end;
+    }
+    server.drain();
+    handles.iter().map(|h| h.drain_events().len()).sum()
+}
+
+fn bench_server(c: &mut Criterion) {
+    let params = OfdmParams::ieee80211ag();
+    let capture = station_capture(7, 2, 400);
+    eprintln!(
+        "server bench: {} samples/session/iteration (aggregate Msps = sessions x {} / median_ns x 1000)",
+        capture.len(),
+        capture.len()
+    );
+
+    let mut group = c.benchmark_group("server");
+    group.sample_size(10);
+
+    // Standard receiver: sessions × threads × chunk grid. Servers stand across
+    // iterations (sessions return to hunting after each burst), matching a
+    // long-running access point's steady state.
+    for sessions in [1usize, 4, 8] {
+        for threads in [1usize, 4] {
+            let server: RxServer<StandardReceiver> = RxServer::new(ServerConfig {
+                threads,
+                queue_capacity: 64,
+            });
+            let handles: Vec<_> = (0..sessions)
+                .map(|_| {
+                    server.add_session(
+                        StandardReceiver::new(params.clone()),
+                        SessionConfig::default(),
+                    )
+                })
+                .collect();
+            for chunk in [480usize, 4096] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("std/s{sessions}xt{threads}"), chunk),
+                    &chunk,
+                    |b, &chunk| {
+                        b.iter(|| {
+                            let events = feed_all(&server, &handles, &capture, chunk);
+                            assert!(events >= sessions);
+                            events
+                        });
+                    },
+                );
+            }
+            server.shutdown();
+        }
+    }
+
+    // CPRecycle: the decode-bound regime (sphere ML dominates, ~ms per frame), where
+    // worker threads buy near-linear aggregate scaling. One cell keeps the smoke
+    // job affordable; shorter payloads bound the per-iteration decode cost.
+    let cp_capture = station_capture(11, 1, 120);
+    eprintln!(
+        "server bench: cprecycle cells ingest {} samples/session/iteration",
+        cp_capture.len()
+    );
+    for threads in [1usize, 4] {
+        let sessions = 4usize;
+        let server: RxServer<CpRecycleReceiver> = RxServer::new(ServerConfig {
+            threads,
+            queue_capacity: 64,
+        });
+        let handles: Vec<_> = (0..sessions)
+            .map(|_| {
+                server.add_session(
+                    CpRecycleReceiver::new(params.clone(), CpRecycleConfig::default()),
+                    SessionConfig::default(),
+                )
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new(format!("cprecycle/s{sessions}xt{threads}"), 480usize),
+            &480usize,
+            |b, &chunk| {
+                b.iter(|| {
+                    let events = feed_all(&server, &handles, &cp_capture, chunk);
+                    assert!(events >= sessions);
+                    events
+                });
+            },
+        );
+        server.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_server);
+criterion_main!(benches);

@@ -31,7 +31,10 @@
 //! For continuous reception, [`session::RxSession`] wraps any
 //! [`FrameReceiver`] — push arbitrary-length sample chunks, drain decoded-frame
 //! events; detection resumes across chunk boundaries and the interference model can
-//! persist across frames ([`ModelPersistence`]).
+//! persist across frames ([`ModelPersistence`]). For many concurrent streams,
+//! [`server::RxServer`] multiplexes N sessions over a fixed worker pool — bounded
+//! per-session ingress queues with explicit backpressure, and per-session outputs
+//! bit-identical to standalone sessions for any scheduling.
 //!
 //! ## Quick example
 //!
@@ -66,6 +69,7 @@ pub mod isi_free;
 pub mod oracle;
 pub mod receiver;
 pub mod segments;
+pub mod server;
 pub mod session;
 pub mod sphere_ml;
 
@@ -81,6 +85,7 @@ pub use estimator::{
 pub use interference_model::InterferenceModel;
 pub use receiver::{CpRecycleReceiver, RxStream};
 pub use segments::{SegmentExtraction, SegmentPowers, SegmentScratch, SymbolSegments};
+pub use server::{PushError, RxServer, ServerConfig, SessionHandle};
 pub use session::{RxEvent, RxSession, SessionConfig, SessionCounters};
 // The streaming-receiver contract lives next to `StandardReceiver` in `ofdmphy`;
 // re-exported here because sessions are this crate's API surface.

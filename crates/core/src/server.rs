@@ -1,0 +1,759 @@
+//! Multi-session receiver server: N independent [`RxSession`]s multiplexed over a
+//! fixed worker pool.
+//!
+//! One base station services many stations at once; [`RxServer`] is the layer that
+//! turns the single-stream [`RxSession`] into that shape. Each session lives behind
+//! a cheaply cloneable [`SessionHandle`]: producers push sample chunks into a
+//! **bounded per-session ingress queue** ([`SessionHandle::try_push`] returns
+//! [`PushError::Full`]; [`SessionHandle::push`] blocks for space) and drain ordered
+//! per-session [`RxEvent`]s; a pool of worker threads
+//! ([`cprecycle_engine::pool::WorkerPool`], the same worker-local-state machinery
+//! behind the campaign executor) services the sessions.
+//!
+//! ## Ownership and threading
+//!
+//! ```text
+//!  producer threads                  RxServer                     worker pool
+//!  ───────────────     ┌──────────────────────────────┐     ┌──────────────────┐
+//!  handle.push(chunk) ─▶ SessionSlot 0: ingress queue ─┐    │ rx-pool-0        │
+//!  handle.push(chunk) ─▶ SessionSlot 1: ingress queue ─┼──▶ │ rx-pool-1        │
+//!        …            ─▶ SessionSlot k: ingress queue ─┘    │   …              │
+//!                      │   (bounded, FIFO, `scheduled`)│    │ pops a *slot*,   │
+//!                      │   session: Mutex<RxSession>   │◀── │ drains its queue │
+//!                      └──────────────────────────────┘     └──────────────────┘
+//! ```
+//!
+//! A slot is enqueued on the pool **at most once** at any time (the `scheduled`
+//! flag): whichever worker pops it has exclusive run of that session until its
+//! ingress queue is observed empty (or a fairness budget expires, in which case the
+//! slot re-enqueues itself *behind* the other waiting slots). Chunks therefore reach
+//! each `RxSession` in exactly the FIFO order they were accepted, processed by one
+//! worker at a time.
+//!
+//! ## Determinism
+//!
+//! Sessions share no state — each owns its receiver, carry-over buffer, detector and
+//! interference model — so the only way scheduling could change an output is by
+//! changing the order or grouping of one session's chunks. The scheduled-flag
+//! protocol forbids both: per-session FIFO plus exclusive servicing means the
+//! session's state machine performs the identical sequence of floating-point
+//! operations as a standalone [`RxSession`] fed the same chunks sequentially,
+//! regardless of worker count, queue depths, or how N sessions' pushes interleave.
+//! Events and [`SessionCounters`] are therefore **bit-identical** to the standalone
+//! replay — the property `tests/server_equivalence.rs` pins over random
+//! interleavings.
+//!
+//! ## Backpressure contract
+//!
+//! * [`SessionHandle::try_push`] either accepts the whole chunk or returns
+//!   [`PushError::Full`] having consumed **nothing** — the producer owns the chunk
+//!   and may resubmit it later; accepted chunks are never dropped or reordered.
+//! * [`SessionHandle::push`] blocks until the queue has space (or the session
+//!   closes, → [`PushError::Closed`]).
+//! * [`RxServer::drain`] blocks until every chunk accepted *before the call* has
+//!   been fully processed; buffered mid-frame samples stay pending (no frame that
+//!   could still complete is abandoned).
+//! * [`RxServer::shutdown`] closes every session (subsequent pushes →
+//!   [`PushError::Closed`]), appends one final flush per session (end-of-stream:
+//!   incomplete frames surface as [`RxEvent::SyncLost`]), waits for the work to
+//!   finish, and joins the pool. Handles stay valid for draining events and reading
+//!   counters afterwards.
+
+use crate::session::{RxEvent, RxSession, SessionConfig, SessionCounters};
+use cprecycle_engine::pool::WorkerPool;
+use obs::{MetricsSnapshot, NoopRecorder, Recorder};
+use ofdmphy::rx::FrameReceiver;
+use ofdmphy::PhyError;
+use rfdsp::Complex;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Why a push into a session's ingress queue was not accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The session's bounded ingress queue is at capacity. Nothing was consumed:
+    /// resubmit the same chunk once the queue drains and the session's output is
+    /// unchanged from an unthrottled feed.
+    Full,
+    /// The session was closed by [`RxServer::shutdown`]; no further samples are
+    /// accepted.
+    Closed,
+}
+
+impl fmt::Display for PushError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PushError::Full => write!(f, "session ingress queue is full"),
+            PushError::Closed => write!(f, "session is closed"),
+        }
+    }
+}
+
+impl std::error::Error for PushError {}
+
+/// Server configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Worker threads servicing all sessions. Defaults to the machine's available
+    /// parallelism. Thread count never affects decoded bits — only throughput.
+    pub threads: usize,
+    /// Bound on each session's ingress queue, in chunks. When full,
+    /// [`SessionHandle::try_push`] returns [`PushError::Full`] and
+    /// [`SessionHandle::push`] blocks. Defaults to 64.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// One ingress work item.
+enum WorkItem {
+    /// Samples to feed through [`RxSession::push`].
+    Chunk(Vec<Complex>),
+    /// End-of-stream marker: run [`RxSession::flush`]. Enqueued past the capacity
+    /// bound (control items must never deadlock against backpressure).
+    Flush,
+}
+
+/// The lock-guarded ingress side of a slot.
+struct Ingress {
+    queue: VecDeque<WorkItem>,
+    /// Chunks currently queued (excludes control items), bounded by
+    /// [`ServerConfig::queue_capacity`].
+    chunks_queued: usize,
+    /// True while a pool job for this slot exists (queued or running). Cleared only
+    /// under this lock, in the same critical section that observes the queue empty —
+    /// the invariant that makes "non-empty queue ⇒ slot is scheduled" airtight.
+    scheduled: bool,
+    /// Set by [`RxServer::shutdown`]; rejects further pushes.
+    closed: bool,
+}
+
+/// Everything one session owns, shared between its handle, the server and the pool.
+struct SessionSlot<R: FrameReceiver, O: Recorder> {
+    /// Index of this session within the server (stable; also the metrics prefix).
+    id: usize,
+    ingress: Mutex<Ingress>,
+    /// Signalled when queue space frees up or the slot closes.
+    space: Condvar,
+    /// Locked only by the worker currently servicing the slot — and briefly by
+    /// handle-side reads (events, counters, snapshots).
+    session: Mutex<RxSession<R, O>>,
+    /// Samples accepted so far (monotonic; readable without the session lock).
+    samples_in: AtomicUsize,
+    /// First fatal session error, if any ([`RxSession::push`] errors are
+    /// misconfigurations, not per-chunk conditions). Once set, further items are
+    /// discarded.
+    error: Mutex<Option<PhyError>>,
+}
+
+type Slot<R, O> = Arc<SessionSlot<R, O>>;
+
+/// Compile-time audit that a session moves freely between worker threads given
+/// `Send` building blocks (no hidden `Rc`/raw-pointer state anywhere in the
+/// pipeline). Referenced by the server bounds below; never called.
+fn _assert_sessions_are_send<R, O>()
+where
+    R: FrameReceiver + Send,
+    R::Stream: Send,
+    O: Recorder + Send,
+{
+    fn is_send<T: Send>() {}
+    is_send::<RxSession<R, O>>();
+}
+
+/// A multi-session receiver server. See the [module docs](self) for the threading
+/// model, determinism argument and backpressure contract.
+///
+/// The server quickstart (mirrored in the README): two stations, chunks pushed in
+/// interleaved order, bit-identical per-station decodes.
+///
+/// ```
+/// use cprecycle::server::{RxServer, ServerConfig};
+/// use cprecycle::session::RxEvent;
+/// use ofdmphy::convcode::CodeRate;
+/// use ofdmphy::frame::{Mcs, Transmitter};
+/// use ofdmphy::modulation::Modulation;
+/// use ofdmphy::params::OfdmParams;
+/// use ofdmphy::rx::StandardReceiver;
+/// use rfdsp::Complex;
+///
+/// let params = OfdmParams::ieee80211ag();
+/// let tx = Transmitter::new(params.clone());
+/// let mcs = Mcs::new(Modulation::Qpsk, CodeRate::Half);
+///
+/// // One bursty capture per station.
+/// let captures: Vec<Vec<Complex>> = [&b"station zero"[..], &b"station one"[..]]
+///     .iter()
+///     .map(|payload| {
+///         let mut c = vec![Complex::zero(); 300];
+///         c.extend(tx.build_frame(payload, mcs, 0x5D).unwrap().samples);
+///         c.extend(vec![Complex::zero(); 300]);
+///         c
+///     })
+///     .collect();
+///
+/// // A server with one session per station.
+/// let server: RxServer<StandardReceiver> =
+///     RxServer::new(ServerConfig { threads: 2, ..Default::default() });
+/// let handles: Vec<_> = captures
+///     .iter()
+///     .map(|_| server.add_session(StandardReceiver::new(params.clone()), Default::default()))
+///     .collect();
+///
+/// // Interleave the stations' chunks — scheduling never changes decoded bits.
+/// let mut feeds: Vec<_> = captures.iter().map(|c| c.chunks(480)).collect();
+/// loop {
+///     let mut any = false;
+///     for (feed, handle) in feeds.iter_mut().zip(&handles) {
+///         if let Some(chunk) = feed.next() {
+///             handle.push(chunk).unwrap();
+///             any = true;
+///         }
+///     }
+///     if !any {
+///         break;
+///     }
+/// }
+/// server.shutdown();
+///
+/// for (handle, payload) in handles.iter().zip([&b"station zero"[..], &b"station one"[..]]) {
+///     let decoded: Vec<Vec<u8>> = handle
+///         .drain_events()
+///         .into_iter()
+///         .filter_map(|e| match e {
+///             RxEvent::FrameDecoded { frame, .. } => frame.payload.clone(),
+///             _ => None,
+///         })
+///         .collect();
+///     assert_eq!(decoded, vec![payload.to_vec()]);
+/// }
+/// ```
+pub struct RxServer<R, O = NoopRecorder>
+where
+    R: FrameReceiver + Send + 'static,
+    R::Stream: Send,
+    O: Recorder + Send + 'static,
+{
+    config: ServerConfig,
+    slots: Mutex<Vec<Slot<R, O>>>,
+    pool: Arc<WorkerPool<Slot<R, O>>>,
+    started: Instant,
+}
+
+/// How many ingress items one scheduling services before the slot yields the worker
+/// (re-enqueueing itself behind other waiting slots). Keeps one deeply backlogged
+/// session from starving the rest without ever leaving work unscheduled.
+const FAIRNESS_BUDGET: usize = 16;
+
+impl<R, O> RxServer<R, O>
+where
+    R: FrameReceiver + Send + 'static,
+    R::Stream: Send,
+    O: Recorder + Send + 'static,
+{
+    /// Starts a server: spawns the worker pool, initially with zero sessions.
+    pub fn new(config: ServerConfig) -> Self {
+        let pool = WorkerPool::new(
+            config.threads,
+            |_w| (),
+            |_state: &mut (), slot: Slot<R, O>| Self::service(&slot),
+        );
+        RxServer {
+            config,
+            slots: Mutex::new(Vec::new()),
+            pool: Arc::new(pool),
+            started: Instant::now(),
+        }
+    }
+
+    /// Services one scheduling of `slot`: drains its ingress queue (up to the
+    /// fairness budget) into the session. Returns the slot itself when it should be
+    /// re-enqueued — the pool requeues it atomically with respect to
+    /// [`WorkerPool::wait_idle`].
+    fn service(slot: &Slot<R, O>) -> Option<Slot<R, O>> {
+        let mut serviced = 0usize;
+        loop {
+            let item = {
+                let mut ingress = slot.ingress.lock().expect("ingress poisoned");
+                match ingress.queue.pop_front() {
+                    Some(item) => {
+                        if matches!(item, WorkItem::Chunk(_)) {
+                            ingress.chunks_queued -= 1;
+                        }
+                        slot.space.notify_all();
+                        item
+                    }
+                    None => {
+                        // Observed empty: unschedule in the same critical section,
+                        // so a concurrent push either sees `scheduled` still set
+                        // (we haven't cleared yet) or an empty queue it will
+                        // schedule for — never a lost wakeup.
+                        ingress.scheduled = false;
+                        return None;
+                    }
+                }
+            };
+            let failed = slot.error.lock().expect("error poisoned").is_some();
+            if !failed {
+                let mut session = slot.session.lock().expect("session poisoned");
+                let outcome = match item {
+                    WorkItem::Chunk(chunk) => session.push(&chunk),
+                    WorkItem::Flush => session.flush(),
+                };
+                if let Err(e) = outcome {
+                    *slot.error.lock().expect("error poisoned") = Some(e);
+                }
+            }
+            serviced += 1;
+            if serviced >= FAIRNESS_BUDGET {
+                let mut ingress = slot.ingress.lock().expect("ingress poisoned");
+                if ingress.queue.is_empty() {
+                    ingress.scheduled = false;
+                    return None;
+                }
+                // Still backlogged: keep `scheduled` set and yield the worker.
+                return Some(Arc::clone(slot));
+            }
+        }
+    }
+
+    /// Adds a session with no instrumentation-recorder requirement beyond `O`'s
+    /// default construction — use [`Self::add_session_with_recorder`] to attach
+    /// one. Sessions can be added while the server is live; the handle is
+    /// immediately usable.
+    pub fn add_session(&self, receiver: R, config: SessionConfig) -> SessionHandle<R, O>
+    where
+        O: Default,
+    {
+        self.add_session_with_recorder(receiver, config, O::default())
+    }
+
+    /// Adds a session whose receive chain reports into `recorder` (stage timings +
+    /// event trace, exactly as a standalone [`RxSession::with_recorder`]).
+    pub fn add_session_with_recorder(
+        &self,
+        receiver: R,
+        config: SessionConfig,
+        recorder: O,
+    ) -> SessionHandle<R, O> {
+        let mut slots = self.slots.lock().expect("slots poisoned");
+        let slot = Arc::new(SessionSlot {
+            id: slots.len(),
+            ingress: Mutex::new(Ingress {
+                queue: VecDeque::new(),
+                chunks_queued: 0,
+                scheduled: false,
+                closed: false,
+            }),
+            space: Condvar::new(),
+            session: Mutex::new(RxSession::with_recorder(receiver, config, recorder)),
+            samples_in: AtomicUsize::new(0),
+            error: Mutex::new(None),
+        });
+        slots.push(Arc::clone(&slot));
+        SessionHandle {
+            slot,
+            pool: Arc::clone(&self.pool),
+            capacity: self.config.queue_capacity,
+        }
+    }
+
+    /// Number of sessions ever added.
+    pub fn sessions(&self) -> usize {
+        self.slots.lock().expect("slots poisoned").len()
+    }
+
+    /// The server configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Blocks until every chunk accepted before this call has been processed.
+    ///
+    /// This is a barrier, not an end-of-stream: sessions keep their carry-over
+    /// buffers, so a frame whose tail has not arrived stays pending and decodes
+    /// when the rest is pushed — `drain` never costs a decodable frame. Producers
+    /// pushing concurrently with `drain` are outside the barrier.
+    pub fn drain(&self) {
+        self.pool.wait_idle();
+    }
+
+    /// Closes every session, flushes each one (end-of-stream semantics: incomplete
+    /// frames become [`RxEvent::SyncLost`]), waits for all queued work and joins the
+    /// worker pool. Idempotent. Pushes after (or racing) `shutdown` fail with
+    /// [`PushError::Closed`]; handles remain valid for draining events, counters
+    /// and snapshots.
+    pub fn shutdown(&self) {
+        let slots: Vec<Slot<R, O>> = self.slots.lock().expect("slots poisoned").clone();
+        for slot in &slots {
+            let schedule = {
+                let mut ingress = slot.ingress.lock().expect("ingress poisoned");
+                if ingress.closed {
+                    continue;
+                }
+                ingress.closed = true;
+                ingress.queue.push_back(WorkItem::Flush);
+                let schedule = !ingress.scheduled;
+                ingress.scheduled = true;
+                schedule
+            };
+            // Wake producers blocked on a full queue; they observe `closed`.
+            slot.space.notify_all();
+            if schedule {
+                self.pool.submit(Arc::clone(slot));
+            }
+        }
+        self.pool.wait_idle();
+        self.pool.shutdown();
+    }
+
+    /// Aggregate + per-session observability snapshot.
+    ///
+    /// Unprefixed names are server-wide: the `sessions_active` gauge (sessions not
+    /// yet closed), per-session-summed counters (`samples_pushed`,
+    /// `frames_decoded`, `fcs_passes`, …), the total `queue_depth` gauge and the
+    /// `samples_per_sec` gauge (aggregate accepted-sample rate since the server
+    /// started — wall-clock, so outside the determinism contract). Each session's
+    /// full snapshot (counters, stage timings, trace) additionally lands under a
+    /// `session.{id}.` prefix, plus its own `session.{id}.queue_depth` gauge.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let slots: Vec<Slot<R, O>> = self.slots.lock().expect("slots poisoned").clone();
+        let mut snap = MetricsSnapshot::new();
+        let mut active = 0usize;
+        let mut total_depth = 0usize;
+        let mut total_samples = 0usize;
+        for slot in &slots {
+            let (depth, closed) = {
+                let ingress = slot.ingress.lock().expect("ingress poisoned");
+                (ingress.chunks_queued, ingress.closed)
+            };
+            if !closed {
+                active += 1;
+            }
+            total_depth += depth;
+            total_samples += slot.samples_in.load(Ordering::Relaxed);
+            let per_session = slot
+                .session
+                .lock()
+                .expect("session poisoned")
+                .metrics_snapshot();
+            // Aggregate counters (sessions are independent, so sums are exact) …
+            for (name, value) in &per_session.counters {
+                snap.add_counter(name, *value);
+            }
+            // … and the full per-session view under its prefix.
+            let prefix = format!("session.{}.", slot.id);
+            snap.merge_prefixed(&prefix, &per_session);
+            snap.set_gauge(&format!("session.{}.queue_depth", slot.id), depth as f64);
+        }
+        snap.set_gauge("sessions_active", active as f64);
+        snap.set_gauge("queue_depth", total_depth as f64);
+        let elapsed = self.started.elapsed().as_secs_f64();
+        if elapsed > 0.0 {
+            snap.set_gauge("samples_per_sec", total_samples as f64 / elapsed);
+        }
+        snap
+    }
+}
+
+impl<R, O> Drop for RxServer<R, O>
+where
+    R: FrameReceiver + Send + 'static,
+    R::Stream: Send,
+    O: Recorder + Send + 'static,
+{
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A cheaply cloneable handle to one session inside an [`RxServer`].
+///
+/// The ingest side ([`push`](Self::push) / [`try_push`](Self::try_push)) and the
+/// event side ([`drain_events`](Self::drain_events) / [`poll_event`](Self::poll_event))
+/// may live on different threads; events always arrive in the session's
+/// stream order.
+pub struct SessionHandle<R, O = NoopRecorder>
+where
+    R: FrameReceiver + Send + 'static,
+    R::Stream: Send,
+    O: Recorder + Send + 'static,
+{
+    slot: Slot<R, O>,
+    pool: Arc<WorkerPool<Slot<R, O>>>,
+    capacity: usize,
+}
+
+impl<R, O> Clone for SessionHandle<R, O>
+where
+    R: FrameReceiver + Send + 'static,
+    R::Stream: Send,
+    O: Recorder + Send + 'static,
+{
+    fn clone(&self) -> Self {
+        SessionHandle {
+            slot: Arc::clone(&self.slot),
+            pool: Arc::clone(&self.pool),
+            capacity: self.capacity,
+        }
+    }
+}
+
+impl<R, O> SessionHandle<R, O>
+where
+    R: FrameReceiver + Send + 'static,
+    R::Stream: Send,
+    O: Recorder + Send + 'static,
+{
+    /// Index of this session within its server (also its metrics prefix).
+    pub fn id(&self) -> usize {
+        self.slot.id
+    }
+
+    /// Enqueues one work item, optionally blocking for queue space.
+    fn submit(&self, item: WorkItem, block: bool) -> Result<(), PushError> {
+        let samples = match &item {
+            WorkItem::Chunk(c) => c.len(),
+            WorkItem::Flush => 0,
+        };
+        let is_chunk = matches!(item, WorkItem::Chunk(_));
+        let schedule = {
+            let mut ingress = self.slot.ingress.lock().expect("ingress poisoned");
+            if ingress.closed {
+                return Err(PushError::Closed);
+            }
+            // Control items bypass the capacity bound: they never carry samples and
+            // must not deadlock against the very backpressure they resolve.
+            while is_chunk && ingress.chunks_queued >= self.capacity {
+                if !block {
+                    return Err(PushError::Full);
+                }
+                ingress = self.slot.space.wait(ingress).expect("ingress poisoned");
+                if ingress.closed {
+                    return Err(PushError::Closed);
+                }
+            }
+            if is_chunk {
+                ingress.chunks_queued += 1;
+            }
+            ingress.queue.push_back(item);
+            let schedule = !ingress.scheduled;
+            ingress.scheduled = true;
+            schedule
+        };
+        self.slot.samples_in.fetch_add(samples, Ordering::Relaxed);
+        if schedule {
+            self.pool.submit(Arc::clone(&self.slot));
+        }
+        Ok(())
+    }
+
+    /// Enqueues a chunk, blocking while the session's ingress queue is full.
+    /// Fails only with [`PushError::Closed`] after [`RxServer::shutdown`].
+    pub fn push(&self, chunk: &[Complex]) -> Result<(), PushError> {
+        self.submit(WorkItem::Chunk(chunk.to_vec()), true)
+    }
+
+    /// Enqueues a chunk without blocking: [`PushError::Full`] means the bounded
+    /// queue is at capacity and **nothing was consumed** — resubmitting the same
+    /// chunk later yields the same session output as an unthrottled feed.
+    pub fn try_push(&self, chunk: &[Complex]) -> Result<(), PushError> {
+        self.submit(WorkItem::Chunk(chunk.to_vec()), false)
+    }
+
+    /// Enqueues an end-of-stream flush for this session (the asynchronous
+    /// counterpart of [`RxSession::flush`]). The flush takes effect after every
+    /// previously accepted chunk; use [`RxServer::drain`] to wait for it.
+    pub fn flush(&self) -> Result<(), PushError> {
+        self.submit(WorkItem::Flush, false)
+    }
+
+    /// Chunks currently waiting in this session's ingress queue.
+    pub fn queue_depth(&self) -> usize {
+        self.slot
+            .ingress
+            .lock()
+            .expect("ingress poisoned")
+            .chunks_queued
+    }
+
+    /// Samples accepted so far (including ones still queued).
+    pub fn samples_pushed(&self) -> usize {
+        self.slot.samples_in.load(Ordering::Relaxed)
+    }
+
+    /// Drains every event the session has produced so far, in stream order.
+    /// Call [`RxServer::drain`] first for a result covering all accepted chunks.
+    pub fn drain_events(&self) -> Vec<RxEvent> {
+        self.slot
+            .session
+            .lock()
+            .expect("session poisoned")
+            .drain_events()
+    }
+
+    /// Next produced event, if any.
+    pub fn poll_event(&self) -> Option<RxEvent> {
+        self.slot
+            .session
+            .lock()
+            .expect("session poisoned")
+            .poll_event()
+    }
+
+    /// The session's health counters (in lockstep with its event stream).
+    pub fn counters(&self) -> SessionCounters {
+        self.slot
+            .session
+            .lock()
+            .expect("session poisoned")
+            .counters()
+    }
+
+    /// The session's observability snapshot (recorder state + counters), as
+    /// [`RxSession::metrics_snapshot`].
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.slot
+            .session
+            .lock()
+            .expect("session poisoned")
+            .metrics_snapshot()
+    }
+
+    /// Takes the session's first fatal error, if one occurred. After an error the
+    /// session discards further input (its events up to the error remain
+    /// drainable).
+    pub fn take_error(&self) -> Option<PhyError> {
+        self.slot.error.lock().expect("error poisoned").take()
+    }
+
+    /// Runs `f` against the underlying session. The session lock is held for the
+    /// duration — keep it short; chunks queue up behind it.
+    pub fn with_session<T>(&self, f: impl FnOnce(&RxSession<R, O>) -> T) -> T {
+        f(&self.slot.session.lock().expect("session poisoned"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofdmphy::convcode::CodeRate;
+    use ofdmphy::frame::{Mcs, Transmitter};
+    use ofdmphy::modulation::Modulation;
+    use ofdmphy::params::OfdmParams;
+    use ofdmphy::rx::StandardReceiver;
+
+    fn capture(payload: &[u8]) -> Vec<Complex> {
+        let params = OfdmParams::ieee80211ag();
+        let tx = Transmitter::new(params);
+        let mcs = Mcs::new(Modulation::Qpsk, CodeRate::Half);
+        let mut c = vec![Complex::zero(); 300];
+        c.extend(tx.build_frame(payload, mcs, 0x5D).unwrap().samples);
+        c.extend(vec![Complex::zero(); 300]);
+        c
+    }
+
+    fn payloads(events: &[RxEvent]) -> Vec<Vec<u8>> {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                RxEvent::FrameDecoded { frame, .. } => frame.payload.clone(),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn each_session_decodes_its_own_stream() {
+        let server = RxServer::new(ServerConfig {
+            threads: 4,
+            ..Default::default()
+        });
+        let bodies: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i + 1; 40]).collect();
+        let handles: Vec<SessionHandle<StandardReceiver>> = bodies
+            .iter()
+            .map(|_| {
+                server.add_session(
+                    StandardReceiver::new(OfdmParams::ieee80211ag()),
+                    SessionConfig::default(),
+                )
+            })
+            .collect();
+        for (h, body) in handles.iter().zip(&bodies) {
+            for chunk in capture(body).chunks(333) {
+                h.push(chunk).unwrap();
+            }
+        }
+        server.drain();
+        for (h, body) in handles.iter().zip(&bodies) {
+            assert_eq!(payloads(&h.drain_events()), vec![body.clone()]);
+            assert_eq!(h.counters().frames_decoded, 1);
+            assert!(h.take_error().is_none());
+        }
+        assert_eq!(server.sessions(), 4);
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_closes_pushes() {
+        let server: RxServer<StandardReceiver> = RxServer::new(ServerConfig {
+            threads: 2,
+            ..Default::default()
+        });
+        let h = server.add_session(
+            StandardReceiver::new(OfdmParams::ieee80211ag()),
+            SessionConfig::default(),
+        );
+        h.push(&capture(b"closing time")).unwrap();
+        server.shutdown();
+        server.shutdown();
+        assert_eq!(h.push(&[Complex::zero(); 8]), Err(PushError::Closed));
+        assert_eq!(h.try_push(&[Complex::zero(); 8]), Err(PushError::Closed));
+        assert_eq!(payloads(&h.drain_events()), vec![b"closing time".to_vec()]);
+    }
+
+    #[test]
+    fn server_snapshot_aggregates_and_prefixes() {
+        let server: RxServer<StandardReceiver> = RxServer::new(ServerConfig {
+            threads: 2,
+            ..Default::default()
+        });
+        let a = server.add_session(
+            StandardReceiver::new(OfdmParams::ieee80211ag()),
+            SessionConfig::default(),
+        );
+        let b = server.add_session(
+            StandardReceiver::new(OfdmParams::ieee80211ag()),
+            SessionConfig::default(),
+        );
+        a.push(&capture(b"aaaa")).unwrap();
+        b.push(&capture(b"bbbb")).unwrap();
+        server.drain();
+        let snap = server.metrics_snapshot();
+        assert_eq!(snap.counter("frames_decoded"), 2);
+        assert_eq!(snap.counter("session.0.frames_decoded"), 1);
+        assert_eq!(snap.counter("session.1.frames_decoded"), 1);
+        assert_eq!(snap.gauge("sessions_active"), Some(2.0));
+        assert_eq!(snap.gauge("queue_depth"), Some(0.0));
+        assert_eq!(
+            snap.counter("samples_pushed"),
+            (a.samples_pushed() + b.samples_pushed()) as u64
+        );
+        server.shutdown();
+        assert_eq!(
+            server.metrics_snapshot().gauge("sessions_active"),
+            Some(0.0)
+        );
+    }
+}

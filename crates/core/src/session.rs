@@ -395,6 +395,12 @@ impl<R: FrameReceiver, O: Recorder> RxSession<R, O> {
         self.events.drain(..).collect()
     }
 
+    /// Number of events queued and not yet drained. Handle-friendly: a server can
+    /// poll readiness without taking the events themselves.
+    pub fn events_queued(&self) -> usize {
+        self.events.len()
+    }
+
     /// Ingests one chunk of samples (any length, including empty) and advances the
     /// state machine as far as the buffered stream allows, queueing events.
     ///
@@ -411,6 +417,25 @@ impl<R: FrameReceiver, O: Recorder> RxSession<R, O> {
     /// Declares the end of the stream: runs the state machine best-effort on what is
     /// buffered (a frame whose tail never arrived becomes [`RxEvent::SyncLost`]) and
     /// resets to hunting at the stream end, so a later `push` starts a fresh scan.
+    ///
+    /// End-of-stream semantics, pinned by `flush_*` regression tests:
+    ///
+    /// * **Partially buffered frame** (any length short of the decode's `needed`
+    ///   watermark, including one shorter than [`SessionConfig::max_frame_samples`]):
+    ///   exactly one [`RxEvent::SyncLost`] is queued for the pending detection —
+    ///   a truncated frame is a loss, never a [`RxEvent::FalseAlarm`]. A coarse
+    ///   detection still awaiting fine sync (even one whose preamble never fully
+    ///   arrived) is reported the same way, at its coarse start.
+    /// * **Completable work first**: anything the buffered samples *can* finish —
+    ///   frames wholly buffered but not yet decoded because a previous decode was
+    ///   pending — decodes normally before the loss is assessed.
+    /// * **Idempotence**: `flush` resets to hunting at the stream end, so a second
+    ///   `flush` (with no intervening [`push`](Self::push)) queues nothing, and
+    ///   [`drain_events`](Self::drain_events) after it returns empty — callers may
+    ///   treat `flush(); drain_events()` as an idempotent end-of-stream step.
+    /// * **Reusability**: the session survives its stream's end; later pushes scan
+    ///   fresh samples with the same cross-frame state (a Rolling model keeps what
+    ///   it learned).
     pub fn flush(&mut self) -> Result<()> {
         self.advance(true)?;
         match &self.state {
@@ -794,6 +819,104 @@ mod tests {
         session.push(&capture).unwrap();
         session.flush().unwrap();
         assert_eq!(decoded_payloads(&session.drain_events()).len(), 1);
+    }
+
+    #[test]
+    fn flush_is_idempotent_and_drain_after_flush_returns_empty() {
+        let (capture, starts) = noisy_capture(&[&[0x11; 80]], &[300, 200], 30.0, 11);
+        let rx = CpRecycleReceiver::new(OfdmParams::ieee80211ag(), CpRecycleConfig::default());
+        let mut session = RxSession::new(rx);
+        // Truncate mid-frame so flush has a loss to report.
+        session.push(&capture[..starts[0] + 600]).unwrap();
+        session.flush().unwrap();
+        let first = session.drain_events();
+        assert_eq!(
+            first
+                .iter()
+                .filter(|e| matches!(e, RxEvent::SyncLost { .. }))
+                .count(),
+            1,
+            "exactly one SyncLost for the one pending detection"
+        );
+        let counters = session.counters();
+        // Repeated flushes with no new samples queue nothing and move no counter.
+        for _ in 0..3 {
+            session.flush().unwrap();
+            assert_eq!(session.events_queued(), 0);
+            assert!(session.drain_events().is_empty());
+            assert_eq!(session.counters(), counters);
+        }
+    }
+
+    #[test]
+    fn flush_of_partial_frame_below_length_cap_is_sync_lost_not_false_alarm() {
+        // A frame well under `max_frame_samples` whose tail never arrives: the cap
+        // logic (which turns implausibly long claims into FalseAlarm) must not
+        // misfire — a plausible-but-truncated frame is a SyncLost.
+        let (capture, starts) = noisy_capture(&[&[0x33; 80]], &[300, 200], 30.0, 12);
+        let frame_len = capture.len() - 300 - 200;
+        let rx = CpRecycleReceiver::new(OfdmParams::ieee80211ag(), CpRecycleConfig::default());
+        let mut session = RxSession::with_config(
+            rx,
+            SessionConfig {
+                max_frame_samples: Some(frame_len + 512),
+                ..Default::default()
+            },
+        );
+        session.push(&capture[..starts[0] + 900]).unwrap();
+        session.flush().unwrap();
+        let events = session.drain_events();
+        assert!(events.iter().any(|e| matches!(e, RxEvent::SyncLost { .. })));
+        assert!(!events
+            .iter()
+            .any(|e| matches!(e, RxEvent::FalseAlarm { .. })));
+        assert_eq!(session.counters().sync_losses, 1);
+        assert_eq!(session.counters().false_alarms, 0);
+    }
+
+    #[test]
+    fn flush_with_partial_preamble_reports_loss_at_coarse_start() {
+        // End the stream while fine sync is still waiting for its lookahead: the
+        // coarse detection (state `Refining`) is reported lost at its own start.
+        let (capture, starts) = noisy_capture(&[&[0x44; 80]], &[300, 200], 30.0, 13);
+        let params = OfdmParams::ieee80211ag();
+        let cut = starts[0] + preamble::preamble_len(&params) - 8;
+        let rx = CpRecycleReceiver::new(params, CpRecycleConfig::default());
+        let mut session = RxSession::new(rx);
+        session.push(&capture[..cut]).unwrap();
+        session.flush().unwrap();
+        let events = session.drain_events();
+        let lost: Vec<usize> = events
+            .iter()
+            .filter_map(|e| match e {
+                RxEvent::SyncLost { at } => Some(*at),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lost.len(), 1);
+        assert!(
+            (lost[0] as isize - starts[0] as isize).abs() <= 32,
+            "loss at {} vs true start {}",
+            lost[0],
+            starts[0]
+        );
+        assert!(!events
+            .iter()
+            .any(|e| matches!(e, RxEvent::FrameDecoded { .. })));
+    }
+
+    #[test]
+    fn flush_decodes_a_wholly_buffered_frame_before_assessing_loss() {
+        // The entire frame is buffered when flush runs: it must decode, not be
+        // reported lost, and the session must end back in hunting.
+        let (capture, _) = noisy_capture(&[&[0x55; 80]], &[300, 4], 30.0, 14);
+        let rx = CpRecycleReceiver::new(OfdmParams::ieee80211ag(), CpRecycleConfig::default());
+        let mut session = RxSession::new(rx);
+        session.push(&capture).unwrap();
+        session.flush().unwrap();
+        let events = session.drain_events();
+        assert_eq!(decoded_payloads(&events), vec![vec![0x55u8; 80]]);
+        assert!(!events.iter().any(|e| matches!(e, RxEvent::SyncLost { .. })));
     }
 
     #[test]

@@ -24,7 +24,6 @@ use crate::tally::{ArmTally, CampaignResult, PointResult, TrialRecord};
 use obs::{Recorder, Span};
 use rand::rngs::StdRng;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -197,10 +196,6 @@ where
         last_print: start,
     });
 
-    let cursor = AtomicUsize::new(0);
-    // Raised on the first trial error so workers stop claiming new work instead of
-    // burning the rest of a doomed campaign; in-flight trials still finish.
-    let abort = AtomicBool::new(false);
     let total_work = pending.len() * trials;
     let workers = config.effective_threads().min(total_work.max(1));
 
@@ -238,126 +233,122 @@ where
         }
     };
 
-    std::thread::scope(|scope| {
-        for w in 0..workers {
-            let collector = &collector;
-            let cursor = &cursor;
-            let abort = &abort;
-            let pending = &pending;
-            let keys = &keys;
-            let arm_labels = &arm_labels;
-            let new_worker = &new_worker;
-            let trial = &trial;
-            let assemble_snapshot = &assemble_snapshot;
-            scope.spawn(move || {
-                let mut state: Option<S> = None;
-                let mut local_trials = 0u64;
-                let mut busy_secs = 0.0f64;
-                loop {
-                    if abort.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let flat = cursor.fetch_add(1, Ordering::Relaxed);
-                    if flat >= total_work {
-                        break;
-                    }
-                    let pending_idx = flat / trials;
-                    let trial_idx = flat % trials;
-                    let point_idx = pending[pending_idx];
-                    let point = &points[point_idx];
-                    let state = state.get_or_insert_with(new_worker);
-                    let mut rng = trial_rng(config.master_seed, &keys[point_idx], trial_idx as u64);
-                    let trial_start = Instant::now();
-                    let outcome = trial(state, point, point_idx, trial_idx, &mut rng);
-                    let spent = trial_start.elapsed();
-                    let duration = spent.as_secs_f64();
-                    local_trials += 1;
-                    busy_secs += duration;
-                    if let Some(rec) = options.recorder {
-                        rec.stage_nanos(
-                            Span::new("trial", ""),
-                            spent.as_nanos().min(u64::MAX as u128) as u64,
-                        );
-                        rec.counter(
-                            if outcome.is_ok() {
-                                "trials_completed"
-                            } else {
-                                "trials_failed"
-                            },
-                            1,
-                        );
-                    }
+    // Per-worker context threaded through the claiming loop: the caller's state plus
+    // the gauges this worker accumulates.
+    struct WorkerCtx<S> {
+        w: usize,
+        state: S,
+        local_trials: u64,
+        busy_secs: f64,
+    }
 
-                    let mut guard = collector.lock().expect("collector poisoned");
-                    match outcome {
-                        Ok(record) => {
-                            guard.completed += 1;
-                            if let Some(p) = &options.progress {
-                                let done = guard.completed;
-                                let now = Instant::now();
-                                let due = now.duration_since(guard.last_print).as_secs_f64()
-                                    >= p.interval_secs;
-                                if due || done == total_work {
-                                    guard.last_print = now;
-                                    let elapsed = start.elapsed().as_secs_f64();
-                                    let rate = if elapsed > 0.0 {
-                                        done as f64 / elapsed
-                                    } else {
-                                        0.0
-                                    };
-                                    let eta = if rate > 0.0 {
-                                        format_eta((total_work - done) as f64 / rate)
-                                    } else {
-                                        "?".into()
-                                    };
-                                    let pct = 100.0 * done as f64 / total_work.max(1) as f64;
-                                    eprintln!(
-                                        "[{}] {done}/{total_work} trials ({pct:.1}%), \
-                                         {rate:.1} trials/sec, ETA {eta}",
-                                        config.name
-                                    );
-                                }
-                            }
-                            let progress = &mut guard.progress[pending_idx];
-                            progress.records[trial_idx] = Some(record);
-                            progress.done += 1;
-                            progress.elapsed_secs += duration;
-                            if progress.done == trials {
-                                let result = finalize_point(
-                                    &keys[point_idx],
-                                    points[point_idx].label(),
-                                    &arm_labels[point_idx],
-                                    &mut guard.progress[pending_idx],
-                                );
-                                guard.finished[point_idx] = Some(result);
-                                if let Some(sink) = options.on_point_complete {
-                                    let snapshot = assemble_snapshot(&guard);
-                                    drop(guard);
-                                    sink(&snapshot);
-                                }
-                            }
-                        }
-                        Err(e) => {
-                            let err = EngineError::Trial {
-                                point_key: keys[point_idx].clone(),
-                                trial: trial_idx,
-                                message: e.to_string(),
+    crate::pool::run_claiming(
+        workers,
+        total_work,
+        |w| WorkerCtx {
+            w,
+            state: new_worker(),
+            local_trials: 0,
+            busy_secs: 0.0,
+        },
+        |ctx, flat| {
+            let pending_idx = flat / trials;
+            let trial_idx = flat % trials;
+            let point_idx = pending[pending_idx];
+            let point = &points[point_idx];
+            let mut rng = trial_rng(config.master_seed, &keys[point_idx], trial_idx as u64);
+            let trial_start = Instant::now();
+            let outcome = trial(&mut ctx.state, point, point_idx, trial_idx, &mut rng);
+            let spent = trial_start.elapsed();
+            let duration = spent.as_secs_f64();
+            ctx.local_trials += 1;
+            ctx.busy_secs += duration;
+            if let Some(rec) = options.recorder {
+                rec.stage_nanos(
+                    Span::new("trial", ""),
+                    spent.as_nanos().min(u64::MAX as u128) as u64,
+                );
+                rec.counter(
+                    if outcome.is_ok() {
+                        "trials_completed"
+                    } else {
+                        "trials_failed"
+                    },
+                    1,
+                );
+            }
+
+            let mut guard = collector.lock().expect("collector poisoned");
+            match outcome {
+                Ok(record) => {
+                    guard.completed += 1;
+                    if let Some(p) = &options.progress {
+                        let done = guard.completed;
+                        let now = Instant::now();
+                        let due =
+                            now.duration_since(guard.last_print).as_secs_f64() >= p.interval_secs;
+                        if due || done == total_work {
+                            guard.last_print = now;
+                            let elapsed = start.elapsed().as_secs_f64();
+                            let rate = if elapsed > 0.0 {
+                                done as f64 / elapsed
+                            } else {
+                                0.0
                             };
-                            match &guard.first_error {
-                                Some((at, _)) if *at <= flat => {}
-                                _ => guard.first_error = Some((flat, err)),
-                            }
-                            abort.store(true, Ordering::Relaxed);
+                            let eta = if rate > 0.0 {
+                                format_eta((total_work - done) as f64 / rate)
+                            } else {
+                                "?".into()
+                            };
+                            let pct = 100.0 * done as f64 / total_work.max(1) as f64;
+                            eprintln!(
+                                "[{}] {done}/{total_work} trials ({pct:.1}%), \
+                                 {rate:.1} trials/sec, ETA {eta}",
+                                config.name
+                            );
                         }
                     }
+                    let progress = &mut guard.progress[pending_idx];
+                    progress.records[trial_idx] = Some(record);
+                    progress.done += 1;
+                    progress.elapsed_secs += duration;
+                    if progress.done == trials {
+                        let result = finalize_point(
+                            &keys[point_idx],
+                            points[point_idx].label(),
+                            &arm_labels[point_idx],
+                            &mut guard.progress[pending_idx],
+                        );
+                        guard.finished[point_idx] = Some(result);
+                        if let Some(sink) = options.on_point_complete {
+                            let snapshot = assemble_snapshot(&guard);
+                            drop(guard);
+                            sink(&snapshot);
+                        }
+                    }
+                    std::ops::ControlFlow::Continue(())
                 }
-                if let Some(rec) = options.recorder {
-                    rec.gauge(&format!("worker.{w}.trials"), local_trials as f64);
-                    rec.gauge(&format!("worker.{w}.busy_secs"), busy_secs);
+                Err(e) => {
+                    let err = EngineError::Trial {
+                        point_key: keys[point_idx].clone(),
+                        trial: trial_idx,
+                        message: e.to_string(),
+                    };
+                    match &guard.first_error {
+                        Some((at, _)) if *at <= flat => {}
+                        _ => guard.first_error = Some((flat, err)),
+                    }
+                    std::ops::ControlFlow::Break(())
                 }
-            });
-        }
-    });
+            }
+        },
+        |ctx| {
+            if let Some(rec) = options.recorder {
+                rec.gauge(&format!("worker.{}.trials", ctx.w), ctx.local_trials as f64);
+                rec.gauge(&format!("worker.{}.busy_secs", ctx.w), ctx.busy_secs);
+            }
+        },
+    );
 
     let guard = collector.into_inner().expect("collector poisoned");
     if let Some((_, err)) = guard.first_error {
@@ -415,6 +406,7 @@ mod tests {
     use super::*;
     use crate::tally::TrialOutcome;
     use rand::Rng;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     struct TestPoint {
         name: String,

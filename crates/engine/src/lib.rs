@@ -16,6 +16,10 @@
 //!   every core, with **worker-local state** (FFT plans, constructed receivers,
 //!   sliding-DFT segment-extraction scratch) built once per worker instead of once
 //!   per trial;
+//! * [`pool`] — the reusable worker-pool primitives under [`exec`]: the claiming
+//!   loop ([`pool::run_claiming`]) the executor runs on, and a standing
+//!   [`pool::WorkerPool`] for open-ended workloads (the multi-session receiver
+//!   server in `cprecycle::server`);
 //! * [`tally`] — per-point packet-success tallies with Wilson confidence intervals,
 //!   auxiliary metric means and sample streams, plus timing;
 //! * [`checkpoint`] — JSON persistence of a finished or half-finished campaign:
@@ -41,6 +45,7 @@
 pub mod checkpoint;
 pub mod exec;
 pub mod metrics;
+pub mod pool;
 pub mod report;
 pub mod seed;
 pub mod spec;
@@ -49,6 +54,7 @@ pub mod tally;
 pub use checkpoint::{load_campaign, save_campaign};
 pub use exec::{run_campaign, EngineError, ProgressOptions, RunOptions};
 pub use metrics::campaign_snapshot;
+pub use pool::{run_claiming, WorkerPool};
 pub use seed::trial_rng;
 pub use spec::{CampaignConfig, CampaignPoint};
 pub use tally::{ArmTally, CampaignResult, PointResult, TrialOutcome, TrialRecord};

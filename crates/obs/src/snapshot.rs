@@ -113,6 +113,48 @@ impl MetricsSnapshot {
         self.trace_dropped += other.trace_dropped;
     }
 
+    /// Folds `other` into `self` under a name prefix: counters add and gauges
+    /// overwrite at `{prefix}{name}`, stage histograms merge under
+    /// `{prefix}{stage}`, and trace entries concatenate with `{prefix}{kind}`
+    /// labels (sequence numbers stay per-source, like [`merge`](Self::merge)).
+    ///
+    /// This is how a multi-session server folds N per-session snapshots into
+    /// one server snapshot without name collisions: session 3's
+    /// `frames_decoded` lands as `session.3.frames_decoded` while the
+    /// unprefixed aggregate stays the sum over sessions.
+    pub fn merge_prefixed(&mut self, prefix: &str, other: &MetricsSnapshot) {
+        for (name, delta) in &other.counters {
+            *self.counters.entry(format!("{prefix}{name}")).or_insert(0) += delta;
+        }
+        for (name, value) in &other.gauges {
+            self.gauges.insert(format!("{prefix}{name}"), *value);
+        }
+        for stage in &other.stages {
+            let name = format!("{prefix}{}", stage.stage);
+            match self
+                .stages
+                .iter_mut()
+                .find(|s| s.stage == name && s.key == stage.key)
+            {
+                Some(existing) => existing.histogram.merge(&stage.histogram),
+                None => self.stages.push(StageSnapshot {
+                    stage: name,
+                    key: stage.key.clone(),
+                    histogram: stage.histogram.clone(),
+                }),
+            }
+        }
+        self.stages
+            .sort_by(|a, b| (&a.stage, &a.key).cmp(&(&b.stage, &b.key)));
+        self.trace.extend(other.trace.iter().map(|e| NumberedEvent {
+            seq: e.seq,
+            kind: format!("{prefix}{}", e.kind),
+            at: e.at,
+            value: e.value,
+        }));
+        self.trace_dropped += other.trace_dropped;
+    }
+
     /// Serialises the snapshot as pretty JSON.
     pub fn to_json_string(&self) -> String {
         self.to_json().pretty()
@@ -200,6 +242,39 @@ mod tests {
         assert_eq!(a.gauge("psr"), Some(0.5));
         assert_eq!(a.stage("decide", "Sphere").unwrap().count(), 2);
         assert_eq!(a.stage("sync", "").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn merge_prefixed_namespaces_counters_gauges_stages_and_traces() {
+        let rec = InMemoryRecorder::new(8);
+        rec.counter("frames_decoded", 4);
+        rec.gauge("queue_depth", 2.0);
+        rec.stage_nanos(Span::new("decide", "Sphere"), 300);
+        rec.trace(TraceEvent::new("frame_decoded", 160, 1));
+        let session = rec.snapshot().unwrap();
+
+        let mut server = MetricsSnapshot::new();
+        server.add_counter("frames_decoded", 9); // pre-existing aggregate
+        server.merge_prefixed("session.3.", &session);
+
+        assert_eq!(server.counter("session.3.frames_decoded"), 4);
+        assert_eq!(server.counter("frames_decoded"), 9, "aggregate untouched");
+        assert_eq!(server.gauge("session.3.queue_depth"), Some(2.0));
+        assert_eq!(
+            server.stage("session.3.decide", "Sphere").unwrap().count(),
+            1
+        );
+        assert!(server.stage("decide", "Sphere").is_none());
+        assert_eq!(server.trace.len(), 1);
+        assert_eq!(server.trace[0].kind, "session.3.frame_decoded");
+
+        // Merging a second session accumulates counters under its own prefix.
+        server.merge_prefixed("session.3.", &session);
+        assert_eq!(server.counter("session.3.frames_decoded"), 8);
+        assert_eq!(
+            server.stage("session.3.decide", "Sphere").unwrap().count(),
+            2
+        );
     }
 
     #[test]

@@ -205,6 +205,65 @@ impl StreamWorker {
     }
 }
 
+/// Builds one bursty victim capture: `frames` frames with distinct random payloads,
+/// each preceded by a random gap drawn from `gap_range` (inclusive), plus a trailing
+/// pad so the last frame's fine sync and decode never wait on a flush. Returns the
+/// payloads (for recovery accounting) and the composite victim samples. Shared by
+/// the stream campaigns and the multi-station server driver ([`crate::stations`]).
+pub fn build_burst(
+    tx: &Transmitter,
+    mcs: Mcs,
+    payload_len: usize,
+    frames: usize,
+    gap_range: (usize, usize),
+    rng: &mut StdRng,
+) -> Result<(Vec<Vec<u8>>, Vec<Complex>)> {
+    let (lo, hi) = gap_range;
+    let mut payloads: Vec<Vec<u8>> = Vec::with_capacity(frames);
+    let mut victim: Vec<Complex> = Vec::new();
+    victim.extend(std::iter::repeat_n(Complex::zero(), rng.gen_range(lo..=hi)));
+    for i in 0..frames {
+        let payload: Vec<u8> = (0..payload_len).map(|_| rng.gen()).collect();
+        let scramble_seed = rng.gen_range(1..=127u8);
+        let frame = tx.build_frame(&payload, mcs, scramble_seed)?;
+        payloads.push(payload);
+        victim.extend_from_slice(&frame.samples);
+        if i + 1 < frames {
+            victim.extend(std::iter::repeat_n(Complex::zero(), rng.gen_range(lo..=hi)));
+        }
+    }
+    victim.extend(std::iter::repeat_n(Complex::zero(), hi.max(256)));
+    Ok((payloads, victim))
+}
+
+/// Counts in-order payload recoveries against the expected burst. A decoded frame is
+/// credited against the earliest not-yet-matched expected frame at or after the last
+/// match (a receiver cannot reorder a radio stream), so losing one frame mid-burst
+/// does not zero credit for the frames recovered after it.
+pub fn count_in_order_recoveries(
+    events: impl IntoIterator<Item = RxEvent>,
+    expected: &[Vec<u8>],
+) -> usize {
+    let mut recovered = 0usize;
+    let mut next = 0usize;
+    for event in events {
+        if next >= expected.len() {
+            break;
+        }
+        if let RxEvent::FrameDecoded { frame, .. } = event {
+            if let Some(payload) = frame.payload.as_deref() {
+                if let Some(hit) =
+                    (next..expected.len()).find(|&i| expected[i].as_slice() == payload)
+                {
+                    recovered += 1;
+                    next = hit + 1;
+                }
+            }
+        }
+    }
+    recovered
+}
+
 /// Executes one stream trial: build the burst, render the scenario, stream it through
 /// one fresh session per arm. Public so trials can be replayed in isolation.
 pub fn run_stream_trial(
@@ -217,23 +276,14 @@ pub fn run_stream_trial(
         .entry(point.key())
         .or_insert_with(|| Transmitter::new(point.params.clone()));
 
-    // Build the burst: lead gap, then frames each preceded by a random gap.
-    let mut payloads: Vec<Vec<u8>> = Vec::with_capacity(point.frames_per_trial);
-    let mut victim: Vec<Complex> = Vec::new();
-    let (lo, hi) = point.gap_range;
-    victim.extend(std::iter::repeat_n(Complex::zero(), rng.gen_range(lo..=hi)));
-    for i in 0..point.frames_per_trial {
-        let payload: Vec<u8> = (0..point.payload_len).map(|_| rng.gen()).collect();
-        let scramble_seed = rng.gen_range(1..=127u8);
-        let frame = tx.build_frame(&payload, point.mcs, scramble_seed)?;
-        payloads.push(payload);
-        victim.extend_from_slice(&frame.samples);
-        if i + 1 < point.frames_per_trial {
-            victim.extend(std::iter::repeat_n(Complex::zero(), rng.gen_range(lo..=hi)));
-        }
-    }
-    // Trailing pad so the last frame's fine sync and decode never wait on a flush.
-    victim.extend(std::iter::repeat_n(Complex::zero(), hi.max(256)));
+    let (payloads, victim) = build_burst(
+        tx,
+        point.mcs,
+        point.payload_len,
+        point.frames_per_trial,
+        point.gap_range,
+        rng,
+    )?;
 
     let output = point.scenario.render(rng, &point.params, &victim)?;
 
@@ -296,27 +346,7 @@ fn stream_capture<R: cprecycle::FrameReceiver>(
         session.push(chunk)?;
     }
     session.flush()?;
-    // In-order subsequence matching: a decoded frame is credited against the
-    // earliest not-yet-matched expected frame at or after the last match, so losing
-    // one frame mid-burst does not zero credit for the frames recovered after it.
-    let mut recovered = 0usize;
-    let mut next = 0usize;
-    for event in session.drain_events() {
-        if next >= expected.len() {
-            break;
-        }
-        if let RxEvent::FrameDecoded { frame, .. } = event {
-            if let Some(payload) = frame.payload.as_deref() {
-                if let Some(hit) =
-                    (next..expected.len()).find(|&i| expected[i].as_slice() == payload)
-                {
-                    recovered += 1;
-                    next = hit + 1;
-                }
-            }
-        }
-    }
-    Ok(recovered)
+    Ok(count_in_order_recoveries(session.drain_events(), expected))
 }
 
 /// Runs a stream campaign over `points` with the engine.
