@@ -1,0 +1,145 @@
+//! CI trajectory gate for the `throughput` bench: compares a fresh
+//! `BENCH_throughput.json` against the committed baseline and fails (exit code 1)
+//! when any receiver configuration regresses by more than the tolerance.
+//!
+//! ```text
+//! check_throughput <current.json> <baseline.json> [--tolerance 0.15] [--absolute]
+//! ```
+//!
+//! Both files are the bench's JSON-Lines output
+//! (`{"config": …, "msps_per_core": …, "ns_per_sample": …}`). By default each
+//! configuration's throughput is **normalised by the `standard` receiver's
+//! throughput from the same run** before comparison, so the gate tracks the
+//! CPRecycle-vs-standard cost trajectory rather than raw runner speed — CI hardware
+//! varies run to run, and an absolute gate would fire on every slow runner. Pass
+//! `--absolute` to compare raw Msps-per-core instead (the right mode on a pinned
+//! benchmarking host). A configuration present in the baseline but missing from the
+//! current run also fails the gate.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Reads the JSON-Lines bench output into `config → msps_per_core`, ignoring
+/// records without a throughput figure (e.g. the `--test` smoke marker).
+fn load(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut map = BTreeMap::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let value = cpjson::Value::parse(line)
+            .map_err(|e| format!("{path}: bad JSON line {line:?}: {e}"))?;
+        let config: String = value
+            .field_as("config")
+            .map_err(|e| format!("{path}: record without config: {e}"))?;
+        if let Some(msps) = value.get("msps_per_core") {
+            let msps: f64 = cpjson::FromJson::from_json(msps)
+                .map_err(|e| format!("{path}: {config}: bad msps_per_core: {e}"))?;
+            map.insert(config, msps);
+        }
+    }
+    if map.is_empty() {
+        return Err(format!("{path}: no throughput records"));
+    }
+    Ok(map)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let absolute = args.iter().any(|a| a == "--absolute");
+    let tolerance: f64 = args
+        .iter()
+        .position(|a| a == "--tolerance")
+        .and_then(|i| args.get(i + 1))
+        .map(|t| t.parse().expect("--tolerance takes a number"))
+        .unwrap_or(0.15);
+    let mut files = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            !a.starts_with("--")
+                && args.get(i.wrapping_sub(1)).map(String::as_str) != Some("--tolerance")
+        })
+        .map(|(_, a)| a.clone());
+    let (current_path, baseline_path) = match (files.next(), files.next()) {
+        (Some(c), Some(b)) => (c, b),
+        _ => {
+            eprintln!(
+                "usage: check_throughput <current.json> <baseline.json> [--tolerance 0.15] [--absolute]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (current, baseline) = match (load(&current_path), load(&baseline_path)) {
+        (Ok(c), Ok(b)) => (c, b),
+        (c, b) => {
+            for err in [c.err(), b.err()].into_iter().flatten() {
+                eprintln!("error: {err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // In normalised mode every figure becomes a ratio to the same run's standard
+    // receiver; the standard row itself then trivially passes and only documents
+    // the normaliser.
+    let norm = |map: &BTreeMap<String, f64>| -> Result<f64, String> {
+        if absolute {
+            return Ok(1.0);
+        }
+        map.get("standard")
+            .copied()
+            .filter(|m| *m > 0.0)
+            .ok_or_else(|| "normalised mode needs a positive 'standard' record".to_string())
+    };
+    let (cur_norm, base_norm) = match (norm(&current), norm(&baseline)) {
+        (Ok(c), Ok(b)) => (c, b),
+        (c, b) => {
+            for err in [c.err(), b.err()].into_iter().flatten() {
+                eprintln!("error: {err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mode = if absolute {
+        "absolute Msps/core"
+    } else {
+        "relative to the standard receiver"
+    };
+    println!(
+        "throughput trajectory gate ({mode}, tolerance {:.0}%):",
+        tolerance * 100.0
+    );
+    let mut failed = false;
+    for (config, &base_msps) in &baseline {
+        let base = base_msps / base_norm;
+        match current.get(config) {
+            None => {
+                println!("  {config}: MISSING from current run (baseline {base:.4})");
+                failed = true;
+            }
+            Some(&cur_msps) => {
+                let cur = cur_msps / cur_norm;
+                let delta = cur / base - 1.0;
+                let ok = cur >= base * (1.0 - tolerance);
+                println!(
+                    "  {config}: baseline {base:.4}  current {cur:.4}  ({:+.1}%)  {}",
+                    delta * 100.0,
+                    if ok { "ok" } else { "REGRESSED" }
+                );
+                failed |= !ok;
+            }
+        }
+    }
+    for config in current.keys().filter(|c| !baseline.contains_key(*c)) {
+        println!(
+            "  {config}: new configuration (no baseline) — record it on the next baseline refresh"
+        );
+    }
+    if failed {
+        eprintln!("throughput regressed more than {:.0}% — investigate or refresh the baseline deliberately", tolerance * 100.0);
+        return ExitCode::FAILURE;
+    }
+    println!("throughput trajectory ok");
+    ExitCode::SUCCESS
+}

@@ -103,6 +103,36 @@ impl DecisionStage {
     }
 }
 
+/// Floating-point width of the vectorized inner kernels (PR 8): the sliding-DFT
+/// slide updates and the grid-KDE batched queries.
+///
+/// [`F64`](Self::F64) is the reference — every kernel's scalar counterpart runs in
+/// `f64`, and the vectorized `f64` paths are pinned to it bit-for-bit (or ≤ 1e-9
+/// where operation order changes). [`F32`](Self::F32) halves the memory traffic of
+/// those inner loops and doubles the SIMD lane count; its error is bounded by
+/// property tests (per-bin spectra within `1e-3`, grid log-likelihoods within
+/// `1e-3`) and a whole-frame decision-equivalence test at the Fig. 14 operating
+/// point. Precision only affects the *inner* kernels — seeding FFTs, model
+/// fitting and the exact-KDE scoring stay `f64` under either setting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelPrecision {
+    /// Full-width kernels — the reference and the default.
+    #[default]
+    F64,
+    /// Half-width inner kernels: f32 sliding-DFT slides and f32 grid queries.
+    F32,
+}
+
+impl KernelPrecision {
+    /// Short name used in campaign arm labels and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            KernelPrecision::F64 => "F64",
+            KernelPrecision::F32 => "F32",
+        }
+    }
+}
+
 /// Tuning knobs of the CPRecycle receiver (the paper's `B_a`, `B_φ`, `R` and `P`
 /// parameters from Algorithm 1, plus the bandwidth-selection strategy of §4.1).
 ///
@@ -125,7 +155,7 @@ impl DecisionStage {
 /// // Untouched knobs keep their defaults.
 /// assert_eq!(config.model, CpRecycleConfig::default().model);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Clone, Copy, PartialEq)]
 #[non_exhaustive]
 pub struct CpRecycleConfig {
     /// Maximum number of FFT segments `P` to use per symbol. The effective number is
@@ -171,6 +201,36 @@ pub struct CpRecycleConfig {
     /// parametric Gaussian fit. Like the decision stage, the backend is part of every
     /// campaign point key, so estimator sweeps are ordinary grid dimensions.
     pub model: ModelBackend,
+    /// Floating-point width of the vectorized inner kernels (sliding-DFT slides,
+    /// grid-KDE batched queries). [`KernelPrecision::F64`] is the reference and the
+    /// default; [`KernelPrecision::F32`] trades ≤ 1e-3 per-query error for roughly
+    /// double the SIMD throughput on those loops.
+    pub precision: KernelPrecision,
+}
+
+// Hand-written so the default `precision: F64` is *omitted*: campaign point keys
+// embed this Debug representation (`scenarios::LinkPoint::key`), and the derived
+// form would silently re-key — and re-seed — every existing F64 campaign the
+// moment the field was added. Only a non-default `F32` shows up, as a new key
+// dimension should. Keep the field order in sync with the struct.
+impl std::fmt::Debug for CpRecycleConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut s = f.debug_struct("CpRecycleConfig");
+        s.field("num_segments", &self.num_segments)
+            .field("bandwidth_amplitude", &self.bandwidth_amplitude)
+            .field("bandwidth_phase", &self.bandwidth_phase)
+            .field("data_driven_bandwidth", &self.data_driven_bandwidth)
+            .field("decision", &self.decision)
+            .field("isi_free_samples", &self.isi_free_samples)
+            .field("min_bandwidth_amplitude", &self.min_bandwidth_amplitude)
+            .field("min_bandwidth_phase", &self.min_bandwidth_phase)
+            .field("extraction", &self.extraction)
+            .field("model", &self.model);
+        if self.precision != KernelPrecision::F64 {
+            s.field("precision", &self.precision);
+        }
+        s.finish()
+    }
 }
 
 impl Default for CpRecycleConfig {
@@ -186,6 +246,7 @@ impl Default for CpRecycleConfig {
             min_bandwidth_phase: 0.2,
             extraction: SegmentExtraction::default(),
             model: ModelBackend::default(),
+            precision: KernelPrecision::default(),
         }
     }
 }
@@ -309,6 +370,12 @@ impl CpRecycleConfigBuilder {
         self
     }
 
+    /// Selects the floating-point width of the vectorized inner kernels.
+    pub fn precision(mut self, precision: KernelPrecision) -> Self {
+        self.config.precision = precision;
+        self
+    }
+
     /// Finishes the build.
     pub fn build(self) -> CpRecycleConfig {
         self.config
@@ -417,6 +484,34 @@ mod tests {
                 .decision(DecisionStage::Naive)
                 .build(),
             CpRecycleConfig::with_decision(DecisionStage::Naive)
+        );
+    }
+
+    #[test]
+    fn precision_defaults_to_f64_and_stays_out_of_the_default_key() {
+        let c = CpRecycleConfig::default();
+        assert_eq!(c.precision, KernelPrecision::F64);
+        assert_eq!(KernelPrecision::F64.label(), "F64");
+        assert_eq!(KernelPrecision::F32.label(), "F32");
+        // The Debug form — embedded in campaign point keys — must not change for
+        // F64 configs when the precision field is at its default…
+        let key = format!("{c:?}");
+        assert!(
+            !key.contains("precision"),
+            "default key must omit precision: {key}"
+        );
+        assert!(key.starts_with("CpRecycleConfig {"));
+        assert!(key.contains("model: ExactKde"));
+        // …and an explicit F32 must show up as a new key dimension.
+        let f32_cfg = CpRecycleConfig::builder()
+            .precision(KernelPrecision::F32)
+            .build();
+        assert!(format!("{f32_cfg:?}").contains("precision: F32"));
+        assert_eq!(
+            CpRecycleConfig::builder()
+                .precision(KernelPrecision::F64)
+                .build(),
+            CpRecycleConfig::default()
         );
     }
 

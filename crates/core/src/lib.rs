@@ -73,7 +73,7 @@ pub mod server;
 pub mod session;
 pub mod sphere_ml;
 
-pub use config::{CpRecycleConfig, CpRecycleConfigBuilder, DecisionStage};
+pub use config::{CpRecycleConfig, CpRecycleConfigBuilder, DecisionStage, KernelPrecision};
 pub use decision::{
     DecoderScratch, LatticePoint, NaiveCentroidDecoder, OracleSegmentDecoder,
     StandardNearestDecoder, SubcarrierDecoder,

@@ -29,7 +29,7 @@ use crate::decision::{
 };
 use crate::interference_model::InterferenceModel;
 use crate::segments::{
-    extract_segments_with, interference_power_per_segment_with, SegmentScratch, SymbolSegments,
+    extract_segments_precise, interference_power_per_segment_with, SegmentScratch, SymbolSegments,
 };
 use crate::sphere_ml::FixedSphereMlDecoder;
 use crate::Result;
@@ -473,12 +473,13 @@ impl CpRecycleReceiver {
         for s in 0..num_symbols {
             let start = data_start + s * sym_len;
             let timer = StageTimer::start(obs, Span::new("extract", kind));
-            let segments = extract_segments_with(
+            let segments = extract_segments_precise(
                 &self.engine,
                 &samples[start..start + sym_len],
                 &estimate,
                 num_segments,
                 self.config.extraction,
+                self.config.precision,
                 scratch,
             )?;
             timer.finish(obs);
@@ -620,20 +621,22 @@ impl CpRecycleReceiver {
         // Symbol 2: CP = tail of long symbol 1, data = long symbol 2.
         let sym2_start = ltf_start + 2 * c + f - c;
         let sym_len = params.symbol_len();
-        let seg1 = extract_segments_with(
+        let seg1 = extract_segments_precise(
             &self.engine,
             &samples[sym1_start..sym1_start + sym_len],
             estimate,
             num_segments,
             self.config.extraction,
+            self.config.precision,
             scratch,
         )?;
-        let seg2 = extract_segments_with(
+        let seg2 = extract_segments_precise(
             &self.engine,
             &samples[sym2_start..sym2_start + sym_len],
             estimate,
             num_segments,
             self.config.extraction,
+            self.config.precision,
             scratch,
         )?;
         Ok((seg1, seg2))
@@ -670,12 +673,13 @@ impl CpRecycleReceiver {
         scratch: &mut SegmentScratch,
     ) -> Result<FrameInfo> {
         let params = self.engine.params();
-        let segments: SymbolSegments = extract_segments_with(
+        let segments: SymbolSegments = extract_segments_precise(
             &self.engine,
             symbol_samples,
             estimate,
             num_segments,
             self.config.extraction,
+            self.config.precision,
             scratch,
         )?;
         let data_bins = params.data_bins();

@@ -32,10 +32,12 @@
 //! so [`SymbolSegments::bin_observations`] — the access pattern of every decoder — is
 //! an allocation-free contiguous slice.
 
+use crate::config::KernelPrecision;
 use crate::Result;
 use ofdmphy::chanest::ChannelEstimate;
 use ofdmphy::ofdm::OfdmEngine;
 use ofdmphy::PhyError;
+use rfdsp::lanes::LANES;
 use rfdsp::sliding::SlidingDft;
 use rfdsp::Complex;
 
@@ -216,6 +218,17 @@ pub struct SegmentScratch {
     spectrum: Vec<Complex>,
     /// Per-bin fused factor `e^{+i2πk·shift/F} / Ĥ[k]` of the current window.
     ramp: Vec<Complex>,
+    /// Split-plane f32 mirrors of `spectrum` / `ramp`, sized only when a
+    /// [`KernelPrecision::F32`] extraction runs: the reduced-precision slide kernel
+    /// works on separate re/im planes so LLVM vectorizes it at twice the f64 lane
+    /// width.
+    spectrum_re32: Vec<f32>,
+    /// Imaginary plane of the f32 spectrum mirror.
+    spectrum_im32: Vec<f32>,
+    /// Real plane of the f32 ramp mirror.
+    ramp_re32: Vec<f32>,
+    /// Imaginary plane of the f32 ramp mirror.
+    ramp_im32: Vec<f32>,
     /// Decision-stage buffers (candidate indices, per-candidate log-likelihoods),
     /// threaded by the receiver into [`SubcarrierDecoder::decide_symbol`] so the whole
     /// extract → decide path is allocation-free after warm-up.
@@ -308,11 +321,45 @@ pub fn extract_segments_with(
     method: SegmentExtraction,
     scratch: &mut SegmentScratch,
 ) -> Result<SymbolSegments> {
+    extract_segments_precise(
+        engine,
+        symbol_samples,
+        estimate,
+        num_segments,
+        method,
+        KernelPrecision::F64,
+        scratch,
+    )
+}
+
+/// [`extract_segments_with`] with an explicit kernel precision.
+///
+/// [`KernelPrecision::F64`] is the reference path (what every other entry point
+/// runs). [`KernelPrecision::F32`] runs the `P − 1` fused slide updates on split
+/// f32 re/im planes — twice the SIMD lane width — and widens each observation back
+/// to f64 on store; the seed FFT and the Eq. 2 ramp initialisation stay in f64, so
+/// the rounding error is bounded by the slide recurrence alone (≤ 1e-3 per
+/// observation in practice, pinned by a test below). The
+/// [`SegmentExtraction::Direct`] reference kernel ignores `precision`.
+pub fn extract_segments_precise(
+    engine: &OfdmEngine,
+    symbol_samples: &[Complex],
+    estimate: &ChannelEstimate,
+    num_segments: usize,
+    method: SegmentExtraction,
+    precision: KernelPrecision,
+    scratch: &mut SegmentScratch,
+) -> Result<SymbolSegments> {
     validate_num_segments(engine, num_segments)?;
     match method {
-        SegmentExtraction::Sliding => {
-            extract_sliding(engine, symbol_samples, estimate, num_segments, scratch)
-        }
+        SegmentExtraction::Sliding => extract_sliding(
+            engine,
+            symbol_samples,
+            estimate,
+            num_segments,
+            precision,
+            scratch,
+        ),
         SegmentExtraction::Direct => extract_direct(engine, symbol_samples, estimate, num_segments),
     }
 }
@@ -323,6 +370,7 @@ fn extract_sliding(
     symbol_samples: &[Complex],
     estimate: &ChannelEstimate,
     num_segments: usize,
+    precision: KernelPrecision,
     scratch: &mut SegmentScratch,
 ) -> Result<SymbolSegments> {
     validate_symbol_len(engine, symbol_samples)?;
@@ -337,7 +385,26 @@ fn extract_sliding(
     }
     let p = num_segments;
     let s0 = c - (p - 1);
-    let (sliding, spectrum, ramp) = scratch.ensure(f);
+    let _ = scratch.ensure(f);
+    if precision == KernelPrecision::F32 {
+        scratch.spectrum_re32.resize(f, 0.0);
+        scratch.spectrum_im32.resize(f, 0.0);
+        scratch.ramp_re32.resize(f, 0.0);
+        scratch.ramp_im32.resize(f, 0.0);
+    }
+    // Disjoint field borrows: the slide kernels need the plan, the f64 buffers and
+    // (for F32) the split planes simultaneously.
+    let SegmentScratch {
+        sliding,
+        spectrum,
+        ramp,
+        spectrum_re32,
+        spectrum_im32,
+        ramp_re32,
+        ramp_im32,
+        ..
+    } = scratch;
+    let sliding = sliding.as_ref().expect("plan just ensured");
 
     // Seed: FFT of the earliest window, then fold phase ramp + equalizer into it.
     spectrum.copy_from_slice(&symbol_samples[s0..s0 + f]);
@@ -369,14 +436,41 @@ fn extract_sliding(
     // by one, so the slide twiddle cancels against the ramp step — the corrected,
     // equalised spectrum advances by a single multiply-add per bin, and the fused
     // per-bin factor steps down by one precomputed twiddle.
-    let retreat = sliding.retreat_twiddles();
-    for j in 1..p {
-        let w = s0 + j - 1;
-        let delta = symbol_samples[w + f] - symbol_samples[w];
-        for k in 0..f {
-            spectrum[k] += delta * ramp[k];
-            values[k * p + j] = spectrum[k];
-            ramp[k] *= retreat[k];
+    match precision {
+        KernelPrecision::F64 => {
+            let retreat = sliding.retreat_twiddles();
+            fused_slides_f64(
+                symbol_samples,
+                s0,
+                f,
+                p,
+                spectrum,
+                ramp,
+                retreat,
+                &mut values,
+            );
+        }
+        KernelPrecision::F32 => {
+            for k in 0..f {
+                spectrum_re32[k] = spectrum[k].re as f32;
+                spectrum_im32[k] = spectrum[k].im as f32;
+                ramp_re32[k] = ramp[k].re as f32;
+                ramp_im32[k] = ramp[k].im as f32;
+            }
+            let (retreat_re, retreat_im) = sliding.retreat_twiddles_f32();
+            fused_slides_f32(
+                symbol_samples,
+                s0,
+                f,
+                p,
+                spectrum_re32,
+                spectrum_im32,
+                ramp_re32,
+                ramp_im32,
+                retreat_re,
+                retreat_im,
+                &mut values,
+            );
         }
     }
     Ok(SymbolSegments {
@@ -384,6 +478,116 @@ fn extract_sliding(
         fft_size: f,
         values,
     })
+}
+
+/// The `P − 1` fused slide updates in f64, restructured into `LANES`-wide chunks so
+/// LLVM emits packed arithmetic. The chunked body and the scalar remainder perform
+/// the *same* elementwise operations in the same order as the plain recurrence
+/// (`spectrum[k] += delta * ramp[k]; ramp[k] *= retreat[k]`, expanded into the
+/// complex-multiply formula rustc generates for [`Complex`]), so the restructure is
+/// bit-for-bit — pinned by `lane_restructure_matches_the_scalar_recurrence` below.
+#[allow(clippy::too_many_arguments)]
+fn fused_slides_f64(
+    symbol_samples: &[Complex],
+    s0: usize,
+    f: usize,
+    p: usize,
+    spectrum: &mut [Complex],
+    ramp: &mut [Complex],
+    retreat: &[Complex],
+    values: &mut [Complex],
+) {
+    let main = f - f % LANES;
+    for j in 1..p {
+        let w = s0 + j - 1;
+        let delta = symbol_samples[w + f] - symbol_samples[w];
+        let (dr, di) = (delta.re, delta.im);
+        for k0 in (0..main).step_by(LANES) {
+            let mut sr = [0.0f64; LANES];
+            let mut si = [0.0f64; LANES];
+            let mut nr = [0.0f64; LANES];
+            let mut ni = [0.0f64; LANES];
+            for l in 0..LANES {
+                let r = ramp[k0 + l];
+                let t = retreat[k0 + l];
+                sr[l] = spectrum[k0 + l].re + (dr * r.re - di * r.im);
+                si[l] = spectrum[k0 + l].im + (dr * r.im + di * r.re);
+                nr[l] = r.re * t.re - r.im * t.im;
+                ni[l] = r.re * t.im + r.im * t.re;
+            }
+            for l in 0..LANES {
+                let s = Complex::new(sr[l], si[l]);
+                spectrum[k0 + l] = s;
+                values[(k0 + l) * p + j] = s;
+                ramp[k0 + l] = Complex::new(nr[l], ni[l]);
+            }
+        }
+        for k in main..f {
+            spectrum[k] += delta * ramp[k];
+            values[k * p + j] = spectrum[k];
+            ramp[k] *= retreat[k];
+        }
+    }
+}
+
+/// The reduced-precision slide updates: the same recurrence as [`fused_slides_f64`]
+/// on split f32 re/im planes (twice the SIMD lane width), widening each observation
+/// back to f64 on store. Error relative to the f64 path is bounded by f32 rounding
+/// across at most `P − 1 ≤ C` accumulation steps — well inside the 1e-3 budget the
+/// [`KernelPrecision::F32`] contract states.
+#[allow(clippy::too_many_arguments)]
+fn fused_slides_f32(
+    symbol_samples: &[Complex],
+    s0: usize,
+    f: usize,
+    p: usize,
+    spectrum_re: &mut [f32],
+    spectrum_im: &mut [f32],
+    ramp_re: &mut [f32],
+    ramp_im: &mut [f32],
+    retreat_re: &[f32],
+    retreat_im: &[f32],
+    values: &mut [Complex],
+) {
+    let main = f - f % LANES;
+    for j in 1..p {
+        let w = s0 + j - 1;
+        let delta = symbol_samples[w + f] - symbol_samples[w];
+        let dr = delta.re as f32;
+        let di = delta.im as f32;
+        for k0 in (0..main).step_by(LANES) {
+            let mut sr = [0.0f32; LANES];
+            let mut si = [0.0f32; LANES];
+            let mut nr = [0.0f32; LANES];
+            let mut ni = [0.0f32; LANES];
+            for l in 0..LANES {
+                let (rr, ri) = (ramp_re[k0 + l], ramp_im[k0 + l]);
+                let (tr, ti) = (retreat_re[k0 + l], retreat_im[k0 + l]);
+                sr[l] = spectrum_re[k0 + l] + (dr * rr - di * ri);
+                si[l] = spectrum_im[k0 + l] + (dr * ri + di * rr);
+                nr[l] = rr * tr - ri * ti;
+                ni[l] = rr * ti + ri * tr;
+            }
+            for l in 0..LANES {
+                spectrum_re[k0 + l] = sr[l];
+                spectrum_im[k0 + l] = si[l];
+                ramp_re[k0 + l] = nr[l];
+                ramp_im[k0 + l] = ni[l];
+                values[(k0 + l) * p + j] = Complex::new(sr[l] as f64, si[l] as f64);
+            }
+        }
+        for k in main..f {
+            let (rr, ri) = (ramp_re[k], ramp_im[k]);
+            let (tr, ti) = (retreat_re[k], retreat_im[k]);
+            let sr = spectrum_re[k] + (dr * rr - di * ri);
+            let si = spectrum_im[k] + (dr * ri + di * rr);
+            spectrum_re[k] = sr;
+            spectrum_im[k] = si;
+            ramp_re[k] = rr * tr - ri * ti;
+            ramp_im[k] = rr * ti + ri * tr;
+            values[k * p + j] = Complex::new(sr as f64, si as f64);
+        }
+    }
 }
 
 /// The reference kernel: one direct FFT + phase correction + equalization per segment.
@@ -563,6 +767,126 @@ mod tests {
                 for j in 0..p {
                     assert!(
                         (a[j] - b[j]).norm() < 1e-9,
+                        "P {p}, segment {j}, bin {bin}: {} vs {}",
+                        a[j],
+                        b[j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_restructure_matches_the_scalar_recurrence() {
+        // The chunked f64 slide kernel must be bit-for-bit identical to the plain
+        // scalar recurrence it replaced, for lengths that exercise both the chunked
+        // body and the remainder (f = 13 leaves a 1-element tail at LANES = 4).
+        let mut rng = rand::rngs::StdRng::seed_from_u64(44);
+        let mut c = || Complex::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5);
+        for f in [4usize, 7, 13, 64] {
+            let p = 5usize;
+            let s0 = 4usize;
+            let samples: Vec<Complex> = (0..s0 + f + p).map(|_| c()).collect();
+            let retreat: Vec<Complex> = (0..f).map(|_| c()).collect();
+            let spectrum0: Vec<Complex> = (0..f).map(|_| c()).collect();
+            let ramp0: Vec<Complex> = (0..f).map(|_| c()).collect();
+
+            let mut spec_ref = spectrum0.clone();
+            let mut ramp_ref = ramp0.clone();
+            let mut values_ref = vec![Complex::zero(); p * f];
+            for j in 1..p {
+                let w = s0 + j - 1;
+                let delta = samples[w + f] - samples[w];
+                for k in 0..f {
+                    spec_ref[k] += delta * ramp_ref[k];
+                    values_ref[k * p + j] = spec_ref[k];
+                    ramp_ref[k] *= retreat[k];
+                }
+            }
+
+            let mut spec = spectrum0.clone();
+            let mut ramp = ramp0.clone();
+            let mut values = vec![Complex::zero(); p * f];
+            fused_slides_f64(
+                &samples,
+                s0,
+                f,
+                p,
+                &mut spec,
+                &mut ramp,
+                &retreat,
+                &mut values,
+            );
+
+            for k in 0..f {
+                assert_eq!(
+                    spec[k].re.to_bits(),
+                    spec_ref[k].re.to_bits(),
+                    "f {f} bin {k}"
+                );
+                assert_eq!(
+                    spec[k].im.to_bits(),
+                    spec_ref[k].im.to_bits(),
+                    "f {f} bin {k}"
+                );
+                assert_eq!(
+                    ramp[k].re.to_bits(),
+                    ramp_ref[k].re.to_bits(),
+                    "f {f} bin {k}"
+                );
+                assert_eq!(
+                    ramp[k].im.to_bits(),
+                    ramp_ref[k].im.to_bits(),
+                    "f {f} bin {k}"
+                );
+                for j in 0..p {
+                    let (a, b) = (values[k * p + j], values_ref[k * p + j]);
+                    assert_eq!(a.re.to_bits(), b.re.to_bits(), "f {f} bin {k} seg {j}");
+                    assert_eq!(a.im.to_bits(), b.im.to_bits(), "f {f} bin {k} seg {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f32_sliding_extraction_tracks_f64_within_budget() {
+        let e = engine();
+        let (time, _) = random_symbol(&e, 31);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(32);
+        let pdp = PowerDelayProfile::exponential(3, 1.0).unwrap();
+        let chan = MultipathChannel::realize(&pdp, FadingKind::Rayleigh, &mut rng);
+        let est = ChannelEstimate {
+            h: chan.frequency_response(64),
+        };
+        let mut scratch = SegmentScratch::new();
+        for p in [1usize, 2, 5, 16, 17] {
+            let full = extract_segments_precise(
+                &e,
+                &time,
+                &est,
+                p,
+                SegmentExtraction::Sliding,
+                KernelPrecision::F64,
+                &mut scratch,
+            )
+            .unwrap();
+            let reduced = extract_segments_precise(
+                &e,
+                &time,
+                &est,
+                p,
+                SegmentExtraction::Sliding,
+                KernelPrecision::F32,
+                &mut scratch,
+            )
+            .unwrap();
+            for bin in 0..64 {
+                let a = full.bin_observations(bin);
+                let b = reduced.bin_observations(bin);
+                for j in 0..p {
+                    let scale = 1.0 + a[j].norm();
+                    assert!(
+                        (a[j] - b[j]).norm() < 1e-3 * scale,
                         "P {p}, segment {j}, bin {bin}: {} vs {}",
                         a[j],
                         b[j]

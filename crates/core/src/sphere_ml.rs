@@ -17,7 +17,7 @@
 //! every candidate of every bin of every symbol cloned a `(Complex, Vec<u8>)` pair).
 
 use crate::decision::{DecoderScratch, LatticePoint, SubcarrierDecoder};
-use crate::interference_model::InterferenceModel;
+use crate::interference_model::{deviation, InterferenceModel};
 use crate::segments::SymbolSegments;
 use ofdmphy::modulation::{Lattice, Modulation};
 use rfdsp::stats::centroid;
@@ -117,13 +117,36 @@ impl SubcarrierDecoder for FixedSphereMlDecoder<'_> {
         scratch: &mut DecoderScratch,
     ) -> LatticePoint {
         self.enumerate_candidates(observations, scratch);
+        // Batched scoring: hoist every candidate/observation deviation into
+        // candidate-major planes, score them all with ONE estimator call (the
+        // lane-parallel batch path), then reduce per candidate. The per-candidate sum
+        // iterates observations in the same order as the old per-query loop, so
+        // scores are unchanged wherever the batch path is bit-for-bit (grid f64,
+        // Gaussian, fallback) and within 1e-9 elsewhere.
+        let p = observations.len();
+        scratch.dev_amp.clear();
+        scratch.dev_phase.clear();
+        let total = scratch.candidates.len() * p;
+        scratch.dev_amp.reserve(total);
+        scratch.dev_phase.reserve(total);
         for &index in &scratch.candidates {
             let point = self.lattice.point(index);
-            let score: f64 = observations
-                .iter()
-                .map(|obs| self.model.log_likelihood(bin, *obs, point))
-                .sum();
-            scratch.scores.push(score);
+            for obs in observations {
+                let (amplitude, phase) = deviation(*obs, point);
+                scratch.dev_amp.push(amplitude);
+                scratch.dev_phase.push(phase);
+            }
+        }
+        scratch.log_likes.clear();
+        scratch.log_likes.resize(total, 0.0);
+        self.model.log_likelihood_batch(
+            bin,
+            &scratch.dev_amp,
+            &scratch.dev_phase,
+            &mut scratch.log_likes,
+        );
+        for chunk in scratch.log_likes.chunks_exact(p) {
+            scratch.scores.push(chunk.iter().sum());
         }
         // First strict maximum wins, so ties keep the earliest (lowest-index)
         // candidate — the pre-trait decoder's behaviour, pinned bit-for-bit by the

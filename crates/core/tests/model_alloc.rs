@@ -56,11 +56,48 @@ fn allocations() -> u64 {
     ALLOCATIONS.load(Ordering::Relaxed)
 }
 
+/// The counter is process-wide, so concurrently running tests would perturb each
+/// other's measurements; every test holds this for its measured region.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[test]
+fn viterbi_decode_is_allocation_free_after_warmup() {
+    // The PR 8 satellite pin: the Viterbi decoder owns its depuncture and
+    // back-pointer scratch, and with a warmed-up caller buffer `decode_into`
+    // performs zero heap allocations per decoded frame. Before the rework every
+    // decode allocated the depunctured stream, the path-metric vectors, the
+    // back-pointer matrix and the output — ≥ 4 allocations per frame, one of them
+    // `O(num_steps × 64)`.
+    use ofdmphy::convcode::{encode, CodeRate};
+    use ofdmphy::viterbi::ViterbiDecoder;
+
+    let _serial = SERIAL.lock().unwrap();
+    let decoder = ViterbiDecoder::new();
+    let mut data: Vec<u8> = (0..1200).map(|i| ((i * 7 + 3) % 5 > 2) as u8).collect();
+    data.extend_from_slice(&[0; 6]);
+    for rate in [CodeRate::Half, CodeRate::ThreeQuarters] {
+        let coded = encode(&data, rate).unwrap();
+        let mut out = Vec::new();
+        // Warm-up sizes the decoder scratch and the output buffer for this frame.
+        decoder.decode_into(&coded, rate, &mut out).unwrap();
+        assert_eq!(out, data);
+        let before = allocations();
+        decoder.decode_into(&coded, rate, &mut out).unwrap();
+        let during = allocations() - before;
+        assert_eq!(
+            during, 0,
+            "warm Viterbi decode allocated {during} times at rate {rate:?}"
+        );
+        assert_eq!(out, data);
+    }
+}
+
 #[test]
 fn kde_update_is_allocation_free_after_reserve() {
     // The satellite pin: `ProductKde2d::update` used to collect both axes into fresh
     // vectors to reselect bandwidths on every call. With split-axis storage, the
     // internal sort scratch and a `reserve`, an update allocates nothing at all.
+    let _serial = SERIAL.lock().unwrap();
     let samples: Vec<(f64, f64)> = (0..64)
         .map(|i| (0.1 + 0.01 * (i % 13) as f64, -1.0 + 0.07 * (i % 29) as f64))
         .collect();
@@ -86,6 +123,7 @@ fn model_update_does_not_collect_per_bin_temporaries() {
     // collects for selection plus a fresh sample copy per KDE, and two more inside
     // `ProductKde2d::update`), i.e. > 200 allocations per update; the bound here
     // fails if even half of that comes back.
+    let _serial = SERIAL.lock().unwrap();
     let e = OfdmEngine::new(OfdmParams::ieee80211ag());
     let reference = preamble::ltf_bins(e.params());
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);

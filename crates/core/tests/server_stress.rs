@@ -146,7 +146,7 @@ fn session_config(id: usize) -> SessionConfig {
 /// Either in-tree receiver behind one enum, so the soak can mix both families in a
 /// single server (which is generic over one receiver type).
 enum SoakReceiver {
-    Standard(StandardReceiver),
+    Standard(Box<StandardReceiver>),
     CpRecycle(Box<CpRecycleReceiver>),
 }
 
@@ -163,7 +163,7 @@ impl SoakReceiver {
                 CpRecycleConfig::default(),
             )))
         } else {
-            SoakReceiver::Standard(StandardReceiver::new(params()))
+            SoakReceiver::Standard(Box::new(StandardReceiver::new(params())))
         }
     }
 }

@@ -112,8 +112,17 @@ pub fn puncture(coded: &[u8], rate: CodeRate) -> Vec<u8> {
 /// stream aligned with the rate-1/2 trellis. The output length is the original coded
 /// length implied by `punctured.len()` and the pattern.
 pub fn depuncture(punctured: &[u8], rate: CodeRate) -> Vec<Option<u8>> {
-    let pattern = rate.puncture_pattern();
     let mut out = Vec::new();
+    depuncture_into(punctured, rate, &mut out);
+    out
+}
+
+/// [`depuncture`] into a caller-owned buffer (cleared first) — the allocation-free
+/// variant the Viterbi hot path threads its reusable scratch through.
+pub fn depuncture_into(punctured: &[u8], rate: CodeRate, out: &mut Vec<Option<u8>>) {
+    let pattern = rate.puncture_pattern();
+    out.clear();
+    out.reserve(punctured.len() * 2);
     let mut it = punctured.iter();
     'outer: loop {
         for &keep in pattern {
@@ -137,7 +146,6 @@ pub fn depuncture(punctured: &[u8], rate: CodeRate) -> Vec<Option<u8>> {
     if out.len() % 2 == 1 {
         out.push(None);
     }
-    out
 }
 
 #[inline]

@@ -1,45 +1,124 @@
 //! Hard-decision Viterbi decoding of the 802.11 convolutional code.
 //!
 //! The decoder operates on the depunctured coded stream (erasures from puncturing are
-//! simply skipped in the branch metric) and performs a full traceback. Trellis
-//! transition tables are precomputed once per decoder instance; the add-compare-select
-//! inner loop avoids allocation beyond the path-metric/back-pointer matrices.
+//! simply skipped in the branch metric) and performs a full traceback.
+//!
+//! # The butterfly add-compare-select
+//!
+//! The rate-1/2 mother code shifts one input bit into a 6-bit register, so successor
+//! state `n` has exactly two predecessors — `2·(n mod 32)` and `2·(n mod 32) + 1` —
+//! and the input bit that reaches `n` is `n div 32` (the state's MSB). The inner loop
+//! exploits this: path metrics live in fixed `[u32; 64]` arrays, each step
+//! deinterleaves them into even/odd predecessor planes and runs a **branchless
+//! butterfly** over 32 lanes per input bit. Branch costs are computed arithmetically
+//! from precomputed output-bit planes (`(output ^ observed) & mask`, with `mask = 0`
+//! erasing punctured positions), and the compare-select is a `<` + conditional move —
+//! no data-dependent branches anywhere, so LLVM unrolls and vectorizes the step.
+//!
+//! The decoder owns its traceback scratch (back-pointer matrix, depuncture buffer)
+//! behind a mutex, so repeated decodes through `&self` perform **zero heap
+//! allocations** after the first frame of a given size ([`ViterbiDecoder::decode_into`]
+//! is the fully allocation-free entry point; the counting-allocator test in
+//! `crates/core/tests/model_alloc.rs` pins this). A straightforward scalar
+//! implementation is kept in the test module as the reference the butterfly is pinned
+//! against, decision-for-decision.
 
-use crate::convcode::{depuncture, CodeRate, G0, G1, NUM_STATES};
+use crate::convcode::{depuncture_into, CodeRate, G0, G1, NUM_STATES};
 use crate::{PhyError, Result};
+use std::sync::Mutex;
 
-/// Precomputed trellis description: for every `(state, input_bit)` pair, the two coded
-/// output bits and the successor state.
+/// Half the state count — the number of butterfly lanes per input bit.
+const HALF_STATES: usize = NUM_STATES / 2;
+
+/// Path-metric "infinity": large enough to never be caught by a real path (branch
+/// costs are ≤ 2 per step), small enough that accumulating further costs on top of it
+/// cannot wrap a `u32`.
+const INFINITY: u32 = u32::MAX / 2;
+
+/// Precomputed trellis description.
+///
+/// `outputs` / `next` are the classic per-`(state, input_bit)` tables (fixed arrays —
+/// no heap); the four plane pairs below are the same output bits rearranged for the
+/// butterfly: plane `[bit][i]` holds the coded output of predecessor `2i` (even) or
+/// `2i + 1` (odd) under input `bit`, which is exactly the operand order the
+/// add-compare-select consumes.
 #[derive(Debug, Clone)]
 struct Trellis {
-    /// `outputs[state][bit] = (a, b)` coded bits.
-    outputs: Vec<[(u8, u8); 2]>,
-    /// `next[state][bit]` successor state.
-    next: Vec<[usize; 2]>,
+    /// `outputs[state][bit] = (a, b)` coded bits. Consumed (beyond plane
+    /// construction) only by the scalar reference decoder in the test module.
+    #[cfg_attr(not(test), allow(dead_code))]
+    outputs: [[(u8, u8); 2]; NUM_STATES],
+    /// `next[state][bit]` successor state — same test-only consumer.
+    #[cfg_attr(not(test), allow(dead_code))]
+    next: [[usize; 2]; NUM_STATES],
+    /// First coded bit of even predecessors: `a_even[bit][i]` = A-output of `(2i, bit)`.
+    a_even: [[u8; HALF_STATES]; 2],
+    /// Second coded bit of even predecessors.
+    b_even: [[u8; HALF_STATES]; 2],
+    /// First coded bit of odd predecessors: `a_odd[bit][i]` = A-output of `(2i+1, bit)`.
+    a_odd: [[u8; HALF_STATES]; 2],
+    /// Second coded bit of odd predecessors.
+    b_odd: [[u8; HALF_STATES]; 2],
 }
 
 impl Trellis {
     fn new() -> Self {
-        let mut outputs = vec![[(0u8, 0u8); 2]; NUM_STATES];
-        let mut next = vec![[0usize; 2]; NUM_STATES];
-        for state in 0..NUM_STATES {
+        let mut outputs = [[(0u8, 0u8); 2]; NUM_STATES];
+        let mut next = [[0usize; 2]; NUM_STATES];
+        for (state, (out, nxt)) in outputs.iter_mut().zip(next.iter_mut()).enumerate() {
             for bit in 0..2usize {
                 let reg = ((bit as u32) << 6) | state as u32;
                 let a = (reg & G0 as u32).count_ones() as u8 & 1;
                 let b = (reg & G1 as u32).count_ones() as u8 & 1;
-                outputs[state][bit] = (a, b);
-                next[state][bit] = ((reg >> 1) & 0x3F) as usize;
+                out[bit] = (a, b);
+                nxt[bit] = ((reg >> 1) & 0x3F) as usize;
             }
         }
-        Trellis { outputs, next }
+        let mut a_even = [[0u8; HALF_STATES]; 2];
+        let mut b_even = [[0u8; HALF_STATES]; 2];
+        let mut a_odd = [[0u8; HALF_STATES]; 2];
+        let mut b_odd = [[0u8; HALF_STATES]; 2];
+        for bit in 0..2usize {
+            for i in 0..HALF_STATES {
+                let (ae, be) = outputs[2 * i][bit];
+                let (ao, bo) = outputs[2 * i + 1][bit];
+                a_even[bit][i] = ae;
+                b_even[bit][i] = be;
+                a_odd[bit][i] = ao;
+                b_odd[bit][i] = bo;
+            }
+        }
+        Trellis {
+            outputs,
+            next,
+            a_even,
+            b_even,
+            a_odd,
+            b_odd,
+        }
     }
+}
+
+/// Reusable per-decode buffers: sized on the first frame, then stable — the capacity
+/// plateaus at the longest frame decoded, and every later decode of that size (or
+/// smaller) allocates nothing.
+#[derive(Debug, Default)]
+struct ViterbiScratch {
+    /// Depunctured stream, refilled per [`ViterbiDecoder::decode_into`] call.
+    depunctured: Vec<Option<u8>>,
+    /// Flat back-pointer matrix, `num_steps × NUM_STATES`.
+    back_pointers: Vec<u8>,
 }
 
 /// A hard-decision Viterbi decoder for the 802.11 rate-1/2 mother code with optional
 /// puncturing.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ViterbiDecoder {
     trellis: Trellis,
+    /// Owned scratch behind a mutex so decoding stays `&self` (the receivers store the
+    /// decoder in shared structs) without per-call allocation; contention is nil — one
+    /// decode holds the lock at a time per decoder instance.
+    scratch: Mutex<ViterbiScratch>,
 }
 
 impl Default for ViterbiDecoder {
@@ -48,11 +127,22 @@ impl Default for ViterbiDecoder {
     }
 }
 
+impl Clone for ViterbiDecoder {
+    fn clone(&self) -> Self {
+        // Scratch is pure cache — a clone starts cold with the same trellis.
+        ViterbiDecoder {
+            trellis: self.trellis.clone(),
+            scratch: Mutex::new(ViterbiScratch::default()),
+        }
+    }
+}
+
 impl ViterbiDecoder {
     /// Creates a decoder (precomputes the trellis).
     pub fn new() -> Self {
         ViterbiDecoder {
             trellis: Trellis::new(),
+            scratch: Mutex::new(ViterbiScratch::default()),
         }
     }
 
@@ -64,16 +154,131 @@ impl ViterbiDecoder {
     /// tail bits the final state is the all-zero state and the tail should be stripped
     /// from the returned bits by the caller.
     pub fn decode(&self, received: &[u8], rate: CodeRate) -> Result<Vec<u8>> {
+        let mut out = Vec::new();
+        self.decode_into(received, rate, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`decode`](Self::decode) into a caller-owned buffer (cleared first) — with a
+    /// warmed-up output buffer this path performs no heap allocation at all.
+    pub fn decode_into(&self, received: &[u8], rate: CodeRate, out: &mut Vec<u8>) -> Result<()> {
         if received.iter().any(|b| *b > 1) {
             return Err(PhyError::invalid("received", "bit values must be 0 or 1"));
         }
-        let aligned = depuncture(received, rate);
-        self.decode_depunctured(&aligned)
+        let mut scratch = self.scratch.lock().expect("viterbi scratch poisoned");
+        let ViterbiScratch {
+            depunctured,
+            back_pointers,
+        } = &mut *scratch;
+        depuncture_into(received, rate, depunctured);
+        decode_core(&self.trellis, depunctured, back_pointers, out)
     }
 
     /// Decodes a stream that is already aligned with the rate-1/2 trellis, where `None`
     /// marks an erasure (punctured position).
     pub fn decode_depunctured(&self, coded: &[Option<u8>]) -> Result<Vec<u8>> {
+        let mut out = Vec::new();
+        let mut scratch = self.scratch.lock().expect("viterbi scratch poisoned");
+        decode_core(&self.trellis, coded, &mut scratch.back_pointers, &mut out)?;
+        Ok(out)
+    }
+}
+
+/// The butterfly forward pass + traceback. Decisions are identical to the classic
+/// per-state scalar loop (kept as `decode_reference` in the test module): for every
+/// successor the even predecessor is considered first and the odd one replaces it only
+/// on a strictly smaller metric, matching the scalar loop's ascending state order with
+/// strict `<` — so ties break the same way, bit for bit.
+fn decode_core(
+    trellis: &Trellis,
+    coded: &[Option<u8>],
+    back_pointers: &mut Vec<u8>,
+    out: &mut Vec<u8>,
+) -> Result<()> {
+    if coded.len() < 2 {
+        return Err(PhyError::InsufficientSamples {
+            needed: 2,
+            available: coded.len(),
+        });
+    }
+    let num_steps = coded.len() / 2;
+    let mut metrics = [INFINITY; NUM_STATES];
+    metrics[0] = 0;
+    back_pointers.clear();
+    back_pointers.resize(num_steps * NUM_STATES, 0);
+
+    let mut even = [0u32; HALF_STATES];
+    let mut odd = [0u32; HALF_STATES];
+    for (step, bp) in back_pointers.chunks_exact_mut(NUM_STATES).enumerate() {
+        // Observation masks: an erasure zeroes the mask, erasing that output bit's
+        // cost contribution arithmetically instead of with a branch.
+        let (oa, ma) = match coded[2 * step] {
+            Some(v) => (v, 1u8),
+            None => (0, 0),
+        };
+        let (ob, mb) = match coded.get(2 * step + 1).copied().flatten() {
+            Some(v) => (v, 1u8),
+            None => (0, 0),
+        };
+        // Deinterleave predecessors: even[i] = state 2i, odd[i] = state 2i + 1.
+        for i in 0..HALF_STATES {
+            even[i] = metrics[2 * i];
+            odd[i] = metrics[2 * i + 1];
+        }
+        let mut new_metrics = [0u32; NUM_STATES];
+        for bit in 0..2usize {
+            let ae = &trellis.a_even[bit];
+            let be = &trellis.b_even[bit];
+            let ao = &trellis.a_odd[bit];
+            let bo = &trellis.b_odd[bit];
+            let base = bit * HALF_STATES;
+            for i in 0..HALF_STATES {
+                let cost_even = (((ae[i] ^ oa) & ma) + ((be[i] ^ ob) & mb)) as u32;
+                let cost_odd = (((ao[i] ^ oa) & ma) + ((bo[i] ^ ob) & mb)) as u32;
+                let c0 = even[i] + cost_even;
+                let c1 = odd[i] + cost_odd;
+                let take1 = (c1 < c0) as u8;
+                new_metrics[base + i] = if take1 != 0 { c1 } else { c0 };
+                // The input bit is recoverable from the next state (it is the MSB of
+                // the 6-bit state), so the record only needs the predecessor's low
+                // state bit that was shifted out, plus the input bit.
+                bp[base + i] = take1 | ((bit as u8) << 1);
+            }
+        }
+        metrics = new_metrics;
+    }
+
+    // Traceback from the best final state (first minimum wins, as before).
+    let mut state = 0usize;
+    let mut best = metrics[0];
+    for (s, &m) in metrics.iter().enumerate().skip(1) {
+        if m < best {
+            best = m;
+            state = s;
+        }
+    }
+    out.clear();
+    out.resize(num_steps, 0);
+    for step in (0..num_steps).rev() {
+        let record = back_pointers[step * NUM_STATES + state];
+        out[step] = (record >> 1) & 1;
+        // Previous state: remove the input bit from the MSB and restore the bit that
+        // was shifted out at the LSB end.
+        state = ((state << 1) | (record & 1) as usize) & 0x3F;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convcode::{encode, encode_rate_half};
+    use rand::{Rng, SeedableRng};
+
+    /// The pre-butterfly scalar decoder, kept verbatim as the equivalence reference:
+    /// per-state iteration in ascending order, strict `<` compare, skip of
+    /// unreachable states.
+    fn decode_reference(trellis: &Trellis, coded: &[Option<u8>]) -> Result<Vec<u8>> {
         if coded.len() < 2 {
             return Err(PhyError::InsufficientSamples {
                 needed: 2,
@@ -85,7 +290,6 @@ impl ViterbiDecoder {
         let mut metrics = vec![infinity; NUM_STATES];
         metrics[0] = 0;
         let mut back_pointers = vec![[0u8; NUM_STATES]; num_steps];
-
         let mut new_metrics = vec![infinity; NUM_STATES];
         for step in 0..num_steps {
             let obs_a = coded[2 * step];
@@ -97,8 +301,8 @@ impl ViterbiDecoder {
                     continue;
                 }
                 for bit in 0..2usize {
-                    let (a, b) = self.trellis.outputs[state][bit];
-                    let next = self.trellis.next[state][bit];
+                    let (a, b) = trellis.outputs[state][bit];
+                    let next = trellis.next[state][bit];
                     let mut branch = 0u32;
                     if let Some(oa) = obs_a {
                         branch += (oa != a) as u32;
@@ -109,21 +313,13 @@ impl ViterbiDecoder {
                     let candidate = metric + branch;
                     if candidate < new_metrics[next] {
                         new_metrics[next] = candidate;
-                        // The input bit is recoverable from the next state (it is the
-                        // MSB of the 6-bit state), so the back pointer only needs to
-                        // record the predecessor's low state bit that was shifted out.
                         best_prev[next] = ((state & 1) as u8) | ((bit as u8) << 1);
                     }
                 }
             }
-            back_pointers[step]
-                .iter_mut()
-                .zip(best_prev.iter())
-                .for_each(|(dst, src)| *dst = *src);
+            back_pointers[step] = best_prev;
             std::mem::swap(&mut metrics, &mut new_metrics);
         }
-
-        // Traceback from the best final state.
         let mut state = metrics
             .iter()
             .enumerate()
@@ -133,22 +329,11 @@ impl ViterbiDecoder {
         let mut decoded = vec![0u8; num_steps];
         for step in (0..num_steps).rev() {
             let record = back_pointers[step][state];
-            let bit = (record >> 1) & 1;
-            let shifted_out = record & 1;
-            decoded[step] = bit;
-            // Previous state: remove the input bit from the MSB and restore the bit that
-            // was shifted out at the LSB end.
-            state = ((state << 1) | shifted_out as usize) & 0x3F;
+            decoded[step] = (record >> 1) & 1;
+            state = ((state << 1) | (record & 1) as usize) & 0x3F;
         }
         Ok(decoded)
     }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::convcode::{encode, encode_rate_half};
-    use rand::{Rng, SeedableRng};
 
     fn random_bits(n: usize, seed: u64) -> Vec<u8> {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -159,6 +344,45 @@ mod tests {
     fn with_tail(mut bits: Vec<u8>) -> Vec<u8> {
         bits.extend_from_slice(&[0; 6]);
         bits
+    }
+
+    #[test]
+    fn butterfly_matches_the_scalar_reference_decision_for_decision() {
+        // Random depunctured streams with erasures and heavy corruption — well past
+        // the correction capability, so the decoders are compared on arbitrary
+        // tie-laden metric landscapes, not just on "both recover the message".
+        let decoder = ViterbiDecoder::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for trial in 0..40 {
+            let steps = rng.gen_range(1..120usize);
+            let coded: Vec<Option<u8>> = (0..2 * steps)
+                .map(|_| match rng.gen_range(0..10u8) {
+                    0..=2 => None,
+                    b => Some(b & 1),
+                })
+                .collect();
+            let fast = decoder.decode_depunctured(&coded).unwrap();
+            let slow = decode_reference(&decoder.trellis, &coded).unwrap();
+            assert_eq!(fast, slow, "trial {trial} diverged");
+        }
+    }
+
+    #[test]
+    fn decode_into_reuses_caller_and_scratch_buffers() {
+        let decoder = ViterbiDecoder::new();
+        let data = with_tail(random_bits(120, 8));
+        let coded = encode_rate_half(&data).unwrap();
+        let mut out = Vec::new();
+        decoder
+            .decode_into(&coded, CodeRate::Half, &mut out)
+            .unwrap();
+        assert_eq!(out, data);
+        let capacity = out.capacity();
+        decoder
+            .decode_into(&coded, CodeRate::Half, &mut out)
+            .unwrap();
+        assert_eq!(out, data);
+        assert_eq!(out.capacity(), capacity, "output buffer must not regrow");
     }
 
     #[test]
@@ -256,5 +480,16 @@ mod tests {
         let data = with_tail(random_bits(4000, 6));
         let coded = encode(&data, CodeRate::TwoThirds).unwrap();
         assert_eq!(decoder.decode(&coded, CodeRate::TwoThirds).unwrap(), data);
+    }
+
+    #[test]
+    fn cloned_decoder_decodes_identically() {
+        let decoder = ViterbiDecoder::new();
+        let data = with_tail(random_bits(100, 7));
+        let coded = encode_rate_half(&data).unwrap();
+        // Warm the original's scratch, then clone (cold scratch, same trellis).
+        let first = decoder.decode(&coded, CodeRate::Half).unwrap();
+        let second = decoder.clone().decode(&coded, CodeRate::Half).unwrap();
+        assert_eq!(first, second);
     }
 }

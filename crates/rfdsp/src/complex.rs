@@ -10,7 +10,12 @@ use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 
 /// A complex number `re + i·im` with `f64` components.
+///
+/// `#[repr(C)]` guarantees the `(re, im)` field order in memory, so a slice of
+/// `Complex` is a well-defined interleaved `f64` buffer — the layout the
+/// runtime-detected SIMD kernels in [`crate::simd`] load directly.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
 pub struct Complex {
     /// Real (in-phase) component.
     pub re: f64,

@@ -389,6 +389,56 @@ impl ProductKde2d {
         max_e + scaled.ln() - norm.ln()
     }
 
+    /// Batched [`log_eval`](Self::log_eval) over split query planes: `out[q]` is the
+    /// log density at `(amplitudes[q], phases[q])`.
+    ///
+    /// This is the sphere decoder's hot path (every lattice candidate × every segment
+    /// observation of a bin in one call), so each query runs the same linear-domain
+    /// fast path as the scalar reference but **lane-parallel**: kernel exponents are
+    /// computed in `LANES`-wide chunks and fed through the branch-free polynomial
+    /// [`crate::lanes::exp_approx`] — `f64::exp` is an opaque libm call LLVM never
+    /// vectorizes. The kernel-sum loop lives in [`crate::simd::kde_kernel_sum`],
+    /// which dispatches at runtime to an AVX2-compiled copy of the identical safe
+    /// Rust (4 `f64` lanes per instruction) and otherwise to the baseline-compiled
+    /// autovectorized copy, so a generic build still uses the full vector width of
+    /// the machine it lands on. Relative to the scalar
+    /// [`log_eval`](Self::log_eval) reference the result differs only by the ~1 ulp
+    /// `exp` polynomial and the lane summation order; agreement within `1e-9` is
+    /// property-tested in `tests/simd_equivalence.rs`. Queries whose linear sum
+    /// underflows (candidates ~38+ bandwidths from every sample) are delegated to
+    /// the scalar log-sum-exp fallback — bit-identical tails, exactly like the
+    /// scalar path's own fallback, and far off the hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query slices and `out` have different lengths.
+    pub fn log_eval_batch(&self, amplitudes: &[f64], phases: &[f64], out: &mut [f64]) {
+        assert_eq!(
+            amplitudes.len(),
+            phases.len(),
+            "query planes must have equal lengths"
+        );
+        assert_eq!(
+            amplitudes.len(),
+            out.len(),
+            "output must match the query count"
+        );
+        let inv_a = 1.0 / self.bw_a;
+        let inv_p = 1.0 / self.bw_p;
+        let log_norm = (self.amps.len() as f64 * self.bw_a * self.bw_p * TWO_PI_SQ).ln();
+        for ((&a, &p), o) in amplitudes.iter().zip(phases).zip(out.iter_mut()) {
+            let sum = crate::simd::kde_kernel_sum(a, p, inv_a, inv_p, &self.amps, &self.phases);
+            *o = if sum > 1e-290 {
+                sum.ln() - log_norm
+            } else {
+                // Far tail: the scalar path's log-sum-exp fallback keeps distant
+                // candidates finite and strictly ordered; rare enough that the
+                // libm-based scalar evaluation is irrelevant to throughput.
+                self.log_eval(a, p)
+            };
+        }
+    }
+
     /// Merges additional samples into the estimate and reselects bandwidths with the
     /// given strategy — used when a new preamble arrives (paper §4.3: "probability
     /// density functions are constantly updated when subsequent preambles are received").
@@ -464,6 +514,9 @@ pub struct GridKde2d {
     n_p: usize,
     /// Log densities, row-major: `values[ia * n_p + ip]`.
     values: Vec<f64>,
+    /// `f32` copy of `values` for the reduced-precision query kernel
+    /// ([`log_eval_batch_f32`](Self::log_eval_batch_f32)).
+    values_f32: Vec<f32>,
     bw_a: f64,
     bw_p: f64,
     margin: f64,
@@ -562,6 +615,7 @@ impl GridKde2d {
                 };
             }
         }
+        let values_f32 = values.iter().map(|&v| v as f32).collect();
         Ok(GridKde2d {
             a_lo,
             a_step,
@@ -570,6 +624,7 @@ impl GridKde2d {
             p_step,
             n_p,
             values,
+            values_f32,
             bw_a,
             bw_p,
             margin,
@@ -611,6 +666,102 @@ impl GridKde2d {
         // slope ≈ −margin (in bandwidth units, the distance to the nearest extreme
         // sample) and curvature −1, so −(½d² + margin·d) per axis continues it.
         interior - (0.5 * da * da + self.margin * da) - (0.5 * dp * dp + self.margin * dp)
+    }
+
+    /// Batched [`log_eval`](Self::log_eval) over split query planes: `out[q]` is the
+    /// log density at `(amplitudes[q], phases[q])`.
+    ///
+    /// The grid extent, steps and index bounds are hoisted out of the loop (the
+    /// per-query work is pure clamp + bilinear arithmetic plus four table gathers),
+    /// and each query performs **exactly** the scalar [`log_eval`](Self::log_eval)
+    /// operations in the same order — the batch is bit-for-bit identical to scalar
+    /// calls, which the equivalence property tests assert with `to_bits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query slices and `out` have different lengths.
+    pub fn log_eval_batch(&self, amplitudes: &[f64], phases: &[f64], out: &mut [f64]) {
+        assert_eq!(
+            amplitudes.len(),
+            phases.len(),
+            "query planes must have equal lengths"
+        );
+        assert_eq!(
+            amplitudes.len(),
+            out.len(),
+            "output must match the query count"
+        );
+        let a_hi = self.a_lo + self.a_step * (self.n_a - 1) as f64;
+        let p_hi = self.p_lo + self.p_step * (self.n_p - 1) as f64;
+        for ((&a, &p), o) in amplitudes.iter().zip(phases).zip(out.iter_mut()) {
+            let (ca, da) = clamp_axis(a, self.a_lo, a_hi, self.bw_a);
+            let (cp, dp) = clamp_axis(p, self.p_lo, p_hi, self.bw_p);
+            let ta = (ca - self.a_lo) / self.a_step;
+            let tp = (cp - self.p_lo) / self.p_step;
+            let ia = (ta as usize).min(self.n_a - 2);
+            let ip = (tp as usize).min(self.n_p - 2);
+            let fa = (ta - ia as f64).clamp(0.0, 1.0);
+            let fp = (tp - ip as f64).clamp(0.0, 1.0);
+            let v00 = self.values[ia * self.n_p + ip];
+            let v01 = self.values[ia * self.n_p + ip + 1];
+            let v10 = self.values[(ia + 1) * self.n_p + ip];
+            let v11 = self.values[(ia + 1) * self.n_p + ip + 1];
+            let v0 = v00 + (v01 - v00) * fp;
+            let v1 = v10 + (v11 - v10) * fp;
+            let interior = v0 + (v1 - v0) * fa;
+            *o = interior - (0.5 * da * da + self.margin * da) - (0.5 * dp * dp + self.margin * dp);
+        }
+    }
+
+    /// Reduced-precision variant of [`log_eval_batch`](Self::log_eval_batch): the
+    /// clamp, bilinear interpolation and tail continuation run in `f32` against the
+    /// `f32` copy of the value table (`KernelPrecision::F32`). The f64 path remains
+    /// the reference; tolerance and decision-equivalence against it are pinned by
+    /// the `simd_equivalence` test suites.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query slices and `out` have different lengths.
+    pub fn log_eval_batch_f32(&self, amplitudes: &[f64], phases: &[f64], out: &mut [f64]) {
+        assert_eq!(
+            amplitudes.len(),
+            phases.len(),
+            "query planes must have equal lengths"
+        );
+        assert_eq!(
+            amplitudes.len(),
+            out.len(),
+            "output must match the query count"
+        );
+        let a_lo = self.a_lo as f32;
+        let p_lo = self.p_lo as f32;
+        let a_step = self.a_step as f32;
+        let p_step = self.p_step as f32;
+        let a_hi = a_lo + a_step * (self.n_a - 1) as f32;
+        let p_hi = p_lo + p_step * (self.n_p - 1) as f32;
+        let bw_a = self.bw_a as f32;
+        let bw_p = self.bw_p as f32;
+        let margin = self.margin as f32;
+        for ((&aq, &pq), o) in amplitudes.iter().zip(phases).zip(out.iter_mut()) {
+            let a = aq as f32;
+            let p = pq as f32;
+            let (ca, da) = clamp_axis_f32(a, a_lo, a_hi, bw_a);
+            let (cp, dp) = clamp_axis_f32(p, p_lo, p_hi, bw_p);
+            let ta = (ca - a_lo) / a_step;
+            let tp = (cp - p_lo) / p_step;
+            let ia = (ta as usize).min(self.n_a - 2);
+            let ip = (tp as usize).min(self.n_p - 2);
+            let fa = (ta - ia as f32).clamp(0.0, 1.0);
+            let fp = (tp - ip as f32).clamp(0.0, 1.0);
+            let v00 = self.values_f32[ia * self.n_p + ip];
+            let v01 = self.values_f32[ia * self.n_p + ip + 1];
+            let v10 = self.values_f32[(ia + 1) * self.n_p + ip];
+            let v11 = self.values_f32[(ia + 1) * self.n_p + ip + 1];
+            let v0 = v00 + (v01 - v00) * fp;
+            let v1 = v10 + (v11 - v10) * fp;
+            let interior = v0 + (v1 - v0) * fa;
+            *o = (interior - (0.5 * da * da + margin * da) - (0.5 * dp * dp + margin * dp)) as f64;
+        }
     }
 }
 
@@ -671,6 +822,17 @@ fn axis_exponents(lo: f64, step: f64, n_nodes: usize, samples: &[f64], bw: f64) 
 /// Clamps `x` into `[lo, hi]`, returning the clamped coordinate and the overshoot in
 /// bandwidth units (0 when inside).
 fn clamp_axis(x: f64, lo: f64, hi: f64, bw: f64) -> (f64, f64) {
+    if x < lo {
+        (lo, (lo - x) / bw)
+    } else if x > hi {
+        (hi, (x - hi) / bw)
+    } else {
+        (x, 0.0)
+    }
+}
+
+/// [`clamp_axis`] in `f32`, for the reduced-precision grid query kernel.
+fn clamp_axis_f32(x: f32, lo: f32, hi: f32, bw: f32) -> (f32, f32) {
     if x < lo {
         (lo, (lo - x) / bw)
     } else if x > hi {
@@ -936,6 +1098,94 @@ mod tests {
             tiny.num_points_amplitude(),
             GridSpec::default().max_points_per_axis
         );
+    }
+
+    #[test]
+    fn product_kde_batch_matches_scalar_log_eval() {
+        // 13 samples: not a multiple of the lane width, so the remainder path runs.
+        let samples: Vec<(f64, f64)> = (0..13)
+            .map(|i| (0.1 + 0.03 * i as f64, 0.2 * ((i * 3) % 7) as f64 - 0.5))
+            .collect();
+        let kde = ProductKde2d::with_bandwidths(&samples, 0.08, 0.3).unwrap();
+        let amps: Vec<f64> = (0..9).map(|q| 0.02 + 0.07 * q as f64).collect();
+        let phases: Vec<f64> = (0..9).map(|q| -0.8 + 0.2 * q as f64).collect();
+        let mut out = vec![0.0; 9];
+        kde.log_eval_batch(&amps, &phases, &mut out);
+        for q in 0..9 {
+            let want = kde.log_eval(amps[q], phases[q]);
+            assert!(
+                (out[q] - want).abs() < 1e-9,
+                "query {q}: batch {} vs scalar {want}",
+                out[q]
+            );
+        }
+        // Far-tail queries run the lane-parallel log-sum-exp: within the batch
+        // budget of the scalar fallback, and strictly ordered in distance.
+        let mut tail = [0.0; 2];
+        kde.log_eval_batch(&[50.0, 55.0], &[0.0, 0.0], &mut tail);
+        for (q, a) in [50.0, 55.0].iter().enumerate() {
+            let want = kde.log_eval(*a, 0.0);
+            let tol = 1e-9 * (1.0 + want.abs());
+            assert!(
+                (tail[q] - want).abs() <= tol,
+                "tail query {q}: batch {} vs scalar {want}",
+                tail[q]
+            );
+        }
+        assert!(tail[1] < tail[0], "tails must stay strictly ordered");
+    }
+
+    #[test]
+    #[should_panic(expected = "must match the query count")]
+    fn product_kde_batch_validates_output_length() {
+        let kde = ProductKde2d::with_bandwidths(&[(0.0, 0.0)], 0.1, 0.1).unwrap();
+        let mut out = [0.0; 1];
+        kde.log_eval_batch(&[0.0, 1.0], &[0.0, 0.0], &mut out);
+    }
+
+    #[test]
+    fn grid_kde_batch_is_bit_identical_to_scalar() {
+        let grid = GridKde2d::from_axes(
+            &[0.1, 0.3, 0.2, 0.5],
+            &[0.0, 0.4, -0.3, 0.2],
+            0.08,
+            0.25,
+            &GridSpec::default(),
+        )
+        .unwrap();
+        // Interior, edge and far-tail queries in one batch.
+        let amps = [0.15, 0.0, 3.0, 0.42, 10.0];
+        let phases = [0.1, -3.0, 0.0, 0.35, 2.0];
+        let mut out = [0.0; 5];
+        grid.log_eval_batch(&amps, &phases, &mut out);
+        for q in 0..5 {
+            let want = grid.log_eval(amps[q], phases[q]);
+            assert_eq!(out[q].to_bits(), want.to_bits(), "query {q}");
+        }
+    }
+
+    #[test]
+    fn grid_kde_f32_batch_tracks_f64_within_budget() {
+        let samples_a: Vec<f64> = (0..20).map(|i| 0.1 + 0.02 * i as f64).collect();
+        let samples_p: Vec<f64> = (0..20).map(|i| 0.3 * ((i * 5) % 11) as f64 - 1.0).collect();
+        let grid =
+            GridKde2d::from_axes(&samples_a, &samples_p, 0.1, 0.4, &GridSpec::default()).unwrap();
+        let amps = [0.15, 0.3, 0.05, 1.2, 4.0];
+        let phases = [0.2, -0.9, 1.4, 0.0, -2.0];
+        let mut f64_out = [0.0; 5];
+        let mut f32_out = [0.0; 5];
+        grid.log_eval_batch(&amps, &phases, &mut f64_out);
+        grid.log_eval_batch_f32(&amps, &phases, &mut f32_out);
+        for q in 0..5 {
+            // Log-density values are O(1)–O(10) here; f32 gives ~7 significant
+            // digits, so absolute agreement to 1e-3 is a conservative budget.
+            assert!(
+                (f64_out[q] - f32_out[q]).abs() < 1e-3,
+                "query {q}: f64 {} vs f32 {}",
+                f64_out[q],
+                f32_out[q]
+            );
+        }
     }
 
     #[test]

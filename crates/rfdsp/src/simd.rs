@@ -1,0 +1,281 @@
+//! Runtime-detected x86-64 SIMD paths.
+//!
+//! The workspace's default vectorization strategy is autovectorized fixed-width
+//! chunking ([`crate::lanes`]), which needs no `unsafe`. This module holds the one
+//! place where explicit `core::arch` intrinsics pay for themselves: the sliding-DFT
+//! update, whose interleaved complex multiply LLVM only partially vectorizes on the
+//! generic target. The AVX2 kernel is selected **at runtime** via
+//! `is_x86_feature_detected!`, so a generic build still uses it on capable hardware
+//! and silently falls back elsewhere (and on non-x86 targets the module compiles to
+//! the fallback alone).
+//!
+//! Bit-for-bit contract: the intrinsics use only `mul`/`add`/`sub`/`addsub` — no
+//! FMA — so every lane performs exactly the scalar formula's operations with one
+//! rounding each, and the AVX2 path is **bit-identical** to the scalar and chunked
+//! paths (property-tested in `tests/simd_equivalence.rs`).
+
+use crate::complex::Complex;
+
+/// Whether the runtime-detected AVX2 kernels will be used on this machine.
+#[inline]
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Sliding-DFT update `s[k] = (s[k] + delta) · w[k]` over interleaved complex slices,
+/// dispatching to the AVX2 kernel when the CPU supports it.
+///
+/// # Panics
+///
+/// Panics if `spectrum` and `twiddles` have different lengths.
+#[inline]
+pub fn slide_update(spectrum: &mut [Complex], delta: Complex, twiddles: &[Complex]) {
+    assert_eq!(
+        spectrum.len(),
+        twiddles.len(),
+        "spectrum and twiddle tables must match"
+    );
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2 presence was just verified at runtime.
+        #[allow(unsafe_code)]
+        unsafe {
+            slide_update_avx2(spectrum, delta, twiddles)
+        };
+        return;
+    }
+    slide_update_lanes(spectrum, delta, twiddles);
+}
+
+/// The autovectorized fallback: `LANES`-wide chunks through split re/im local
+/// arrays, with a scalar remainder running the identical arithmetic.
+#[inline]
+pub fn slide_update_lanes(spectrum: &mut [Complex], delta: Complex, twiddles: &[Complex]) {
+    use crate::lanes::LANES;
+    let main = spectrum.len() - spectrum.len() % LANES;
+    let (s_main, s_tail) = spectrum.split_at_mut(main);
+    let (w_main, w_tail) = twiddles.split_at(main);
+    for (sc, wc) in s_main
+        .chunks_exact_mut(LANES)
+        .zip(w_main.chunks_exact(LANES))
+    {
+        let mut ar = [0.0f64; LANES];
+        let mut ai = [0.0f64; LANES];
+        for l in 0..LANES {
+            ar[l] = sc[l].re + delta.re;
+            ai[l] = sc[l].im + delta.im;
+        }
+        for l in 0..LANES {
+            let wr = wc[l].re;
+            let wi = wc[l].im;
+            sc[l].re = ar[l] * wr - ai[l] * wi;
+            sc[l].im = ar[l] * wi + ai[l] * wr;
+        }
+    }
+    for (s, w) in s_tail.iter_mut().zip(w_tail) {
+        *s = (*s + delta) * *w;
+    }
+}
+
+/// AVX2 kernel: two interleaved complex values per 256-bit register, complex
+/// multiply via `movedup`/`permute`/`addsub` (the classic layout — and crucially
+/// `mul` + `addsub` only, no FMA, so each lane rounds exactly like the scalar code).
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+#[target_feature(enable = "avx2")]
+unsafe fn slide_update_avx2(spectrum: &mut [Complex], delta: Complex, twiddles: &[Complex]) {
+    use core::arch::x86_64::*;
+    let n = spectrum.len();
+    // `Complex` is `#[repr(C)] { re: f64, im: f64 }`, so a slice of `n` values is
+    // exactly `2n` interleaved f64s.
+    let sp = spectrum.as_mut_ptr() as *mut f64;
+    let wp = twiddles.as_ptr() as *const f64;
+    let d = _mm256_setr_pd(delta.re, delta.im, delta.re, delta.im);
+    let mut i = 0usize;
+    while i + 2 <= n {
+        let s = _mm256_loadu_pd(sp.add(2 * i)); // [s0.re s0.im s1.re s1.im]
+        let w = _mm256_loadu_pd(wp.add(2 * i));
+        let a = _mm256_add_pd(s, d); // a = s + delta
+        let wr = _mm256_movedup_pd(w); // [w0.re w0.re w1.re w1.re]
+        let wi = _mm256_permute_pd(w, 0b1111); // [w0.im w0.im w1.im w1.im]
+        let a_swap = _mm256_permute_pd(a, 0b0101); // [a0.im a0.re a1.im a1.re]
+        let t1 = _mm256_mul_pd(a, wr); // [ar·wr  ai·wr ...]
+        let t2 = _mm256_mul_pd(a_swap, wi); // [ai·wi  ar·wi ...]
+        let r = _mm256_addsub_pd(t1, t2); // [ar·wr−ai·wi  ai·wr+ar·wi ...]
+        _mm256_storeu_pd(sp.add(2 * i), r);
+        i += 2;
+    }
+    while i < n {
+        spectrum[i] = (spectrum[i] + delta) * twiddles[i];
+        i += 1;
+    }
+}
+
+/// The KDE product-kernel sum `Σ_j exp(−½·(((a−A_j)/B_a)² + ((p−P_j)/B_p)²))` in the
+/// **linear domain** — the inner loop of [`crate::kde::ProductKde2d::log_eval_batch`]
+/// — dispatching to an AVX2-compiled copy of the kernel when the CPU supports it.
+///
+/// Unlike [`slide_update`], the AVX2 copy here is not hand-written intrinsics: it is
+/// the *same* safe autovectorizable Rust as the fallback, recompiled under
+/// `#[target_feature(enable = "avx2")]` so LLVM widens the identical arithmetic from
+/// two to four `f64` lanes per instruction (the `exp` polynomial, rounding trick and
+/// exponent-bit assembly of [`crate::lanes::exp_approx`] included). Because rustc never contracts
+/// `mul` + `add` into FMA, both copies perform exactly the same roundings in the same
+/// order and the dispatch is **bit-identical** across machines (property-tested in
+/// `tests/simd_equivalence.rs`).
+///
+/// Bandwidths are passed as reciprocals (`inv_a = 1/B_a`, `inv_p = 1/B_p`) so the
+/// division is hoisted out of the per-query call.
+///
+/// # Panics
+///
+/// Panics if the sample slices have different lengths.
+#[inline]
+pub fn kde_kernel_sum(a: f64, p: f64, inv_a: f64, inv_p: f64, amps: &[f64], phases: &[f64]) -> f64 {
+    assert_eq!(amps.len(), phases.len(), "sample axis slices must match");
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2 presence was just verified at runtime.
+        #[allow(unsafe_code)]
+        return unsafe { kde_kernel_sum_avx2(a, p, inv_a, inv_p, amps, phases) };
+    }
+    kde_kernel_sum_inner(a, p, inv_a, inv_p, amps, phases)
+}
+
+/// The shared kernel body: `LANES`-wide exponent chunks through fixed arrays (array
+/// views, not indexing, so the loops carry no bounds checks) feeding [`crate::lanes::exp_approx`],
+/// with a scalar remainder running the identical arithmetic. `#[inline(always)]` so
+/// each dispatch wrapper gets its own copy compiled under that wrapper's target
+/// features.
+#[inline(always)]
+fn kde_kernel_sum_inner(
+    a: f64,
+    p: f64,
+    inv_a: f64,
+    inv_p: f64,
+    amps: &[f64],
+    phases: &[f64],
+) -> f64 {
+    use crate::lanes::{exp_approx, LANES};
+    let main = amps.len() - amps.len() % LANES;
+    let mut s = [0.0f64; LANES];
+    for (sa, sp) in amps[..main]
+        .chunks_exact(LANES)
+        .zip(phases[..main].chunks_exact(LANES))
+    {
+        let sa: &[f64; LANES] = sa.try_into().unwrap();
+        let sp: &[f64; LANES] = sp.try_into().unwrap();
+        let mut e = [0.0f64; LANES];
+        for l in 0..LANES {
+            let ua = (a - sa[l]) * inv_a;
+            let up = (p - sp[l]) * inv_p;
+            e[l] = -0.5 * (ua * ua + up * up);
+        }
+        for l in 0..LANES {
+            s[l] += exp_approx(e[l]);
+        }
+    }
+    let mut sum: f64 = s.iter().sum();
+    for (sa, sp) in amps[main..].iter().zip(&phases[main..]) {
+        let ua = (a - sa) * inv_a;
+        let up = (p - sp) * inv_p;
+        sum += exp_approx(-0.5 * (ua * ua + up * up));
+    }
+    sum
+}
+
+/// [`kde_kernel_sum_inner`] recompiled with AVX2 enabled — no manual intrinsics, just
+/// the autovectorizer given twice the register width.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+#[target_feature(enable = "avx2")]
+unsafe fn kde_kernel_sum_avx2(
+    a: f64,
+    p: f64,
+    inv_a: f64,
+    inv_p: f64,
+    amps: &[f64],
+    phases: &[f64],
+) -> f64 {
+    kde_kernel_sum_inner(a, p, inv_a, inv_p, amps, phases)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(spectrum: &mut [Complex], delta: Complex, tw: &[Complex]) {
+        for (s, w) in spectrum.iter_mut().zip(tw) {
+            *s = (*s + delta) * *w;
+        }
+    }
+
+    #[test]
+    fn all_paths_are_bit_identical_to_the_scalar_reference() {
+        for n in [0usize, 1, 2, 3, 4, 5, 7, 8, 64, 65] {
+            let tw: Vec<Complex> = (0..n)
+                .map(|k| Complex::cis(2.0 * std::f64::consts::PI * k as f64 / (n.max(1)) as f64))
+                .collect();
+            let base: Vec<Complex> = (0..n)
+                .map(|k| Complex::new(0.3 * k as f64 - 1.0, -0.7 * k as f64 + 0.2))
+                .collect();
+            let delta = Complex::new(0.123, -0.456);
+
+            let mut want = base.clone();
+            reference(&mut want, delta, &tw);
+
+            let mut lanes = base.clone();
+            slide_update_lanes(&mut lanes, delta, &tw);
+            let mut dispatch = base.clone();
+            slide_update(&mut dispatch, delta, &tw);
+
+            for k in 0..n {
+                assert_eq!(lanes[k].re.to_bits(), want[k].re.to_bits(), "lanes re {k}");
+                assert_eq!(lanes[k].im.to_bits(), want[k].im.to_bits(), "lanes im {k}");
+                assert_eq!(
+                    dispatch[k].re.to_bits(),
+                    want[k].re.to_bits(),
+                    "dispatch re {k}"
+                );
+                assert_eq!(
+                    dispatch[k].im.to_bits(),
+                    want[k].im.to_bits(),
+                    "dispatch im {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn mismatched_lengths_panic() {
+        let mut s = vec![Complex::zero(); 3];
+        slide_update(&mut s, Complex::zero(), &[Complex::one(); 4]);
+    }
+
+    #[test]
+    fn kde_kernel_sum_dispatch_is_bit_identical_to_baseline() {
+        for n in [0usize, 1, 3, 4, 5, 8, 47, 64, 65] {
+            let amps: Vec<f64> = (0..n).map(|j| 0.08 * (j % 11) as f64).collect();
+            let phs: Vec<f64> = (0..n).map(|j| -1.2 + 0.17 * (j % 17) as f64).collect();
+            for (a, p) in [(0.0, 0.0), (0.31, -0.9), (5.0, 2.5), (40.0, -3.0)] {
+                let want = kde_kernel_sum_inner(a, p, 8.0, 3.5, &amps, &phs);
+                let got = kde_kernel_sum(a, p, 8.0, 3.5, &amps, &phs);
+                assert_eq!(got.to_bits(), want.to_bits(), "n={n} query=({a},{p})");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn kde_kernel_sum_rejects_mismatched_axes() {
+        kde_kernel_sum(0.0, 0.0, 1.0, 1.0, &[1.0, 2.0], &[0.5]);
+    }
+}

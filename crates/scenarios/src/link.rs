@@ -217,7 +217,7 @@ impl CampaignPoint for LinkPoint {
 /// the streaming API — link trials run with [`ModelPersistence::PerFrame`], which
 /// retrains per frame and is bit-for-bit the old per-trial behaviour.
 enum PreparedReceiver {
-    Standard(StandardReceiver),
+    Standard(Box<StandardReceiver>),
     CpRecycle(Box<(CpRecycleReceiver, RxStream)>),
 }
 
@@ -225,7 +225,7 @@ impl PreparedReceiver {
     fn build(kind: &ReceiverKind, params: &OfdmParams) -> Self {
         match kind {
             ReceiverKind::Standard => {
-                PreparedReceiver::Standard(StandardReceiver::new(params.clone()))
+                PreparedReceiver::Standard(Box::new(StandardReceiver::new(params.clone())))
             }
             ReceiverKind::CpRecycle(config) => PreparedReceiver::CpRecycle(Box::new((
                 CpRecycleReceiver::new(params.clone(), *config),
@@ -697,6 +697,51 @@ mod tests {
             psr[0]
         );
         assert!(psr[1] >= 70.0, "CPRecycle PSR {} too low", psr[1]);
+    }
+
+    #[test]
+    fn f32_kernels_track_f64_psr_at_the_aci_operating_point() {
+        // Whole-frame pin of the reduced-precision kernels (PR 8): at the Fig. 14
+        // operating point (QPSK 1/2, adjacent-channel interferer at +15 MHz,
+        // P = 16), a receiver running the f32 sliding/grid kernels must land within
+        // one packet of the f64 reference — the per-observation error budget
+        // (≤ 1e-3) is far below the constellation's decision distances, so decisions
+        // should not flip at all.
+        use cprecycle::KernelPrecision;
+        let params = OfdmParams::ieee80211ag();
+        let scenario = Scenario::Aci(AciScenario {
+            sir_db: -12.0,
+            channel_offset_hz: Some(15e6),
+            ..Default::default()
+        });
+        let qpsk_half = Mcs {
+            modulation: Modulation::Qpsk,
+            code_rate: CodeRate::Half,
+        };
+        let base = CpRecycleConfig::builder()
+            .num_segments(16)
+            .model(cprecycle::ModelBackend::GridKde);
+        let receivers = vec![
+            ReceiverKind::CpRecycle(base.build()),
+            ReceiverKind::CpRecycle(base.precision(KernelPrecision::F32).build()),
+        ];
+        let config = MonteCarloConfig {
+            packets: 10,
+            payload_len: 60,
+            seed: 11,
+        };
+        let psr = packet_success_rate(&params, qpsk_half, &scenario, &receivers, &config).unwrap();
+        assert!(
+            psr[0] > 50.0,
+            "operating point should be decodable in f64, got PSR {}",
+            psr[0]
+        );
+        assert!(
+            (psr[0] - psr[1]).abs() <= 10.0 + 1e-12,
+            "f32 PSR {} strayed from f64 PSR {}",
+            psr[1],
+            psr[0]
+        );
     }
 
     #[test]
