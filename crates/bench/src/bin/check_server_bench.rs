@@ -1,0 +1,210 @@
+//! CI trajectory gate for the `server` bench: compares a fresh `BENCH_server.json`
+//! against the committed baseline and fails (exit code 1) when the multi-session
+//! scaling story regresses beyond the tolerance, or when the latency records the
+//! bench is supposed to emit are missing or malformed.
+//!
+//! ```text
+//! check_server_bench <current.json> <baseline.json> [--tolerance 0.25] [--absolute]
+//! ```
+//!
+//! Both files are the server bench's JSON-Lines output: `measured` records from
+//! the criterion harness (`median_ns` per iteration), plus the bench's own
+//! `samples` records (ingest size per iteration, so Msps is derivable) and
+//! `latency` records (aggregate push→decode p50/p95/p99). The gate:
+//!
+//! * derives **aggregate Msps per cell** (`samples_per_iter / median_ns × 1000`)
+//!   and, by default, normalises every cell by the same run's `std/s1xt1/480`
+//!   cell before comparing — CI runners vary in raw speed run to run, but the
+//!   *shape* of the scaling surface (how 64- and 256-session cells hold up
+//!   against the single-session cell) is hardware-independent enough to gate.
+//!   Pass `--absolute` on a pinned benchmarking host.
+//! * requires every baseline cell to exist in the current run;
+//! * requires at least one `latency` record and checks `p50 ≤ p95 ≤ p99 > 0` for
+//!   each (the percentiles themselves are not gated — push→decode latency under
+//!   a saturating feeder measures queue depth, not server quality).
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// The within-run normaliser cell: single session, one worker, realtime chunks.
+const NORM_CELL: &str = "std/s1xt1/480";
+
+struct BenchFile {
+    /// cell id → aggregate Msps.
+    msps: BTreeMap<String, f64>,
+    /// latency record id → (p50, p95, p99) ns.
+    latency: BTreeMap<String, (f64, f64, f64)>,
+}
+
+/// Reads one JSON-Lines bench file, joining `measured` records with their
+/// `samples` companions into Msps per cell.
+fn load(path: &str) -> Result<BenchFile, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut median_ns: BTreeMap<String, f64> = BTreeMap::new();
+    let mut samples: BTreeMap<String, f64> = BTreeMap::new();
+    let mut latency = BTreeMap::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let value = cpjson::Value::parse(line)
+            .map_err(|e| format!("{path}: bad JSON line {line:?}: {e}"))?;
+        let id: String = value
+            .field_as("id")
+            .map_err(|e| format!("{path}: record without id: {e}"))?;
+        let mode: String = value
+            .field_as("mode")
+            .map_err(|e| format!("{path}: record without mode: {e}"))?;
+        let num = |key: &str| -> Result<f64, String> {
+            value
+                .field_as(key)
+                .map_err(|e| format!("{path}: {id}: bad {key}: {e}"))
+        };
+        match mode.as_str() {
+            "measured" => {
+                let v = num("median_ns")?;
+                median_ns.insert(id, v);
+            }
+            "samples" => {
+                let v = num("samples_per_iter")?;
+                samples.insert(id, v);
+            }
+            "latency" => {
+                let v = (num("p50_ns")?, num("p95_ns")?, num("p99_ns")?);
+                latency.insert(id, v);
+            }
+            // `test` smoke markers and future record kinds pass through.
+            _ => {}
+        }
+    }
+    let mut msps = BTreeMap::new();
+    for (id, ns) in &median_ns {
+        if let Some(n) = samples.get(id) {
+            if *ns > 0.0 {
+                msps.insert(id.clone(), n / ns * 1000.0);
+            }
+        }
+    }
+    if msps.is_empty() {
+        return Err(format!(
+            "{path}: no usable cells (need matching measured + samples records)"
+        ));
+    }
+    Ok(BenchFile { msps, latency })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let absolute = args.iter().any(|a| a == "--absolute");
+    let tolerance: f64 = args
+        .iter()
+        .position(|a| a == "--tolerance")
+        .and_then(|i| args.get(i + 1))
+        .map(|t| t.parse().expect("--tolerance takes a number"))
+        .unwrap_or(0.25);
+    let mut files = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            !a.starts_with("--")
+                && args.get(i.wrapping_sub(1)).map(String::as_str) != Some("--tolerance")
+        })
+        .map(|(_, a)| a.clone());
+    let (current_path, baseline_path) = match (files.next(), files.next()) {
+        (Some(c), Some(b)) => (c, b),
+        _ => {
+            eprintln!(
+                "usage: check_server_bench <current.json> <baseline.json> \
+                 [--tolerance 0.25] [--absolute]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (current, baseline) = match (load(&current_path), load(&baseline_path)) {
+        (Ok(c), Ok(b)) => (c, b),
+        (c, b) => {
+            for err in [c.err(), b.err()].into_iter().flatten() {
+                eprintln!("error: {err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let norm = |file: &BenchFile, path: &str| -> Result<f64, String> {
+        if absolute {
+            return Ok(1.0);
+        }
+        file.msps
+            .get(NORM_CELL)
+            .copied()
+            .filter(|m| *m > 0.0)
+            .ok_or_else(|| format!("{path}: normalised mode needs a positive {NORM_CELL} cell"))
+    };
+    let (cur_norm, base_norm) = match (
+        norm(&current, &current_path),
+        norm(&baseline, &baseline_path),
+    ) {
+        (Ok(c), Ok(b)) => (c, b),
+        (c, b) => {
+            for err in [c.err(), b.err()].into_iter().flatten() {
+                eprintln!("error: {err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mode = if absolute {
+        "absolute aggregate Msps"
+    } else {
+        "relative to std/s1xt1/480"
+    };
+    println!(
+        "server scaling gate ({mode}, tolerance {:.0}%):",
+        tolerance * 100.0
+    );
+    let mut failed = false;
+    for (cell, &base_msps) in &baseline.msps {
+        let base = base_msps / base_norm;
+        match current.msps.get(cell) {
+            None => {
+                println!("  {cell}: MISSING from current run (baseline {base:.4})");
+                failed = true;
+            }
+            Some(&cur_msps) => {
+                let cur = cur_msps / cur_norm;
+                let delta = cur / base - 1.0;
+                let verdict = if delta < -tolerance {
+                    failed = true;
+                    "REGRESSED"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "  {cell}: {cur:.4} vs baseline {base:.4} ({delta:+.1}%) {verdict}",
+                    delta = delta * 100.0
+                );
+            }
+        }
+    }
+
+    // Latency records: present and internally consistent. The absolute values are
+    // runner-dependent, so only the distribution's shape is checked.
+    if current.latency.is_empty() {
+        println!("  latency: NO latency records in current run");
+        failed = true;
+    }
+    for (id, &(p50, p95, p99)) in &current.latency {
+        if p50 <= 0.0 || p50 > p95 || p95 > p99 {
+            println!("  {id}: malformed percentiles p50={p50} p95={p95} p99={p99}");
+            failed = true;
+        } else {
+            println!("  {id}: p50={p50:.0}ns p95={p95:.0}ns p99={p99:.0}ns ok");
+        }
+    }
+
+    if failed {
+        eprintln!("server bench gate failed (tolerance {tolerance})");
+        ExitCode::FAILURE
+    } else {
+        println!("server bench gate passed");
+        ExitCode::SUCCESS
+    }
+}

@@ -1,81 +1,109 @@
 //! Multi-session receiver server: N independent [`RxSession`]s multiplexed over a
-//! fixed worker pool.
+//! fixed worker pool, fed through lock-free per-session ingress rings.
 //!
 //! One base station services many stations at once; [`RxServer`] is the layer that
 //! turns the single-stream [`RxSession`] into that shape. Each session lives behind
 //! a cheaply cloneable [`SessionHandle`]: producers push sample chunks into a
-//! **bounded per-session ingress queue** ([`SessionHandle::try_push`] returns
-//! [`PushError::Full`]; [`SessionHandle::push`] blocks for space) and drain ordered
-//! per-session [`RxEvent`]s; a pool of worker threads
-//! ([`cprecycle_engine::pool::WorkerPool`], the same worker-local-state machinery
-//! behind the campaign executor) services the sessions.
+//! **bounded lock-free ingress ring** ([`SessionHandle::try_push`] returns
+//! [`PushError::Full`]; [`SessionHandle::push`] spins briefly then parks for space)
+//! and drain ordered per-session [`RxEvent`]s; a sharded, work-stealing pool of
+//! worker threads ([`cprecycle_engine::pool::WorkerPool`]) services the sessions.
 //!
 //! ## Ownership and threading
 //!
 //! ```text
-//!  producer threads                  RxServer                     worker pool
-//!  ───────────────     ┌──────────────────────────────┐     ┌──────────────────┐
-//!  handle.push(chunk) ─▶ SessionSlot 0: ingress queue ─┐    │ rx-pool-0        │
-//!  handle.push(chunk) ─▶ SessionSlot 1: ingress queue ─┼──▶ │ rx-pool-1        │
-//!        …            ─▶ SessionSlot k: ingress queue ─┘    │   …              │
-//!                      │   (bounded, FIFO, `scheduled`)│    │ pops a *slot*,   │
-//!                      │   session: Mutex<RxSession>   │◀── │ drains its queue │
-//!                      └──────────────────────────────┘     └──────────────────┘
+//!  producer threads                   RxServer                      worker pool
+//!  ───────────────   ┌────────────────────────────────────┐   ┌──────────────────┐
+//!  handle.push ──┐   │ SessionSlot k                      │   │ rx-pool-0 shard ─┼┐
+//!   (chunk pool  │   │  ring:  [c₃][c₄][c₅][  ][  ]  ◀──┐ │   │ rx-pool-1 shard ─┼┼─▶ steal
+//!    acquire +   ├──▶│         ▲tail (producers, CAS)  │ │◀──│   …              ││   scan
+//!    copy)       │   │         ▼head (one worker)──────┘ │   │ pops a *slot*,   ││
+//!                │   │  flushes: [ticket₁] (side queue)  │   │ drains its ring, ◀┘
+//!  handle.flush ─┘   │  scheduled: AtomicBool            │   │ recycles buffers │
+//!                    │  session: Mutex<RxSession>        │   └──────────────────┘
+//!                    └────────────────────────────────────┘
 //! ```
 //!
-//! A slot is enqueued on the pool **at most once** at any time (the `scheduled`
-//! flag): whichever worker pops it has exclusive run of that session until its
-//! ingress queue is observed empty (or a fairness budget expires, in which case the
-//! slot re-enqueues itself *behind* the other waiting slots). Chunks therefore reach
-//! each `RxSession` in exactly the FIFO order they were accepted, processed by one
-//! worker at a time.
+//! The ingress ring is a bounded lock-free MPMC ring
+//! ([`cprecycle_engine::ring::IngressRing`]): producers claim cells with a CAS on
+//! the tail cursor, the servicing worker pops from the head, and the cursors live
+//! on separate cache lines so a pushing producer and a draining worker never
+//! contend on one mutex (PR 7's `Mutex<VecDeque> + Condvar` did exactly that).
+//! Chunks are carried in recycled buffers from a shared [`ChunkPool`] — a push
+//! copies into a pooled buffer and the worker returns it after servicing, so the
+//! steady-state hot path performs **zero heap allocations** (pinned by the
+//! `server_alloc.rs` counting-allocator test; misses and recycles are counted in
+//! the metrics snapshot).
+//!
+//! A slot is enqueued on the pool **at most once** at any time (the atomic
+//! `scheduled` flag): a producer that transitions it false→true submits the slot;
+//! whichever worker pops it has exclusive run of that session until the ring is
+//! observed empty (or a fairness budget expires, in which case the slot re-enqueues
+//! itself behind other waiting slots). Before unscheduling, the worker clears the
+//! flag and *re-checks* for work: if a chunk raced in, the worker re-acquires the
+//! flag (or concedes it to the racing producer's own schedule) — either way the
+//! "work pending ⇒ slot scheduled" invariant holds with no lost wakeup.
+//!
+//! Control items (`flush`) never enter the ring: they carry a **sequence ticket**
+//! (the count of chunks accepted before the flush) in a tiny side queue, and the
+//! worker runs a flush exactly when its serviced-chunk count reaches the ticket.
+//! A flush therefore keeps its place in the stream *and* can always be accepted —
+//! even against a full ring — which is why [`RxServer::shutdown`] cannot deadlock
+//! on backpressure.
 //!
 //! ## Determinism
 //!
-//! Sessions share no state — each owns its receiver, carry-over buffer, detector and
-//! interference model — so the only way scheduling could change an output is by
-//! changing the order or grouping of one session's chunks. The scheduled-flag
-//! protocol forbids both: per-session FIFO plus exclusive servicing means the
-//! session's state machine performs the identical sequence of floating-point
-//! operations as a standalone [`RxSession`] fed the same chunks sequentially,
-//! regardless of worker count, queue depths, or how N sessions' pushes interleave.
-//! Events and [`SessionCounters`] are therefore **bit-identical** to the standalone
-//! replay — the property `tests/server_equivalence.rs` pins over random
-//! interleavings.
+//! Sessions share no state — each owns its receiver, carry-over buffer, detector
+//! and interference model — so the only way scheduling could change an output is by
+//! changing the order or grouping of one session's chunks. The ring + scheduled
+//! flag forbid both: ring cells are claimed in cursor order and popped in cursor
+//! order (per-session FIFO), flush tickets pin control items to their accepted
+//! position, and exclusive servicing means the session's state machine performs
+//! the identical sequence of floating-point operations as a standalone
+//! [`RxSession`] fed the same chunks sequentially, regardless of worker count,
+//! ring depths, or how N sessions' pushes interleave. Events and
+//! [`SessionCounters`] are therefore **bit-identical** to the standalone replay —
+//! the property `tests/server_equivalence.rs` pins over random interleavings.
 //!
 //! ## Backpressure contract
 //!
 //! * [`SessionHandle::try_push`] either accepts the whole chunk or returns
 //!   [`PushError::Full`] having consumed **nothing** — the producer owns the chunk
 //!   and may resubmit it later; accepted chunks are never dropped or reordered.
-//! * [`SessionHandle::push`] blocks until the queue has space (or the session
-//!   closes, → [`PushError::Closed`]).
+//! * [`SessionHandle::push`] blocks until the ring has space (adaptive: spins a
+//!   short bounded phase, then parks until the worker frees a cell) or the session
+//!   closes, → [`PushError::Closed`].
+//! * [`SessionHandle::flush`] is accepted regardless of ring occupancy (ticketed
+//!   control path) and takes effect after every previously accepted chunk.
 //! * [`RxServer::drain`] blocks until every chunk accepted *before the call* has
 //!   been fully processed; buffered mid-frame samples stay pending (no frame that
 //!   could still complete is abandoned).
 //! * [`RxServer::shutdown`] closes every session (subsequent pushes →
-//!   [`PushError::Closed`]), appends one final flush per session (end-of-stream:
-//!   incomplete frames surface as [`RxEvent::SyncLost`]), waits for the work to
-//!   finish, and joins the pool. Handles stay valid for draining events and reading
-//!   counters afterwards.
+//!   [`PushError::Closed`]; parked producers wake and observe the closure),
+//!   appends one final ticketed flush per session (end-of-stream: incomplete
+//!   frames surface as [`RxEvent::SyncLost`]), waits for the work to finish, and
+//!   joins the pool. Handles stay valid for draining events and reading counters
+//!   afterwards.
 
+use crate::chunk_pool::ChunkPool;
 use crate::session::{RxEvent, RxSession, SessionConfig, SessionCounters};
 use cprecycle_engine::pool::WorkerPool;
-use obs::{MetricsSnapshot, NoopRecorder, Recorder};
+use cprecycle_engine::ring::{IngressRing, PushRejected};
+use obs::{Log2Histogram, MetricsSnapshot, NoopRecorder, Recorder, StageSnapshot};
 use ofdmphy::rx::FrameReceiver;
 use ofdmphy::PhyError;
 use rfdsp::Complex;
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
-/// Why a push into a session's ingress queue was not accepted.
+/// Why a push into a session's ingress ring was not accepted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PushError {
-    /// The session's bounded ingress queue is at capacity. Nothing was consumed:
-    /// resubmit the same chunk once the queue drains and the session's output is
+    /// The session's bounded ingress ring is at capacity. Nothing was consumed:
+    /// resubmit the same chunk once the ring drains and the session's output is
     /// unchanged from an unthrottled feed.
     Full,
     /// The session was closed by [`RxServer::shutdown`]; no further samples are
@@ -86,7 +114,7 @@ pub enum PushError {
 impl fmt::Display for PushError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PushError::Full => write!(f, "session ingress queue is full"),
+            PushError::Full => write!(f, "session ingress ring is full"),
             PushError::Closed => write!(f, "session is closed"),
         }
     }
@@ -100,10 +128,20 @@ pub struct ServerConfig {
     /// Worker threads servicing all sessions. Defaults to the machine's available
     /// parallelism. Thread count never affects decoded bits — only throughput.
     pub threads: usize,
-    /// Bound on each session's ingress queue, in chunks. When full,
+    /// Bound on each session's ingress ring, in chunks. When full,
     /// [`SessionHandle::try_push`] returns [`PushError::Full`] and
     /// [`SessionHandle::push`] blocks. Defaults to 64.
     pub queue_capacity: usize,
+    /// Maximum free chunk buffers the shared [`ChunkPool`] retains *per size
+    /// class* (it starts empty and grows on demand up to this bound). Defaults
+    /// to 1024.
+    pub pool_buffers: usize,
+    /// Capacity of the largest pooled chunk-buffer class, in samples (classes
+    /// double from [`crate::chunk_pool::MIN_CLASS_SAMPLES`] up to this);
+    /// pushes larger than this fall back to an exact-size one-shot
+    /// allocation. Defaults to
+    /// [`crate::chunk_pool::DEFAULT_POOL_BUFFER_SAMPLES`].
+    pub pool_buffer_samples: usize,
 }
 
 impl Default for ServerConfig {
@@ -113,40 +151,37 @@ impl Default for ServerConfig {
                 .map(|n| n.get())
                 .unwrap_or(1),
             queue_capacity: 64,
+            pool_buffers: 1024,
+            pool_buffer_samples: crate::chunk_pool::DEFAULT_POOL_BUFFER_SAMPLES,
         }
     }
 }
 
-/// One ingress work item.
-enum WorkItem {
-    /// Samples to feed through [`RxSession::push`].
-    Chunk(Vec<Complex>),
-    /// End-of-stream marker: run [`RxSession::flush`]. Enqueued past the capacity
-    /// bound (control items must never deadlock against backpressure).
-    Flush,
-}
-
-/// The lock-guarded ingress side of a slot.
-struct Ingress {
-    queue: VecDeque<WorkItem>,
-    /// Chunks currently queued (excludes control items), bounded by
-    /// [`ServerConfig::queue_capacity`].
-    chunks_queued: usize,
-    /// True while a pool job for this slot exists (queued or running). Cleared only
-    /// under this lock, in the same critical section that observes the queue empty —
-    /// the invariant that makes "non-empty queue ⇒ slot is scheduled" airtight.
-    scheduled: bool,
-    /// Set by [`RxServer::shutdown`]; rejects further pushes.
-    closed: bool,
+/// One accepted sample chunk riding the ingress ring: a pooled copy of the
+/// producer's slice plus its acceptance timestamp (the start of the push→decode
+/// latency span).
+struct IngressChunk {
+    buf: crate::chunk_pool::PooledBuf,
+    accepted_at: Instant,
 }
 
 /// Everything one session owns, shared between its handle, the server and the pool.
 struct SessionSlot<R: FrameReceiver, O: Recorder> {
     /// Index of this session within the server (stable; also the metrics prefix).
     id: usize,
-    ingress: Mutex<Ingress>,
-    /// Signalled when queue space frees up or the slot closes.
-    space: Condvar,
+    /// Lock-free bounded ingress: sample chunks, FIFO, exact capacity bound.
+    ring: IngressRing<IngressChunk>,
+    /// Pending flush tickets (chunks-accepted counts); a flush runs when the
+    /// worker's serviced count reaches its ticket. Control items live here so they
+    /// bypass ring capacity — the queue is touched only on flush/shutdown, never
+    /// on the per-chunk hot path (`control_pending` gates the lock).
+    flushes: Mutex<VecDeque<u64>>,
+    /// Number of tickets in `flushes` (lock-free fast check for the worker).
+    control_pending: AtomicUsize,
+    /// True while a pool job for this slot exists (queued or running). See the
+    /// module docs for the clear-then-recheck protocol that keeps "work pending ⇒
+    /// scheduled" airtight without a lock.
+    scheduled: AtomicBool,
     /// Locked only by the worker currently servicing the slot — and briefly by
     /// handle-side reads (events, counters, snapshots).
     session: Mutex<RxSession<R, O>>,
@@ -156,6 +191,9 @@ struct SessionSlot<R: FrameReceiver, O: Recorder> {
     /// misconfigurations, not per-chunk conditions). Once set, further items are
     /// discarded.
     error: Mutex<Option<PhyError>>,
+    /// Push→decode latency (acceptance to end-of-servicing), nanoseconds. Locked
+    /// by the servicing worker per chunk and by snapshot reads.
+    latency: Mutex<Log2Histogram>,
 }
 
 type Slot<R, O> = Arc<SessionSlot<R, O>>;
@@ -247,8 +285,11 @@ where
     O: Recorder + Send + 'static,
 {
     config: ServerConfig,
-    slots: Mutex<Vec<Slot<R, O>>>,
+    /// Read-mostly registry: `add_session` takes the write lock briefly; snapshot,
+    /// drain and shutdown iterate under a read guard without cloning anything.
+    slots: RwLock<Vec<Slot<R, O>>>,
     pool: Arc<WorkerPool<Slot<R, O>>>,
+    chunks: Arc<ChunkPool>,
     started: Instant,
 }
 
@@ -257,73 +298,137 @@ where
 /// session from starving the rest without ever leaving work unscheduled.
 const FAIRNESS_BUDGET: usize = 16;
 
+/// How many consecutive "ring non-empty by cursor but not yet poppable" retries a
+/// worker spins through (a producer is mid-publish) before yielding the worker via
+/// a requeue.
+const MID_PUBLISH_SPIN_LIMIT: usize = 64;
+
 impl<R, O> RxServer<R, O>
 where
     R: FrameReceiver + Send + 'static,
     R::Stream: Send,
     O: Recorder + Send + 'static,
 {
-    /// Starts a server: spawns the worker pool, initially with zero sessions.
+    /// Starts a server: spawns the worker pool and the shared chunk pool,
+    /// initially with zero sessions.
     pub fn new(config: ServerConfig) -> Self {
+        let chunks = Arc::new(ChunkPool::new(
+            config.pool_buffers.max(1),
+            config.pool_buffer_samples.max(1),
+        ));
+        let service_chunks = Arc::clone(&chunks);
         let pool = WorkerPool::new(
             config.threads,
             |_w| (),
-            |_state: &mut (), slot: Slot<R, O>| Self::service(&slot),
+            move |_state: &mut (), slot: Slot<R, O>| Self::service(&slot, &service_chunks),
         );
         RxServer {
             config,
-            slots: Mutex::new(Vec::new()),
+            slots: RwLock::new(Vec::new()),
             pool: Arc::new(pool),
+            chunks,
             started: Instant::now(),
         }
     }
 
-    /// Services one scheduling of `slot`: drains its ingress queue (up to the
-    /// fairness budget) into the session. Returns the slot itself when it should be
-    /// re-enqueued — the pool requeues it atomically with respect to
-    /// [`WorkerPool::wait_idle`].
-    fn service(slot: &Slot<R, O>) -> Option<Slot<R, O>> {
-        let mut serviced = 0usize;
-        loop {
-            let item = {
-                let mut ingress = slot.ingress.lock().expect("ingress poisoned");
-                match ingress.queue.pop_front() {
-                    Some(item) => {
-                        if matches!(item, WorkItem::Chunk(_)) {
-                            ingress.chunks_queued -= 1;
-                        }
-                        slot.space.notify_all();
-                        item
-                    }
-                    None => {
-                        // Observed empty: unschedule in the same critical section,
-                        // so a concurrent push either sees `scheduled` still set
-                        // (we haven't cleared yet) or an empty queue it will
-                        // schedule for — never a lost wakeup.
-                        ingress.scheduled = false;
-                        return None;
-                    }
-                }
-            };
-            let failed = slot.error.lock().expect("error poisoned").is_some();
-            if !failed {
-                let mut session = slot.session.lock().expect("session poisoned");
-                let outcome = match item {
-                    WorkItem::Chunk(chunk) => session.push(&chunk),
-                    WorkItem::Flush => session.flush(),
-                };
-                if let Err(e) = outcome {
+    /// Whether the slot has servicable work: a chunk in (or being published into)
+    /// the ring, or a pending control ticket. A pending ticket with an empty ring
+    /// is always *due* (its chunks have all been serviced), so a worker observing
+    /// `has_work` can always make progress or hand off.
+    fn has_work(slot: &SessionSlot<R, O>) -> bool {
+        !slot.ring.is_empty() || slot.control_pending.load(Ordering::SeqCst) > 0
+    }
+
+    /// Runs the front flush ticket if it has come due.
+    fn run_due_flush(slot: &Slot<R, O>) -> bool {
+        if slot.control_pending.load(Ordering::SeqCst) == 0 {
+            return false;
+        }
+        let due = {
+            let mut flushes = slot.flushes.lock().expect("flushes poisoned");
+            if flushes
+                .front()
+                .is_some_and(|&ticket| slot.ring.serviced() >= ticket)
+            {
+                flushes.pop_front();
+                true
+            } else {
+                false
+            }
+        };
+        if due {
+            slot.control_pending.fetch_sub(1, Ordering::SeqCst);
+            if slot.error.lock().expect("error poisoned").is_none() {
+                if let Err(e) = slot.session.lock().expect("session poisoned").flush() {
                     *slot.error.lock().expect("error poisoned") = Some(e);
                 }
             }
-            serviced += 1;
-            if serviced >= FAIRNESS_BUDGET {
-                let mut ingress = slot.ingress.lock().expect("ingress poisoned");
-                if ingress.queue.is_empty() {
-                    ingress.scheduled = false;
+        }
+        due
+    }
+
+    /// Services one scheduling of `slot`: drains its ingress ring (and due flush
+    /// tickets) into the session, up to the fairness budget. Returns the slot
+    /// itself when it should be re-enqueued — the pool requeues it atomically with
+    /// respect to [`WorkerPool::wait_idle`].
+    fn service(slot: &Slot<R, O>, chunks: &ChunkPool) -> Option<Slot<R, O>> {
+        let mut serviced = 0usize;
+        let mut spins = 0usize;
+        loop {
+            if Self::run_due_flush(slot) {
+                spins = 0;
+                serviced += 1;
+            } else if let Some(chunk) = slot.ring.pop() {
+                if slot.error.lock().expect("error poisoned").is_none() {
+                    if let Err(e) = slot
+                        .session
+                        .lock()
+                        .expect("session poisoned")
+                        .push(&chunk.buf)
+                    {
+                        *slot.error.lock().expect("error poisoned") = Some(e);
+                    }
+                }
+                let nanos =
+                    u64::try_from(chunk.accepted_at.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                slot.latency.lock().expect("latency poisoned").record(nanos);
+                chunks.release(chunk.buf);
+                spins = 0;
+                serviced += 1;
+            } else {
+                // Nothing poppable. Clear the flag, then re-check: a producer that
+                // published after our failed pop either saw `scheduled` still true
+                // (we re-acquire below and keep servicing) or scheduled the slot
+                // itself after our clear (we concede — exactly one job exists
+                // either way).
+                slot.scheduled.store(false, Ordering::SeqCst);
+                if !Self::has_work(slot) {
                     return None;
                 }
-                // Still backlogged: keep `scheduled` set and yield the worker.
+                if slot.scheduled.swap(true, Ordering::SeqCst) {
+                    return None; // racing producer took over the scheduling
+                }
+                // Re-acquired: work exists but may be mid-publish (tail claimed,
+                // value not yet stamped). Spin briefly, then yield the worker.
+                spins += 1;
+                if spins >= MID_PUBLISH_SPIN_LIMIT {
+                    return Some(Arc::clone(slot));
+                }
+                std::hint::spin_loop();
+                continue;
+            }
+            if serviced >= FAIRNESS_BUDGET {
+                if Self::has_work(slot) {
+                    // Still backlogged: keep `scheduled` set and yield the worker.
+                    return Some(Arc::clone(slot));
+                }
+                slot.scheduled.store(false, Ordering::SeqCst);
+                if !Self::has_work(slot) {
+                    return None;
+                }
+                if slot.scheduled.swap(true, Ordering::SeqCst) {
+                    return None;
+                }
                 return Some(Arc::clone(slot));
             }
         }
@@ -348,31 +453,29 @@ where
         config: SessionConfig,
         recorder: O,
     ) -> SessionHandle<R, O> {
-        let mut slots = self.slots.lock().expect("slots poisoned");
+        let mut slots = self.slots.write().expect("slots poisoned");
         let slot = Arc::new(SessionSlot {
             id: slots.len(),
-            ingress: Mutex::new(Ingress {
-                queue: VecDeque::new(),
-                chunks_queued: 0,
-                scheduled: false,
-                closed: false,
-            }),
-            space: Condvar::new(),
+            ring: IngressRing::with_capacity(self.config.queue_capacity.max(1)),
+            flushes: Mutex::new(VecDeque::new()),
+            control_pending: AtomicUsize::new(0),
+            scheduled: AtomicBool::new(false),
             session: Mutex::new(RxSession::with_recorder(receiver, config, recorder)),
             samples_in: AtomicUsize::new(0),
             error: Mutex::new(None),
+            latency: Mutex::new(Log2Histogram::new()),
         });
         slots.push(Arc::clone(&slot));
         SessionHandle {
             slot,
             pool: Arc::clone(&self.pool),
-            capacity: self.config.queue_capacity,
+            chunks: Arc::clone(&self.chunks),
         }
     }
 
     /// Number of sessions ever added.
     pub fn sessions(&self) -> usize {
-        self.slots.lock().expect("slots poisoned").len()
+        self.slots.read().expect("slots poisoned").len()
     }
 
     /// The server configuration.
@@ -395,24 +498,27 @@ where
     /// worker pool. Idempotent. Pushes after (or racing) `shutdown` fail with
     /// [`PushError::Closed`]; handles remain valid for draining events, counters
     /// and snapshots.
+    ///
+    /// The final flush rides the ticketed control path, not the ring, so shutdown
+    /// completes even when every ring is full and producers are parked — they wake
+    /// with [`PushError::Closed`] instead of deadlocking against the flush.
     pub fn shutdown(&self) {
-        let slots: Vec<Slot<R, O>> = self.slots.lock().expect("slots poisoned").clone();
-        for slot in &slots {
-            let schedule = {
-                let mut ingress = slot.ingress.lock().expect("ingress poisoned");
-                if ingress.closed {
-                    continue;
+        {
+            let slots = self.slots.read().expect("slots poisoned");
+            for slot in slots.iter() {
+                if slot.ring.close() {
+                    continue; // already closed by an earlier shutdown
                 }
-                ingress.closed = true;
-                ingress.queue.push_back(WorkItem::Flush);
-                let schedule = !ingress.scheduled;
-                ingress.scheduled = true;
-                schedule
-            };
-            // Wake producers blocked on a full queue; they observe `closed`.
-            slot.space.notify_all();
-            if schedule {
-                self.pool.submit(Arc::clone(slot));
+                // Flush after everything accepted up to the close.
+                let ticket = slot.ring.accepted();
+                slot.flushes
+                    .lock()
+                    .expect("flushes poisoned")
+                    .push_back(ticket);
+                slot.control_pending.fetch_add(1, Ordering::SeqCst);
+                if !slot.scheduled.swap(true, Ordering::SeqCst) {
+                    self.pool.submit(Arc::clone(slot));
+                }
             }
         }
         self.pool.wait_idle();
@@ -423,27 +529,32 @@ where
     ///
     /// Unprefixed names are server-wide: the `sessions_active` gauge (sessions not
     /// yet closed), per-session-summed counters (`samples_pushed`,
-    /// `frames_decoded`, `fcs_passes`, …), the total `queue_depth` gauge and the
+    /// `frames_decoded`, `fcs_passes`, …), ingress-path counters
+    /// (`ring_full_rejections`, `chunk_pool_hits`/`misses`/`oversize`/`recycled`/
+    /// `dropped`, `pool_steals`), the total `queue_depth` gauge, the
     /// `samples_per_sec` gauge (aggregate accepted-sample rate since the server
-    /// started — wall-clock, so outside the determinism contract). Each session's
-    /// full snapshot (counters, stage timings, trace) additionally lands under a
-    /// `session.{id}.` prefix, plus its own `session.{id}.queue_depth` gauge.
+    /// started — wall-clock, so outside the determinism contract), and the
+    /// aggregate push→decode latency: a `push_decode` stage histogram plus
+    /// `push_decode_p50_ns`/`p95`/`p99` gauges. Each session's full snapshot
+    /// (counters, stage timings, trace) additionally lands under a `session.{id}.`
+    /// prefix, plus its own `session.{id}.queue_depth` gauge and
+    /// `session.{id}.push_decode_p{50,95,99}_ns` gauges.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
-        let slots: Vec<Slot<R, O>> = self.slots.lock().expect("slots poisoned").clone();
+        let slots = self.slots.read().expect("slots poisoned");
         let mut snap = MetricsSnapshot::new();
         let mut active = 0usize;
         let mut total_depth = 0usize;
         let mut total_samples = 0usize;
-        for slot in &slots {
-            let (depth, closed) = {
-                let ingress = slot.ingress.lock().expect("ingress poisoned");
-                (ingress.chunks_queued, ingress.closed)
-            };
-            if !closed {
+        let mut ring_full = 0u64;
+        let mut latency_all = Log2Histogram::new();
+        for slot in slots.iter() {
+            let depth = slot.ring.len();
+            if !slot.ring.is_closed() {
                 active += 1;
             }
             total_depth += depth;
             total_samples += slot.samples_in.load(Ordering::Relaxed);
+            ring_full += slot.ring.full_events();
             let per_session = slot
                 .session
                 .lock()
@@ -457,6 +568,38 @@ where
             let prefix = format!("session.{}.", slot.id);
             snap.merge_prefixed(&prefix, &per_session);
             snap.set_gauge(&format!("session.{}.queue_depth", slot.id), depth as f64);
+            let latency = slot.latency.lock().expect("latency poisoned").clone();
+            if latency.count() > 0 {
+                for (q, name) in [(0.5, "p50"), (0.95, "p95"), (0.99, "p99")] {
+                    if let Some(v) = latency.percentile(q) {
+                        snap.set_gauge(
+                            &format!("session.{}.push_decode_{name}_ns", slot.id),
+                            v as f64,
+                        );
+                    }
+                }
+                latency_all.merge(&latency);
+            }
+        }
+        snap.add_counter("ring_full_rejections", ring_full);
+        let pool_stats = self.chunks.stats();
+        snap.add_counter("chunk_pool_hits", pool_stats.hits);
+        snap.add_counter("chunk_pool_misses", pool_stats.misses);
+        snap.add_counter("chunk_pool_oversize", pool_stats.oversize);
+        snap.add_counter("chunk_pool_recycled", pool_stats.recycled);
+        snap.add_counter("chunk_pool_dropped", pool_stats.dropped);
+        snap.add_counter("pool_steals", self.pool.steals());
+        if latency_all.count() > 0 {
+            for (q, name) in [(0.5, "p50"), (0.95, "p95"), (0.99, "p99")] {
+                if let Some(v) = latency_all.percentile(q) {
+                    snap.set_gauge(&format!("push_decode_{name}_ns"), v as f64);
+                }
+            }
+            snap.stages.push(StageSnapshot {
+                stage: "push_decode".to_string(),
+                key: String::new(),
+                histogram: latency_all,
+            });
         }
         snap.set_gauge("sessions_active", active as f64);
         snap.set_gauge("queue_depth", total_depth as f64);
@@ -493,7 +636,7 @@ where
 {
     slot: Slot<R, O>,
     pool: Arc<WorkerPool<Slot<R, O>>>,
-    capacity: usize,
+    chunks: Arc<ChunkPool>,
 }
 
 impl<R, O> Clone for SessionHandle<R, O>
@@ -506,7 +649,7 @@ where
         SessionHandle {
             slot: Arc::clone(&self.slot),
             pool: Arc::clone(&self.pool),
-            capacity: self.capacity,
+            chunks: Arc::clone(&self.chunks),
         }
     }
 }
@@ -522,71 +665,81 @@ where
         self.slot.id
     }
 
-    /// Enqueues one work item, optionally blocking for queue space.
-    fn submit(&self, item: WorkItem, block: bool) -> Result<(), PushError> {
-        let samples = match &item {
-            WorkItem::Chunk(c) => c.len(),
-            WorkItem::Flush => 0,
-        };
-        let is_chunk = matches!(item, WorkItem::Chunk(_));
-        let schedule = {
-            let mut ingress = self.slot.ingress.lock().expect("ingress poisoned");
-            if ingress.closed {
-                return Err(PushError::Closed);
-            }
-            // Control items bypass the capacity bound: they never carry samples and
-            // must not deadlock against the very backpressure they resolve.
-            while is_chunk && ingress.chunks_queued >= self.capacity {
-                if !block {
-                    return Err(PushError::Full);
-                }
-                ingress = self.slot.space.wait(ingress).expect("ingress poisoned");
-                if ingress.closed {
-                    return Err(PushError::Closed);
-                }
-            }
-            if is_chunk {
-                ingress.chunks_queued += 1;
-            }
-            ingress.queue.push_back(item);
-            let schedule = !ingress.scheduled;
-            ingress.scheduled = true;
-            schedule
-        };
-        self.slot.samples_in.fetch_add(samples, Ordering::Relaxed);
-        if schedule {
+    /// Submits the slot for servicing unless a pool job for it already exists.
+    fn schedule(&self) {
+        if !self.slot.scheduled.swap(true, Ordering::SeqCst) {
             self.pool.submit(Arc::clone(&self.slot));
         }
-        Ok(())
     }
 
-    /// Enqueues a chunk, blocking while the session's ingress queue is full.
+    /// Copies `chunk` into a pooled buffer and enqueues it, optionally blocking
+    /// for ring space. A rejected push releases the buffer straight back — the
+    /// producer's slice is untouched either way.
+    fn submit_chunk(&self, chunk: &[Complex], block: bool) -> Result<(), PushError> {
+        let item = IngressChunk {
+            buf: self.chunks.acquire(chunk),
+            accepted_at: Instant::now(),
+        };
+        let result = if block {
+            self.slot.ring.push(item)
+        } else {
+            self.slot.ring.try_push(item)
+        };
+        match result {
+            Ok(()) => {
+                self.slot
+                    .samples_in
+                    .fetch_add(chunk.len(), Ordering::Relaxed);
+                self.schedule();
+                Ok(())
+            }
+            Err(PushRejected::Full(item)) => {
+                self.chunks.release(item.buf);
+                Err(PushError::Full)
+            }
+            Err(PushRejected::Closed(item)) => {
+                self.chunks.release(item.buf);
+                Err(PushError::Closed)
+            }
+        }
+    }
+
+    /// Enqueues a chunk, blocking while the session's ingress ring is full.
     /// Fails only with [`PushError::Closed`] after [`RxServer::shutdown`].
     pub fn push(&self, chunk: &[Complex]) -> Result<(), PushError> {
-        self.submit(WorkItem::Chunk(chunk.to_vec()), true)
+        self.submit_chunk(chunk, true)
     }
 
     /// Enqueues a chunk without blocking: [`PushError::Full`] means the bounded
-    /// queue is at capacity and **nothing was consumed** — resubmitting the same
+    /// ring is at capacity and **nothing was consumed** — resubmitting the same
     /// chunk later yields the same session output as an unthrottled feed.
     pub fn try_push(&self, chunk: &[Complex]) -> Result<(), PushError> {
-        self.submit(WorkItem::Chunk(chunk.to_vec()), false)
+        self.submit_chunk(chunk, false)
     }
 
     /// Enqueues an end-of-stream flush for this session (the asynchronous
     /// counterpart of [`RxSession::flush`]). The flush takes effect after every
-    /// previously accepted chunk; use [`RxServer::drain`] to wait for it.
+    /// previously accepted chunk; use [`RxServer::drain`] to wait for it. Control
+    /// items ride a ticketed side queue, so a flush is accepted even against a
+    /// full ring.
     pub fn flush(&self) -> Result<(), PushError> {
-        self.submit(WorkItem::Flush, false)
+        if self.slot.ring.is_closed() {
+            return Err(PushError::Closed);
+        }
+        let ticket = self.slot.ring.accepted();
+        self.slot
+            .flushes
+            .lock()
+            .expect("flushes poisoned")
+            .push_back(ticket);
+        self.slot.control_pending.fetch_add(1, Ordering::SeqCst);
+        self.schedule();
+        Ok(())
     }
 
-    /// Chunks currently waiting in this session's ingress queue.
+    /// Chunks currently waiting in this session's ingress ring.
     pub fn queue_depth(&self) -> usize {
-        self.slot
-            .ingress
-            .lock()
-            .expect("ingress poisoned")
-            .chunks_queued
+        self.slot.ring.len()
     }
 
     /// Samples accepted so far (including ones still queued).
@@ -720,6 +873,7 @@ mod tests {
         server.shutdown();
         assert_eq!(h.push(&[Complex::zero(); 8]), Err(PushError::Closed));
         assert_eq!(h.try_push(&[Complex::zero(); 8]), Err(PushError::Closed));
+        assert_eq!(h.flush(), Err(PushError::Closed));
         assert_eq!(payloads(&h.drain_events()), vec![b"closing time".to_vec()]);
     }
 
@@ -755,5 +909,46 @@ mod tests {
             server.metrics_snapshot().gauge("sessions_active"),
             Some(0.0)
         );
+    }
+
+    #[test]
+    fn snapshot_reports_ingress_path_metrics() {
+        let server: RxServer<StandardReceiver> = RxServer::new(ServerConfig {
+            threads: 1,
+            queue_capacity: 2,
+            ..Default::default()
+        });
+        let h = server.add_session(
+            StandardReceiver::new(OfdmParams::ieee80211ag()),
+            SessionConfig::default(),
+        );
+        for chunk in capture(b"meter me").chunks(480) {
+            h.push(chunk).unwrap();
+        }
+        server.drain();
+        let snap = server.metrics_snapshot();
+        // The ingress-path counters are always present (possibly zero) …
+        for name in [
+            "ring_full_rejections",
+            "chunk_pool_hits",
+            "chunk_pool_misses",
+            "chunk_pool_recycled",
+            "pool_steals",
+        ] {
+            assert!(snap.counters.contains_key(name), "missing counter {name}");
+        }
+        // … every serviced chunk allocated (miss) or reused (hit) a pooled buffer …
+        let s = server.metrics_snapshot();
+        assert!(s.counter("chunk_pool_hits") + s.counter("chunk_pool_misses") > 0);
+        // … and the push→decode latency surfaced as percentiles + a stage.
+        let p50 = snap.gauge("push_decode_p50_ns").expect("aggregate p50");
+        let p99 = snap.gauge("push_decode_p99_ns").expect("aggregate p99");
+        assert!(p50 <= p99, "p50 {p50} > p99 {p99}");
+        assert!(snap.gauge("session.0.push_decode_p95_ns").is_some());
+        assert!(snap
+            .stages
+            .iter()
+            .any(|st| st.stage == "push_decode" && st.histogram.count() > 0));
+        server.shutdown();
     }
 }

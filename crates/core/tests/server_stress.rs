@@ -132,8 +132,8 @@ fn chunk_spans(rng: &mut StdRng, len: usize) -> Vec<(usize, usize)> {
     spans
 }
 
-fn session_config(id: usize) -> SessionConfig {
-    if id.is_multiple_of(CPRECYCLE_EVERY) {
+fn config_for_kind(cprecycle: bool) -> SessionConfig {
+    if cprecycle {
         SessionConfig {
             persistence: ModelPersistence::Rolling,
             ..Default::default()
@@ -141,6 +141,10 @@ fn session_config(id: usize) -> SessionConfig {
     } else {
         SessionConfig::default()
     }
+}
+
+fn session_config(id: usize) -> SessionConfig {
+    config_for_kind(id.is_multiple_of(CPRECYCLE_EVERY))
 }
 
 /// Either in-tree receiver behind one enum, so the soak can mix both families in a
@@ -156,8 +160,8 @@ enum SoakStream {
 }
 
 impl SoakReceiver {
-    fn for_session(id: usize) -> Self {
-        if id.is_multiple_of(CPRECYCLE_EVERY) {
+    fn for_kind(cprecycle: bool) -> Self {
+        if cprecycle {
             SoakReceiver::CpRecycle(Box::new(CpRecycleReceiver::new(
                 params(),
                 CpRecycleConfig::default(),
@@ -165,6 +169,10 @@ impl SoakReceiver {
         } else {
             SoakReceiver::Standard(Box::new(StandardReceiver::new(params())))
         }
+    }
+
+    fn for_session(id: usize) -> Self {
+        Self::for_kind(id.is_multiple_of(CPRECYCLE_EVERY))
     }
 }
 
@@ -323,5 +331,202 @@ fn soak_64_sessions_no_corruption_no_unbounded_memory() {
         per_sample,
         rounds.iter().min().unwrap(),
         rounds.iter().max().unwrap()
+    );
+}
+
+// --- 10k-session soak --------------------------------------------------------
+//
+// The scale test behind the sharded scheduler and the chunk pool: ten thousand
+// concurrent sessions, bursty seeded chunk generators, a hard wall-clock
+// deadline, and three independent oracles — golden counter replay (determinism),
+// a per-sample allocation ceiling (no unbounded memory), and the merged
+// metrics snapshot (the ingress-path counters actually moved).
+//
+// Golden replay at this scale works because sessions are grouped into a small
+// number of (capture, receiver-kind) combos: every session in a combo sees a
+// byte-identical chunk sequence (the span RNG is seeded by the combo, not the
+// session), so one serial replay per combo pins all ~10k sessions.
+
+const BIG_SESSIONS: usize = 10_000;
+/// Distinct captures; session `s` replays capture `s % BIG_UNIQUE`.
+const BIG_UNIQUE: usize = 16;
+/// Every 128th session runs the CPRecycle receiver with a rolling model.
+const BIG_CPRECYCLE_EVERY: usize = 128;
+/// Hard cap on rounds so the golden replay stays tractable on fast machines.
+const BIG_MAX_ROUNDS: usize = 40;
+
+fn big_is_cprecycle(s: usize) -> bool {
+    s.is_multiple_of(BIG_CPRECYCLE_EVERY)
+}
+
+/// A shorter station capture for the 10k soak: lead noise, ONE frame, trailing
+/// pad — small enough that a full round over 10k sessions fits the CI deadline.
+fn short_capture(seed: u64) -> Vec<Complex> {
+    let tx = Transmitter::new(params());
+    let mcs = Mcs::new(Modulation::Qpsk, CodeRate::Half);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let payload: Vec<u8> = (0..24).map(|_| rng.gen()).collect();
+    let frame = tx.build_frame(&payload, mcs, 0x70).unwrap();
+    let power = rfdsp::power::signal_power(&frame.samples).unwrap();
+    let noise_var = power / rfdsp::power::db_to_lin(28.0);
+    let mut g = rfdsp::noise::GaussianSource::new();
+    let lead = rng.gen_range(150..300);
+    let mut capture = g.complex_vector(&mut rng, lead, noise_var);
+    capture.extend_from_slice(&frame.samples);
+    capture.extend(g.complex_vector(&mut rng, 200, noise_var));
+    let mut chan = AwgnChannel::new();
+    chan.add_noise_variance(&mut rng, &mut capture, noise_var)
+        .unwrap();
+    capture
+}
+
+#[test]
+#[ignore = "10k-session soak: run explicitly (CPRECYCLE_SOAK_SECS tunes the deadline)"]
+fn soak_10k_sessions_golden_replay_and_metrics() {
+    let deadline = soak_duration();
+    let captures: Vec<Vec<Complex>> = (0..BIG_UNIQUE)
+        .map(|u| short_capture(0xB16B00 + u as u64))
+        .collect();
+
+    let server: RxServer<SoakReceiver> = RxServer::new(ServerConfig {
+        queue_capacity: 4,
+        ..Default::default()
+    });
+    let handles: Vec<_> = (0..BIG_SESSIONS)
+        .map(|s| {
+            server.add_session(
+                SoakReceiver::for_kind(big_is_cprecycle(s)),
+                config_for_kind(big_is_cprecycle(s)),
+            )
+        })
+        .collect();
+    // The span RNG is seeded by the *combo*, so every session of a combo pushes a
+    // byte-identical chunk sequence and one golden replay covers them all.
+    let mut chunk_rngs: Vec<StdRng> = (0..BIG_SESSIONS)
+        .map(|s| StdRng::seed_from_u64(0xFEED + (s % BIG_UNIQUE) as u64))
+        .collect();
+
+    let alloc_base = allocations();
+    let start = Instant::now();
+    let mut rounds_done = 0usize;
+    let mut events_seen = vec![0usize; BIG_SESSIONS];
+    let mut samples_fed = 0u64;
+    // Deadline checked *between* rounds: every session completes the same number
+    // of rounds, which is what makes the per-combo golden replay exact.
+    while rounds_done < BIG_MAX_ROUNDS {
+        for s in 0..BIG_SESSIONS {
+            let capture = &captures[s % BIG_UNIQUE];
+            for (lo, hi) in chunk_spans(&mut chunk_rngs[s], capture.len()) {
+                handles[s].push(&capture[lo..hi]).unwrap();
+                samples_fed += (hi - lo) as u64;
+            }
+            events_seen[s] += handles[s].drain_events().len();
+        }
+        rounds_done += 1;
+        if start.elapsed() >= deadline {
+            break;
+        }
+    }
+    server.shutdown();
+    for (s, h) in handles.iter().enumerate() {
+        events_seen[s] += h.drain_events().len();
+    }
+    let alloc_spent = allocations() - alloc_base;
+
+    // --- no unbounded memory growth -------------------------------------------
+    let per_sample = alloc_spent as f64 / samples_fed as f64;
+    assert!(
+        per_sample < 8.0,
+        "{alloc_spent} allocations over {samples_fed} samples ({per_sample:.2}/sample) — \
+         queued chunks, events or carry-over buffers are accumulating"
+    );
+
+    // --- ingress-path counters moved and landed in the merged snapshot ----------
+    let snap = server.metrics_snapshot();
+    for key in [
+        "chunk_pool_hits",
+        "chunk_pool_misses",
+        "chunk_pool_recycled",
+        "ring_full_rejections",
+        "pool_steals",
+    ] {
+        assert!(
+            snap.counters.contains_key(key),
+            "merged snapshot missing ingress counter {key}"
+        );
+    }
+    assert_eq!(
+        snap.counter("chunk_pool_hits") + snap.counter("chunk_pool_misses"),
+        snap.counter("chunk_pool_recycled") + snap.counter("chunk_pool_dropped"),
+        "every acquired buffer was released exactly once"
+    );
+    assert_eq!(snap.counter("samples_pushed"), samples_fed);
+    let p50 = snap
+        .gauge("push_decode_p50_ns")
+        .expect("aggregate p50 gauge");
+    let p95 = snap
+        .gauge("push_decode_p95_ns")
+        .expect("aggregate p95 gauge");
+    let p99 = snap
+        .gauge("push_decode_p99_ns")
+        .expect("aggregate p99 gauge");
+    assert!(
+        p50 <= p95 && p95 <= p99,
+        "latency percentiles out of order: p50={p50} p95={p95} p99={p99}"
+    );
+    assert!(
+        snap.stages.iter().any(|s| s.stage == "push_decode"),
+        "aggregate push_decode stage histogram missing"
+    );
+
+    // --- zero sync-state corruption: golden replay, one per combo ---------------
+    let mut golden: std::collections::HashMap<(usize, bool), (SessionCounters, usize)> =
+        std::collections::HashMap::new();
+    for s in 0..BIG_SESSIONS {
+        let combo = (s % BIG_UNIQUE, big_is_cprecycle(s));
+        let (want_counters, want_events) = golden.entry(combo).or_insert_with(|| {
+            let mut session =
+                RxSession::with_config(SoakReceiver::for_kind(combo.1), config_for_kind(combo.1));
+            let mut rng = StdRng::seed_from_u64(0xFEED + combo.0 as u64);
+            for _ in 0..rounds_done {
+                for (lo, hi) in chunk_spans(&mut rng, captures[combo.0].len()) {
+                    session.push(&captures[combo.0][lo..hi]).unwrap();
+                }
+            }
+            session.flush().unwrap();
+            let events = session.drain_events().len();
+            (session.counters(), events)
+        });
+        assert!(
+            handles[s].take_error().is_none(),
+            "session {s} hit a fatal error"
+        );
+        let soaked = handles[s].counters();
+        assert_eq!(
+            &soaked, want_counters,
+            "session {s} (combo {combo:?}): counters diverged from the golden replay \
+             after {rounds_done} rounds"
+        );
+        assert_eq!(
+            events_seen[s], *want_events,
+            "session {s} (combo {combo:?}): delivered event count"
+        );
+        assert!(
+            soaked.frames_decoded >= rounds_done,
+            "session {s}: only {} frames decoded over {rounds_done} rounds",
+            soaked.frames_decoded
+        );
+    }
+    eprintln!(
+        "10k soak: {} sessions, {} combos, {} rounds, {:?}, {} samples, \
+         {} allocations ({:.3}/sample), steals {}",
+        BIG_SESSIONS,
+        golden.len(),
+        rounds_done,
+        start.elapsed(),
+        samples_fed,
+        alloc_spent,
+        per_sample,
+        snap.counter("pool_steals"),
     );
 }

@@ -19,7 +19,10 @@
 //! * [`pool`] — the reusable worker-pool primitives under [`exec`]: the claiming
 //!   loop ([`pool::run_claiming`]) the executor runs on, and a standing
 //!   [`pool::WorkerPool`] for open-ended workloads (the multi-session receiver
-//!   server in `cprecycle::server`);
+//!   server in `cprecycle::server`), sharded per worker with work stealing;
+//! * [`ring`] — lock-free bounded rings ([`ring::MpmcRing`], [`ring::IngressRing`])
+//!   and the spin-then-park waiter ([`ring::ParkGate`]) under the server's
+//!   per-session ingress path;
 //! * [`tally`] — per-point packet-success tallies with Wilson confidence intervals,
 //!   auxiliary metric means and sample streams, plus timing;
 //! * [`checkpoint`] — JSON persistence of a finished or half-finished campaign:
@@ -39,7 +42,9 @@
 //! explicitly *outside* the contract. The contract is enforced by tests in this crate
 //! and exercised end-to-end by `cprecycle-scenarios`.
 
-#![forbid(unsafe_code)]
+// Unsafe code is denied crate-wide and allowed only inside `ring`, whose lock-free
+// cells need `UnsafeCell` hand-off (same policy as `rfdsp`'s SIMD kernels).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod checkpoint;
@@ -47,6 +52,7 @@ pub mod exec;
 pub mod metrics;
 pub mod pool;
 pub mod report;
+pub mod ring;
 pub mod seed;
 pub mod spec;
 pub mod tally;
@@ -55,6 +61,7 @@ pub use checkpoint::{load_campaign, save_campaign};
 pub use exec::{run_campaign, EngineError, ProgressOptions, RunOptions};
 pub use metrics::campaign_snapshot;
 pub use pool::{run_claiming, WorkerPool};
+pub use ring::{CachePadded, IngressRing, MpmcRing, ParkGate, PushRejected};
 pub use seed::trial_rng;
 pub use spec::{CampaignConfig, CampaignPoint};
 pub use tally::{ArmTally, CampaignResult, PointResult, TrialOutcome, TrialRecord};

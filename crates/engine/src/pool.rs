@@ -11,8 +11,9 @@
 //!   worker can raise a pool-wide stop so a doomed run does not burn the rest of
 //!   the queue.
 //! * [`WorkerPool`] — the *standing* sibling for open-ended workloads
-//!   (`cprecycle::server::RxServer`): long-lived named threads draining a shared
-//!   injector queue of jobs submitted over time, again with lazily-built
+//!   (`cprecycle::server::RxServer`): long-lived named threads draining per-worker
+//!   injector shards (submissions scatter round-robin; an idle worker steals from
+//!   other shards, so one hot shard never strands work), with lazily-built
 //!   worker-local state, plus an idle barrier ([`WorkerPool::wait_idle`]) callers
 //!   use as a drain point and a graceful [`WorkerPool::shutdown`] that finishes
 //!   queued jobs before the threads exit.
@@ -26,9 +27,11 @@
 
 use std::collections::VecDeque;
 use std::ops::ControlFlow;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+
+use crate::ring::CachePadded;
 
 /// Runs `total` work items over `workers` scoped threads, each item claimed through
 /// a shared atomic cursor.
@@ -82,32 +85,95 @@ where
 }
 
 /// Shared state between a [`WorkerPool`]'s submitters and its worker threads.
+///
+/// The queue is sharded per worker: submitters scatter jobs round-robin over the
+/// shards and each worker drains its own shard first, then steals from the others,
+/// so concurrent submitters rarely contend on the same mutex and a hot worker never
+/// serializes the whole pool. Poolwide bookkeeping (`pending`, `in_flight`) lives in
+/// atomics with a strict update discipline (see the field docs) so the idle barrier
+/// and the sleep path never observe a false-idle or lose a wakeup.
 struct PoolShared<J> {
-    queue: Mutex<PoolQueue<J>>,
+    /// Per-worker injector queues, cache-padded so neighbouring shard locks do not
+    /// false-share.
+    shards: Box<[CachePadded<Mutex<VecDeque<J>>>]>,
+    /// Round-robin cursor scattering submissions over shards.
+    next_shard: AtomicUsize,
+    /// Jobs submitted and not yet claimed. Incremented **before** the shard push,
+    /// decremented **after** the claim's `in_flight` increment, so
+    /// `pending + in_flight` never under-counts live work.
+    pending: AtomicUsize,
+    /// Jobs currently inside a handler. Incremented before `pending` is released
+    /// on claim; decremented only after any follow-up requeue is visible.
+    in_flight: AtomicUsize,
+    /// Jobs a worker claimed from another worker's shard.
+    steals: AtomicU64,
+    /// Once set, workers exit as soon as no job remains; queued jobs still run.
+    shutting_down: AtomicBool,
+    /// Workers currently parked waiting for work. A submitter skips the sleep lock
+    /// entirely when this reads zero (SeqCst pairs with the sleeper's
+    /// register-then-recheck, same argument as [`crate::ring::ParkGate`]).
+    sleepers: AtomicUsize,
+    sleep_lock: Mutex<()>,
     /// Signalled when a job is submitted (or shutdown begins).
     work_ready: Condvar,
-    /// Signalled when the pool transitions to idle (empty queue, nothing in flight).
+    idle_lock: Mutex<()>,
+    /// Signalled when the pool transitions to idle (nothing pending or in flight).
     idle: Condvar,
 }
 
-struct PoolQueue<J> {
-    jobs: VecDeque<J>,
-    /// Jobs currently inside a handler on some worker.
-    in_flight: usize,
-    /// Once set, workers exit as soon as the queue is empty; queued jobs still run.
-    shutting_down: bool,
+impl<J> PoolShared<J> {
+    /// Enqueues one job on `shard` and wakes a sleeping worker if any is parked.
+    fn enqueue(&self, shard: usize, job: J) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.shards[shard]
+            .lock()
+            .expect("pool shard poisoned")
+            .push_back(job);
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.sleep_lock.lock().expect("pool sleep lock poisoned");
+            self.work_ready.notify_one();
+        }
+    }
+
+    /// Claims the next job, scanning from worker `w`'s own shard; marks it
+    /// in-flight before releasing its pending count.
+    fn claim(&self, w: usize) -> Option<J> {
+        let n = self.shards.len();
+        for i in 0..n {
+            let shard = (w + i) % n;
+            let job = self.shards[shard]
+                .lock()
+                .expect("pool shard poisoned")
+                .pop_front();
+            if let Some(job) = job {
+                if i > 0 {
+                    self.steals.fetch_add(1, Ordering::Relaxed);
+                }
+                self.in_flight.fetch_add(1, Ordering::SeqCst);
+                self.pending.fetch_sub(1, Ordering::SeqCst);
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Whether any submitted job is unfinished (claimed-but-running counts).
+    fn has_live_work(&self) -> bool {
+        self.pending.load(Ordering::SeqCst) > 0 || self.in_flight.load(Ordering::SeqCst) > 0
+    }
 }
 
-/// A fixed pool of long-lived worker threads with worker-local state, draining a
-/// shared queue of jobs submitted over time.
+/// A fixed pool of long-lived worker threads with worker-local state, draining
+/// per-worker injector shards of jobs submitted over time (round-robin scatter on
+/// submit, work stealing on claim).
 ///
-/// Jobs are claimed FIFO; a handler may return `Some(job)` to atomically requeue a
-/// follow-up (the receiver server uses this to yield a long-backlogged session back
-/// to the queue so other sessions get a turn, without ever leaving the session in a
-/// "work pending but unscheduled" state). [`wait_idle`](Self::wait_idle) blocks
-/// until the queue is empty *and* no handler is running — the drain barrier —
-/// and [`shutdown`](Self::shutdown) finishes all queued jobs before joining the
-/// threads (dropping the pool shuts it down the same way).
+/// Jobs are FIFO within a shard; a handler may return `Some(job)` to atomically
+/// requeue a follow-up (the receiver server uses this to yield a long-backlogged
+/// session back to the pool so other sessions get a turn, without ever leaving the
+/// session in a "work pending but unscheduled" state). [`wait_idle`](Self::wait_idle)
+/// blocks until every shard is empty *and* no handler is running — the drain
+/// barrier — and [`shutdown`](Self::shutdown) finishes all queued jobs before
+/// joining the threads (dropping the pool shuts it down the same way).
 ///
 /// ```
 /// use cprecycle_engine::pool::WorkerPool;
@@ -143,27 +209,33 @@ impl<J: Send + 'static> WorkerPool<J> {
     ///
     /// `new_worker(worker_index)` lazily builds the worker-local state on the first
     /// job that worker claims; `handler(state, job)` processes one job and may
-    /// return a follow-up job to requeue at the back of the queue. The requeue is
+    /// return a follow-up job to requeue on the worker's own shard. The requeue is
     /// atomic with respect to [`wait_idle`](Self::wait_idle): the pool never
     /// appears idle between a handler returning a follow-up and that follow-up
-    /// becoming visible in the queue.
+    /// becoming visible in a shard.
     pub fn new<S, NW, H>(threads: usize, new_worker: NW, handler: H) -> Self
     where
         S: 'static,
         NW: Fn(usize) -> S + Send + Sync + 'static,
         H: Fn(&mut S, J) -> Option<J> + Send + Sync + 'static,
     {
+        let workers = threads.max(1);
         let shared = Arc::new(PoolShared {
-            queue: Mutex::new(PoolQueue {
-                jobs: VecDeque::new(),
-                in_flight: 0,
-                shutting_down: false,
-            }),
+            shards: (0..workers)
+                .map(|_| CachePadded::new(Mutex::new(VecDeque::new())))
+                .collect(),
+            next_shard: AtomicUsize::new(0),
+            pending: AtomicUsize::new(0),
+            in_flight: AtomicUsize::new(0),
+            steals: AtomicU64::new(0),
+            shutting_down: AtomicBool::new(false),
+            sleepers: AtomicUsize::new(0),
+            sleep_lock: Mutex::new(()),
             work_ready: Condvar::new(),
+            idle_lock: Mutex::new(()),
             idle: Condvar::new(),
         });
         let ctx = Arc::new((new_worker, handler));
-        let workers = threads.max(1);
         let threads = (0..workers)
             .map(|w| {
                 let shared = Arc::clone(&shared);
@@ -173,31 +245,47 @@ impl<J: Send + 'static> WorkerPool<J> {
                     .spawn(move || {
                         let mut state: Option<S> = None;
                         loop {
-                            let job = {
-                                let mut q = shared.queue.lock().expect("pool queue poisoned");
-                                loop {
-                                    if let Some(job) = q.jobs.pop_front() {
-                                        q.in_flight += 1;
-                                        break Some(job);
-                                    }
-                                    if q.shutting_down {
-                                        break None;
-                                    }
-                                    q = shared.work_ready.wait(q).expect("pool queue poisoned");
+                            if let Some(job) = shared.claim(w) {
+                                let state = state.get_or_insert_with(|| (ctx.0)(w));
+                                let followup = (ctx.1)(state, job);
+                                if let Some(next) = followup {
+                                    // Requeue on the own shard *before* dropping the
+                                    // in-flight count, so wait_idle never observes
+                                    // the gap between "handler done" and "follow-up
+                                    // queued".
+                                    shared.enqueue(w, next);
                                 }
-                            };
-                            let Some(job) = job else { break };
-                            let state = state.get_or_insert_with(|| (ctx.0)(w));
-                            let followup = (ctx.1)(state, job);
-                            let mut q = shared.queue.lock().expect("pool queue poisoned");
-                            if let Some(next) = followup {
-                                q.jobs.push_back(next);
-                                shared.work_ready.notify_one();
+                                shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                                if !shared.has_live_work() {
+                                    let _guard =
+                                        shared.idle_lock.lock().expect("pool idle lock poisoned");
+                                    shared.idle.notify_all();
+                                }
+                                continue;
                             }
-                            q.in_flight -= 1;
-                            if q.in_flight == 0 && q.jobs.is_empty() {
-                                shared.idle.notify_all();
+                            // Nothing claimable: park, retry, or exit. Register as a
+                            // sleeper and re-check pending *under the sleep lock* —
+                            // a submitter that missed the registration published
+                            // its pending increment earlier in SeqCst order, so the
+                            // re-check sees it and we retry instead of sleeping.
+                            let guard = shared.sleep_lock.lock().expect("pool sleep lock poisoned");
+                            shared.sleepers.fetch_add(1, Ordering::SeqCst);
+                            if shared.pending.load(Ordering::SeqCst) > 0 {
+                                shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+                                drop(guard);
+                                std::thread::yield_now();
+                                continue;
                             }
+                            if shared.shutting_down.load(Ordering::SeqCst) {
+                                shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+                                break;
+                            }
+                            let guard = shared
+                                .work_ready
+                                .wait(guard)
+                                .expect("pool sleep lock poisoned");
+                            shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+                            drop(guard);
                         }
                     })
                     .expect("spawn pool worker")
@@ -210,35 +298,40 @@ impl<J: Send + 'static> WorkerPool<J> {
         }
     }
 
-    /// Enqueues one job at the back of the queue.
+    /// Enqueues one job (round-robin over the worker shards).
     ///
     /// Jobs submitted before (or concurrently with) [`shutdown`](Self::shutdown)
     /// still run; callers layering their own lifecycle (the receiver server closes
     /// sessions before shutting the pool down) should stop submitting first.
     pub fn submit(&self, job: J) {
-        {
-            let mut q = self.shared.queue.lock().expect("pool queue poisoned");
-            q.jobs.push_back(job);
-        }
-        self.shared.work_ready.notify_one();
+        let shard = self.shared.next_shard.fetch_add(1, Ordering::Relaxed) % self.workers;
+        self.shared.enqueue(shard, job);
     }
 
-    /// Blocks until the queue is empty and no handler is running.
+    /// Blocks until no job is pending and no handler is running.
     pub fn wait_idle(&self) {
-        let mut q = self.shared.queue.lock().expect("pool queue poisoned");
-        while !(q.jobs.is_empty() && q.in_flight == 0) {
-            q = self.shared.idle.wait(q).expect("pool queue poisoned");
+        let mut guard = self
+            .shared
+            .idle_lock
+            .lock()
+            .expect("pool idle lock poisoned");
+        while self.shared.has_live_work() {
+            guard = self
+                .shared
+                .idle
+                .wait(guard)
+                .expect("pool idle lock poisoned");
         }
     }
 
-    /// Number of jobs waiting in the queue (not counting in-flight ones).
+    /// Number of jobs waiting in the shards (not counting in-flight ones).
     pub fn queued(&self) -> usize {
-        self.shared
-            .queue
-            .lock()
-            .expect("pool queue poisoned")
-            .jobs
-            .len()
+        self.shared.pending.load(Ordering::SeqCst)
+    }
+
+    /// Number of jobs claimed from a shard other than the claiming worker's own.
+    pub fn steals(&self) -> u64 {
+        self.shared.steals.load(Ordering::Relaxed)
     }
 
     /// Number of worker threads the pool was built with.
@@ -251,10 +344,14 @@ impl<J: Send + 'static> WorkerPool<J> {
     /// join itself).
     pub fn shutdown(&self) {
         {
-            let mut q = self.shared.queue.lock().expect("pool queue poisoned");
-            q.shutting_down = true;
+            let _guard = self
+                .shared
+                .sleep_lock
+                .lock()
+                .expect("pool sleep lock poisoned");
+            self.shared.shutting_down.store(true, Ordering::SeqCst);
+            self.shared.work_ready.notify_all();
         }
-        self.shared.work_ready.notify_all();
         let mut threads = self.threads.lock().expect("pool threads poisoned");
         for t in threads.drain(..) {
             let _ = t.join();

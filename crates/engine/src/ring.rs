@@ -1,0 +1,657 @@
+//! Lock-free bounded rings for high-rate ingress paths.
+//!
+//! The multi-session receiver server (`cprecycle::server`) accepts sample chunks
+//! from producer threads and services them on a worker pool. PR 7 guarded each
+//! session's ingress with a `Mutex<VecDeque> + Condvar`, which serializes producers
+//! against the servicing worker on every push; this module replaces that with two
+//! layered primitives:
+//!
+//! * [`MpmcRing`] — a fixed-capacity lock-free ring (Vyukov-style bounded MPMC
+//!   queue): one atomic enqueue cursor, one atomic dequeue cursor, and a per-cell
+//!   sequence stamp that hands each slot from producers to consumers without any
+//!   lock. The cursors live on their own cache lines ([`CachePadded`]) so producers
+//!   and the consumer do not false-share, and FIFO order follows cursor-claim
+//!   order — the property the server's determinism argument needs.
+//! * [`IngressRing`] — the server-facing wrapper: a chunk-count capacity bound
+//!   (exact, not rounded to the ring's power-of-two backing), a `closed` flag, and
+//!   the blocking-`push`/`try_push` → [`PushRejected::Full`] backpressure contract
+//!   implemented with an adaptive spin-then-park waiter ([`ParkGate`]): a producer
+//!   facing a full ring spins briefly (the consumer usually frees a slot within
+//!   microseconds), then registers as a parked waiter and sleeps until the consumer
+//!   frees space or the ring closes.
+//!
+//! Capacity accounting uses a *credit* counter rather than the ring cursors: a
+//! producer acquires a credit (CAS on `queued`) before claiming a ring slot, and
+//! the consumer releases the credit only after the popped cell's sequence stamp is
+//! published. Because the backing ring is at least as large as the credit bound,
+//! a held credit guarantees the claimed cell is free — `try_push` on the inner
+//! ring cannot fail once a credit is held (asserted in debug builds, retried in
+//! release builds).
+//!
+//! All cross-thread handshakes here use `SeqCst`: the park/notify fast path skips
+//! the lock entirely when no waiter is registered, which is only sound when the
+//! waiter-count increment, the capacity re-check, and the consumer's credit release
+//! participate in one total order (see [`ParkGate::notify`]).
+
+// The cell store needs `UnsafeCell<MaybeUninit<T>>`: a slot's contents are owned by
+// exactly one thread at a time, with ownership handed over through the acquire/
+// release sequence stamp. Everything outside `MpmcRing`'s cell accesses is safe code.
+#![allow(unsafe_code)]
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Pads and aligns a value to 128 bytes so two frequently-written atomics never
+/// share a cache line (64-byte lines, doubled for adjacent-line prefetchers).
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value`.
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+/// One ring slot: the sequence stamp encodes whose turn the cell is.
+///
+/// Invariant (Vyukov): for lap `k` at index `i`, `seq == i + k*N` means the cell is
+/// empty and awaits the producer of position `i + k*N`; `seq == i + k*N + 1` means
+/// it holds that position's value and awaits the consumer; any smaller value means
+/// the previous occupant is still being drained — the ring is effectively full at
+/// this cell.
+struct Cell<T> {
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// A fixed-capacity lock-free multi-producer multi-consumer ring.
+///
+/// The capacity is rounded up to a power of two. Producers claim positions with a
+/// CAS on the enqueue cursor and publish values by storing `pos + 1` into the
+/// cell's sequence stamp (release); consumers claim with a CAS on the dequeue
+/// cursor, take the value after observing the stamp (acquire), and recycle the
+/// cell by storing `pos + capacity`. FIFO order is cursor-claim order.
+///
+/// `try_push`/`try_pop` never block and never spin unboundedly: a full (or empty)
+/// observation returns immediately, including the transient case where a slot has
+/// been claimed by another thread but its value is still being written — callers
+/// that need "item will appear" semantics layer their own retry (the server's
+/// scheduled-flag protocol re-services a slot whenever a producer completes).
+pub struct MpmcRing<T> {
+    buffer: Box<[Cell<T>]>,
+    mask: usize,
+    /// Enqueue cursor: total successful position claims.
+    tail: CachePadded<AtomicUsize>,
+    /// Dequeue cursor: total successful pops.
+    head: CachePadded<AtomicUsize>,
+}
+
+// SAFETY: a cell's value is accessed only by the single thread that claimed its
+// position via CAS, bracketed by acquire/release sequence stamps; `T` crosses
+// threads by value, hence `T: Send` for both.
+unsafe impl<T: Send> Send for MpmcRing<T> {}
+unsafe impl<T: Send> Sync for MpmcRing<T> {}
+
+impl<T> MpmcRing<T> {
+    /// A ring holding at least `capacity` items (rounded up to a power of two,
+    /// minimum 2).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        let buffer: Box<[Cell<T>]> = (0..cap)
+            .map(|i| Cell {
+                seq: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        MpmcRing {
+            buffer,
+            mask: cap - 1,
+            tail: CachePadded::new(AtomicUsize::new(0)),
+            head: CachePadded::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// The backing capacity (a power of two ≥ the requested capacity).
+    pub fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Items currently in the ring (including slots claimed but not yet
+    /// published). Approximate under concurrency, exact when quiescent.
+    pub fn len(&self) -> usize {
+        let tail = self.tail.load(Ordering::SeqCst);
+        let head = self.head.load(Ordering::SeqCst);
+        tail.saturating_sub(head)
+    }
+
+    /// Whether the ring is empty (see [`len`](Self::len) for the caveat).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total positions ever claimed by producers (monotonic).
+    pub fn pushed(&self) -> u64 {
+        self.tail.load(Ordering::SeqCst) as u64
+    }
+
+    /// Total positions ever released by consumers (monotonic).
+    pub fn popped(&self) -> u64 {
+        self.head.load(Ordering::SeqCst) as u64
+    }
+
+    /// Attempts to enqueue, returning the item back when the ring is full.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut pos = self.tail.load(Ordering::Relaxed);
+        loop {
+            let cell = &self.buffer[pos & self.mask];
+            let seq = cell.seq.load(Ordering::Acquire);
+            let dif = seq as isize - pos as isize;
+            if dif == 0 {
+                // The cell awaits exactly this position: claim it.
+                match self.tail.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::SeqCst,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS gives this thread exclusive ownership of
+                        // the cell until the stamp below publishes it.
+                        unsafe { (*cell.value.get()).write(item) };
+                        cell.seq.store(pos + 1, Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if dif < 0 {
+                // A full lap behind: the previous occupant is still in place.
+                return Err(item);
+            } else {
+                // Another producer claimed this position; retry at the cursor.
+                pos = self.tail.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Attempts to dequeue the oldest item.
+    pub fn try_pop(&self) -> Option<T> {
+        let mut pos = self.head.load(Ordering::Relaxed);
+        loop {
+            let cell = &self.buffer[pos & self.mask];
+            let seq = cell.seq.load(Ordering::Acquire);
+            let dif = seq as isize - (pos + 1) as isize;
+            if dif == 0 {
+                match self.head.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::SeqCst,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS gives this thread exclusive ownership of
+                        // the published value; the stamp below recycles the cell.
+                        let value = unsafe { (*cell.value.get()).assume_init_read() };
+                        cell.seq.store(pos + self.mask + 1, Ordering::Release);
+                        return Some(value);
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if dif < 0 {
+                // Empty (or the producer of this position is mid-publish).
+                return None;
+            } else {
+                pos = self.head.load(Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl<T> Drop for MpmcRing<T> {
+    fn drop(&mut self) {
+        // Drain remaining items so their destructors run.
+        while self.try_pop().is_some() {}
+    }
+}
+
+impl<T> std::fmt::Debug for MpmcRing<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MpmcRing")
+            .field("capacity", &self.capacity())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// The park half of an adaptive spin-then-park handshake.
+///
+/// A producer that has already spun without progress registers itself
+/// (`waiters += 1`), re-checks the condition **under the gate's lock**, and
+/// sleeps; the peer that frees the resource calls [`notify`](Self::notify), which
+/// reads the waiter count and takes the lock only when somebody is actually
+/// parked — the uncontended fast path is one `SeqCst` load.
+///
+/// Soundness of the skip: the waiter's registration, its condition re-check, the
+/// notifier's resource release and its waiter-count read are all `SeqCst`, hence
+/// totally ordered. If the notifier's read misses the registration, the
+/// registration is later in the total order than the release — so the waiter's
+/// re-check (later still) observes the released resource and never sleeps.
+/// Condition closures passed to [`wait_while`](Self::wait_while) must therefore
+/// read shared state with `SeqCst`.
+#[derive(Debug, Default)]
+pub struct ParkGate {
+    waiters: AtomicUsize,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl ParkGate {
+    /// A gate with no waiters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parks the calling thread while `blocked()` returns true. Returns as soon as
+    /// a [`notify`](Self::notify) (or spurious wakeup) observes the condition
+    /// cleared. `blocked` is always evaluated at least once, under the gate lock.
+    pub fn wait_while(&self, mut blocked: impl FnMut() -> bool) {
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        let mut guard = self.lock.lock().expect("park gate poisoned");
+        while blocked() {
+            guard = self.cv.wait(guard).expect("park gate poisoned");
+        }
+        drop(guard);
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Wakes parked waiters, if any. Call after releasing the resource waiters
+    /// block on (with `SeqCst` ordering — see the type docs).
+    pub fn notify(&self) {
+        if self.waiters.load(Ordering::SeqCst) > 0 {
+            let _guard = self.lock.lock().expect("park gate poisoned");
+            self.cv.notify_all();
+        }
+    }
+
+    /// Unconditionally wakes parked waiters (used on close paths, where skipping
+    /// on a racing registration would strand a waiter forever).
+    pub fn notify_all_forced(&self) {
+        let _guard = self.lock.lock().expect("park gate poisoned");
+        self.cv.notify_all();
+    }
+
+    /// Number of currently registered waiters (racy; for metrics and tests).
+    pub fn waiters(&self) -> usize {
+        self.waiters.load(Ordering::SeqCst)
+    }
+}
+
+/// Why an [`IngressRing`] push did not accept an item. The item is handed back in
+/// both cases — nothing is consumed by a rejection.
+#[derive(Debug)]
+pub enum PushRejected<T> {
+    /// The ring is at its chunk capacity.
+    Full(T),
+    /// The ring was [closed](IngressRing::close).
+    Closed(T),
+}
+
+/// How many times a blocked producer retries with a spin hint before parking.
+const SPIN_LIMIT: u32 = 128;
+
+/// A bounded MPMC ring with an exact capacity bound, a closed flag, and the
+/// blocking-`push` / `try_push` → [`PushRejected::Full`] backpressure contract
+/// (the ingress side of one `cprecycle::server` session).
+///
+/// The capacity bound counts *items*, enforced by a credit counter, so a
+/// `capacity` of 6 rejects the 7th item even though the backing ring rounds up
+/// to 8 cells. Items accepted are delivered to [`pop`](Self::pop) in acceptance
+/// (cursor-claim) order; a rejected push consumes nothing.
+#[derive(Debug)]
+pub struct IngressRing<T> {
+    ring: MpmcRing<T>,
+    capacity: usize,
+    /// Credits: items accepted and not yet fully popped. The exact capacity gate.
+    queued: CachePadded<AtomicUsize>,
+    closed: AtomicBool,
+    space: ParkGate,
+    /// Total items accepted (monotonic) — the sequencing source for control-item
+    /// tickets layered above this ring.
+    accepted: AtomicU64,
+    /// Total items popped (monotonic).
+    serviced: AtomicU64,
+    /// Push attempts that observed a full ring (`try_push` rejections plus
+    /// blocking pushes that had to park).
+    full_events: AtomicU64,
+}
+
+impl<T: Send> IngressRing<T> {
+    /// A ring accepting at most `capacity` items at a time (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        IngressRing {
+            ring: MpmcRing::new(capacity),
+            capacity,
+            queued: CachePadded::new(AtomicUsize::new(0)),
+            closed: AtomicBool::new(false),
+            space: ParkGate::new(),
+            accepted: AtomicU64::new(0),
+            serviced: AtomicU64::new(0),
+            full_events: AtomicU64::new(0),
+        }
+    }
+
+    /// The exact item capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.queued.load(Ordering::SeqCst)
+    }
+
+    /// Whether the ring currently holds no items. Unlike [`len`](Self::len) (the
+    /// conservative credit count), this reads the ring cursors, so a claimed but
+    /// not-yet-published slot still counts as non-empty — which is what the
+    /// server's "observed empty ⇒ safe to unschedule" step needs.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Total items ever accepted.
+    pub fn accepted(&self) -> u64 {
+        self.accepted.load(Ordering::SeqCst)
+    }
+
+    /// Total items ever popped.
+    pub fn serviced(&self) -> u64 {
+        self.serviced.load(Ordering::SeqCst)
+    }
+
+    /// Push attempts that found the ring full.
+    pub fn full_events(&self) -> u64 {
+        self.full_events.load(Ordering::SeqCst)
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::SeqCst)
+    }
+
+    /// Whether a non-blocking push would currently be rejected (cheap pre-check;
+    /// the authoritative answer is [`try_push`](Self::try_push)'s).
+    pub fn would_reject(&self) -> bool {
+        self.is_closed() || self.len() >= self.capacity
+    }
+
+    /// Closes the ring: subsequent pushes fail with [`PushRejected::Closed`] and
+    /// parked producers wake and observe the closure. Items already accepted stay
+    /// poppable. Returns whether the ring was already closed (idempotence token).
+    pub fn close(&self) -> bool {
+        let was = self.closed.swap(true, Ordering::SeqCst);
+        self.space.notify_all_forced();
+        was
+    }
+
+    /// Acquires one capacity credit, or reports why not.
+    fn try_acquire_credit(&self) -> Result<(), PushRejected<()>> {
+        if self.is_closed() {
+            return Err(PushRejected::Closed(()));
+        }
+        let mut queued = self.queued.load(Ordering::SeqCst);
+        loop {
+            if queued >= self.capacity {
+                return Err(PushRejected::Full(()));
+            }
+            match self.queued.compare_exchange_weak(
+                queued,
+                queued + 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return Ok(()),
+                Err(actual) => queued = actual,
+            }
+        }
+    }
+
+    /// Enqueues under a held credit. The credit guarantees a free cell (see the
+    /// module docs), so the inner push succeeds modulo a transient consumer
+    /// stamp-in-progress, which the bounded retry below absorbs.
+    fn push_with_credit(&self, mut item: T) {
+        loop {
+            match self.ring.try_push(item) {
+                Ok(()) => break,
+                Err(back) => {
+                    debug_assert!(false, "credited push found no free cell");
+                    item = back;
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        self.accepted.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Attempts to enqueue without blocking. On [`PushRejected::Full`] nothing is
+    /// consumed: the same item is handed back and may be resubmitted later.
+    pub fn try_push(&self, item: T) -> Result<(), PushRejected<T>> {
+        match self.try_acquire_credit() {
+            Ok(()) => {
+                self.push_with_credit(item);
+                Ok(())
+            }
+            Err(PushRejected::Full(())) => {
+                self.full_events.fetch_add(1, Ordering::SeqCst);
+                Err(PushRejected::Full(item))
+            }
+            Err(PushRejected::Closed(())) => Err(PushRejected::Closed(item)),
+        }
+    }
+
+    /// Enqueues, blocking while the ring is full: spins briefly (the consumer
+    /// usually frees a slot quickly), then parks on the ring's [`ParkGate`] until
+    /// space frees or the ring closes.
+    pub fn push(&self, item: T) -> Result<(), PushRejected<T>> {
+        let mut spins = 0u32;
+        let mut counted_full = false;
+        loop {
+            match self.try_acquire_credit() {
+                Ok(()) => {
+                    self.push_with_credit(item);
+                    return Ok(());
+                }
+                Err(PushRejected::Closed(())) => return Err(PushRejected::Closed(item)),
+                Err(PushRejected::Full(())) => {
+                    if !counted_full {
+                        self.full_events.fetch_add(1, Ordering::SeqCst);
+                        counted_full = true;
+                    }
+                    if spins < SPIN_LIMIT {
+                        spins += 1;
+                        std::hint::spin_loop();
+                        if spins.is_multiple_of(32) {
+                            std::thread::yield_now();
+                        }
+                        continue;
+                    }
+                    // Park until space frees or the ring closes; then retry the
+                    // credit race from the top (another producer may win it).
+                    self.space.wait_while(|| {
+                        !self.is_closed() && self.queued.load(Ordering::SeqCst) >= self.capacity
+                    });
+                    spins = 0;
+                }
+            }
+        }
+    }
+
+    /// Pops the oldest item, releasing its capacity credit and waking one round of
+    /// parked producers. Intended for the single consumer currently servicing the
+    /// ring, but safe from any thread.
+    pub fn pop(&self) -> Option<T> {
+        let item = self.ring.try_pop()?;
+        self.serviced.fetch_add(1, Ordering::SeqCst);
+        self.queued.fetch_sub(1, Ordering::SeqCst);
+        self.space.notify();
+        Some(item)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+    use std::sync::Arc;
+
+    #[test]
+    fn ring_is_fifo_single_threaded() {
+        let ring = MpmcRing::new(4);
+        assert_eq!(ring.capacity(), 4);
+        for i in 0..4 {
+            ring.try_push(i).unwrap();
+        }
+        assert_eq!(ring.try_push(99), Err(99), "full ring hands the item back");
+        for i in 0..4 {
+            assert_eq!(ring.try_pop(), Some(i));
+        }
+        assert_eq!(ring.try_pop(), None);
+        // Wrap around several laps.
+        for lap in 0..10 {
+            ring.try_push(lap).unwrap();
+            assert_eq!(ring.try_pop(), Some(lap));
+        }
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn ring_capacity_rounds_up_to_power_of_two() {
+        assert_eq!(MpmcRing::<u8>::new(0).capacity(), 2);
+        assert_eq!(MpmcRing::<u8>::new(3).capacity(), 4);
+        assert_eq!(MpmcRing::<u8>::new(8).capacity(), 8);
+        assert_eq!(MpmcRing::<u8>::new(9).capacity(), 16);
+    }
+
+    #[test]
+    fn ring_drop_runs_remaining_destructors() {
+        let live = Arc::new(AtomicU32::new(0));
+        struct Tracked(Arc<AtomicU32>);
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let ring = MpmcRing::new(8);
+            for _ in 0..5 {
+                live.fetch_add(1, Ordering::SeqCst);
+                ring.try_push(Tracked(Arc::clone(&live))).ok().unwrap();
+            }
+            drop(ring.try_pop()); // one popped and dropped
+        }
+        assert_eq!(live.load(Ordering::SeqCst), 0, "all items dropped");
+    }
+
+    #[test]
+    fn ingress_capacity_is_exact_not_rounded() {
+        let ring: IngressRing<u32> = IngressRing::with_capacity(3);
+        assert_eq!(ring.capacity(), 3);
+        for i in 0..3 {
+            ring.try_push(i).unwrap();
+        }
+        match ring.try_push(99) {
+            Err(PushRejected::Full(99)) => {}
+            other => panic!("expected Full(99), got {other:?}"),
+        }
+        assert_eq!(ring.full_events(), 1);
+        assert_eq!(ring.pop(), Some(0));
+        ring.try_push(3).unwrap();
+        assert_eq!(ring.len(), 3);
+        assert_eq!(
+            [ring.pop(), ring.pop(), ring.pop()],
+            [Some(1), Some(2), Some(3)]
+        );
+        assert_eq!(ring.accepted(), 4);
+        assert_eq!(ring.serviced(), 4);
+    }
+
+    #[test]
+    fn ingress_close_rejects_and_wakes() {
+        let ring: Arc<IngressRing<u32>> = Arc::new(IngressRing::with_capacity(1));
+        ring.try_push(7).unwrap();
+        let blocked = Arc::clone(&ring);
+        let t = std::thread::spawn(move || blocked.push(8));
+        // The producer parks (or spins) on the full ring; closing must wake it.
+        while ring.space.waiters() == 0 && !t.is_finished() {
+            std::thread::yield_now();
+        }
+        assert!(!ring.close(), "first close reports not-previously-closed");
+        match t.join().unwrap() {
+            Err(PushRejected::Closed(8)) => {}
+            other => panic!("expected Closed(8), got {other:?}"),
+        }
+        assert!(ring.close(), "second close reports already-closed");
+        assert!(matches!(ring.try_push(9), Err(PushRejected::Closed(9))));
+        // Items accepted before the close stay poppable.
+        assert_eq!(ring.pop(), Some(7));
+    }
+
+    #[test]
+    fn park_gate_handshake_is_lossless() {
+        // The spin-model for the push/park handshake: a slow consumer frees slots
+        // one by one while several producers blocking-push through a tiny ring.
+        // Every push must land exactly once, in per-producer order, with no thread
+        // left parked — a lost wakeup hangs the test (caught by the harness
+        // timeout), a double-delivery breaks the multiset assertion.
+        const PRODUCERS: u64 = 4;
+        const PER_PRODUCER: u64 = 500;
+        let ring: Arc<IngressRing<u64>> = Arc::new(IngressRing::with_capacity(2));
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        ring.push(p * PER_PRODUCER + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let mut seen: Vec<u64> = Vec::new();
+        while seen.len() < (PRODUCERS * PER_PRODUCER) as usize {
+            if let Some(v) = ring.pop() {
+                seen.push(v);
+                if seen.len().is_multiple_of(64) {
+                    std::thread::yield_now(); // vary the interleaving
+                }
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        for t in producers {
+            t.join().unwrap();
+        }
+        assert_eq!(ring.pop(), None);
+        // Per-producer FIFO survives the contention.
+        for p in 0..PRODUCERS {
+            let per: Vec<u64> = seen
+                .iter()
+                .copied()
+                .filter(|v| v / PER_PRODUCER == p)
+                .collect();
+            let expect: Vec<u64> = (0..PER_PRODUCER).map(|i| p * PER_PRODUCER + i).collect();
+            assert_eq!(per, expect, "producer {p} order");
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Property and interleaving tests for the lock-free ingress ring
+//! (`cprecycle_engine::ring`): FIFO ordering, exact capacity accounting, MPMC
+//! delivery as a multiset, and the push/park handshake under contention.
+//!
+//! The single-threaded properties are proptests over random operation sequences
+//! checked against a `VecDeque` model; the threaded ones are spin-model
+//! interleaving tests — real threads, randomized yields, assertions that hold for
+//! *every* interleaving (lost wakeups hang the test and are caught by the harness
+//! timeout).
+
+use cprecycle_engine::ring::{IngressRing, MpmcRing, PushRejected};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random push/pop sequences against a `VecDeque` model: the ring is FIFO and
+    /// its full/empty answers match the model exactly (capacity is the *requested*
+    /// bound for `IngressRing`, not the rounded power of two).
+    #[test]
+    fn ingress_matches_deque_model(
+        capacity in 1usize..9,
+        ops in proptest::collection::vec(any::<u16>(), 1..200),
+    ) {
+        let ring: IngressRing<u16> = IngressRing::with_capacity(capacity);
+        let mut model: VecDeque<u16> = VecDeque::new();
+        let mut accepted = 0u64;
+        let mut serviced = 0u64;
+        for (i, op) in ops.iter().enumerate() {
+            if op % 3 != 0 {
+                // Push attempt.
+                match ring.try_push(*op) {
+                    Ok(()) => {
+                        prop_assert!(model.len() < capacity, "op {i}: accepted past capacity");
+                        model.push_back(*op);
+                        accepted += 1;
+                    }
+                    Err(PushRejected::Full(back)) => {
+                        prop_assert_eq!(back, *op, "op {}: Full must return the item", i);
+                        prop_assert_eq!(model.len(), capacity, "op {}: spurious Full", i);
+                    }
+                    Err(PushRejected::Closed(_)) => prop_assert!(false, "never closed"),
+                }
+            } else {
+                let got = ring.pop();
+                let want = model.pop_front();
+                prop_assert_eq!(got, want, "op {}: FIFO order", i);
+                if got.is_some() {
+                    serviced += 1;
+                }
+            }
+            prop_assert_eq!(ring.len(), model.len(), "op {}: len", i);
+            prop_assert_eq!(ring.accepted(), accepted, "op {}: accepted", i);
+            prop_assert_eq!(ring.serviced(), serviced, "op {}: serviced", i);
+        }
+        // Drain: everything accepted comes out, in order.
+        while let Some(want) = model.pop_front() {
+            prop_assert_eq!(ring.pop(), Some(want));
+        }
+        prop_assert_eq!(ring.pop(), None);
+    }
+
+    /// The raw MPMC ring under concurrent producers and consumers delivers every
+    /// item exactly once (multiset equality) and preserves each producer's order.
+    #[test]
+    fn mpmc_delivers_exactly_once(
+        producers in 1usize..4,
+        consumers in 1usize..3,
+        per_producer in 1usize..120,
+        capacity in 2usize..17,
+    ) {
+        let ring: Arc<MpmcRing<u64>> = Arc::new(MpmcRing::new(capacity));
+        let produced = (producers * per_producer) as u64;
+        let popped: Arc<AtomicU64> = Arc::new(AtomicU64::new(0));
+        let mut outs: Vec<std::thread::JoinHandle<Vec<u64>>> = Vec::new();
+        for _ in 0..consumers {
+            let ring = Arc::clone(&ring);
+            let popped = Arc::clone(&popped);
+            outs.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while popped.load(Ordering::SeqCst) < produced {
+                    if let Some(v) = ring.try_pop() {
+                        popped.fetch_add(1, Ordering::SeqCst);
+                        got.push(v);
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+                got
+            }));
+        }
+        let pushers: Vec<_> = (0..producers as u64)
+            .map(|p| {
+                let ring = Arc::clone(&ring);
+                let per = per_producer as u64;
+                std::thread::spawn(move || {
+                    for i in 0..per {
+                        let mut v = p * 1_000_000 + i;
+                        loop {
+                            match ring.try_push(v) {
+                                Ok(()) => break,
+                                Err(back) => {
+                                    v = back;
+                                    std::hint::spin_loop();
+                                }
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in pushers {
+            t.join().unwrap();
+        }
+        let mut all: Vec<u64> = Vec::new();
+        let mut per_consumer: Vec<Vec<u64>> = Vec::new();
+        for t in outs {
+            let got = t.join().unwrap();
+            all.extend_from_slice(&got);
+            per_consumer.push(got);
+        }
+        // Exactly-once delivery: the union is the full multiset.
+        all.sort_unstable();
+        let mut want: Vec<u64> = (0..producers as u64)
+            .flat_map(|p| (0..per_producer as u64).map(move |i| p * 1_000_000 + i))
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(all, want);
+        // Per-producer order is preserved within each consumer's stream (items a
+        // single consumer pops from one producer arrive in production order).
+        for got in &per_consumer {
+            for p in 0..producers as u64 {
+                let seq: Vec<u64> = got.iter().copied().filter(|v| v / 1_000_000 == p).collect();
+                let mut sorted = seq.clone();
+                sorted.sort_unstable();
+                prop_assert_eq!(seq, sorted, "consumer-local per-producer order");
+            }
+        }
+        prop_assert_eq!(ring.try_pop(), None);
+    }
+}
+
+/// Interleaving test for the blocking push/park handshake: producers hammer a
+/// capacity-1 ring through `push` (the worst case for lost wakeups — every slot
+/// free is exactly one wakeup) while the consumer drains with randomized pauses.
+#[test]
+fn park_handshake_capacity_one_interleavings() {
+    const PRODUCERS: u64 = 3;
+    const PER_PRODUCER: u64 = 300;
+    let ring: Arc<IngressRing<u64>> = Arc::new(IngressRing::with_capacity(1));
+    let threads: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                for i in 0..PER_PRODUCER {
+                    ring.push(p * PER_PRODUCER + i).unwrap();
+                    if i % 7 == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+            })
+        })
+        .collect();
+    let mut seen = vec![0u32; (PRODUCERS * PER_PRODUCER) as usize];
+    let mut last_per_producer = vec![None::<u64>; PRODUCERS as usize];
+    let mut drained = 0u64;
+    while drained < PRODUCERS * PER_PRODUCER {
+        if let Some(v) = ring.pop() {
+            seen[v as usize] += 1;
+            let p = (v / PER_PRODUCER) as usize;
+            let i = v % PER_PRODUCER;
+            // FIFO per producer even with all producers contending on one cell.
+            assert!(
+                last_per_producer[p].is_none_or(|prev| prev < i),
+                "producer {p} reordered"
+            );
+            last_per_producer[p] = Some(i);
+            drained += 1;
+            if drained.is_multiple_of(13) {
+                std::thread::yield_now();
+            }
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
+    assert!(seen.iter().all(|&c| c == 1), "exactly-once delivery");
+    assert_eq!(ring.pop(), None);
+    assert_eq!(ring.accepted(), PRODUCERS * PER_PRODUCER);
+    assert_eq!(ring.serviced(), PRODUCERS * PER_PRODUCER);
+}
+
+/// `try_push` returning `Full` consumes nothing and leaves the ring intact; a pop
+/// then makes exactly one slot of room. (The server's backpressure contract
+/// depends on this exactness at capacity, not at the rounded ring size.)
+#[test]
+fn full_rejection_is_lossless_under_concurrency() {
+    let ring: Arc<IngressRing<u64>> = Arc::new(IngressRing::with_capacity(2));
+    ring.try_push(0).unwrap();
+    ring.try_push(1).unwrap();
+    let full_before = ring.full_events();
+    // Concurrent rejected pushes from several threads: no slot leaks, no item lost.
+    let rejecters: Vec<_> = (0..4u64)
+        .map(|t| {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                for i in 0..50 {
+                    match ring.try_push(100 + t * 50 + i) {
+                        Err(PushRejected::Full(v)) => assert_eq!(v, 100 + t * 50 + i),
+                        other => panic!("expected Full, got {other:?}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in rejecters {
+        t.join().unwrap();
+    }
+    assert_eq!(ring.len(), 2);
+    assert_eq!(ring.full_events(), full_before + 200);
+    assert_eq!(ring.pop(), Some(0));
+    ring.try_push(2).unwrap(); // exactly one slot freed
+    assert!(matches!(ring.try_push(3), Err(PushRejected::Full(3))));
+    assert_eq!(
+        [ring.pop(), ring.pop(), ring.pop()],
+        [Some(1), Some(2), None]
+    );
+}

@@ -99,6 +99,35 @@ impl Log2Histogram {
         self.max = self.max.max(other.max);
     }
 
+    /// The `q`-quantile (`0.0 ≤ q ≤ 1.0`) as a bucket-resolution upper bound, or
+    /// `None` when empty.
+    ///
+    /// Walks buckets until the cumulative count reaches `ceil(q·count)` and
+    /// reports that bucket's upper edge, clamped to the observed `[min, max]` —
+    /// so `percentile(1.0)` is exactly `max`, `percentile(0.0)` at least `min`,
+    /// and any mid quantile over-reports by at most one octave (the inherent
+    /// resolution of a log2 histogram).
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let upper = match b {
+                    0 => 0,
+                    64 => u64::MAX,
+                    _ => (1u64 << b) - 1,
+                };
+                return Some(upper.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
     /// Non-empty buckets as `(index, count)` pairs, for compact export.
     pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
         self.buckets
@@ -218,6 +247,31 @@ mod tests {
         h.record(u64::MAX);
         assert_eq!(h.sum(), u64::MAX);
         assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn percentiles_walk_bucket_upper_edges() {
+        let mut h = Log2Histogram::new();
+        for v in [1u64, 2, 3, 100, 1000, 10_000, 100_000, 1_000_000] {
+            h.record(v);
+        }
+        // p50: rank 4 of 8 → the bucket of 100 ([64,128)) → upper edge 127.
+        assert_eq!(h.percentile(0.5), Some(127));
+        // p100 is exactly the max; p0 clamps up to at least the min.
+        assert_eq!(h.percentile(1.0), Some(1_000_000));
+        assert!(h.percentile(0.0).unwrap() >= 1);
+        // Monotone in q.
+        let ps: Vec<u64> = [0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0]
+            .iter()
+            .map(|&q| h.percentile(q).unwrap())
+            .collect();
+        assert!(ps.windows(2).all(|w| w[0] <= w[1]), "{ps:?}");
+        assert_eq!(Log2Histogram::new().percentile(0.5), None);
+        // Single observation: every quantile is that value.
+        let mut one = Log2Histogram::new();
+        one.record(42);
+        assert_eq!(one.percentile(0.5), Some(42));
+        assert_eq!(one.percentile(0.99), Some(42));
     }
 
     #[test]
