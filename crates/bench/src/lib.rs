@@ -6,6 +6,8 @@
 //! run a fast, coarse version of the experiment; the default is the full scale used to
 //! fill in EXPERIMENTS.md.
 
+#![forbid(unsafe_code)]
+
 use cprecycle_scenarios::figures::FigureScale;
 use cprecycle_scenarios::report::ExperimentResult;
 use cprecycle_scenarios::telemetry;

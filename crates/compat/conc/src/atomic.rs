@@ -1,0 +1,303 @@
+//! Instrumented atomic types, API-compatible with `std::sync::atomic`.
+//!
+//! Each type carries a real std atomic (the *mirror*) plus a lazily
+//! registered model location. Outside a model execution every operation is a
+//! plain passthrough to the mirror, so code built against these shims behaves
+//! identically to std when no checker is driving it (and the shims' own
+//! constructors stay `const fn`). Inside [`crate::Builder::check`], every
+//! operation becomes a scheduler yield point with the versioned-history weak
+//! memory semantics described in [`crate::exec`](crate).
+
+pub use std::sync::atomic::Ordering;
+
+use crate::exec::{self, ModelRef, KIND_ATOMIC};
+
+macro_rules! int_atomic {
+    ($(#[$doc:meta])* $name:ident, $prim:ty, $std:ty) => {
+        $(#[$doc])*
+        pub struct $name {
+            mirror: $std,
+            reg: ModelRef,
+        }
+
+        impl $name {
+            /// Creates a new atomic initialized to `v`.
+            pub const fn new(v: $prim) -> $name {
+                $name {
+                    mirror: <$std>::new(v),
+                    reg: ModelRef::new(),
+                }
+            }
+
+            /// Loads the value with the given ordering. Under the checker a
+            /// non-`SeqCst` load may observe any coherence-admissible stale
+            /// value (each is a branch of the exploration).
+            pub fn load(&self, ord: Ordering) -> $prim {
+                match exec::current() {
+                    None => self.mirror.load(ord),
+                    Some((shared, tid)) => {
+                        let key = self.reg.key(&shared, tid, KIND_ATOMIC);
+                        let init = self.mirror.load(Ordering::Relaxed) as u64;
+                        shared.atomic_load(tid, key, || init, ord) as $prim
+                    }
+                }
+            }
+
+            /// Stores `v` with the given ordering.
+            pub fn store(&self, v: $prim, ord: Ordering) {
+                match exec::current() {
+                    None => self.mirror.store(v, ord),
+                    Some((shared, tid)) => {
+                        let key = self.reg.key(&shared, tid, KIND_ATOMIC);
+                        let init = self.mirror.load(Ordering::Relaxed) as u64;
+                        shared.atomic_store(tid, key, || init, ord, v as u64);
+                    }
+                }
+            }
+
+            /// Swaps in `v`, returning the previous value.
+            pub fn swap(&self, v: $prim, ord: Ordering) -> $prim {
+                match exec::current() {
+                    None => self.mirror.swap(v, ord),
+                    Some((shared, tid)) => {
+                        let key = self.reg.key(&shared, tid, KIND_ATOMIC);
+                        let init = self.mirror.load(Ordering::Relaxed) as u64;
+                        shared.atomic_rmw(tid, key, || init, ord, |_| v as u64) as $prim
+                    }
+                }
+            }
+
+            /// Adds `v`, returning the previous value (wrapping).
+            pub fn fetch_add(&self, v: $prim, ord: Ordering) -> $prim {
+                self.rmw(ord, move |p| p.wrapping_add(v), |m| m.fetch_add(v, ord))
+            }
+
+            /// Subtracts `v`, returning the previous value (wrapping).
+            pub fn fetch_sub(&self, v: $prim, ord: Ordering) -> $prim {
+                self.rmw(ord, move |p| p.wrapping_sub(v), |m| m.fetch_sub(v, ord))
+            }
+
+            /// Bitwise-ors in `v`, returning the previous value.
+            pub fn fetch_or(&self, v: $prim, ord: Ordering) -> $prim {
+                self.rmw(ord, move |p| p | v, |m| m.fetch_or(v, ord))
+            }
+
+            /// Bitwise-ands in `v`, returning the previous value.
+            pub fn fetch_and(&self, v: $prim, ord: Ordering) -> $prim {
+                self.rmw(ord, move |p| p & v, |m| m.fetch_and(v, ord))
+            }
+
+            /// Maximum of the current value and `v`, returning the previous.
+            pub fn fetch_max(&self, v: $prim, ord: Ordering) -> $prim {
+                self.rmw(ord, move |p| p.max(v), |m| m.fetch_max(v, ord))
+            }
+
+            fn rmw(
+                &self,
+                ord: Ordering,
+                f: impl Fn($prim) -> $prim,
+                passthrough: impl FnOnce(&$std) -> $prim,
+            ) -> $prim {
+                match exec::current() {
+                    None => passthrough(&self.mirror),
+                    Some((shared, tid)) => {
+                        let key = self.reg.key(&shared, tid, KIND_ATOMIC);
+                        let init = self.mirror.load(Ordering::Relaxed) as u64;
+                        shared
+                            .atomic_rmw(tid, key, || init, ord, |p| f(p as $prim) as u64)
+                            as $prim
+                    }
+                }
+            }
+
+            /// Compare-exchange. Under the checker the comparison always runs
+            /// against the newest version (RMW coherence); a failure returns
+            /// that newest value, so there are no modeled spurious failures.
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                match exec::current() {
+                    None => self.mirror.compare_exchange(current, new, success, failure),
+                    Some((shared, tid)) => {
+                        let key = self.reg.key(&shared, tid, KIND_ATOMIC);
+                        let init = self.mirror.load(Ordering::Relaxed) as u64;
+                        shared
+                            .atomic_cas(
+                                tid,
+                                key,
+                                || init,
+                                current as u64,
+                                new as u64,
+                                success,
+                                failure,
+                            )
+                            .map(|v| v as $prim)
+                            .map_err(|v| v as $prim)
+                    }
+                }
+            }
+
+            /// [`compare_exchange`](Self::compare_exchange) that is allowed
+            /// to fail spuriously on real hardware; the model treats it as
+            /// the strong variant (callers must already loop, and modeling
+            /// spurious failure only re-explores the loop body).
+            pub fn compare_exchange_weak(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                match exec::current() {
+                    None => self
+                        .mirror
+                        .compare_exchange_weak(current, new, success, failure),
+                    Some(_) => self.compare_exchange(current, new, success, failure),
+                }
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> $name {
+                $name::new(0)
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                // Mirror value only: a model-op here would be a schedule point.
+                f.debug_tuple(stringify!($name))
+                    .field(&self.mirror.load(Ordering::Relaxed))
+                    .finish()
+            }
+        }
+
+        impl From<$prim> for $name {
+            fn from(v: $prim) -> $name {
+                $name::new(v)
+            }
+        }
+    };
+}
+
+int_atomic!(
+    /// Instrumented [`std::sync::atomic::AtomicUsize`].
+    AtomicUsize,
+    usize,
+    std::sync::atomic::AtomicUsize
+);
+int_atomic!(
+    /// Instrumented [`std::sync::atomic::AtomicU64`].
+    AtomicU64,
+    u64,
+    std::sync::atomic::AtomicU64
+);
+int_atomic!(
+    /// Instrumented [`std::sync::atomic::AtomicU32`].
+    AtomicU32,
+    u32,
+    std::sync::atomic::AtomicU32
+);
+
+/// Instrumented [`std::sync::atomic::AtomicBool`].
+pub struct AtomicBool {
+    mirror: std::sync::atomic::AtomicBool,
+    reg: ModelRef,
+}
+
+impl AtomicBool {
+    /// Creates a new atomic initialized to `v`.
+    pub const fn new(v: bool) -> AtomicBool {
+        AtomicBool {
+            mirror: std::sync::atomic::AtomicBool::new(v),
+            reg: ModelRef::new(),
+        }
+    }
+
+    fn init(&self) -> u64 {
+        self.mirror.load(Ordering::Relaxed) as u64
+    }
+
+    /// Loads the value with the given ordering.
+    pub fn load(&self, ord: Ordering) -> bool {
+        match exec::current() {
+            None => self.mirror.load(ord),
+            Some((shared, tid)) => {
+                let key = self.reg.key(&shared, tid, KIND_ATOMIC);
+                let init = self.init();
+                shared.atomic_load(tid, key, || init, ord) != 0
+            }
+        }
+    }
+
+    /// Stores `v` with the given ordering.
+    pub fn store(&self, v: bool, ord: Ordering) {
+        match exec::current() {
+            None => self.mirror.store(v, ord),
+            Some((shared, tid)) => {
+                let key = self.reg.key(&shared, tid, KIND_ATOMIC);
+                let init = self.init();
+                shared.atomic_store(tid, key, || init, ord, v as u64);
+            }
+        }
+    }
+
+    /// Swaps in `v`, returning the previous value.
+    pub fn swap(&self, v: bool, ord: Ordering) -> bool {
+        match exec::current() {
+            None => self.mirror.swap(v, ord),
+            Some((shared, tid)) => {
+                let key = self.reg.key(&shared, tid, KIND_ATOMIC);
+                let init = self.init();
+                shared.atomic_rmw(tid, key, || init, ord, |_| v as u64) != 0
+            }
+        }
+    }
+
+    /// Compare-exchange (strong); see [`AtomicUsize::compare_exchange`].
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        match exec::current() {
+            None => self.mirror.compare_exchange(current, new, success, failure),
+            Some((shared, tid)) => {
+                let key = self.reg.key(&shared, tid, KIND_ATOMIC);
+                let init = self.init();
+                shared
+                    .atomic_cas(
+                        tid,
+                        key,
+                        || init,
+                        current as u64,
+                        new as u64,
+                        success,
+                        failure,
+                    )
+                    .map(|v| v != 0)
+                    .map_err(|v| v != 0)
+            }
+        }
+    }
+}
+
+impl Default for AtomicBool {
+    fn default() -> AtomicBool {
+        AtomicBool::new(false)
+    }
+}
+
+impl std::fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("AtomicBool")
+            .field(&self.mirror.load(Ordering::Relaxed))
+            .finish()
+    }
+}

@@ -1,0 +1,14 @@
+//! Instrumented [`std::hint`] subset.
+
+use crate::exec;
+
+/// Instrumented [`std::hint::spin_loop`]. In the model this is identical to
+/// [`crate::thread::yield_now`]: the spinner blocks until another thread
+/// mutates shared state, so busy-wait loops terminate and genuine livelocks
+/// (spins whose exit condition can never become visible) are detected.
+pub fn spin_loop() {
+    match exec::current() {
+        None => std::hint::spin_loop(),
+        Some((shared, tid)) => shared.yield_op(tid),
+    }
+}

@@ -1,0 +1,163 @@
+//! `conc` — an offline, dependency-free, loom-style deterministic model
+//! checker for the workspace's hand-rolled concurrency primitives.
+//!
+//! The crate provides drop-in shims for the `std` sync vocabulary the engine
+//! uses — [`atomic`], [`sync`] (`Mutex`/`Condvar`), [`thread`]
+//! (`spawn`/`join`), [`hint`] — plus a [`Builder`] that runs a closure under
+//! **exhaustive bounded exploration**: every instrumented operation is a
+//! scheduler yield point, a DFS enumerates thread interleavings (and, for
+//! non-`SeqCst` atomics, the coherence-admissible stale values a load may
+//! return), sound state-fingerprint pruning collapses isomorphic branches,
+//! and any failure (assertion panic, deadlock, livelock) is reported with the
+//! exact choice schedule that reaches it, replayable via [`Builder::replay`].
+//!
+//! Outside a model run the shims pass straight through to `std`, so one
+//! source tree serves production and checking (the engine swaps its
+//! `engine::sync` facade onto this crate under `cfg(cprecycle_conc)`).
+//!
+//! # Example
+//!
+//! ```
+//! use conc::{model, atomic::{AtomicUsize, Ordering}};
+//! use std::sync::Arc;
+//!
+//! model(|| {
+//!     let counter = Arc::new(AtomicUsize::new(0));
+//!     let handles: Vec<_> = (0..2)
+//!         .map(|_| {
+//!             let counter = Arc::clone(&counter);
+//!             conc::thread::spawn(move || {
+//!                 counter.fetch_add(1, Ordering::Relaxed);
+//!             })
+//!         })
+//!         .collect();
+//!     for h in handles {
+//!         h.join().unwrap();
+//!     }
+//!     assert_eq!(counter.load(Ordering::Relaxed), 2);
+//! });
+//! ```
+//!
+//! # What the model does and does not cover
+//!
+//! Covered exhaustively (at the configured bounds): all interleavings at
+//! instrumented operations, bounded-stale reads for `Relaxed`/`Acquire`
+//! loads, release/acquire view propagation, a per-location `SeqCst`
+//! total-order constraint, RMW atomicity, mutex/condvar blocking semantics
+//! (including lost-wakeup deadlocks), spawn/join edges, livelock detection
+//! for spin loops.
+//!
+//! Known approximations (all *under*-approximate reorderings, so the checker
+//! can miss exotic weak-memory bugs but never reports a false failure):
+//! compare-exchange failures read the newest value (no stale failure loads),
+//! `compare_exchange_weak` never fails spuriously, condvars have no spurious
+//! wakeups, and the `SeqCst` order is per-location rather than a single
+//! global total order across locations (IRIW-style distinctions are not
+//! modeled).
+
+#![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+mod exec;
+
+pub mod atomic;
+pub mod hint;
+pub mod sync;
+pub mod thread;
+
+use std::sync::Arc;
+
+pub use exec::{current_schedule, Failure, FailureKind, Report};
+
+use exec::BuilderCfg;
+
+/// Configures and runs a model-checking exploration.
+///
+/// Defaults: unbounded preemptions, 500 000 schedules, 50 000 ops per
+/// schedule, stale-read window 3, visited-state pruning on.
+#[derive(Clone, Debug, Default)]
+pub struct Builder {
+    cfg: BuilderCfg,
+}
+
+impl Builder {
+    /// A builder with the default bounds.
+    pub fn new() -> Builder {
+        Builder::default()
+    }
+
+    /// Bounds *involuntary* context switches per schedule (voluntary blocking
+    /// never counts). Most real concurrency bugs manifest within 2–3
+    /// preemptions; a small bound keeps exploration fast while `None`
+    /// (default) is exhaustive.
+    pub fn max_preemptions(mut self, n: u32) -> Builder {
+        self.cfg.max_preemptions = Some(n);
+        self
+    }
+
+    /// Caps the number of schedules explored; hitting the cap yields
+    /// [`Report::complete`]` == false` rather than an error.
+    pub fn max_schedules(mut self, n: u64) -> Builder {
+        self.cfg.max_schedules = n;
+        self
+    }
+
+    /// Caps instrumented ops in a single schedule; exceeding it is reported
+    /// as a [`FailureKind::OpLimit`] failure (an unbounded loop).
+    pub fn max_ops(mut self, n: u64) -> Builder {
+        self.cfg.max_ops = n;
+        self
+    }
+
+    /// How many distinct stale versions a non-`SeqCst` load may branch over
+    /// (newest-first). 1 makes loads effectively sequentially consistent.
+    pub fn stale_window(mut self, n: usize) -> Builder {
+        self.cfg.stale_window = n.max(1);
+        self
+    }
+
+    /// Toggles sound visited-state pruning (on by default; turning it off is
+    /// only useful for debugging the checker itself).
+    pub fn prune_visited(mut self, on: bool) -> Builder {
+        self.cfg.prune_visited = on;
+        self
+    }
+
+    /// Explores every schedule of `f` (within bounds). `f` is run once per
+    /// schedule and must be deterministic apart from the instrumented ops.
+    /// Returns the exploration [`Report`], or the first [`Failure`] with its
+    /// replayable schedule.
+    pub fn check<F>(&self, f: F) -> Result<Report, Failure>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        exec::explore(self.cfg.clone(), Arc::new(f), Vec::new(), false)
+    }
+
+    /// Re-runs exactly one schedule (as printed in a [`Failure`]) — for
+    /// debugging a failure with prints/debuggers, and for pinning known-hairy
+    /// interleavings as fast regression tests.
+    pub fn replay<F>(&self, schedule: &[u32], f: F) -> Result<Report, Failure>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        exec::explore(self.cfg.clone(), Arc::new(f), schedule.to_vec(), true)
+    }
+}
+
+/// Checks `f` under the default bounds, panicking on any failure (with the
+/// failing schedule in the message) and on incomplete exploration. The usual
+/// entry point for model tests.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    match Builder::new().check(f) {
+        Err(failure) => panic!("{failure}"),
+        Ok(report) => assert!(
+            report.complete,
+            "model exploration hit the schedule cap before completing: {report:?}"
+        ),
+    }
+}

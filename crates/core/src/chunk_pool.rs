@@ -36,8 +36,11 @@
 //! counters in the server's metrics snapshot.
 
 use cprecycle_engine::ring::MpmcRing;
+// Atomics come through the engine's concurrency facade so the model-check
+// suite (tests/conc_chunk_pool.rs, built with --cfg cprecycle_conc) explores
+// this source under instrumented atomics.
+use cprecycle_engine::sync::atomic::{AtomicU64, Ordering};
 use rfdsp::Complex;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Default capacity of the largest pooled buffer class, in samples. Sized for
 /// the chunk sizes the bench grid and scenarios use (≤ 4096); larger pushes fall
@@ -53,6 +56,20 @@ pub const MIN_CLASS_SAMPLES: usize = 512;
 /// A recyclable chunk buffer: a class-capacity allocation holding exactly the
 /// chunk it currently carries (spare capacity stays uninitialized — it is never
 /// read). Dereferences to the live samples.
+///
+/// # Initialization contract (audited, PR 10)
+///
+/// The pool's uninitialized-allocation miss path never touches `set_len` or
+/// `MaybeUninit`: a miss does `Vec::with_capacity` (len 0, nothing
+/// initialized) and the *only* operation that ever grows a buffer's length is
+/// `extend_from_slice(chunk)`, which initializes every element it adds.
+/// Recycling is `data.clear()` — len back to 0, capacity and allocation
+/// preserved, contents abandoned in place but unreachable, since `len` always
+/// equals the initialized prefix. So a [`PooledBuf`] invariantly derefs to
+/// fully-initialized memory and exactly the chunk of its current trip; the
+/// uninitialized spare capacity `len..capacity` is never exposed by any path.
+/// (`tests::recycling_contract_len_zero_capacity_preserved` pins this, and
+/// the Miri CI job runs this module's tests under the UB checker.)
 #[derive(Debug)]
 pub struct PooledBuf {
     data: Vec<Complex>,
@@ -182,6 +199,12 @@ impl ChunkPool {
 
     /// Returns a serviced buffer to its class's freelist (class buffers only;
     /// oversize or overflow buffers are dropped and counted).
+    ///
+    /// The buffer re-enters the freelist with `len == 0` and only its capacity
+    /// preserved (see the [`PooledBuf`] initialization contract): `clear()`
+    /// here, not truncation to the next chunk's size, because the next chunk's
+    /// size is unknown and `extend_from_slice` on the next trip re-initializes
+    /// exactly what it appends.
     pub fn release(&self, buf: PooledBuf) {
         if let Some(i) = buf.class {
             let mut data = buf.data;
@@ -266,6 +289,34 @@ mod tests {
         assert_eq!(again.data.capacity(), MIN_CLASS_SAMPLES);
         assert_eq!(again.len(), 100, "carries exactly the live chunk");
         pool.release(again);
+    }
+
+    #[test]
+    fn recycling_contract_len_zero_capacity_preserved() {
+        // Pins the initialization contract from the `PooledBuf` docs: a
+        // recycled buffer comes back len-0 with its class capacity intact, and
+        // a shorter follow-up chunk can never see the longer previous
+        // occupant's tail (stale samples or — if recycling ever forgot to
+        // clear — uninitialized spare capacity).
+        let pool = ChunkPool::new(2, 8);
+        let long = pool.acquire(&samples(8, 7.0));
+        assert_eq!(long.data.len(), 8);
+        let cap = long.data.capacity();
+        pool.release(long);
+        let short = pool.acquire(&samples(3, 1.5));
+        assert_eq!(pool.stats().hits, 1, "the recycled buffer is reused");
+        assert_eq!(
+            short.data.len(),
+            3,
+            "recycled buffer carries exactly the new chunk, not the old len"
+        );
+        assert_eq!(
+            short.data.capacity(),
+            cap,
+            "recycling preserves the class allocation"
+        );
+        assert_eq!(&*short, &samples(3, 1.5)[..], "no stale tail is reachable");
+        pool.release(short);
     }
 
     #[test]

@@ -1,0 +1,66 @@
+//! Monotonic timestamps for server metrics, stubbed deterministic under Miri.
+//!
+//! The server reads the clock in exactly two places — the push→decode latency
+//! span and the `samples_per_sec` gauge — and both are *observability*, not
+//! control flow: no scheduling or protocol decision ever branches on elapsed
+//! time. That makes the clock safe to stub wholesale under
+//! [Miri](https://github.com/rust-lang/miri), whose isolated mode rejects
+//! `Instant::now()` as a nondeterministic host syscall. [`Stamp`] is a
+//! zero-cost `Instant` wrapper on real builds and a unit struct returning
+//! zeros under `cfg(miri)`, so the Miri CI job runs the full ingress path
+//! without `-Zmiri-disable-isolation` and the gauges read as zero there.
+
+/// A monotonic timestamp (a real [`std::time::Instant`] except under Miri).
+#[derive(Debug, Clone, Copy)]
+pub struct Stamp {
+    #[cfg(not(miri))]
+    at: std::time::Instant,
+}
+
+impl Stamp {
+    /// The current instant (a fixed dummy under Miri).
+    pub fn now() -> Stamp {
+        Stamp {
+            #[cfg(not(miri))]
+            at: std::time::Instant::now(),
+        }
+    }
+
+    /// Nanoseconds since this stamp, saturating at `u64::MAX` (0 under Miri).
+    pub fn elapsed_nanos(&self) -> u64 {
+        #[cfg(not(miri))]
+        {
+            u64::try_from(self.at.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        }
+        #[cfg(miri)]
+        {
+            0
+        }
+    }
+
+    /// Seconds since this stamp as a float (0.0 under Miri).
+    pub fn elapsed_secs_f64(&self) -> f64 {
+        #[cfg(not(miri))]
+        {
+            self.at.elapsed().as_secs_f64()
+        }
+        #[cfg(miri)]
+        {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotonic_nonnegative() {
+        let s = Stamp::now();
+        let a = s.elapsed_nanos();
+        let b = s.elapsed_nanos();
+        assert!(b >= a, "elapsed never goes backwards");
+        assert!(s.elapsed_secs_f64() >= 0.0);
+    }
+}

@@ -62,6 +62,7 @@
 #![warn(missing_docs)]
 
 pub mod chunk_pool;
+pub mod clock;
 pub mod config;
 pub mod decision;
 pub mod estimator;

@@ -97,7 +97,6 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
-use std::time::Instant;
 
 /// Why a push into a session's ingress ring was not accepted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -162,7 +161,7 @@ impl Default for ServerConfig {
 /// latency span).
 struct IngressChunk {
     buf: crate::chunk_pool::PooledBuf,
-    accepted_at: Instant,
+    accepted_at: crate::clock::Stamp,
 }
 
 /// Everything one session owns, shared between its handle, the server and the pool.
@@ -290,7 +289,7 @@ where
     slots: RwLock<Vec<Slot<R, O>>>,
     pool: Arc<WorkerPool<Slot<R, O>>>,
     chunks: Arc<ChunkPool>,
-    started: Instant,
+    started: crate::clock::Stamp,
 }
 
 /// How many ingress items one scheduling services before the slot yields the worker
@@ -327,7 +326,7 @@ where
             slots: RwLock::new(Vec::new()),
             pool: Arc::new(pool),
             chunks,
-            started: Instant::now(),
+            started: crate::clock::Stamp::now(),
         }
     }
 
@@ -389,8 +388,7 @@ where
                         *slot.error.lock().expect("error poisoned") = Some(e);
                     }
                 }
-                let nanos =
-                    u64::try_from(chunk.accepted_at.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                let nanos = chunk.accepted_at.elapsed_nanos();
                 slot.latency.lock().expect("latency poisoned").record(nanos);
                 chunks.release(chunk.buf);
                 spins = 0;
@@ -603,7 +601,7 @@ where
         }
         snap.set_gauge("sessions_active", active as f64);
         snap.set_gauge("queue_depth", total_depth as f64);
-        let elapsed = self.started.elapsed().as_secs_f64();
+        let elapsed = self.started.elapsed_secs_f64();
         if elapsed > 0.0 {
             snap.set_gauge("samples_per_sec", total_samples as f64 / elapsed);
         }
@@ -678,7 +676,7 @@ where
     fn submit_chunk(&self, chunk: &[Complex], block: bool) -> Result<(), PushError> {
         let item = IngressChunk {
             buf: self.chunks.acquire(chunk),
-            accepted_at: Instant::now(),
+            accepted_at: crate::clock::Stamp::now(),
         };
         let result = if block {
             self.slot.ring.push(item)

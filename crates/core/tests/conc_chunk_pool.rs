@@ -1,0 +1,146 @@
+//! Model-check suite for [`cprecycle::chunk_pool::ChunkPool`] recycling races.
+//!
+//! Built and run **only** under `--cfg cprecycle_conc`
+//! (`RUSTFLAGS="--cfg cprecycle_conc" cargo test -p cprecycle --test
+//! conc_chunk_pool`); the `cprecycle_engine::sync` facade then routes the
+//! pool's freelist ring and stat counters through the `conc` instrumented
+//! shims, so every bounded interleaving of acquire/release is explored.
+//!
+//! The initialization contract under test (see the `PooledBuf` docs): a
+//! recycled buffer re-enters the freelist with `len == 0` and only its
+//! *capacity* preserved, so an acquire that wins a recycled buffer carries
+//! exactly the new chunk — never a stale sample from the previous trip —
+//! and the miss path's `Vec::with_capacity` + `extend_from_slice` never
+//! reads uninitialized memory.
+#![cfg(cprecycle_conc)]
+
+use std::sync::Arc;
+
+use conc::Builder;
+use cprecycle::chunk_pool::ChunkPool;
+use cprecycle_engine::sync::thread as cthread;
+use rfdsp::Complex;
+
+/// Bounded-exhaustive exploration (loom/CHESS-style): every interleaving
+/// with at most 2 involuntary preemptions. Unbounded, the three-way release
+/// races here exceed the schedule cap without adding coverage beyond what
+/// the bound explores.
+fn model_bounded(f: impl Fn() + Send + Sync + 'static) {
+    match Builder::new().max_preemptions(2).check(f) {
+        Ok(report) => assert!(
+            report.complete,
+            "bounded exploration must exhaust its space: {report:?}"
+        ),
+        Err(failure) => panic!("model check failed: {failure}"),
+    }
+}
+
+fn chunk(n: usize, tag: f64) -> Vec<Complex> {
+    (0..n).map(|i| Complex::new(i as f64, tag)).collect()
+}
+
+fn assert_carries(buf: &[Complex], n: usize, tag: f64) {
+    assert_eq!(buf.len(), n, "buffer carries exactly the live chunk");
+    for (i, s) in buf.iter().enumerate() {
+        assert_eq!(
+            *s,
+            Complex::new(i as f64, tag),
+            "sample {i} is from this chunk, not a previous occupant"
+        );
+    }
+}
+
+#[test]
+fn pool_racing_acquirers_get_disjoint_exact_buffers() {
+    // One recycled buffer in the freelist, two racing acquirers: exactly one
+    // of the concurrent try_pops can win it (the other misses and
+    // allocates) — unless the winner's release laps back in time for the
+    // loser, which is also legal. Either way each acquirer's buffer carries
+    // exactly its own chunk.
+    model_bounded(|| {
+        let pool = Arc::new(ChunkPool::new(4, 8));
+        let seed = pool.acquire(&chunk(2, 0.5));
+        pool.release(seed);
+        let racers: Vec<_> = (0..2usize)
+            .map(|t| {
+                let pool = Arc::clone(&pool);
+                cthread::spawn(move || {
+                    let tag = 1.0 + t as f64;
+                    let buf = pool.acquire(&chunk(3, tag));
+                    assert_carries(&buf, 3, tag);
+                    pool.release(buf);
+                })
+            })
+            .collect();
+        for r in racers {
+            r.join().unwrap();
+        }
+        let s = pool.stats();
+        assert_eq!(s.hits + s.misses, 3, "every acquire is a hit or a miss");
+        assert!(s.hits >= 1, "the seeded buffer is won by some acquirer");
+        assert_eq!(s.recycled, 3, "all three releases fit the freelist");
+        assert_eq!(s.dropped, 0);
+    });
+}
+
+#[test]
+fn pool_recycle_race_never_leaks_stale_data() {
+    // A release racing an acquire: the acquirer either hits the in-flight
+    // recycled buffer or misses and allocates. The len-0 recycling contract
+    // means a hit can never surface the releaser's old samples.
+    model_bounded(|| {
+        let pool = Arc::new(ChunkPool::new(4, 8));
+        let buf0 = pool.acquire(&chunk(4, 9.0)); // miss; carries tag-9 data
+        let p2 = Arc::clone(&pool);
+        let releaser = cthread::spawn(move || {
+            p2.release(buf0);
+        });
+        let p3 = Arc::clone(&pool);
+        let acquirer = cthread::spawn(move || {
+            let buf = p3.acquire(&chunk(2, 2.0));
+            assert_carries(&buf, 2, 2.0);
+            p3.release(buf);
+        });
+        releaser.join().unwrap();
+        acquirer.join().unwrap();
+        let s = pool.stats();
+        assert_eq!(s.hits + s.misses, 2, "initial acquire plus the racer");
+        assert_eq!(s.recycled, 2, "both buffers returned to the freelist");
+        assert_eq!(s.dropped, 0);
+        // A hit recycles buf0 itself, so the freelist converges to one buffer;
+        // a miss leaves two distinct buffers. Exact in every interleaving:
+        assert_eq!(pool.free_buffers(), 2 - s.hits as usize);
+    });
+}
+
+#[test]
+fn pool_retention_bound_holds_under_racing_releases() {
+    // Three concurrent releases into a max_buffers=2 freelist: the ring's
+    // capacity check admits exactly two in every schedule; the third is
+    // dropped, never silently retained past the bound.
+    model_bounded(|| {
+        let pool = Arc::new(ChunkPool::new(2, 4));
+        let a = pool.acquire(&chunk(4, 1.0));
+        let b = pool.acquire(&chunk(4, 2.0));
+        let c = pool.acquire(&chunk(4, 3.0));
+        let releasers: Vec<_> = [a, b]
+            .into_iter()
+            .map(|buf| {
+                let pool = Arc::clone(&pool);
+                cthread::spawn(move || pool.release(buf))
+            })
+            .collect();
+        pool.release(c);
+        for r in releasers {
+            r.join().unwrap();
+        }
+        let s = pool.stats();
+        assert_eq!(s.recycled, 2, "freelist admits exactly max_buffers");
+        assert_eq!(s.dropped, 1, "the overflow release is dropped, not leaked");
+        assert_eq!(
+            pool.free_buffers(),
+            2,
+            "retention bound exact after the race"
+        );
+    });
+}

@@ -26,21 +26,29 @@ static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 struct CountingAllocator;
 
 // The test binary only counts; all real work is delegated to the system allocator.
+// SAFETY: every method below delegates the actual (de)allocation to `System`
+// verbatim — same layout, same pointer — so `System`'s GlobalAlloc guarantees
+// carry over; the only addition is a Relaxed counter bump with no effect on
+// memory management.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: forwarded to `System` with the caller's layout unchanged.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.alloc(layout)
     }
 
+    // SAFETY: forwarded to `System`; `ptr`/`layout` came from `alloc` above.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
 
+    // SAFETY: forwarded to `System` with the caller's arguments unchanged.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)
     }
 
+    // SAFETY: forwarded to `System` with the caller's layout unchanged.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.alloc_zeroed(layout)

@@ -23,6 +23,10 @@
 //! * [`ring`] — lock-free bounded rings ([`ring::MpmcRing`], [`ring::IngressRing`])
 //!   and the spin-then-park waiter ([`ring::ParkGate`]) under the server's
 //!   per-session ingress path;
+//! * [`sync`] — the concurrency facade those primitives import their atomics,
+//!   locks and thread handles through: `std` in normal builds, the `conc`
+//!   model-checker shims under `--cfg cprecycle_conc`, so the model-check
+//!   suites explore the *same* source exhaustively;
 //! * [`tally`] — per-point packet-success tallies with Wilson confidence intervals,
 //!   auxiliary metric means and sample streams, plus timing;
 //! * [`checkpoint`] — JSON persistence of a finished or half-finished campaign:
@@ -45,6 +49,7 @@
 // Unsafe code is denied crate-wide and allowed only inside `ring`, whose lock-free
 // cells need `UnsafeCell` hand-off (same policy as `rfdsp`'s SIMD kernels).
 #![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod checkpoint;
@@ -55,6 +60,7 @@ pub mod report;
 pub mod ring;
 pub mod seed;
 pub mod spec;
+pub mod sync;
 pub mod tally;
 
 pub use checkpoint::{load_campaign, save_campaign};

@@ -27,11 +27,14 @@
 
 use std::collections::VecDeque;
 use std::ops::ControlFlow;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
 
 use crate::ring::CachePadded;
+// All sync primitives come through the facade (std normally, the `conc`
+// model-checker shims under `--cfg cprecycle_conc`). `std::thread::scope` in
+// `run_claiming` is the documented exception — see `crate::sync`.
+use crate::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use crate::sync::thread::JoinHandle;
+use crate::sync::{Arc, Condvar, Mutex};
 
 /// Runs `total` work items over `workers` scoped threads, each item claimed through
 /// a shared atomic cursor.
@@ -240,7 +243,7 @@ impl<J: Send + 'static> WorkerPool<J> {
             .map(|w| {
                 let shared = Arc::clone(&shared);
                 let ctx = Arc::clone(&ctx);
-                std::thread::Builder::new()
+                crate::sync::thread::Builder::new()
                     .name(format!("rx-pool-{w}"))
                     .spawn(move || {
                         let mut state: Option<S> = None;
@@ -273,7 +276,7 @@ impl<J: Send + 'static> WorkerPool<J> {
                             if shared.pending.load(Ordering::SeqCst) > 0 {
                                 shared.sleepers.fetch_sub(1, Ordering::SeqCst);
                                 drop(guard);
-                                std::thread::yield_now();
+                                crate::sync::thread::yield_now();
                                 continue;
                             }
                             if shared.shutting_down.load(Ordering::SeqCst) {

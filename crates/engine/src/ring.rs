@@ -40,8 +40,12 @@
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+
+// All sync primitives come through the facade: std in normal builds, the
+// `conc` model-checker shims under `--cfg cprecycle_conc` (tests/conc_models.rs
+// explores this very source exhaustively).
+use crate::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use crate::sync::{Condvar, Mutex};
 
 /// Pads and aligns a value to 128 bytes so two frequently-written atomics never
 /// share a cache line (64-byte lines, doubled for adjacent-line prefetchers).
@@ -309,7 +313,12 @@ pub enum PushRejected<T> {
 }
 
 /// How many times a blocked producer retries with a spin hint before parking.
+#[cfg(not(cprecycle_conc))]
 const SPIN_LIMIT: u32 = 128;
+/// Under the model checker every spin is a schedule point; one retry is
+/// enough to cover the "spun and lost" branch without exploding the search.
+#[cfg(cprecycle_conc)]
+const SPIN_LIMIT: u32 = 1;
 
 /// A bounded MPMC ring with an exact capacity bound, a closed flag, and the
 /// blocking-`push` / `try_push` → [`PushRejected::Full`] backpressure contract
@@ -438,7 +447,7 @@ impl<T: Send> IngressRing<T> {
                 Err(back) => {
                     debug_assert!(false, "credited push found no free cell");
                     item = back;
-                    std::hint::spin_loop();
+                    crate::sync::hint::spin_loop();
                 }
             }
         }
@@ -481,9 +490,9 @@ impl<T: Send> IngressRing<T> {
                     }
                     if spins < SPIN_LIMIT {
                         spins += 1;
-                        std::hint::spin_loop();
+                        crate::sync::hint::spin_loop();
                         if spins.is_multiple_of(32) {
-                            std::thread::yield_now();
+                            crate::sync::thread::yield_now();
                         }
                         continue;
                     }

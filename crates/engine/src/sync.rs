@@ -1,0 +1,56 @@
+//! The engine's concurrency facade: every sync primitive the lock-free
+//! subsystems use is imported through this module, never from `std` directly.
+//!
+//! In a normal build the re-exports resolve to `std` (zero-cost — they are
+//! the very same types). Under `--cfg cprecycle_conc` they resolve to the
+//! [`conc`] model checker's instrumented shims instead, so the *same source*
+//! of [`crate::ring`], [`crate::pool`] and `cprecycle::chunk_pool` runs under
+//! exhaustive bounded-interleaving exploration in the model-check suites
+//! (`tests/conc_models.rs` here, `tests/conc_chunk_pool.rs` in `cprecycle`).
+//!
+//! Two deliberate exceptions stay on `std` unconditionally:
+//!
+//! * [`Arc`] — pure reference counting with no schedule-relevant behaviour;
+//!   instrumenting it would only bloat the state space.
+//! * `std::thread::scope` (used by [`crate::pool::run_claiming`]) — scoped
+//!   spawns are not modeled; `run_claiming` is exercised by the engine's
+//!   deterministic-replay tests instead of the model suites.
+//!
+//! Checked builds are driven as
+//! `RUSTFLAGS="--cfg cprecycle_conc" cargo test -p cprecycle-engine --test conc_models`
+//! (see `.github/workflows/ci.yml`, job `model-check`).
+
+pub use std::sync::Arc;
+
+#[cfg(not(cprecycle_conc))]
+pub use std::sync::{Condvar, Mutex, MutexGuard};
+
+#[cfg(cprecycle_conc)]
+pub use conc::sync::{Condvar, Mutex, MutexGuard};
+
+/// Atomic types and memory orderings (std or `conc` instrumented).
+pub mod atomic {
+    #[cfg(not(cprecycle_conc))]
+    pub use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+    #[cfg(cprecycle_conc)]
+    pub use conc::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+}
+
+/// Thread spawn/join and cooperative yielding (std or `conc` instrumented).
+pub mod thread {
+    #[cfg(not(cprecycle_conc))]
+    pub use std::thread::{spawn, yield_now, Builder, JoinHandle};
+
+    #[cfg(cprecycle_conc)]
+    pub use conc::thread::{spawn, yield_now, Builder, JoinHandle};
+}
+
+/// Spin-loop hinting (std or `conc` instrumented).
+pub mod hint {
+    #[cfg(not(cprecycle_conc))]
+    pub use std::hint::spin_loop;
+
+    #[cfg(cprecycle_conc)]
+    pub use conc::hint::spin_loop;
+}

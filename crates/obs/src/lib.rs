@@ -42,6 +42,8 @@
 //! assert_eq!(snap.counter("frames_decoded"), 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod histogram;
 mod memory;
 mod recorder;

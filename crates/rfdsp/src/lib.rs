@@ -54,6 +54,7 @@
 // runtime-detected AVX2 kernel in [`simd`], which opts in with a scoped
 // `#[allow(unsafe_code)]` on the intrinsics function alone.
 #![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod complex;

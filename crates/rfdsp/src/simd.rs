@@ -17,13 +17,17 @@
 use crate::complex::Complex;
 
 /// Whether the runtime-detected AVX2 kernels will be used on this machine.
+///
+/// Always `false` under Miri: the interpreter executes Rust semantics, not
+/// vendor intrinsics, so the Miri CI job must take the autovectorized fallback
+/// (which is bit-identical anyway).
 #[inline]
 pub fn avx2_available() -> bool {
-    #[cfg(target_arch = "x86_64")]
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
     {
         std::arch::is_x86_feature_detected!("avx2")
     }
-    #[cfg(not(target_arch = "x86_64"))]
+    #[cfg(any(not(target_arch = "x86_64"), miri))]
     {
         false
     }
@@ -87,6 +91,14 @@ pub fn slide_update_lanes(spectrum: &mut [Complex], delta: Complex, twiddles: &[
 /// AVX2 kernel: two interleaved complex values per 256-bit register, complex
 /// multiply via `movedup`/`permute`/`addsub` (the classic layout — and crucially
 /// `mul` + `addsub` only, no FMA, so each lane rounds exactly like the scalar code).
+///
+/// # Safety
+///
+/// The caller must have verified AVX2 support at runtime
+/// (`is_x86_feature_detected!("avx2")`) before calling; [`slide_update`] is
+/// the only caller and does exactly that. The slice lengths need not match —
+/// the loop bound is `spectrum.len()` and [`slide_update`] asserts equality
+/// before dispatching.
 #[cfg(target_arch = "x86_64")]
 #[allow(unsafe_code)]
 #[target_feature(enable = "avx2")]
@@ -100,16 +112,23 @@ unsafe fn slide_update_avx2(spectrum: &mut [Complex], delta: Complex, twiddles: 
     let d = _mm256_setr_pd(delta.re, delta.im, delta.re, delta.im);
     let mut i = 0usize;
     while i + 2 <= n {
-        let s = _mm256_loadu_pd(sp.add(2 * i)); // [s0.re s0.im s1.re s1.im]
-        let w = _mm256_loadu_pd(wp.add(2 * i));
-        let a = _mm256_add_pd(s, d); // a = s + delta
-        let wr = _mm256_movedup_pd(w); // [w0.re w0.re w1.re w1.re]
-        let wi = _mm256_permute_pd(w, 0b1111); // [w0.im w0.im w1.im w1.im]
-        let a_swap = _mm256_permute_pd(a, 0b0101); // [a0.im a0.re a1.im a1.re]
-        let t1 = _mm256_mul_pd(a, wr); // [ar·wr  ai·wr ...]
-        let t2 = _mm256_mul_pd(a_swap, wi); // [ai·wi  ar·wi ...]
-        let r = _mm256_addsub_pd(t1, t2); // [ar·wr−ai·wi  ai·wr+ar·wi ...]
-        _mm256_storeu_pd(sp.add(2 * i), r);
+        // SAFETY: the loop guard `i + 2 <= n` keeps f64 offsets `2i..2i+4` in
+        // bounds of the `2n`-element views of both slices (`slide_update`
+        // asserts `twiddles` matches `spectrum`); the unaligned load/store
+        // intrinsics have no alignment requirement beyond f64's. Everything
+        // between the loads and the store is pure register arithmetic.
+        unsafe {
+            let s = _mm256_loadu_pd(sp.add(2 * i)); // [s0.re s0.im s1.re s1.im]
+            let w = _mm256_loadu_pd(wp.add(2 * i));
+            let a = _mm256_add_pd(s, d); // a = s + delta
+            let wr = _mm256_movedup_pd(w); // [w0.re w0.re w1.re w1.re]
+            let wi = _mm256_permute_pd(w, 0b1111); // [w0.im w0.im w1.im w1.im]
+            let a_swap = _mm256_permute_pd(a, 0b0101); // [a0.im a0.re a1.im a1.re]
+            let t1 = _mm256_mul_pd(a, wr); // [ar·wr  ai·wr ...]
+            let t2 = _mm256_mul_pd(a_swap, wi); // [ai·wi  ar·wi ...]
+            let r = _mm256_addsub_pd(t1, t2); // [ar·wr−ai·wi  ai·wr+ar·wi ...]
+            _mm256_storeu_pd(sp.add(2 * i), r);
+        }
         i += 2;
     }
     while i < n {
@@ -193,6 +212,13 @@ fn kde_kernel_sum_inner(
 
 /// [`kde_kernel_sum_inner`] recompiled with AVX2 enabled — no manual intrinsics, just
 /// the autovectorizer given twice the register width.
+///
+/// # Safety
+///
+/// The caller must have verified AVX2 support at runtime
+/// (`is_x86_feature_detected!("avx2")`) before calling; [`kde_kernel_sum`] is
+/// the only caller and does exactly that. The body itself is the safe
+/// fallback, so there is no other obligation.
 #[cfg(target_arch = "x86_64")]
 #[allow(unsafe_code)]
 #[target_feature(enable = "avx2")]

@@ -1,0 +1,213 @@
+//! The unsafe-inventory pass: find every `unsafe` occurrence and check it is
+//! justified.
+//!
+//! Policy (enforced; the JSON report records every site either way):
+//!
+//! * `unsafe` **blocks**, **impls** and **traits** need a `// SAFETY:` comment
+//!   in the comment block immediately above the site (attribute lines and
+//!   sibling `unsafe impl` lines in between are skipped, so one comment may
+//!   cover a `Send`/`Sync` pair), or on the same line.
+//! * `unsafe fn` declarations may instead carry a `# Safety` section in their
+//!   doc comment — the idiomatic place for a caller-facing contract.
+
+use crate::mask::mask;
+
+/// One `unsafe` occurrence in the tree.
+#[derive(Debug)]
+pub struct UnsafeSite {
+    pub file: String,
+    /// 1-based line of the `unsafe` keyword.
+    pub line: usize,
+    pub kind: UnsafeKind,
+    pub documented: bool,
+    /// The trimmed source line, for the report.
+    pub context: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnsafeKind {
+    Block,
+    Fn,
+    Impl,
+    Trait,
+}
+
+impl std::fmt::Display for UnsafeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            UnsafeKind::Block => "unsafe block",
+            UnsafeKind::Fn => "unsafe fn",
+            UnsafeKind::Impl => "unsafe impl",
+            UnsafeKind::Trait => "unsafe trait",
+        })
+    }
+}
+
+/// Scans one file; `rel` is its workspace-relative path for the report.
+pub fn scan_file(rel: &str, src: &str) -> Vec<UnsafeSite> {
+    let masked = mask(src);
+    let raw_lines: Vec<&str> = src.lines().collect();
+    let mut sites = Vec::new();
+    for (idx, pos) in keyword_positions(&masked) {
+        let kind = classify(&masked, pos);
+        let documented = is_documented(&raw_lines, idx, kind);
+        sites.push(UnsafeSite {
+            file: rel.to_string(),
+            line: idx + 1,
+            kind,
+            documented,
+            context: raw_lines.get(idx).map_or("", |l| l.trim()).to_string(),
+        });
+    }
+    sites
+}
+
+/// Yields `(line_index, byte_offset)` for each `unsafe` keyword in the masked
+/// source (word-boundary matches only).
+fn keyword_positions(masked: &str) -> Vec<(usize, usize)> {
+    let bytes = masked.as_bytes();
+    let mut out = Vec::new();
+    let mut line = 0usize;
+    let mut search = 0usize;
+    let mut line_start_scan = 0usize;
+    while let Some(found) = masked[search..].find("unsafe") {
+        let pos = search + found;
+        let before_ok = pos == 0 || !is_ident_byte(bytes[pos - 1]);
+        let after = pos + "unsafe".len();
+        let after_ok = after >= bytes.len() || !is_ident_byte(bytes[after]);
+        if before_ok && after_ok {
+            line += masked[line_start_scan..pos].matches('\n').count();
+            line_start_scan = pos;
+            out.push((line, pos));
+        }
+        search = after;
+    }
+    out
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Classifies an `unsafe` keyword by the next code token after it.
+fn classify(masked: &str, pos: usize) -> UnsafeKind {
+    let rest = masked[pos + "unsafe".len()..].trim_start();
+    if rest.starts_with("impl") {
+        UnsafeKind::Impl
+    } else if rest.starts_with("trait") {
+        UnsafeKind::Trait
+    } else if rest.starts_with("fn") || rest.starts_with("extern") || rest.starts_with("async") {
+        UnsafeKind::Fn
+    } else {
+        UnsafeKind::Block
+    }
+}
+
+/// Whether the site at `line_idx` (0-based) carries a SAFETY justification.
+fn is_documented(raw_lines: &[&str], line_idx: usize, kind: UnsafeKind) -> bool {
+    // Same-line trailing comment: `unsafe { ... } // SAFETY: ...`.
+    if raw_lines
+        .get(line_idx)
+        .is_some_and(|l| l.contains("SAFETY:"))
+    {
+        return true;
+    }
+    // Scan upward: skip attributes and sibling `unsafe impl` lines, then
+    // require SAFETY: (or, for fns, `# Safety`) inside the contiguous comment
+    // block directly above.
+    let mut idx = line_idx;
+    while idx > 0 {
+        idx -= 1;
+        let t = raw_lines[idx].trim();
+        if t.starts_with("#[") || t.starts_with("#![") {
+            continue; // attribute between comment and item
+        }
+        if t.starts_with("unsafe impl") || (kind == UnsafeKind::Impl && t.starts_with("unsafe ")) {
+            continue; // one comment may cover a Send/Sync impl pair
+        }
+        if is_comment_line(t) {
+            // Collect the whole contiguous comment block.
+            let mut block_top = idx;
+            while block_top > 0 && is_comment_line(raw_lines[block_top - 1].trim()) {
+                block_top -= 1;
+            }
+            return raw_lines[block_top..=idx].iter().any(|l| {
+                l.contains("SAFETY:") || (kind == UnsafeKind::Fn && l.contains("# Safety"))
+            });
+        }
+        return false; // plain code directly above: undocumented
+    }
+    false
+}
+
+fn is_comment_line(trimmed: &str) -> bool {
+    trimmed.starts_with("//") || trimmed.starts_with("/*") || trimmed.starts_with('*')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(UnsafeKind, bool)> {
+        scan_file("fixture.rs", src)
+            .into_iter()
+            .map(|s| (s.kind, s.documented))
+            .collect()
+    }
+
+    #[test]
+    fn documented_block_passes() {
+        let src = "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid.\n    unsafe { *p }\n}\n";
+        assert_eq!(kinds(src), vec![(UnsafeKind::Block, true)]);
+    }
+
+    #[test]
+    fn undocumented_block_is_flagged() {
+        // The acceptance-criteria fixture: introducing an unsafe block with no
+        // SAFETY comment must produce a violation.
+        let src = "fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+        assert_eq!(kinds(src), vec![(UnsafeKind::Block, false)]);
+    }
+
+    #[test]
+    fn safety_comment_skips_attributes() {
+        let src = "// SAFETY: AVX2 verified at runtime.\n#[allow(unsafe_code)]\nunsafe { intrinsics() }\n";
+        assert_eq!(kinds(src), vec![(UnsafeKind::Block, true)]);
+    }
+
+    #[test]
+    fn one_comment_covers_a_send_sync_pair() {
+        let src = "// SAFETY: cells are owned by single claimants.\nunsafe impl<T: Send> Send for Ring<T> {}\nunsafe impl<T: Send> Sync for Ring<T> {}\n";
+        assert_eq!(
+            kinds(src),
+            vec![(UnsafeKind::Impl, true), (UnsafeKind::Impl, true)]
+        );
+    }
+
+    #[test]
+    fn unsafe_fn_accepts_safety_doc_section() {
+        let src = "/// Reads the slot.\n///\n/// # Safety\n///\n/// Caller must hold the claim.\n#[target_feature(enable = \"avx2\")]\nunsafe fn read_slot() {}\n";
+        assert_eq!(kinds(src), vec![(UnsafeKind::Fn, true)]);
+    }
+
+    #[test]
+    fn unsafe_fn_without_contract_is_flagged() {
+        let src = "/// Reads the slot fast.\nunsafe fn read_slot() {}\n";
+        assert_eq!(kinds(src), vec![(UnsafeKind::Fn, false)]);
+    }
+
+    #[test]
+    fn prose_and_strings_do_not_count_as_sites() {
+        let src = "// this crate needs no `unsafe` anywhere\nlet s = \"unsafe\";\nlet ok = true;\n";
+        assert!(kinds(src).is_empty());
+    }
+
+    #[test]
+    fn classifies_trait_and_extern_fn() {
+        let src = "// SAFETY: contract documented on the trait.\nunsafe trait Zeroable {}\n// SAFETY: ffi contract.\nunsafe extern \"C\" fn cb() {}\n";
+        assert_eq!(
+            kinds(src),
+            vec![(UnsafeKind::Trait, true), (UnsafeKind::Fn, true)]
+        );
+    }
+}

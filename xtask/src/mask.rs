@@ -1,0 +1,212 @@
+//! Comment/string masking for the source scanners.
+//!
+//! The lint passes match tokens (`unsafe`, `Ordering::Relaxed`) against a
+//! *masked* copy of each source file in which comments, string literals and
+//! char literals are replaced by spaces — byte-for-byte the same length, so a
+//! match in the masked text maps to the identical line and column in the
+//! original. This is a lexer, not a parser: it tracks just enough Rust lexical
+//! structure (nested block comments, raw strings with `#` fences, byte
+//! strings, char literals vs lifetimes) to never mistake prose for code.
+
+/// Replaces comments and string/char literal *contents* with spaces,
+/// preserving length and newlines exactly.
+pub fn mask(src: &str) -> String {
+    let bytes = src.as_bytes();
+    let mut out = vec![b' '; bytes.len()];
+    // Newlines always survive so line numbers map 1:1.
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'\n' {
+            out[i] = b'\n';
+        }
+    }
+    let mut i = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                // Line comment: masked through end of line.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comment, nesting like rustc.
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => i = skip_string(bytes, i),
+            b'r' | b'b' if starts_raw_or_byte_string(bytes, i) => {
+                // Advance past the `r`/`b`/`br` prefix to the quote or fence.
+                let mut j = i + 1;
+                if bytes.get(j) == Some(&b'"') || bytes.get(j) == Some(&b'#') {
+                } else if bytes[i] == b'b'
+                    && (bytes.get(j) == Some(&b'r'))
+                    && (bytes.get(j + 1) == Some(&b'"') || bytes.get(j + 1) == Some(&b'#'))
+                {
+                    j += 1;
+                } else {
+                    // `b'x'` byte char: fall through to char handling below.
+                    out[i] = bytes[i];
+                    i += 1;
+                    continue;
+                }
+                let raw = bytes[i] == b'r' || bytes.get(i + 1) == Some(&b'r');
+                if raw {
+                    i = skip_raw_string(bytes, j);
+                } else {
+                    i = skip_string(bytes, j);
+                }
+            }
+            b'\'' => {
+                if let Some(end) = char_literal_end(bytes, i) {
+                    i = end;
+                } else {
+                    // A lifetime (`'a`) — plain code, copy through.
+                    out[i] = b'\'';
+                    i += 1;
+                }
+            }
+            b => {
+                out[i] = b;
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn starts_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    match bytes[i] {
+        b'r' => matches!(bytes.get(i + 1), Some(b'"') | Some(b'#')),
+        b'b' => match bytes.get(i + 1) {
+            Some(b'"') => true,
+            Some(b'r') => matches!(bytes.get(i + 2), Some(b'"') | Some(b'#')),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Skips a normal (escaping) string starting at the opening quote index;
+/// returns the index just past the closing quote.
+fn skip_string(bytes: &[u8], open: usize) -> usize {
+    let mut i = open + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips a raw string whose `#` fence (possibly empty) starts at `fence`;
+/// returns the index just past the closing quote+fence.
+fn skip_raw_string(bytes: &[u8], fence: usize) -> usize {
+    let mut hashes = 0usize;
+    let mut i = fence;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if bytes.get(i) != Some(&b'"') {
+        return i; // not actually a raw string; treat prefix as code
+    }
+    i += 1;
+    while i < bytes.len() {
+        if bytes[i] == b'"' && bytes[i + 1..].len() >= hashes {
+            let close = &bytes[i + 1..i + 1 + hashes];
+            if close.iter().all(|&b| b == b'#') {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// If a char literal starts at `open` (as opposed to a lifetime), returns the
+/// index just past its closing quote.
+fn char_literal_end(bytes: &[u8], open: usize) -> Option<usize> {
+    match bytes.get(open + 1)? {
+        b'\\' => {
+            // Escaped char: scan to the next unescaped quote.
+            let mut i = open + 2;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'\\' => i += 2,
+                    b'\'' => return Some(i + 1),
+                    _ => i += 1,
+                }
+            }
+            None
+        }
+        _ => {
+            // `'x'` is a char; `'x` followed by anything else is a lifetime.
+            // Multi-byte UTF-8 chars: find the next quote within 5 bytes.
+            let limit = (open + 6).min(bytes.len());
+            (open + 2..limit)
+                .find(|&j| bytes[j] == b'\'')
+                .map(|j| j + 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_line_and_block_comments() {
+        let m = mask("let x = 1; // unsafe prose\n/* unsafe /* nested */ still */ let y;");
+        assert!(m.contains("let x = 1;"));
+        assert!(m.contains("let y;"));
+        assert!(!m.contains("unsafe"));
+        assert!(!m.contains("nested"));
+    }
+
+    #[test]
+    fn masks_strings_and_preserves_length_and_lines() {
+        let src = "let s = \"unsafe { } // not code\";\nlet t = 2;";
+        let m = mask(src);
+        assert_eq!(m.len(), src.len());
+        assert_eq!(m.lines().count(), src.lines().count());
+        assert!(!m.contains("unsafe"));
+        assert!(m.contains("let t = 2;"));
+    }
+
+    #[test]
+    fn masks_raw_and_byte_strings() {
+        let m = mask(r##"let s = r#"unsafe " quote"# ; let b = b"unsafe"; go()"##);
+        assert!(!m.contains("unsafe"));
+        assert!(m.contains("go()"));
+    }
+
+    #[test]
+    fn distinguishes_lifetimes_from_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'u'; let d = '\\n'; done() }";
+        let m = mask(src);
+        assert!(m.contains("fn f<'a>(x: &'a str)"), "lifetimes survive: {m}");
+        assert!(!m.contains("'u'"));
+        assert!(m.contains("done()"));
+    }
+
+    #[test]
+    fn code_tokens_survive_masking() {
+        let src = "unsafe { ptr.read() } // SAFETY: checked above";
+        let m = mask(src);
+        assert!(m.contains("unsafe { ptr.read() }"));
+        assert!(!m.contains("SAFETY"));
+    }
+}
